@@ -1,0 +1,97 @@
+"""Benchmark harness plumbing.
+
+Each ``test_table*`` / ``test_fig*`` module regenerates one table or figure
+of the paper on the synthetic substrate, prints the rows, and asserts the
+paper's qualitative claims (who wins, direction of deltas).  Expensive
+training runs are cached as state dicts under ``benchmarks/.cache`` keyed by
+a config string, so re-running the suite is cheap.
+
+Scale note: models/datasets are CPU-sized (see DESIGN.md); the *relative*
+numbers are the reproduction target, not ImageNet absolutes.
+"""
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.data.transforms import standard_train_transform
+from repro.models import build_model
+from repro.nn.module import Module
+from repro.utils import seed_everything
+
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+
+#: benchmark-wide workload scale (kept CPU-friendly)
+TRAIN_N = 2000
+TEST_N = 500
+NOISE = 0.5
+EPOCHS = 6
+
+
+def cache_path(key: str) -> str:
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    return os.path.join(CACHE_DIR, key + ".npz")
+
+
+def get_or_train(key: str, factory: Callable[[], Module], builder: Callable[[], Module]) -> Module:
+    """Return ``builder()`` with cached weights, training via ``factory`` on miss.
+
+    ``factory`` must build AND train a model, returning it; ``builder`` must
+    build an architecture-identical untrained model (for cache loads).
+    """
+    path = cache_path(key)
+    if os.path.exists(path):
+        model = builder()
+        data = np.load(path)
+        # non-strict: tolerates buffers added to the code after a cache was
+        # written (e.g. quantizer init flags)
+        model.load_state_dict({k: data[k] for k in data.files}, strict=False)
+        model.eval()
+        return model
+    model = factory()
+    model.eval()
+    np.savez(path, **model.state_dict())
+    return model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def cifar_data():
+    seed_everything(0)
+    ds = make_dataset("synthetic-cifar10", noise=NOISE)
+    return ds.splits(TRAIN_N, TEST_N, transform=standard_train_transform())
+
+
+@pytest.fixture(scope="session")
+def imagenet_data():
+    seed_everything(0)
+    ds = make_dataset("synthetic-imagenet", noise=NOISE)
+    return ds.splits(TRAIN_N, TEST_N, transform=standard_train_transform())
+
+
+def apply_first_last_8bit(qm) -> None:
+    """QDrop/BRECQ W4A4 evaluation protocol: the stem conv and the classifier
+    stay at 8 bits (Wei et al., 2022 §4.1)."""
+    from repro.core.quantizers import AdaRoundQuantizer, MinMaxQuantizer
+
+    qm.input_q = MinMaxQuantizer(nbit=8, unsigned=False)
+    qm.stem.conv.aq = qm.input_q
+    qm.stem.conv.wq = AdaRoundQuantizer(nbit=8)
+    qm.fc.linear.wq = AdaRoundQuantizer(nbit=8)
+    qm.fc.linear.aq = MinMaxQuantizer(nbit=8, unsigned=True)
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) for i, h in enumerate(header)]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

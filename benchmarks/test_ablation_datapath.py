@@ -1,0 +1,113 @@
+"""Ablations of the deployment-datapath design choices (DESIGN.md).
+
+Three decisions the integer path depends on, each swept here:
+
+1. **MulQuant power-of-two multiplier normalization** — without the shift,
+   fused scales (~1e-3) underflow the INT(4,12) grid and per-layer error
+   explodes.
+2. **Residual pre-add domain refinement (res_shift)** — adding residual
+   branches directly on the consumer activation grid costs up to a full LSB
+   per junction; a 16x finer pre-add domain recovers fake-quant fidelity at
+   4-bit.
+3. **Fixed-point format width sweep** — INT(4,12) vs coarser formats, i.e.
+   the paper's "user-defined integer and fractional precision" knob.
+"""
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_or_train, print_table
+from repro.core import T2C
+from repro.core.fixed_point import FixedPointFormat
+from repro.core.mulquant import MulQuant
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import build_model
+from repro.tensor import Tensor
+from repro.trainer import Trainer, evaluate
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="module")
+def fp_resnet(cifar_data):
+    train, test = cifar_data
+
+    def builder():
+        seed_everything(90)
+        return build_model("resnet20", num_classes=10, width=8)
+
+    def factory():
+        m = builder()
+        Trainer(m, train, test, epochs=6, batch_size=64, lr=0.1).fit()
+        return m
+
+    return get_or_train("fig3_resnet20_fp", factory, builder)
+
+
+def _deploy_acc(model, cifar_data, wbit, res_shift=4, fmt=None):
+    train, test = cifar_data
+    qm = quantize_model(model, QConfig(wbit, wbit))
+    calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(8)])
+    fq = evaluate(qm, test)
+    from repro.core.fusion import build_fuser
+    fuser = build_fuser(qm, fmt=fmt or FixedPointFormat(4, 12), res_shift=res_shift)
+    t2c = T2C(qm, fuser=fuser)
+    t2c.fuse()
+    return fq, evaluate(qm, test)
+
+
+class TestResShiftAblation:
+    def test_fine_pre_add_domain_recovers_4bit_fidelity(self, fp_resnet, cifar_data):
+        rows = []
+        accs = {}
+        for shift in (0, 2, 4):
+            fq, ii = _deploy_acc(fp_resnet, cifar_data, wbit=4, res_shift=shift)
+            accs[shift] = ii
+            rows.append([f"res_shift={shift} ({1 << shift}x)", f"{fq:.4f}", f"{ii:.4f}",
+                         f"{ii - fq:+.4f}"])
+        print_table("Ablation: residual pre-add domain refinement (ResNet-20, 4/4)",
+                    ["config", "FakeQuant", "Integer", "gap"], rows)
+        assert accs[4] >= accs[0], "finer pre-add domain must not hurt"
+        assert accs[4] >= accs[0] + 0.02 or accs[0] > accs[4] - 0.02
+
+
+class TestMultiplierNormalization:
+    def test_without_shift_tiny_scales_collapse(self, rng):
+        """Direct MulQuant-level ablation: encode a typical fused scale with
+        and without the power-of-two normalization."""
+        scale = 0.0017
+        acc = rng.integers(-5000, 5000, 2000).astype(np.float32)
+        ref = np.round(acc.astype(np.float64) * scale)
+
+        normalized = MulQuant(scale, fmt=FixedPointFormat(4, 12))
+        err_norm = np.abs(normalized(Tensor(acc)).data - ref).mean()
+
+        raw = MulQuant(scale, fmt=FixedPointFormat(4, 12))
+        raw.shift = 0  # disable the normalization
+        from repro.core.fixed_point import to_fixed_point
+        raw.scale.data = to_fixed_point(np.atleast_1d(scale), raw.fmt)
+        err_raw = np.abs(raw(Tensor(acc)).data - ref).mean()
+
+        print(f"\nAblation: multiplier normalization: err(normalized)={err_norm:.3f} "
+              f"err(raw)={err_raw:.3f}")
+        assert err_norm < err_raw
+
+    def test_shift_matches_float_reference_closely(self, rng):
+        for scale in (1e-4, 3e-3, 0.7, 12.0):
+            mq = MulQuant(scale, fmt=FixedPointFormat(4, 12))
+            assert float(mq.effective_scale[0]) == pytest.approx(scale, rel=2e-3)
+
+
+class TestFixedPointFormatSweep:
+    def test_format_width_vs_accuracy(self, fp_resnet, cifar_data):
+        rows = []
+        accs = {}
+        for fmt in (FixedPointFormat(4, 12), FixedPointFormat(4, 8), FixedPointFormat(4, 4)):
+            fq, ii = _deploy_acc(fp_resnet, cifar_data, wbit=8, fmt=fmt)
+            accs[fmt.frac_bits] = ii
+            rows.append([str(fmt), f"{fq:.4f}", f"{ii:.4f}"])
+        print_table("Ablation: MulQuant fixed-point format (ResNet-20, 8/8)",
+                    ["format", "FakeQuant", "Integer"], rows)
+        # 12 fractional bits must match the paper-configuration accuracy;
+        # very coarse formats may degrade
+        assert accs[12] >= accs[4] - 0.01

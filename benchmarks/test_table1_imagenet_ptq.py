@@ -1,0 +1,124 @@
+"""Table 1: PTQ ResNet-50 on the ImageNet stand-in.
+
+Paper rows:
+  AIMET  (AdaRound, 8/8, float scales)      75.45 (-0.55)
+  OpenVINO (MinMax, 8/8, float scales)      75.98 (+0.02)
+  Torch2Chip (QDrop, 4/4, INT(12,4))        74.40 (-1.60)
+  Torch2Chip (QDrop, 8/8, INT(12,4))        75.96 (-0.04)
+
+Reproduced claims (shape, not absolutes — see DESIGN.md):
+  * every 8/8 recipe is within ~2 points of the fp32 baseline;
+  * QDrop 4/4 degrades by a small-but-visible margin (more than 8/8);
+  * Torch2Chip's INT16 fixed-point scales cost essentially nothing compared
+    to float scales at 8/8 while being hardware-deployable.
+"""
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPOCHS, get_or_train, print_table
+from repro.core import T2C
+from repro.core.qconfig import QConfig
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+from repro.trainer import PTQTrainer, Trainer, evaluate
+from repro.utils import seed_everything
+
+
+def _builder():
+    seed_everything(50)
+    return build_model("resnet50", num_classes=20, width=8)
+
+
+@pytest.fixture(scope="module")
+def fp_model(imagenet_data):
+    train, test = imagenet_data
+
+    def factory():
+        model = _builder()
+        Trainer(model, train, test, epochs=EPOCHS, batch_size=64, lr=0.1).fit()
+        return model
+
+    return get_or_train("table1_resnet50_fp", factory, _builder)
+
+
+ROWS = [
+    ("AIMET AdaRound", QConfig(8, 8, wq="adaround", aq="minmax"), True, True),
+    ("OpenVINO MinMax", QConfig(8, 8, wq="minmax_channel", aq="minmax"), False, True),
+    ("T2C QDrop 4/4", QConfig(4, 4, wq="adaround", aq="qdrop"), True, False),
+    ("T2C QDrop 8/8", QConfig(8, 8, wq="adaround", aq="qdrop"), True, False),
+]
+
+
+from benchmarks.conftest import apply_first_last_8bit as _apply_first_last_8bit
+
+
+@pytest.fixture(scope="module")
+def table1(fp_model, imagenet_data):
+    train, test = imagenet_data
+    fp_acc = evaluate(fp_model, test)
+    results = {"fp32": fp_acc}
+    for name, qcfg, reconstruct, float_scale in ROWS:
+        from repro.core.qmodels import quantize_model
+
+        qm = quantize_model(fp_model, qcfg)
+        if qcfg.wbit < 8:
+            _apply_first_last_8bit(qm)
+        qm = PTQTrainer(qm, train, calib_batches=6, batch_size=64,
+                        reconstruct=reconstruct, recon_iters=60).fit()
+        T2C(qm, float_scale=float_scale).fuse()
+        results[name] = evaluate(qm, test)
+    rows = [["fp32 baseline", "-", "-", f"{fp_acc:.4f}", "-"]]
+    for name, qcfg, _, float_scale in ROWS:
+        acc = results[name]
+        rows.append([name, f"{qcfg.wbit}/{qcfg.abit}",
+                     "Float" if float_scale else "INT(12,4)",
+                     f"{acc:.4f}", f"{acc - fp_acc:+.4f}"])
+    print_table("Table 1: ImageNet-1K (synthetic) PTQ ResNet-50",
+                ["Toolkit/Method", "W/A", "Scale&Bias", "Accuracy", "Delta"], rows)
+    return results
+
+
+class TestTable1Claims:
+    def test_8bit_recipes_near_fp(self, table1):
+        fp = table1["fp32"]
+        for name in ("AIMET AdaRound", "OpenVINO MinMax", "T2C QDrop 8/8"):
+            assert table1[name] >= fp - 0.03, f"{name} degraded too much"
+
+    def test_4bit_degrades_more_than_8bit(self, table1):
+        assert table1["T2C QDrop 4/4"] <= table1["T2C QDrop 8/8"] + 0.01
+
+    def test_4bit_still_usable(self, table1):
+        # The paper's QDrop 4/4 loses 1.6 points with 20k reconstruction
+        # iterations per block on 1024 calibration images; at this substrate's
+        # budget (60 iters, 384 images) the 4/4 row keeps an order of
+        # magnitude above chance (20 classes -> 0.05) and improves
+        # monotonically with reconstruction fidelity (see EXPERIMENTS.md).
+        assert table1["T2C QDrop 4/4"] >= 0.35
+
+    def test_fixed_point_scales_match_float(self, fp_model, imagenet_data):
+        """INT16 scales vs float scales, same quantized model: ~no cost."""
+        train, test = imagenet_data
+        qm = PTQTrainer(fp_model, train, qcfg=QConfig(8, 8), calib_batches=8,
+                        batch_size=64).fit()
+        T2C(qm, float_scale=True).fuse()
+        acc_float = evaluate(qm, test)
+        qm2 = PTQTrainer(fp_model, train, qcfg=QConfig(8, 8), calib_batches=8,
+                         batch_size=64).fit()
+        T2C(qm2, float_scale=False).fuse()
+        acc_fixed = evaluate(qm2, test)
+        assert abs(acc_float - acc_fixed) <= 0.02
+
+
+def test_integer_inference_throughput(benchmark, fp_model, imagenet_data):
+    """pytest-benchmark target: deployed integer-only forward pass."""
+    train, test = imagenet_data
+    qm = PTQTrainer(fp_model, train, qcfg=QConfig(8, 8), calib_batches=4,
+                    batch_size=64).fit()
+    qnn = T2C(qm).nn2chip()
+    x = Tensor(test.images[:32])
+
+    def run():
+        with no_grad():
+            return qnn(x)
+
+    benchmark(run)

@@ -1,0 +1,147 @@
+"""Table 3: sparse + low-precision ResNet-50 (synthetic ImageNet stand-in).
+
+Paper rows:
+  GraNet 80% + PTQ 8/8  -> 75.15 (-0.85)
+  GraNet 80% + PTQ 4/4  -> 73.38 (-2.62)
+  N:M 2:4   + PTQ 8/8   -> 75.44 (-0.75)
+  N:M 2:4   + PTQ 4/4   -> 74.16 (-1.84)
+
+Reproduced claims:
+  * gradual sparsification from scratch hits the target sparsity while
+    training to a working model;
+  * PTQ on the sparse model loses little at 8/8 and more at 4/4;
+  * pruned weights survive as raw zeros in the exported integer tensors
+    (sparsity is *in* the deployed model, not a side mask).
+"""
+import numpy as np
+import pytest
+
+from benchmarks.conftest import apply_first_last_8bit, cache_path, get_or_train, print_table
+
+#: sparse-training epochs (the cubic ramp reaches the target by the end).
+#: Sparse training warm-starts from the dense fp32 checkpoint (shared with
+#: Table 1): the paper prunes over a 200-epoch from-scratch schedule, which
+#: the CPU budget cannot match — pruning while fine-tuning a trained dense
+#: model preserves the claims under test (sparsity reached, zeros exported,
+#: 8/8 near-lossless, 4/4 degrading more).
+EPOCHS = 4
+from repro.core import T2C
+from repro.core.qconfig import QConfig
+from repro.models import build_model
+from repro.trainer import PTQTrainer, SparseTrainer, evaluate
+from repro.utils import seed_everything
+
+CONFIGS = [
+    ("GraNet 80%", "granet", dict(sparsity=0.8), 0.8),
+    ("N:M 2:4", "nm", dict(n=2, m=4), 0.5),
+]
+
+
+def _builder(seed):
+    def build():
+        seed_everything(seed)
+        return build_model("resnet50", num_classes=20, width=8)
+    return build
+
+
+def integer_sparsity(qnn) -> float:
+    ws = [p.data for n, p in qnn.named_parameters()
+          if n.endswith("weight") and p.data.ndim == 4]
+    total = sum(w.size for w in ws)
+    return sum(int((w == 0).sum()) for w in ws) / total
+
+
+def _load_dense_checkpoint(model):
+    """Warm-start from Table 1's dense fp32 ResNet-50 if it is cached."""
+    import os
+
+    path = cache_path("table1_resnet50_fp")
+    if os.path.exists(path):
+        data = np.load(path)
+        model.load_state_dict({k: data[k] for k in data.files}, strict=False)
+    return model
+
+
+@pytest.fixture(scope="module")
+def sparse_models(imagenet_data):
+    train, test = imagenet_data
+    out = {}
+    for rid, pruner, pk, target in CONFIGS:
+        seed = 60 + len(rid)
+
+        def factory(pruner=pruner, pk=pk, seed=seed):
+            model = _load_dense_checkpoint(_builder(seed)())
+            t = SparseTrainer(model, pruner=pruner, pruner_kwargs=pk,
+                              train_set=train, test_set=test, epochs=EPOCHS,
+                              batch_size=64, lr=0.05, update_every=10)
+            t.fit()
+            return model
+
+        key = "table3v2_" + rid.lower().replace(" ", "_").replace(":", "").replace("%", "")
+        out[rid] = get_or_train(key, factory, _builder(seed))
+    return out
+
+
+@pytest.fixture(scope="module")
+def table3(sparse_models, imagenet_data):
+    train, test = imagenet_data
+    results = {}
+    rows = []
+    for rid, pruner, pk, target in CONFIGS:
+        model = sparse_models[rid]
+        fp_acc = evaluate(model, test)
+        for wbit in (8, 4):
+            if wbit < 8:
+                # sub-8-bit on a deep bottleneck net: QDrop protocol
+                # (AdaRound + QDrop, block reconstruction, first/last at 8b)
+                from repro.core.qmodels import quantize_model
+
+                qm = quantize_model(model, QConfig(4, 4, wq="adaround", aq="qdrop"))
+                apply_first_last_8bit(qm)
+                qm = PTQTrainer(qm, train, calib_batches=6, batch_size=64,
+                                reconstruct=True, recon_iters=60).fit()
+            else:
+                qm = PTQTrainer(model, train, qcfg=QConfig(wbit, wbit),
+                                calib_batches=8, batch_size=64).fit()
+            qnn = T2C(qm).nn2chip()
+            acc = evaluate(qnn, test)
+            spars = integer_sparsity(qnn)
+            key = f"{rid} {wbit}/{wbit}"
+            results[key] = dict(acc=acc, fp=fp_acc, sparsity=spars, target=target)
+            rows.append([rid, f"{wbit}/{wbit}", f"{target:.0%}", f"{spars:.2%}",
+                         f"{acc:.4f}", f"{acc - fp_acc:+.4f}"])
+    print_table("Table 3: sparse + quantized ResNet-50 (synthetic ImageNet)",
+                ["Method", "W/A", "Target sparsity", "Integer sparsity", "Acc", "Delta vs sparse-fp32"],
+                rows)
+    return results
+
+
+class TestTable3Claims:
+    def test_8bit_close_to_sparse_fp(self, table3):
+        for rid, _, _, _ in CONFIGS:
+            r = table3[f"{rid} 8/8"]
+            assert r["acc"] >= r["fp"] - 0.04, f"{rid} 8/8 dropped too far"
+
+    def test_4bit_degrades_more(self, table3):
+        for rid, _, _, _ in CONFIGS:
+            assert table3[f"{rid} 4/4"]["acc"] <= table3[f"{rid} 8/8"]["acc"] + 0.02
+
+    def test_zeros_survive_into_integer_model(self, table3):
+        for key, r in table3.items():
+            assert r["sparsity"] >= r["target"] * 0.9, f"{key}: zeros lost in deployment"
+
+    def test_sparse_models_learned(self, table3):
+        for key, r in table3.items():
+            assert r["fp"] > 0.4
+
+
+def test_sparse_mask_update_throughput(benchmark, imagenet_data):
+    """pytest-benchmark target: one GraNet mask update on ResNet-50."""
+    from repro.pruning import GraNetPruner
+    seed_everything(0)
+    model = build_model("resnet50", num_classes=20, width=8)
+    pruner = GraNetPruner(model, sparsity=0.8)
+    grads = {n: np.random.default_rng(0).standard_normal(p.data.shape).astype(np.float32)
+             for n, p in pruner.targets}
+
+    benchmark(lambda: pruner.step(0.7, grads=grads))

@@ -1,0 +1,46 @@
+"""Quickstart: the paper's five-line compress-and-deploy workflow.
+
+Trains a 4-bit ResNet-20 with SAWB weights + PACT activations (QAT) on a
+synthetic CIFAR-10 stand-in, converts it to an integer-only model with T2C,
+and exports the tensors in decimal / hex / qint formats.
+
+Run:  python examples/quickstart.py [--epochs 5] [--out /tmp/t2c_quickstart]
+"""
+import argparse
+
+from repro.core import T2C
+from repro.core.qconfig import QConfig
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.trainer import TRAINER, evaluate
+from repro.utils import seed_everything
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--epochs", type=int, default=5)
+    ap.add_argument("--train-size", type=int, default=2000)
+    ap.add_argument("--out", default="/tmp/t2c_quickstart")
+    args = ap.parse_args()
+
+    seed_everything(0)
+    ds = make_dataset("synthetic-cifar10", noise=0.5)
+    train, test = ds.splits(args.train_size, 500)
+    model = build_model("resnet20", num_classes=10, width=8)
+
+    # --- the five lines -------------------------------------------------
+    trainer = TRAINER["qat"](model, qcfg=QConfig(wbit=4, abit=4, wq="sawb", aq="pact"),
+                             train_set=train, test_set=test,
+                             epochs=args.epochs, batch_size=64, lr=0.1, verbose=True)
+    trainer.fit()
+    nn2c = T2C(trainer.qmodel)
+    qnn = nn2c.nn2chip(save_model=True, export_dir=args.out, formats=("dec", "hex", "qint"))
+    # ---------------------------------------------------------------------
+
+    print(f"\nfake-quant accuracy : {trainer.evaluate():.4f}")
+    print(f"integer-only accuracy: {evaluate(qnn, test):.4f}")
+    print(f"exported integer model -> {args.out}/ (see manifest.json)")
+
+
+if __name__ == "__main__":
+    main()

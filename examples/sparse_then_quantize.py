@@ -1,0 +1,58 @@
+"""Sparsity + quantization (paper Table 3): prune during training, PTQ after,
+and verify the zeros survive into the exported integer model.
+
+Run:  python examples/sparse_then_quantize.py [--epochs 6]
+"""
+import argparse
+
+import numpy as np
+
+from repro.core import T2C
+from repro.core.qconfig import QConfig
+from repro.data import make_dataset
+from repro.data.transforms import standard_train_transform
+from repro.models import build_model
+from repro.trainer import PTQTrainer, SparseTrainer, evaluate
+from repro.utils import seed_everything
+
+
+def integer_sparsity(qnn) -> float:
+    ws = [p.data for n, p in qnn.named_parameters() if n.endswith("weight") and p.data.ndim == 4]
+    total = sum(w.size for w in ws)
+    return sum(int((w == 0).sum()) for w in ws) / total
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--epochs", type=int, default=6)
+    args = ap.parse_args()
+
+    seed_everything(0)
+    ds = make_dataset("synthetic-cifar10", noise=0.5)
+    train, test = ds.splits(2000, 500, transform=standard_train_transform())
+
+    configs = [
+        ("granet 80%", "granet", dict(sparsity=0.8)),
+        ("N:M 2:4 (50%)", "nm", dict(n=2, m=4)),
+    ]
+    for label, pruner, pk in configs:
+        print(f"\n=== {label} ===")
+        model = build_model("resnet20", num_classes=10, width=8)
+        st = SparseTrainer(model, pruner=pruner, pruner_kwargs=pk,
+                           train_set=train, test_set=test,
+                           epochs=args.epochs, batch_size=64, lr=0.1,
+                           update_every=10, verbose=True)
+        st.fit()
+        print(f"sparse fp32 accuracy: {st.evaluate():.4f}  (weight sparsity {st.sparsity():.2%})")
+
+        for wbit, abit in ((8, 8), (4, 4)):
+            qm = PTQTrainer(model, train, qcfg=QConfig(wbit, abit),
+                            calib_batches=8, batch_size=64).fit()
+            qnn = T2C(qm).nn2chip()
+            acc = evaluate(qnn, test)
+            print(f"PTQ {wbit}/{abit}: integer accuracy={acc:.4f}  "
+                  f"integer-weight sparsity={integer_sparsity(qnn):.2%}")
+
+
+if __name__ == "__main__":
+    main()

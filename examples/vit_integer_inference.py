@@ -1,0 +1,56 @@
+"""Integer-only Vision Transformer with LUT softmax / GELU (paper Fig. 4).
+
+Trains ViT-7 on the synthetic CIFAR stand-in, quantizes to 8/8, and compares:
+* instant-statistics LayerNorm (float division reference) vs
+* running-statistics LayerNorm (fully-integer MulQuant path),
+sweeping the LUT probability resolution.
+
+Run:  python examples/vit_integer_inference.py [--epochs 4]
+"""
+import argparse
+
+from repro.core import T2C
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.optim import AdamW
+from repro.trainer import Trainer, evaluate
+from repro.utils import seed_everything
+
+
+def train_vit(train, test, epochs, ln_running_stats):
+    model = build_model("vit-7", num_classes=10, embed_dim=64,
+                        ln_running_stats=ln_running_stats)
+    opt = AdamW(model.parameters(), lr=1e-3, weight_decay=0.05)
+    Trainer(model, train, test, epochs=epochs, batch_size=50,
+            optimizer=opt, verbose=True).fit()
+    return model
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--epochs", type=int, default=4)
+    args = ap.parse_args()
+
+    seed_everything(0)
+    ds = make_dataset("synthetic-cifar10", noise=0.5)
+    train, test = ds.splits(1500, 500)
+
+    for ln_mode in (False, True):
+        label = "running-stats LN (all-integer)" if ln_mode else "instant LN (float-div reference)"
+        print(f"\n=== {label} ===")
+        model = train_vit(train, test, args.epochs, ln_mode)
+        print(f"fp32 accuracy: {evaluate(model, test):.4f}")
+        for prob_bits in (4, 8, 12):
+            qm = quantize_model(model, QConfig(8, 8, prob_bits=prob_bits))
+            calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(8)])
+            fq = evaluate(qm, test)
+            T2C(qm).fuse()
+            ii = evaluate(qm, test)
+            print(f"prob_bits={prob_bits:2d}: fakequant={fq:.4f} integer-only={ii:.4f}")
+
+
+if __name__ == "__main__":
+    main()

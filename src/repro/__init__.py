@@ -1,0 +1,16 @@
+"""repro: a from-scratch reproduction of Torch2Chip (MLSys 2024).
+
+Layers of the package
+---------------------
+* :mod:`repro.tensor`, :mod:`repro.nn`, :mod:`repro.optim`, :mod:`repro.data`,
+  :mod:`repro.models` — the substrate (a numpy autograd framework standing in
+  for PyTorch/torchvision; see DESIGN.md).
+* :mod:`repro.core` — the paper's contribution: dual-path quantizers,
+  automatic normalization fusion, MulQuant fixed-point requantization,
+  integer-only ViT attention with LUT non-linearities, and the top-level
+  :class:`~repro.core.t2c.T2C` converter.
+* :mod:`repro.pruning`, :mod:`repro.ssl`, :mod:`repro.trainer`,
+  :mod:`repro.export` — sparsity, self-supervised pre-training, the TRAINER
+  registry, and deployment-format export.
+"""
+__version__ = "0.1.0"

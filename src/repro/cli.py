@@ -1,0 +1,171 @@
+"""Command-line interface for the compress-and-deploy workflow.
+
+Usage (module form)::
+
+    python -m repro.cli qat     --model resnet20 --wbit 4 --abit 4 --wq sawb --aq pact \
+                                --epochs 5 --out ckpt.npz
+    python -m repro.cli ptq     --model resnet20 --ckpt ckpt.npz --wbit 8 --abit 8
+    python -m repro.cli export  --model resnet20 --ckpt ckpt.npz --wbit 4 --abit 4 \
+                                --formats dec hex qint --out-dir deploy/
+
+Everything runs on the synthetic datasets (``--dataset`` picks which); the
+CLI exists so a hardware designer can drive the whole flow without writing
+Python.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import T2C
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.data import make_dataset
+from repro.data.transforms import standard_train_transform
+from repro.models import MODELS, build_model
+from repro.trainer import PTQTrainer, QATTrainer, Trainer, evaluate
+from repro.utils import seed_everything
+from repro.utils.checkpoint import load_checkpoint, save_checkpoint
+
+MODEL_KWARGS = {
+    "resnet20": dict(width=8), "resnet18": dict(width=8), "resnet50": dict(width=8),
+    "mobilenet-v1": dict(width_mult=1.0), "vgg8": dict(width_mult=1.0),
+    "vit-7": dict(embed_dim=64),
+}
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=sorted(MODELS), default="resnet20")
+    parser.add_argument("--dataset", default="synthetic-cifar10")
+    parser.add_argument("--train-size", type=int, default=2000)
+    parser.add_argument("--test-size", type=int, default=500)
+    parser.add_argument("--noise", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--wbit", type=int, default=8)
+    parser.add_argument("--abit", type=int, default=8)
+    parser.add_argument("--wq", default="minmax_channel")
+    parser.add_argument("--aq", default="minmax")
+
+
+def _data(args):
+    ds = make_dataset(args.dataset, noise=args.noise)
+    n_cls = ds.num_classes
+    train, test = ds.splits(args.train_size, args.test_size,
+                            transform=standard_train_transform())
+    return train, test, n_cls
+
+
+def _model(args, num_classes):
+    return build_model(args.model, num_classes=num_classes, **MODEL_KWARGS[args.model])
+
+
+def cmd_train(args) -> int:
+    seed_everything(args.seed)
+    train, test, n_cls = _data(args)
+    model = _model(args, n_cls)
+    Trainer(model, train, test, epochs=args.epochs, batch_size=args.batch_size,
+            lr=args.lr, verbose=True).fit()
+    acc = evaluate(model, test)
+    save_checkpoint(model, args.out, accuracy=acc)
+    print(f"fp32 accuracy {acc:.4f}; checkpoint -> {args.out}")
+    return 0
+
+
+def cmd_qat(args) -> int:
+    seed_everything(args.seed)
+    train, test, n_cls = _data(args)
+    model = _model(args, n_cls)
+    qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
+    trainer = QATTrainer(model, qcfg=qcfg, train_set=train, test_set=test,
+                         epochs=args.epochs, batch_size=args.batch_size,
+                         lr=args.lr, verbose=True)
+    trainer.fit()
+    acc = trainer.evaluate()
+    save_checkpoint(trainer.qmodel, args.out, accuracy=acc)
+    print(f"QAT W{args.wbit}/A{args.abit} accuracy {acc:.4f}; checkpoint -> {args.out}")
+    return 0
+
+
+def cmd_ptq(args) -> int:
+    seed_everything(args.seed)
+    train, test, n_cls = _data(args)
+    model = _model(args, n_cls)
+    load_checkpoint(model, args.ckpt)
+    qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
+    qm = PTQTrainer(model, train, qcfg=qcfg, calib_batches=args.calib_batches,
+                    batch_size=args.batch_size,
+                    reconstruct=args.wq == "adaround").fit()
+    acc = evaluate(qm, test)
+    save_checkpoint(qm, args.out, accuracy=acc)
+    print(f"PTQ W{args.wbit}/A{args.abit} accuracy {acc:.4f}; checkpoint -> {args.out}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    seed_everything(args.seed)
+    train, test, n_cls = _data(args)
+    model = _model(args, n_cls)
+    qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
+    qm = quantize_model(model, qcfg)
+    load_checkpoint(qm, args.ckpt)
+    # re-calibration is cheap and makes the checkpoint self-contained even if
+    # it was saved before calibration
+    from repro.core.t2c import calibrate_model
+    calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(args.calib_batches)])
+    nn2c = T2C(qm, mode=args.fusion, float_scale=args.float_scale)
+    qnn = nn2c.nn2chip(save_model=True, export_dir=args.out_dir, formats=tuple(args.formats))
+    acc = evaluate(qnn, test)
+    print(f"integer-only accuracy {acc:.4f}; exported -> {args.out_dir}/manifest.json")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro.cli", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="supervised fp32 training")
+    _common(p)
+    p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--lr", type=float, default=0.1)
+    p.add_argument("--out", default="fp32.npz")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("qat", help="quantization-aware training")
+    _common(p)
+    p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--lr", type=float, default=0.1)
+    p.add_argument("--out", default="qat.npz")
+    p.set_defaults(func=cmd_qat)
+
+    p = sub.add_parser("ptq", help="post-training quantization of a checkpoint")
+    _common(p)
+    p.add_argument("--ckpt", required=True)
+    p.add_argument("--calib-batches", type=int, default=8)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--out", default="ptq.npz")
+    p.set_defaults(func=cmd_ptq)
+
+    p = sub.add_parser("export", help="fuse + integer-only export of a Q-model checkpoint")
+    _common(p)
+    p.add_argument("--ckpt", required=True)
+    p.add_argument("--calib-batches", type=int, default=8)
+    p.add_argument("--fusion", choices=("channel", "prefuse"), default="channel")
+    p.add_argument("--float-scale", action="store_true")
+    p.add_argument("--formats", nargs="+", default=["dec", "hex"],
+                   choices=("dec", "hex", "bin", "qint"))
+    p.add_argument("--out-dir", default="t2c_out")
+    p.set_defaults(func=cmd_export)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Observability tools: per-layer quantization error analysis.
+
+The paper sells Torch2Chip as "fully customizable, fully observable"; this
+module provides the observability half for debugging a compression scheme
+before committing it to silicon:
+
+* :func:`weight_quant_report` — per-layer weight-quantization SQNR and range
+  utilization;
+* :func:`activation_ranges` — calibrated activation scales / clipping levels
+  per quantizer;
+* :func:`sqnr` — signal-to-quantization-noise ratio helper;
+* :func:`format_report` — printable table.
+"""
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.qbase import _QBase
+from repro.core.qlayers import QConv2d, QLinear
+from repro.nn.module import Module
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+
+def sqnr(signal: np.ndarray, noisy: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB."""
+    err = np.asarray(noisy, dtype=np.float64) - np.asarray(signal, dtype=np.float64)
+    p_sig = float((np.asarray(signal, dtype=np.float64) ** 2).mean())
+    p_err = float((err ** 2).mean())
+    if p_err == 0:
+        return float("inf")
+    return 10.0 * np.log10(max(p_sig, 1e-30) / p_err)
+
+
+def weight_quant_report(model: Module) -> List[Dict]:
+    """Per quantized layer: weight SQNR, scale, grid utilization.
+
+    Utilization = fraction of the integer grid actually occupied; a low value
+    flags a poorly-fit scale (e.g. an outlier-dominated max-abs).
+    """
+    rows = []
+    with no_grad():
+        for name, m in model.named_modules():
+            if not isinstance(m, (QConv2d, QLinear)):
+                continue
+            w = m.weight.detach()
+            wdq = m.wq.trainFunc(w)
+            ints = m.wq.q(w).data
+            levels = m.wq.qub - m.wq.qlb + 1
+            used = len(np.unique(ints))
+            rows.append({
+                "layer": name,
+                "shape": tuple(w.shape),
+                "nbit": m.wq.nbit,
+                "sqnr_db": sqnr(w.data, wdq.data),
+                "grid_utilization": used / levels,
+                "max_scale": float(np.asarray(m.wq.scale.data).max()),
+            })
+    return rows
+
+
+def activation_ranges(model: Module) -> List[Dict]:
+    """Calibrated activation-quantizer scales and implied clipping ranges."""
+    rows = []
+    for name, m in model.named_modules():
+        if isinstance(m, _QBase) and not isinstance(m, type(None)):
+            parent_is_wq = name.endswith(".wq")
+            if parent_is_wq:
+                continue
+            s = np.asarray(m.scale.data).reshape(-1)
+            rows.append({
+                "quantizer": name or "<root>",
+                "nbit": m.nbit,
+                "unsigned": m.unsigned,
+                "scale": float(s[0]) if s.size == 1 else float(s.mean()),
+                "clip_hi": float(s.max()) * m.qub,
+            })
+    return rows
+
+
+def layer_output_sqnr(qmodel: Module, float_model: Module, x: np.ndarray) -> float:
+    """End-to-end logit SQNR of the fake-quant model vs its float source."""
+    qmodel.eval()
+    float_model.eval()
+    with no_grad():
+        q = qmodel(Tensor(np.asarray(x, dtype=np.float32))).data
+        f = float_model(Tensor(np.asarray(x, dtype=np.float32))).data
+    return sqnr(f, q)
+
+
+def format_report(rows: List[Dict], columns: List[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(empty report)"
+    columns = columns or list(rows[0].keys())
+    table = [[("%.3f" % r[c]) if isinstance(r[c], float) else str(r[c]) for c in columns]
+             for r in rows]
+    widths = [max(len(c), max(len(row[i]) for row in table)) for i, c in enumerate(columns)]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    for row in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

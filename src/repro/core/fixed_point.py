@@ -1,0 +1,66 @@
+"""Fixed-point ``INT(int_bits, frac_bits)`` encoding for fused scales/biases.
+
+The paper (§4.1, Tables 1-2) quantizes the fused normalization scaling factor
+and bias to an INT16 fixed-point format — e.g. ``INT(12, 4)`` = 12 fractional
+bits + 4 integer bits (sign included in the integer part).  This module
+provides the encode/decode helpers used by :class:`repro.core.mulquant.MulQuant`.
+
+Note on notation: the paper's table header reads "(INT, Frac)" while the prose
+of §4.1 says "12 fractional bits and 4 integer bits"; we follow the prose and
+define ``FixedPointFormat(int_bits=4, frac_bits=12)`` as the Table 1 format.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format with ``int_bits + frac_bits`` total bits.
+
+    ``int_bits`` includes the sign bit, so representable values lie in
+    ``[-2^(int_bits-1), 2^(int_bits-1) - 2^-frac_bits]`` with resolution
+    ``2^-frac_bits``.
+    """
+
+    int_bits: int = 4
+    frac_bits: int = 12
+
+    @property
+    def total_bits(self) -> int:
+        return self.int_bits + self.frac_bits
+
+    @property
+    def lo(self) -> int:
+        """Smallest representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def hi(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def resolution(self) -> float:
+        return 2.0 ** (-self.frac_bits)
+
+    def __str__(self) -> str:  # matches the paper's "INT (frac, int)" prose
+        return f"INT({self.frac_bits}, {self.int_bits})"
+
+
+def to_fixed_point(x, fmt: FixedPointFormat) -> np.ndarray:
+    """Encode float values as raw fixed-point integers (round to nearest)."""
+    raw = np.round(np.asarray(x, dtype=np.float64) * (1 << fmt.frac_bits))
+    return np.clip(raw, fmt.lo, fmt.hi).astype(np.int64)
+
+
+def from_fixed_point(raw, fmt: FixedPointFormat) -> np.ndarray:
+    """Decode raw fixed-point integers back to floats."""
+    return (np.asarray(raw, dtype=np.float64) * fmt.resolution).astype(np.float32)
+
+
+def quantize_to_fixed_point(x, fmt: FixedPointFormat) -> np.ndarray:
+    """Round-trip a float array through the fixed-point grid."""
+    return from_fixed_point(to_fixed_point(x, fmt), fmt)

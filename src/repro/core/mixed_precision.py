@@ -1,0 +1,117 @@
+"""Mixed-precision bit allocation (paper §2.1's mixed-precision PTQ line).
+
+Assigns a per-layer weight bit-width under a model-size budget using
+sensitivity analysis: each layer's sensitivity is the weight-quantization
+SQNR drop at a candidate precision, and a greedy allocator spends the bit
+budget on the most sensitive layers first.
+
+Works hand-in-hand with :func:`quantize_model_mixed`, which builds a Q-model
+whose per-layer weight quantizers honor the allocation (activation precision
+stays uniform — the common accelerator constraint).
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro import nn
+from repro.core.analysis import sqnr
+from repro.core.qconfig import QConfig
+from repro.core.qlayers import QConv2d, QLinear
+from repro.core.qmodels import quantize_model
+from repro.core.quantizers import build_quantizer
+from repro.nn.module import Module
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+
+def layer_sensitivity(model: Module, bits: Sequence[int] = (2, 4, 8)) -> List[Dict]:
+    """Per float conv/linear layer: weight SQNR at each candidate precision.
+
+    Lower SQNR at a given width = more sensitive = deserves more bits.
+    """
+    rows = []
+    with no_grad():
+        for name, m in model.named_modules():
+            if not isinstance(m, (nn.Conv2d, nn.Linear)) or getattr(m, "weight", None) is None:
+                continue
+            w = Tensor(m.weight.data.copy())
+            entry = {"layer": name, "params": int(m.weight.size)}
+            for b in bits:
+                q = build_quantizer("minmax_channel", nbit=b)
+                wdq = q.trainFunc(w)
+                entry[f"sqnr_{b}b"] = sqnr(w.data, wdq.data)
+            rows.append(entry)
+    return rows
+
+
+def allocate_bits(
+    sensitivity: List[Dict],
+    avg_bits: float = 4.0,
+    bits: Sequence[int] = (2, 4, 8),
+    min_sqnr_db: float = 12.0,
+) -> Dict[str, int]:
+    """Greedy per-layer bit allocation under an average-bit-width budget.
+
+    Start every layer at the lowest width; repeatedly promote the layer with
+    the worst current SQNR to the next width.  Stop when either every layer
+    reaches ``min_sqnr_db`` (no more promotions needed) or the
+    parameter-weighted average would exceed ``avg_bits`` (budget exhausted).
+    The result is heterogeneous whenever the budget runs out before all
+    layers are adequate — the interesting regime.
+    """
+    bits = sorted(bits)
+    alloc = {r["layer"]: bits[0] for r in sensitivity}
+    total_params = sum(r["params"] for r in sensitivity)
+    info = {r["layer"]: r for r in sensitivity}
+
+    def avg() -> float:
+        return sum(alloc[l] * info[l]["params"] for l in alloc) / max(total_params, 1)
+
+    def current_sqnr(layer: str) -> float:
+        return info[layer][f"sqnr_{alloc[layer]}b"]
+
+    while True:
+        candidates = [l for l in alloc
+                      if alloc[l] < bits[-1] and current_sqnr(l) < min_sqnr_db]
+        if not candidates:
+            break  # every layer adequate at its width
+        worst = min(candidates, key=current_sqnr)
+        next_b = bits[bits.index(alloc[worst]) + 1]
+        delta = (next_b - alloc[worst]) * info[worst]["params"] / max(total_params, 1)
+        if avg() + delta > avg_bits:
+            break  # budget exhausted
+        alloc[worst] = next_b
+    return alloc
+
+
+def quantize_model_mixed(model: Module, alloc: Dict[str, int], qcfg: Optional[QConfig] = None) -> Module:
+    """Build a Q-model whose weight quantizers follow ``alloc``.
+
+    ``alloc`` maps *float-model* layer names (as produced by
+    :func:`layer_sensitivity`) to weight bit-widths.  Layers absent from the
+    map keep ``qcfg.wbit``.  The converters preserve layer traversal order
+    (stem, blocks, head), so float layers and Q-layers correspond
+    positionally; shapes are cross-checked defensively.
+    """
+    qcfg = qcfg or QConfig()
+    qm = quantize_model(model, qcfg)
+    float_layers = [(name, m) for name, m in model.named_modules()
+                    if isinstance(m, (nn.Conv2d, nn.Linear))
+                    and getattr(m, "weight", None) is not None
+                    and not isinstance(m, (QConv2d, QLinear))]
+    q_layers = [m for m in qm.modules() if isinstance(m, (QConv2d, QLinear))]
+    if len(float_layers) != len(q_layers):
+        raise RuntimeError("layer count mismatch between float and Q model")
+    for (name, fmod), qmod in zip(float_layers, q_layers):
+        if fmod.weight.shape != qmod.weight.shape:
+            raise RuntimeError(f"layer order mismatch at {name}")
+        if name in alloc:
+            qmod.wq = build_quantizer(qcfg.wq, nbit=alloc[name], **qcfg.wq_kwargs)
+    return qm
+
+
+def average_bits(alloc: Dict[str, int], sensitivity: List[Dict]) -> float:
+    """Parameter-weighted average bit-width of an allocation."""
+    info = {r["layer"]: r["params"] for r in sensitivity}
+    total = sum(info.values())
+    return sum(alloc[l] * info[l] for l in alloc) / max(total, 1)

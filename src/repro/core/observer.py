@@ -1,0 +1,182 @@
+"""Range observers for post-training calibration.
+
+Observers accumulate statistics of a tensor stream (activations during
+calibration forward passes, or a weight tensor) and produce the quantization
+scale for a given integer grid.  Three strategies are provided:
+
+* :class:`MinMaxObserver` — running min/max (OpenVINO-style "MinMax Quant.").
+* :class:`PercentileObserver` — clips the tails (robust to outliers).
+* :class:`MSEObserver` — grid-searches the clipping range that minimizes the
+  quantization MSE (the common choice for sub-8-bit PTQ).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+class Observer:
+    """Base observer: track statistics, then :meth:`compute_scale`."""
+
+    def __init__(self, momentum: float = 0.9):
+        self.momentum = momentum
+        self.initialized = False
+
+    def update(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def compute_scale(self, qlb: int, qub: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.initialized = False
+
+
+class MinMaxObserver(Observer):
+    """Exponential-moving-average min/max observer."""
+
+    def __init__(self, momentum: float = 0.9):
+        super().__init__(momentum)
+        self.min_val = 0.0
+        self.max_val = 0.0
+
+    def update(self, x: np.ndarray) -> None:
+        lo, hi = float(x.min()), float(x.max())
+        if not self.initialized:
+            self.min_val, self.max_val = lo, hi
+            self.initialized = True
+        else:
+            m = self.momentum
+            self.min_val = m * self.min_val + (1 - m) * lo
+            self.max_val = m * self.max_val + (1 - m) * hi
+
+    def compute_scale(self, qlb: int, qub: int) -> np.ndarray:
+        if qlb == 0:  # unsigned grid: range [0, max]
+            rng = max(self.max_val, 1e-8)
+            return np.float32(rng / qub)
+        rng = max(abs(self.min_val), abs(self.max_val), 1e-8)
+        return np.float32(rng / qub)
+
+
+class PercentileObserver(Observer):
+    """Percentile-clipped range observer (keeps a bounded sample reservoir)."""
+
+    def __init__(self, percentile: float = 99.9, max_samples: int = 1 << 18, seed: int = 0):
+        super().__init__()
+        self.percentile = percentile
+        self.max_samples = max_samples
+        self._rng = np.random.default_rng(seed)
+        self._samples: list[np.ndarray] = []
+        self._count = 0
+
+    def update(self, x: np.ndarray) -> None:
+        flat = x.reshape(-1)
+        if flat.size > self.max_samples // 8:
+            flat = self._rng.choice(flat, size=self.max_samples // 8, replace=False)
+        self._samples.append(flat.astype(np.float32))
+        self._count += flat.size
+        self.initialized = True
+        if self._count > self.max_samples:
+            merged = np.concatenate(self._samples)
+            keep = self._rng.choice(merged, size=self.max_samples // 2, replace=False)
+            self._samples = [keep]
+            self._count = keep.size
+
+    def compute_scale(self, qlb: int, qub: int) -> np.ndarray:
+        data = np.concatenate(self._samples)
+        if qlb == 0:
+            hi = np.percentile(data, self.percentile)
+            return np.float32(max(hi, 1e-8) / qub)
+        hi = np.percentile(np.abs(data), self.percentile)
+        return np.float32(max(hi, 1e-8) / qub)
+
+
+class MSEObserver(PercentileObserver):
+    """Search the clipping range minimizing quantization MSE on the reservoir."""
+
+    def __init__(self, grid: int = 40, **kwargs):
+        kwargs.pop("percentile", None)
+        super().__init__(percentile=100.0, **kwargs)
+        self.grid = grid
+
+    def compute_scale(self, qlb: int, qub: int) -> np.ndarray:
+        data = np.concatenate(self._samples)
+        max_abs = float(np.abs(data).max()) if qlb != 0 else float(data.max())
+        max_abs = max(max_abs, 1e-8)
+        best_scale, best_err = max_abs / qub, np.inf
+        for frac in np.linspace(0.3, 1.0, self.grid):
+            scale = max(frac * max_abs, 1e-12) / qub
+            q = np.clip(np.round(data / scale), qlb, qub)
+            err = float(((q * scale - data) ** 2).mean())
+            if err < best_err:
+                best_err, best_scale = err, scale
+        return np.float32(best_scale)
+
+
+class KLObserver(PercentileObserver):
+    """Entropy-calibration observer (TensorRT-style).
+
+    Builds a histogram of the observed distribution and picks the clipping
+    threshold whose quantized distribution has minimal KL divergence from the
+    original — robust for long-tailed activations.
+    """
+
+    def __init__(self, bins: int = 512, grid: int = 32, **kwargs):
+        kwargs.pop("percentile", None)
+        super().__init__(percentile=100.0, **kwargs)
+        self.bins = bins
+        self.grid = grid
+
+    @staticmethod
+    def _kl(p: np.ndarray, q: np.ndarray) -> float:
+        mask = p > 0
+        qq = np.where(q > 0, q, 1e-12)
+        return float((p[mask] * np.log(p[mask] / qq[mask])).sum())
+
+    def compute_scale(self, qlb: int, qub: int) -> np.ndarray:
+        data = np.concatenate(self._samples)
+        mag = np.abs(data) if qlb != 0 else np.clip(data, 0, None)
+        max_abs = max(float(mag.max()), 1e-8)
+        hist, edges = np.histogram(mag, bins=self.bins, range=(0, max_abs))
+        p = hist.astype(np.float64)
+        total = p.sum()
+        if total == 0:
+            return np.float32(max_abs / qub)
+        p /= total
+        levels = qub  # magnitude buckets of the target grid
+        eps = 1e-10
+        best_t, best_kl = max_abs, np.inf
+        for frac in np.linspace(0.1, 1.0, self.grid):
+            t_bin = max(int(frac * self.bins), levels)
+            if t_bin > self.bins:
+                t_bin = self.bins
+            # Model distribution: in-range mass is chunk-quantized to the
+            # grid resolution; out-of-range mass is unrepresentable (clipped)
+            # and modeled as eps — so clipping pays a log(p/eps) penalty that
+            # trades off against in-range resolution.
+            chunks = np.array_split(p[:t_bin], levels)
+            q = np.concatenate([np.full(len(c), c.sum() / max(len(c), 1)) for c in chunks])
+            q = np.concatenate([q, np.full(self.bins - t_bin, eps)])
+            q = np.where(q > 0, q, eps)
+            q /= q.sum()
+            kl = self._kl(p, q)
+            if kl < best_kl:
+                best_kl = kl
+                best_t = edges[t_bin]
+            if t_bin == self.bins:
+                break
+        return np.float32(max(best_t, 1e-8) / qub)
+
+
+OBSERVERS = {
+    "minmax": MinMaxObserver,
+    "percentile": PercentileObserver,
+    "mse": MSEObserver,
+    "kl": KLObserver,
+}
+
+
+def build_observer(name: str, **kwargs) -> Observer:
+    """Build a registered observer by name."""
+    if name not in OBSERVERS:
+        raise KeyError(f"unknown observer {name!r}; known: {sorted(OBSERVERS)}")
+    return OBSERVERS[name](**kwargs)

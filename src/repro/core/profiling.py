@@ -1,0 +1,78 @@
+"""Compute/storage profiling: MACs, parameter bytes, sparsity-adjusted MACs.
+
+Accelerator design starts from a workload profile; this module counts
+per-layer multiply-accumulates for conv/linear layers (shape-traced, so
+strides/pooling are handled exactly) and folds in weight sparsity to report
+*effective* MACs — the number a zero-skipping accelerator executes.
+"""
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+
+def profile_macs(model: Module, input_shape=(3, 32, 32)) -> List[Dict]:
+    """Trace one input through the model; return per-layer MAC counts.
+
+    Each row: ``layer``, ``type``, ``macs``, ``effective_macs`` (zero weights
+    skipped), ``params``, ``weight_sparsity``.
+    """
+    rows: List[Dict] = []
+    hooked = []
+
+    def make_hook(name, mod, orig):
+        def hook(x, *args, **kwargs):
+            out = orig(x, *args, **kwargs)
+            if isinstance(mod, nn.Conv2d):
+                spatial = int(np.prod(out.shape[2:]))
+                k2 = mod.kernel_size ** 2
+                macs = spatial * mod.out_channels * (mod.in_channels // mod.groups) * k2
+                macs *= x.shape[0]
+            else:  # Linear
+                macs = int(np.prod(x.shape[:-1])) * mod.in_features * mod.out_features
+            w = mod.weight.data
+            sparsity = float((w == 0).mean())
+            rows.append({
+                "layer": name,
+                "type": type(mod).__name__,
+                "macs": int(macs),
+                "effective_macs": int(round(macs * (1.0 - sparsity))),
+                "params": int(w.size),
+                "weight_sparsity": sparsity,
+            })
+            return out
+        return hook
+
+    for name, mod in model.named_modules():
+        if isinstance(mod, (nn.Conv2d, nn.Linear)) and getattr(mod, "weight", None) is not None:
+            orig = type(mod).forward.__get__(mod)
+            object.__setattr__(mod, "forward", make_hook(name, mod, orig))
+            hooked.append(mod)
+    try:
+        with no_grad():
+            model.eval()
+            model(Tensor(np.zeros((1,) + tuple(input_shape), dtype=np.float32)))
+    finally:
+        for mod in hooked:
+            object.__delattr__(mod, "forward")
+    return rows
+
+
+def summarize_profile(rows: List[Dict]) -> Dict:
+    """Model-level totals from :func:`profile_macs` rows."""
+    total = sum(r["macs"] for r in rows)
+    eff = sum(r["effective_macs"] for r in rows)
+    params = sum(r["params"] for r in rows)
+    return {
+        "total_macs": total,
+        "effective_macs": eff,
+        "mac_reduction": 1.0 - eff / max(total, 1),
+        "params": params,
+        "avg_weight_sparsity": 1.0 - sum(r["params"] * (1 - r["weight_sparsity"]) for r in rows) / max(params, 1),
+    }

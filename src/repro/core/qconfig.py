@@ -1,0 +1,63 @@
+"""QConfig: declarative description of a quantization scheme.
+
+Bundles the weight/activation quantizer choices and bit-widths so model
+converters can mint fresh quantizer instances per layer.  This is the
+user-facing knob of the "hierarchical customized quantization build-up":
+swap the quantizer names (or register your own in
+:data:`repro.core.quantizers.QUANTIZERS`) and the rest of the pipeline —
+fusion, integer conversion, extraction — is unchanged.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.core.qbase import _QBase
+from repro.core.quantizers import build_quantizer
+
+
+@dataclass
+class QConfig:
+    """Quantization scheme description.
+
+    Attributes
+    ----------
+    wbit / abit:
+        Weight / activation precisions.
+    wq / aq:
+        Registered quantizer names for weights and activations.
+    input_bit:
+        Precision of the model-input (image) quantizer; 8-bit signed by
+        default (sensor/ADC width), independent of ``abit``.
+    wq_kwargs / aq_kwargs:
+        Extra constructor arguments for the quantizers.
+    """
+
+    wbit: int = 8
+    abit: int = 8
+    wq: str = "minmax_channel"
+    aq: str = "minmax"
+    input_bit: int = 8
+    prob_bits: int = 8  # attention-probability grid of the integer ViT
+    wq_kwargs: Dict[str, Any] = field(default_factory=dict)
+    aq_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def make_wq(self) -> _QBase:
+        """Fresh weight quantizer instance."""
+        return build_quantizer(self.wq, nbit=self.wbit, **self.wq_kwargs)
+
+    def make_aq(self, signed: bool = False) -> _QBase:
+        """Fresh activation quantizer instance.
+
+        CNN activations sit after ReLU (unsigned grid); transformer token
+        streams are zero-centered, so ViT call sites pass ``signed=True``.
+        Quantizers with an inherently unsigned design (PACT, RCF-act) ignore
+        the flag.
+        """
+        kwargs = dict(self.aq_kwargs)
+        kwargs.setdefault("unsigned", not signed)
+        return build_quantizer(self.aq, nbit=self.abit, **kwargs)
+
+    def make_input_q(self) -> _QBase:
+        """Signed quantizer for the model input (images are zero-centered)."""
+        return build_quantizer("minmax", nbit=self.input_bit, unsigned=False)

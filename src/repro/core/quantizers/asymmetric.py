@@ -1,0 +1,49 @@
+"""Asymmetric (zero-point) activation quantizer.
+
+The paper's Eq. (2) notes the optional integer zero point ``Z`` that shifts
+the grid for signed/unsigned data.  This quantizer calibrates both scale and
+zero point from the observed min/max range — useful for activations that are
+neither ReLU-positive nor zero-centred (e.g. GELU outputs).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.observer import MinMaxObserver
+from repro.core.qbase import _QBase
+from repro.tensor.tensor import Tensor
+
+
+class AsymMinMaxQuantizer(_QBase):
+    """Affine quantizer: ``xq = round(x / s) + z``, grid ``[0, 2^n - 1]``."""
+
+    def __init__(self, nbit: int = 8, momentum: float = 0.9, **_):
+        super().__init__(nbit=nbit, unsigned=True)
+        self.observer = MinMaxObserver(momentum=momentum)
+        self.calibrated = False
+
+    def _refresh(self) -> None:
+        lo = min(self.observer.min_val, 0.0)
+        hi = max(self.observer.max_val, lo + 1e-8)
+        scale = (hi - lo) / (self.qub - self.qlb)
+        zp = np.round(-lo / scale)
+        self.set_scale(scale)
+        self.set_zero_point(np.clip(zp, self.qlb, self.qub))
+
+    def observeFunc(self, x: Tensor) -> None:
+        self.observer.update(x.data)
+
+    def finalize_calibration(self) -> None:
+        if not self.observer.initialized:
+            raise RuntimeError("finalize_calibration before any observation")
+        self._refresh()
+        self.calibrated = True
+        self.observe = False
+
+    def trainFunc(self, x: Tensor) -> Tensor:
+        if not self.calibrated:
+            if self.training and not self.observe:
+                self.observer.update(x.data)
+            if self.observer.initialized:
+                self._refresh()
+        return super().trainFunc(x)

@@ -1,0 +1,52 @@
+"""DoReFa-Net quantizers (Zhou et al., 2016) — the classic low-bit baseline.
+
+Weights are squashed with ``tanh`` and normalized to [-1, 1] before uniform
+quantization; activations are clipped to [0, 1].  Both land on uniform grids,
+so they deploy through the standard integer pipeline (the tanh squash is a
+train-time transformation of the stored float weights; the deployed tensor is
+the uniform integer grid).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qbase import _QBase
+from repro.tensor.tensor import Tensor
+
+
+class DoReFaWeightQuantizer(_QBase):
+    """tanh-normalized symmetric weight quantizer."""
+
+    def __init__(self, nbit: int = 4, **_):
+        super().__init__(nbit=nbit, unsigned=False)
+
+    def _normalize(self, x: Tensor) -> Tensor:
+        t = x.tanh()
+        return t / float(np.abs(t.data).max() + 1e-12)
+
+    def trainFunc(self, x: Tensor) -> Tensor:
+        w = self._normalize(x)  # in [-1, 1]
+        self.set_scale(1.0 / self.qub)
+        yq = (w * self.qub).round_ste().clamp(self.qlb, self.qub)
+        return yq * (1.0 / self.qub)
+
+    def q(self, x: Tensor) -> Tensor:
+        from repro.tensor import no_grad
+
+        with no_grad():
+            w = self._normalize(x.detach())
+            return (w * self.qub).round().clamp(self.qlb, self.qub)
+
+
+class DoReFaActQuantizer(_QBase):
+    """Activations clipped to [0, alpha] (fixed alpha, DoReFa uses 1)."""
+
+    def __init__(self, nbit: int = 4, alpha: float = 1.0, **_):
+        super().__init__(nbit=nbit, unsigned=True)
+        self.alpha = alpha
+        self.set_scale(alpha / self.qub)
+
+    def trainFunc(self, x: Tensor) -> Tensor:
+        clipped = x.clamp(0.0, self.alpha)
+        s = self.alpha / self.qub
+        return (clipped * (1.0 / s)).round_ste() * s

@@ -1,0 +1,33 @@
+"""PACT: Parameterized Clipping Activation (Choi et al., 2019).
+
+Activations are clipped to a *learnable* threshold ``alpha`` before uniform
+unsigned quantization.  The clipping threshold receives gradients through the
+autograd graph (the straight-through estimator passes gradients to ``alpha``
+exactly where the input saturates), so it co-trains with the weights.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qbase import _QBase
+from repro.nn.module import Parameter
+from repro.tensor import minimum
+from repro.tensor.tensor import Tensor
+
+
+class PACTQuantizer(_QBase):
+    """Unsigned activation quantizer with learnable clipping level."""
+
+    def __init__(self, nbit: int = 4, alpha_init: float = 6.0, **_):
+        super().__init__(nbit=nbit, unsigned=True)
+        self.alpha = Parameter(np.array([alpha_init], dtype=np.float32))
+
+    def trainFunc(self, x: Tensor) -> Tensor:
+        alpha = self.alpha.clamp(1e-4)  # keep the threshold positive
+        clipped = minimum(x.relu(), alpha)
+        scale = alpha * (1.0 / self.qub)
+        yq = (clipped / scale).round_ste()
+        y = yq * scale
+        # Keep the registered scale in sync for the inference path.
+        self.set_scale(max(float(self.alpha.data[0]), 1e-4) / self.qub)
+        return y

@@ -1,0 +1,86 @@
+"""RCF: learnable clipping function from APoT (Li et al., 2020).
+
+APoT's "Reinforced Clipping Function" learns the clipping threshold jointly
+with the weights, for both the (signed, symmetric) weight quantizer and the
+(unsigned) activation quantizer.  We implement the uniform-grid variant the
+paper's Table 2 uses for ResNet-18 and ViT-7 at 4/4 and 8/8.
+
+The clipping threshold receives an LSQ-style ``1/sqrt(N * qub)`` gradient
+rescaling: its raw gradient sums over every tensor element, which is orders
+of magnitude larger than weight gradients and destabilizes joint SGD
+otherwise.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.qbase import _QBase
+from repro.nn.module import Parameter
+from repro.tensor import minimum
+from repro.tensor.tensor import Tensor
+
+
+def _grad_scaled(alpha: Tensor, n_elements: int, qub: int) -> Tensor:
+    """Identity in the forward pass; scales alpha's gradient by 1/sqrt(N*qub)."""
+    g = 1.0 / math.sqrt(max(n_elements * qub, 1))
+    frozen = Tensor(alpha.data.copy())
+    return alpha * g + frozen * (1.0 - g)
+
+
+class RCFWeightQuantizer(_QBase):
+    """Signed symmetric weight quantizer with learnable clipping ``alpha``.
+
+    The threshold is lazily initialized from the first weight tensor seen
+    (max-abs) — a fixed constant mis-scales by orders of magnitude across
+    layers with different fan-in and silently zeroes small-weight layers.
+    """
+
+    def __init__(self, nbit: int = 4, alpha_init: float = None, **_):
+        super().__init__(nbit=nbit, unsigned=False)
+        self.alpha = Parameter(np.array([alpha_init or 1.0], dtype=np.float32))
+        # buffer so checkpoints remember that alpha is already data-scaled
+        self.register_buffer("init_flag", np.float32(1.0 if alpha_init is not None else 0.0))
+
+    def _maybe_init(self, x: Tensor) -> None:
+        if float(self.init_flag.data) == 0.0:
+            self.alpha.data = np.array([max(float(np.abs(x.data).max()), 1e-4)],
+                                       dtype=np.float32)
+            self.init_flag.data = np.float32(1.0)
+
+    def trainFunc(self, x: Tensor) -> Tensor:
+        self._maybe_init(x)
+        alpha = _grad_scaled(self.alpha, x.size, self.qub).clamp(1e-4)
+        xn = (x / alpha).clamp(-1.0, 1.0)
+        yq = (xn * self.qub).round_ste()
+        y = yq * (alpha * (1.0 / self.qub))
+        self.set_scale(max(float(self.alpha.data[0]), 1e-4) / self.qub)
+        return y
+
+
+class RCFActQuantizer(_QBase):
+    """Unsigned activation quantizer with learnable clipping ``alpha``.
+
+    Lazily initialized from the 99.9th percentile of the first batch.
+    """
+
+    def __init__(self, nbit: int = 4, alpha_init: float = None, **_):
+        super().__init__(nbit=nbit, unsigned=True)
+        self.alpha = Parameter(np.array([alpha_init or 6.0], dtype=np.float32))
+        self.register_buffer("init_flag", np.float32(1.0 if alpha_init is not None else 0.0))
+
+    def _maybe_init(self, x: Tensor) -> None:
+        if float(self.init_flag.data) == 0.0:
+            hi = float(np.percentile(np.clip(x.data, 0, None), 99.9))
+            self.alpha.data = np.array([max(hi, 1e-2)], dtype=np.float32)
+            self.init_flag.data = np.float32(1.0)
+
+    def trainFunc(self, x: Tensor) -> Tensor:
+        self._maybe_init(x)
+        alpha = _grad_scaled(self.alpha, x.size, self.qub).clamp(1e-4)
+        clipped = minimum(x.relu(), alpha)
+        scale = alpha * (1.0 / self.qub)
+        y = (clipped / scale).round_ste() * scale
+        self.set_scale(max(float(self.alpha.data[0]), 1e-4) / self.qub)
+        return y

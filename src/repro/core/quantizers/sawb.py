@@ -1,0 +1,48 @@
+"""SAWB: Statistics-Aware Weight Binning (Choi et al., 2019).
+
+The optimal symmetric clipping threshold is estimated from the first and
+second moments of the weight distribution::
+
+    alpha* = c1 * sqrt(E[w^2]) - c2 * E[|w|]
+
+with bit-width-specific coefficients fitted by the original authors.  Paired
+with PACT activations this is the paper's 2/2 and 4/4 QAT recipe for
+ResNet-20 (Table 2).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qbase import _QBase
+from repro.tensor.tensor import Tensor
+
+#: (c1, c2) per bit-width, from the SAWB paper's regression.
+SAWB_COEFFS = {
+    2: (3.12, 2.064),
+    3: (7.509, 6.892),
+    4: (12.68, 12.80),
+    8: (31.76, 35.04),
+}
+
+
+class SAWBQuantizer(_QBase):
+    """Symmetric statistics-aware weight quantizer (QAT)."""
+
+    def __init__(self, nbit: int = 4, **_):
+        super().__init__(nbit=nbit, unsigned=False)
+        if nbit not in SAWB_COEFFS:
+            raise ValueError(f"SAWB coefficients undefined for {nbit}-bit; known: {sorted(SAWB_COEFFS)}")
+        self.c1, self.c2 = SAWB_COEFFS[nbit]
+
+    def compute_alpha(self, w: np.ndarray) -> float:
+        e2 = float(np.sqrt((w.astype(np.float64) ** 2).mean()))
+        e1 = float(np.abs(w).mean())
+        alpha = self.c1 * e2 - self.c2 * e1
+        if alpha <= 0:  # degenerate distribution: fall back to max-abs
+            alpha = float(np.abs(w).max())
+        return max(alpha, 1e-8)
+
+    def trainFunc(self, x: Tensor) -> Tensor:
+        alpha = self.compute_alpha(x.data)
+        self.set_scale(alpha / self.qub)
+        return super().trainFunc(x)

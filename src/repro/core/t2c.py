@@ -1,0 +1,117 @@
+"""T2C: the top-level Torch2Chip converter (paper §3.4).
+
+The five-line workflow::
+
+    model   = ...                                  # vanilla float model
+    trainer = TRAINER[user_select](args)           # QAT / PTQ / SSL / sparse
+    trainer.fit()
+    nn2c = T2C(qmodel, fuser=build_fuser)          # fuse + integer conversion
+    qnn  = nn2c.nn2chip(save_model=True)           # vanilla re-pack + export
+
+``T2C.fuse()`` wires MulQuant modules behind every unit (architecture-aware
+fuser) and flips the whole model into the integer-only deploy path;
+``T2C.nn2chip()`` re-packs into vanilla integer layers and optionally exports
+every tensor in the requested data formats (dec/hex/bin/qint).
+"""
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.fixed_point import FixedPointFormat
+from repro.core.fusion import FuserBase, build_fuser
+from repro.core.qbase import _QBase
+from repro.core.vanilla import repack
+from repro.nn.module import Module
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+
+def calibrate_model(qmodel: Module, batches: Iterable[np.ndarray]) -> Module:
+    """PTQ range calibration: observe activation statistics, then fix scales.
+
+    Runs the *training path* (fake quantization) so downstream observers see
+    the distributions they will face at inference.
+    """
+    qmodel.eval()
+    quantizers = [m for m in qmodel.modules() if isinstance(m, _QBase)]
+    for q in quantizers:
+        q.observe = True
+    with no_grad():
+        for x in batches:
+            qmodel(Tensor(np.asarray(x, dtype=np.float32)))
+    for q in quantizers:
+        q.observe = False
+        if hasattr(q, "finalize_calibration") and getattr(q, "observer", None) is not None:
+            if q.observer.initialized:
+                q.finalize_calibration()
+    return qmodel
+
+
+class T2C:
+    """Fuse a trained/calibrated Q-model and extract the integer-only model.
+
+    Parameters
+    ----------
+    model:
+        A dual-path Q-model (from :func:`repro.core.qmodels.quantize_model`)
+        with trained weights and calibrated activation scales.
+    fuser:
+        Fuser class/factory; defaults to the architecture-matched one.
+    fmt:
+        Fixed-point format for the fused scales (paper's ``INT(i, f)``).
+    mode:
+        ``"channel"`` (sub-8-bit channel-wise scaling) or ``"prefuse"``
+        (8-bit BN folding into weights).
+    float_scale:
+        Keep fused scales in float32 (industry-toolkit baseline).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        fuser=None,
+        fmt: FixedPointFormat = FixedPointFormat(4, 12),
+        mode: str = "channel",
+        float_scale: bool = False,
+    ):
+        self.model = model
+        self.fmt = fmt
+        self.mode = mode
+        self.float_scale = float_scale
+        if fuser is None:
+            self._fuser: FuserBase = build_fuser(model, fmt=fmt, mode=mode, float_scale=float_scale)
+        elif isinstance(fuser, FuserBase):
+            self._fuser = fuser
+        else:
+            self._fuser = fuser(model, fmt=fmt, mode=mode, float_scale=float_scale)
+        self._fused = False
+
+    def fuse(self) -> Module:
+        """Wire MulQuants and switch the model to integer-only inference."""
+        self._fuser.fuse()
+        self.model.set_deploy(True)
+        self.model.eval()
+        self._fused = True
+        return self.model
+
+    def nn2chip(
+        self,
+        save_model: bool = False,
+        export_dir: Optional[str] = None,
+        formats: Sequence[str] = ("dec",),
+    ) -> Module:
+        """Re-pack into vanilla integer layers; optionally export tensors.
+
+        Returns the deploy-ready model whose state dict holds integer-valued
+        tensors only.
+        """
+        if not self._fused:
+            self.fuse()
+        qnn = repack(self.model)
+        if save_model or export_dir is not None:
+            from repro.export.writer import export_model
+
+            export_model(qnn, export_dir or "t2c_out", formats=formats)
+        return qnn

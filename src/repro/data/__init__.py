@@ -1,0 +1,16 @@
+"""Datasets, loaders and augmentations.
+
+Real CIFAR/ImageNet are unavailable offline; :mod:`repro.data.synthetic`
+provides procedurally generated class-conditional image datasets that stand in
+for them (see DESIGN.md for the substitution rationale).
+"""
+from repro.data.dataset import ArrayDataset, Dataset
+from repro.data.dataloader import DataLoader
+from repro.data.synthetic import SyntheticVisionDataset, SyntheticTaskSuite, make_dataset
+from repro.data import transforms
+
+__all__ = [
+    "Dataset", "ArrayDataset", "DataLoader",
+    "SyntheticVisionDataset", "SyntheticTaskSuite", "make_dataset",
+    "transforms",
+]

@@ -1,0 +1,48 @@
+"""Vectorized mini-batch loader over :class:`ArrayDataset`."""
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+
+
+class DataLoader:
+    """Yields ``(images, labels)`` numpy batches.
+
+    Batch-level (not sample-level) transforms keep augmentation vectorized,
+    which matters on a CPU-only substrate.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 128,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            x = self.dataset.images[idx]
+            y = self.dataset.labels[idx]
+            if self.dataset.transform is not None:
+                x = self.dataset.transform(x, rng=self._rng)
+            yield x, y

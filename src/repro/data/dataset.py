@@ -1,0 +1,42 @@
+"""Dataset abstractions."""
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, idx: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset over in-memory arrays with an optional per-batch transform."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray, transform=None):
+        if len(images) != len(labels):
+            raise ValueError("images and labels length mismatch")
+        self.images = np.ascontiguousarray(images, dtype=np.float32)
+        self.labels = np.ascontiguousarray(labels, dtype=np.int64)
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, idx):
+        x, y = self.images[idx], self.labels[idx]
+        if self.transform is not None:
+            x = self.transform(x[None])[0]
+        return x, y
+
+    def subset(self, n: int, rng: Optional[np.random.Generator] = None) -> "ArrayDataset":
+        """Random subset of ``n`` samples (used for PTQ calibration sets)."""
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(len(self), size=min(n, len(self)), replace=False)
+        return ArrayDataset(self.images[idx], self.labels[idx], self.transform)

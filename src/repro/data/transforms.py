@@ -1,0 +1,117 @@
+"""Batch-level data augmentations (vectorized numpy).
+
+Each transform maps a batch ``(N, C, H, W)`` to a batch of the same shape.
+``Compose`` chains transforms; every transform accepts an optional ``rng`` so
+loaders control determinism.
+"""
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable]):
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        for t in self.transforms:
+            x = t(x, rng=rng)
+        return x
+
+
+class RandomHorizontalFlip:
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        out = x.copy()
+        mask = rng.random(len(x)) < self.p
+        out[mask] = out[mask, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad by ``padding`` (reflect) and crop back to the original size."""
+
+    def __init__(self, padding: int = 4):
+        self.padding = padding
+
+    def __call__(self, x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        n, c, h, w = x.shape
+        p = self.padding
+        xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), mode="reflect")
+        oy = rng.integers(0, 2 * p + 1, size=n)
+        ox = rng.integers(0, 2 * p + 1, size=n)
+        rows = oy[:, None] + np.arange(h)[None, :]
+        cols = ox[:, None] + np.arange(w)[None, :]
+        return xp[np.arange(n)[:, None, None, None],
+                  np.arange(c)[None, :, None, None],
+                  rows[:, None, :, None],
+                  cols[:, None, None, :]]
+
+
+class ColorJitter:
+    """Per-channel multiplicative gain and additive bias."""
+
+    def __init__(self, gain: float = 0.2, bias: float = 0.2):
+        self.gain = gain
+        self.bias = bias
+
+    def __call__(self, x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        n, c = x.shape[:2]
+        g = rng.uniform(1 - self.gain, 1 + self.gain, size=(n, c, 1, 1)).astype(np.float32)
+        b = rng.uniform(-self.bias, self.bias, size=(n, c, 1, 1)).astype(np.float32)
+        return x * g + b
+
+
+class GaussianNoise:
+    def __init__(self, std: float = 0.05):
+        self.std = std
+
+    def __call__(self, x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        return x + rng.normal(0, self.std, size=x.shape).astype(np.float32)
+
+
+class RandomErasing:
+    """Zero out a random rectangle (cutout-style regularization)."""
+
+    def __init__(self, p: float = 0.5, max_frac: float = 0.3):
+        self.p = p
+        self.max_frac = max_frac
+
+    def __call__(self, x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        out = x.copy()
+        n, _, h, w = x.shape
+        for i in np.flatnonzero(rng.random(n) < self.p):
+            eh = int(rng.uniform(0.1, self.max_frac) * h)
+            ew = int(rng.uniform(0.1, self.max_frac) * w)
+            y0 = rng.integers(0, h - eh + 1)
+            x0 = rng.integers(0, w - ew + 1)
+            out[i, :, y0:y0 + eh, x0:x0 + ew] = 0.0
+        return out
+
+
+def standard_train_transform(padding: int = 4) -> Compose:
+    """The default supervised-training augmentation (crop + flip)."""
+    return Compose([RandomCrop(padding), RandomHorizontalFlip()])
+
+
+def ssl_view_transform(noise: float = 0.1) -> Compose:
+    """Aggressive augmentation used to create SSL views (crop/flip/jitter/noise/erase)."""
+    return Compose([
+        RandomCrop(4),
+        RandomHorizontalFlip(),
+        ColorJitter(0.4, 0.4),
+        GaussianNoise(noise),
+        RandomErasing(0.3),
+    ])

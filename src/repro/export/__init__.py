@@ -1,0 +1,35 @@
+"""Deployment-format export (paper §3.4, Fig. 5).
+
+Integer tensors from the re-packed model are written in the formats RTL
+verification consumes:
+
+* ``dec`` — plain decimal integers, one per line;
+* ``hex`` — two's-complement hexadecimal words (``$readmemh``-ready);
+* ``bin`` — two's-complement binary words (``$readmemb``-ready);
+* ``qint`` — packed little-endian int8/int16/int32 binary with a JSON side
+  file carrying the scale metadata (the ``torch.qint`` analogue).
+"""
+from repro.export.formats import (
+    to_twos_complement,
+    from_twos_complement,
+    format_hex,
+    format_bin,
+    parse_hex,
+    parse_bin,
+    save_tensor,
+    load_tensor,
+)
+from repro.export.qint import pack_qint, unpack_qint, save_qint, load_qint
+from repro.export.writer import export_model, export_state_dict
+from repro.export.report import model_size_mb, compression_report
+from repro.export.unroll import PEArraySpec, unroll_matrix, unroll_conv_weight, write_banks, reassemble
+
+__all__ = [
+    "to_twos_complement", "from_twos_complement",
+    "format_hex", "format_bin", "parse_hex", "parse_bin",
+    "save_tensor", "load_tensor",
+    "pack_qint", "unpack_qint", "save_qint", "load_qint",
+    "export_model", "export_state_dict",
+    "model_size_mb", "compression_report",
+    "PEArraySpec", "unroll_matrix", "unroll_conv_weight", "write_banks", "reassemble",
+]

@@ -1,0 +1,97 @@
+"""Raw integer tensor serialization: decimal / hexadecimal / binary text.
+
+HDL memory initialization (``$readmemh`` / ``$readmemb``) expects one
+fixed-width two's-complement word per line; decimal is the human-readable
+debugging format.  All functions operate on flattened tensors; the writer
+records shapes in the manifest.
+"""
+from __future__ import annotations
+
+import math
+import os
+from typing import List
+
+import numpy as np
+
+
+def bits_needed(x: np.ndarray) -> int:
+    """Smallest power-of-two word width (>= 4) holding all values signed."""
+    lo, hi = float(x.min()), float(x.max())
+    need = 1
+    for v in (lo, hi):
+        if v < 0:
+            need = max(need, int(math.ceil(math.log2(-v))) + 1)
+        elif v > 0:
+            need = max(need, int(math.ceil(math.log2(v + 1))) + 1)
+    width = 4
+    while width < need:
+        width *= 2
+    return width
+
+
+def to_twos_complement(x: np.ndarray, bits: int) -> np.ndarray:
+    """Map signed integers onto their unsigned two's-complement words."""
+    x = np.asarray(np.round(x), dtype=np.int64)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if x.min() < lo or x.max() > hi:
+        raise ValueError(f"values out of range for {bits}-bit two's complement")
+    return np.where(x < 0, x + (1 << bits), x).astype(np.uint64)
+
+
+def from_twos_complement(u: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`to_twos_complement`."""
+    u = np.asarray(u, dtype=np.int64)
+    half = 1 << (bits - 1)
+    return np.where(u >= half, u - (1 << bits), u)
+
+
+def format_hex(x: np.ndarray, bits: int) -> List[str]:
+    """One fixed-width hex word per element (row-major order)."""
+    digits = (bits + 3) // 4
+    words = to_twos_complement(x.reshape(-1), bits)
+    return [format(int(w), f"0{digits}x") for w in words]
+
+
+def format_bin(x: np.ndarray, bits: int) -> List[str]:
+    """One fixed-width binary word per element (row-major order)."""
+    words = to_twos_complement(x.reshape(-1), bits)
+    return [format(int(w), f"0{bits}b") for w in words]
+
+
+def parse_hex(lines: List[str], bits: int) -> np.ndarray:
+    return from_twos_complement(np.array([int(s, 16) for s in lines], dtype=np.int64), bits)
+
+
+def parse_bin(lines: List[str], bits: int) -> np.ndarray:
+    return from_twos_complement(np.array([int(s, 2) for s in lines], dtype=np.int64), bits)
+
+
+def save_tensor(path: str, x: np.ndarray, fmt: str, bits: int) -> None:
+    """Write a flattened integer tensor in the requested text format."""
+    flat = np.asarray(np.round(x), dtype=np.int64).reshape(-1)
+    if fmt == "dec":
+        lines = [str(int(v)) for v in flat]
+    elif fmt == "hex":
+        lines = format_hex(flat, bits)
+    elif fmt == "bin":
+        lines = format_bin(flat, bits)
+    else:
+        raise ValueError(f"unknown format {fmt!r} (want dec/hex/bin)")
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+        f.write("\n")
+
+
+def load_tensor(path: str, fmt: str, bits: int, shape=None) -> np.ndarray:
+    """Read a tensor written by :func:`save_tensor`."""
+    with open(path) as f:
+        lines = [ln.strip() for ln in f if ln.strip()]
+    if fmt == "dec":
+        arr = np.array([int(v) for v in lines], dtype=np.int64)
+    elif fmt == "hex":
+        arr = parse_hex(lines, bits)
+    elif fmt == "bin":
+        arr = parse_bin(lines, bits)
+    else:
+        raise ValueError(f"unknown format {fmt!r}")
+    return arr.reshape(shape) if shape is not None else arr

@@ -1,0 +1,67 @@
+"""Packed integer container: the ``torch.qint8`` analogue.
+
+Integer tensors are stored as little-endian ``int8``/``int16``/``int32``
+payloads with a JSON header carrying shape, dtype and scale metadata; a model
+is a single ``.qint.npz``-style directory with one payload per tensor.
+"""
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+import numpy as np
+
+_DTYPES = {8: np.int8, 16: np.int16, 32: np.int32}
+
+
+def _dtype_for(bits: int):
+    for b in sorted(_DTYPES):
+        if bits <= b:
+            return _DTYPES[b], b
+    raise ValueError(f"no integer container for {bits} bits")
+
+
+def pack_qint(x: np.ndarray, bits: int, scale: float = 1.0) -> Tuple[bytes, Dict]:
+    """Pack an integer-valued array into raw bytes + metadata header."""
+    dtype, stored_bits = _dtype_for(bits)
+    vals = np.asarray(np.round(x), dtype=np.int64)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if vals.min() < lo or vals.max() > hi:
+        raise ValueError(f"values exceed declared {bits}-bit range")
+    payload = vals.astype(dtype).tobytes()
+    header = {
+        "shape": list(x.shape),
+        "bits": bits,
+        "stored_bits": stored_bits,
+        "scale": float(scale),
+        "byteorder": "little",
+    }
+    return payload, header
+
+
+def unpack_qint(payload: bytes, header: Dict) -> np.ndarray:
+    dtype = _DTYPES[header["stored_bits"]]
+    arr = np.frombuffer(payload, dtype=dtype).astype(np.int64)
+    return arr.reshape(header["shape"])
+
+
+def save_qint(path: str, x: np.ndarray, bits: int, scale: float = 1.0) -> None:
+    """Write ``<path>.bin`` + ``<path>.json``."""
+    payload, header = pack_qint(x, bits, scale)
+    with open(path + ".bin", "wb") as f:
+        f.write(payload)
+    with open(path + ".json", "w") as f:
+        json.dump(header, f, indent=2)
+
+
+def load_qint(path: str) -> Tuple[np.ndarray, Dict]:
+    with open(path + ".json") as f:
+        header = json.load(f)
+    with open(path + ".bin", "rb") as f:
+        payload = f.read()
+    return unpack_qint(payload, header), header
+
+
+def dequantize(x: np.ndarray, header: Dict) -> np.ndarray:
+    """Recover float values from a qint payload via its scale metadata."""
+    return (x * header["scale"]).astype(np.float32)

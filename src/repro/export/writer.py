@@ -1,0 +1,58 @@
+"""Model-level export: one file per tensor + manifest (paper Fig. 5)."""
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.export.formats import bits_needed, save_tensor
+from repro.export.qint import save_qint
+from repro.nn.module import Module
+
+
+def export_state_dict(
+    state: Dict[str, np.ndarray],
+    out_dir: str,
+    formats: Sequence[str] = ("dec",),
+    bits_map: Optional[Dict[str, int]] = None,
+) -> Dict:
+    """Export a dict of integer tensors; returns the manifest.
+
+    Non-integer tensors (e.g. the input quantizer scale, float-scale-mode
+    MulQuants) are recorded in the manifest and stored as decimal floats.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    manifest = {"tensors": {}, "formats": list(formats)}
+    for name, arr in state.items():
+        arr = np.asarray(arr)
+        safe = name.replace(".", "_")
+        entry = {"shape": list(arr.shape), "files": {}}
+        integral = bool(np.allclose(arr, np.round(arr))) and arr.size > 0
+        entry["integer"] = integral
+        if integral:
+            bits = (bits_map or {}).get(name) or bits_needed(arr)
+            entry["bits"] = bits
+            for fmt in formats:
+                fname = f"{safe}.{fmt}"
+                if fmt == "qint":
+                    save_qint(os.path.join(out_dir, safe + ".qint"), arr, bits)
+                    entry["files"][fmt] = safe + ".qint.bin"
+                else:
+                    save_tensor(os.path.join(out_dir, fname), arr, fmt, bits)
+                    entry["files"][fmt] = fname
+        else:
+            fname = f"{safe}.float.txt"
+            np.savetxt(os.path.join(out_dir, fname), arr.reshape(-1))
+            entry["files"]["float"] = fname
+        manifest["tensors"][name] = entry
+    with open(os.path.join(out_dir, "manifest.json"), "w") as f:
+        json.dump(manifest, f, indent=2)
+    return manifest
+
+
+def export_model(model: Module, out_dir: str, formats: Sequence[str] = ("dec",)) -> Dict:
+    """Export every parameter/buffer of a (re-packed) model."""
+    state = model.state_dict()
+    return export_state_dict(state, out_dir, formats=formats)

@@ -1,0 +1,12 @@
+"""Model zoo: ResNet, MobileNet-V1, ViT — the paper's evaluation backbones."""
+from repro.models.resnet import ResNet, BasicBlock, Bottleneck, resnet20, resnet18, resnet50
+from repro.models.mobilenet import MobileNetV1, mobilenet_v1
+from repro.models.vit import VisionTransformer, vit_7
+from repro.models.registry import MODELS, build_model
+
+__all__ = [
+    "ResNet", "BasicBlock", "Bottleneck", "resnet20", "resnet18", "resnet50",
+    "MobileNetV1", "mobilenet_v1",
+    "VisionTransformer", "vit_7",
+    "MODELS", "build_model",
+]

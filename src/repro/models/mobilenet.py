@@ -1,0 +1,71 @@
+"""MobileNet-V1 (Howard et al., 2017): depthwise-separable convolutions.
+
+The paper compresses MobileNet-V1 with PROFIT (QAT) and AdaRound (PTQ), and
+uses it as the SSL encoder for Table 4.  ``width_mult`` scales every channel
+count (paper uses 1x); the CIFAR variant keeps the stride schedule shallow so
+32x32 inputs survive to the head.
+"""
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+
+def _dw_separable(in_ch: int, out_ch: int, stride: int) -> nn.Sequential:
+    """Depthwise 3x3 + pointwise 1x1, each followed by BN + ReLU."""
+    return nn.Sequential(
+        nn.Conv2d(in_ch, in_ch, 3, stride=stride, padding=1, groups=in_ch, bias=False),
+        nn.BatchNorm2d(in_ch),
+        nn.ReLU(),
+        nn.Conv2d(in_ch, out_ch, 1, bias=False),
+        nn.BatchNorm2d(out_ch),
+        nn.ReLU(),
+    )
+
+
+class MobileNetV1(nn.Module):
+    """MobileNet-V1 with a CIFAR stem.
+
+    ``config`` lists ``(out_channels, stride)`` for each separable block,
+    scaled by ``width_mult``.
+    """
+
+    # (out_ch, stride) per depthwise-separable block; a compressed version of
+    # the 13-block ImageNet layout adapted to 32x32 inputs.
+    CIFAR_CONFIG: List[Tuple[int, int]] = [
+        (16, 1), (32, 2), (32, 1), (64, 2), (64, 1), (128, 2), (128, 1),
+    ]
+
+    def __init__(self, num_classes: int = 10, width_mult: float = 1.0, config=None):
+        super().__init__()
+        cfg = config or self.CIFAR_CONFIG
+        ch = max(int(8 * width_mult), 4)
+        self.stem = nn.Sequential(
+            nn.Conv2d(3, ch, 3, stride=1, padding=1, bias=False),
+            nn.BatchNorm2d(ch),
+            nn.ReLU(),
+        )
+        blocks = []
+        for out_ch, stride in cfg:
+            out_ch = max(int(out_ch * width_mult), 4)
+            blocks.append(_dw_separable(ch, out_ch, stride))
+            ch = out_ch
+        self.blocks = nn.Sequential(*blocks)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.fc = nn.Linear(ch, num_classes)
+        self.out_channels = ch
+
+    def features(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.blocks(out)
+        return self.flatten(self.pool(out))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.features(x))
+
+
+def mobilenet_v1(num_classes: int = 10, width_mult: float = 1.0) -> MobileNetV1:
+    return MobileNetV1(num_classes=num_classes, width_mult=width_mult)

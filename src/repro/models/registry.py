@@ -1,0 +1,28 @@
+"""Name -> constructor registry for the model zoo."""
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.mobilenet import mobilenet_v1
+from repro.models.resnet import resnet18, resnet20, resnet50
+from repro.models.vgg import vgg8
+from repro.models.vit import vit_7
+
+MODELS: Dict[str, Callable] = {
+    "resnet20": resnet20,
+    "resnet18": resnet18,
+    "resnet50": resnet50,
+    "mobilenet-v1": mobilenet_v1,
+    "vgg8": vgg8,
+    "vit-7": vit_7,
+}
+
+
+def build_model(name: str, **kwargs):
+    """Build a registered model by name.
+
+    >>> model = build_model("resnet20", num_classes=10, width=8)
+    """
+    if name not in MODELS:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODELS)}")
+    return MODELS[name](**kwargs)

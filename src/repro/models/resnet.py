@@ -1,0 +1,129 @@
+"""CIFAR-style ResNets (He et al., 2016).
+
+``resnet20`` is the classic 3-stage CIFAR ResNet; ``resnet18``/``resnet50``
+follow the ImageNet block layouts (BasicBlock x [2,2,2,2] and Bottleneck x
+[3,4,6,3]) but with a CIFAR stem and a ``width`` knob so the CPU substrate can
+train them.  At ``width=64`` the layouts match the paper's models exactly.
+"""
+from __future__ import annotations
+
+from typing import List, Type, Union
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convs with identity/projection shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_planes, planes, 3, stride=stride, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.relu1 = nn.ReLU()
+        self.conv2 = nn.Conv2d(planes, planes, 3, stride=1, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(planes)
+        self.relu2 = nn.ReLU()
+        if stride != 1 or in_planes != planes * self.expansion:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_planes, planes * self.expansion, 1, stride=stride, bias=False),
+                nn.BatchNorm2d(planes * self.expansion),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu2(out + self.downsample(x))
+
+
+class Bottleneck(nn.Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck block (ResNet-50 family)."""
+
+    expansion = 4
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_planes, planes, 1, bias=False)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.relu1 = nn.ReLU()
+        self.conv2 = nn.Conv2d(planes, planes, 3, stride=stride, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(planes)
+        self.relu2 = nn.ReLU()
+        self.conv3 = nn.Conv2d(planes, planes * self.expansion, 1, bias=False)
+        self.bn3 = nn.BatchNorm2d(planes * self.expansion)
+        self.relu3 = nn.ReLU()
+        if stride != 1 or in_planes != planes * self.expansion:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_planes, planes * self.expansion, 1, stride=stride, bias=False),
+                nn.BatchNorm2d(planes * self.expansion),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.relu2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu3(out + self.downsample(x))
+
+
+class ResNet(nn.Module):
+    """Generic ResNet with CIFAR stem (3x3 conv, no max-pool)."""
+
+    def __init__(
+        self,
+        block: Type[Union[BasicBlock, Bottleneck]],
+        layers: List[int],
+        num_classes: int = 10,
+        width: int = 16,
+    ):
+        super().__init__()
+        self.width = width
+        self.in_planes = width
+        self.conv1 = nn.Conv2d(3, width, 3, stride=1, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(width)
+        self.relu = nn.ReLU()
+        stages = []
+        planes = width
+        for i, n_blocks in enumerate(layers):
+            stages.append(self._make_stage(block, planes, n_blocks, stride=1 if i == 0 else 2))
+            planes *= 2
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.fc = nn.Linear(self.in_planes, num_classes)
+
+    def _make_stage(self, block, planes: int, n_blocks: int, stride: int) -> nn.Sequential:
+        blocks = [block(self.in_planes, planes, stride)]
+        self.in_planes = planes * block.expansion
+        for _ in range(n_blocks - 1):
+            blocks.append(block(self.in_planes, planes, 1))
+        return nn.Sequential(*blocks)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Encoder output before the classification head (used by SSL)."""
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.stages(out)
+        return self.flatten(self.pool(out))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.features(x))
+
+
+def resnet20(num_classes: int = 10, width: int = 16) -> ResNet:
+    """CIFAR ResNet-20: 3 stages x 3 BasicBlocks."""
+    return ResNet(BasicBlock, [3, 3, 3], num_classes, width)
+
+
+def resnet18(num_classes: int = 10, width: int = 16) -> ResNet:
+    """ResNet-18 layout ([2,2,2,2] BasicBlocks) with CIFAR stem."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], num_classes, width)
+
+
+def resnet50(num_classes: int = 10, width: int = 16) -> ResNet:
+    """ResNet-50 layout ([3,4,6,3] Bottlenecks) with CIFAR stem."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], num_classes, width)

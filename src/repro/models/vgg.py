@@ -1,0 +1,46 @@
+"""Compact VGG-style plain ConvNet.
+
+A second CNN family (no residuals) exercising the generic chain fuser —
+also the reference implementation for docs/customization.md §4.
+"""
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+#: per-stage channel counts; "M" = 2x2 max-pool
+VGG8_CFG: List[Union[int, str]] = [16, 16, "M", 32, 32, "M", 64, 64, "M"]
+
+
+class VGG(nn.Module):
+    """Plain conv-BN-ReLU chain with max-pool downsampling."""
+
+    def __init__(self, cfg=None, num_classes: int = 10, width_mult: float = 1.0):
+        super().__init__()
+        cfg = cfg or VGG8_CFG
+        layers = []
+        in_ch = 3
+        for item in cfg:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+            else:
+                out_ch = max(int(item * width_mult), 4)
+                layers += [nn.Conv2d(in_ch, out_ch, 3, padding=1, bias=False),
+                           nn.BatchNorm2d(out_ch),
+                           nn.ReLU()]
+                in_ch = out_ch
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.fc = nn.Linear(in_ch, num_classes)
+        self.out_channels = in_ch
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        return self.fc(self.flatten(self.pool(out)))
+
+
+def vgg8(num_classes: int = 10, width_mult: float = 1.0) -> VGG:
+    return VGG(VGG8_CFG, num_classes, width_mult)

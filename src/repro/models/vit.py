@@ -1,0 +1,112 @@
+"""Vision Transformer (Dosovitskiy et al., 2020).
+
+``vit_7`` mirrors the paper's ViT-7 (7 transformer blocks) at CIFAR scale.
+The block structure (LN -> MHA -> residual, LN -> MLP -> residual) and the
+fused-QKV attention layout match what Torch2Chip's quantized attention swaps
+in, so vanilla<->quantized conversion is weight-compatible.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import init
+from repro.nn.module import Parameter
+from repro.tensor import cat
+from repro.tensor.tensor import Tensor
+
+
+class PatchEmbed(nn.Module):
+    """Image-to-patch embedding via a strided convolution."""
+
+    def __init__(self, image_size: int = 32, patch_size: int = 4, in_ch: int = 3, embed_dim: int = 96):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError("image size must divide by patch size")
+        self.num_patches = (image_size // patch_size) ** 2
+        self.proj = nn.Conv2d(in_ch, embed_dim, patch_size, stride=patch_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.proj(x)  # (N, D, H/ps, W/ps)
+        n, d = out.shape[0], out.shape[1]
+        return out.reshape(n, d, -1).transpose(0, 2, 1)  # (N, L, D)
+
+
+class MLP(nn.Module):
+    """Transformer feed-forward block."""
+
+    def __init__(self, dim: int, hidden: int, drop: float = 0.0):
+        super().__init__()
+        self.fc1 = nn.Linear(dim, hidden)
+        self.act = nn.GELU()
+        self.fc2 = nn.Linear(hidden, dim)
+        self.drop = nn.Dropout(drop)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.fc2(self.act(self.fc1(x))))
+
+
+class Block(nn.Module):
+    """Pre-norm transformer block."""
+
+    def __init__(self, dim: int, heads: int, mlp_ratio: float = 2.0, drop: float = 0.0,
+                 ln_running_stats: bool = False):
+        super().__init__()
+        self.norm1 = nn.LayerNorm(dim, running_stats=ln_running_stats)
+        self.attn = nn.MultiheadAttention(dim, heads, attn_drop=drop, proj_drop=drop)
+        self.norm2 = nn.LayerNorm(dim, running_stats=ln_running_stats)
+        self.mlp = MLP(dim, int(dim * mlp_ratio), drop)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        return x + self.mlp(self.norm2(x))
+
+
+class VisionTransformer(nn.Module):
+    """ViT with learnable class token and position embeddings."""
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        patch_size: int = 4,
+        embed_dim: int = 96,
+        depth: int = 7,
+        heads: int = 4,
+        mlp_ratio: float = 2.0,
+        num_classes: int = 10,
+        drop: float = 0.0,
+        ln_running_stats: bool = False,
+    ):
+        super().__init__()
+        self.patch_embed = PatchEmbed(image_size, patch_size, 3, embed_dim)
+        self.cls_token = Parameter(np.zeros((1, 1, embed_dim), dtype=np.float32))
+        self.pos_embed = Parameter(np.zeros((1, self.patch_embed.num_patches + 1, embed_dim), dtype=np.float32))
+        init.normal_(self.pos_embed, std=0.02)
+        init.normal_(self.cls_token, std=0.02)
+        self.blocks = nn.Sequential(*[
+            Block(embed_dim, heads, mlp_ratio, drop, ln_running_stats) for _ in range(depth)
+        ])
+        self.norm = nn.LayerNorm(embed_dim, running_stats=ln_running_stats)
+        self.head = nn.Linear(embed_dim, num_classes)
+        self.embed_dim = embed_dim
+
+    def features(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        tokens = self.patch_embed(x)  # (N, L, D)
+        cls = self.cls_token.broadcast_to((n, 1, self.embed_dim))
+        tokens = cat([cls, tokens], axis=1)
+        tokens = tokens + self.pos_embed
+        tokens = self.blocks(tokens)
+        tokens = self.norm(tokens)
+        return tokens[:, 0]  # class token
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.features(x))
+
+
+def vit_7(num_classes: int = 10, image_size: int = 32, embed_dim: int = 96,
+          heads: int = 4, ln_running_stats: bool = False) -> VisionTransformer:
+    """The paper's ViT-7 (7 blocks) at CIFAR scale."""
+    return VisionTransformer(image_size=image_size, embed_dim=embed_dim, depth=7,
+                             heads=heads, num_classes=num_classes,
+                             ln_running_stats=ln_running_stats)

@@ -1,0 +1,20 @@
+"""Neural-network module system (the ``torch.nn`` substrate)."""
+from repro.nn.module import Module, Parameter
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.layers import Linear, Conv2d, BatchNorm2d, LayerNorm, Identity, Dropout, Embedding
+from repro.nn.activations import ReLU, GELU, Sigmoid, Tanh, Softmax
+from repro.nn.pooling import MaxPool2d, AvgPool2d, AdaptiveAvgPool2d, Flatten
+from repro.nn.attention import MultiheadAttention
+from repro.nn.losses import CrossEntropyLoss, MSELoss, SoftTargetKLLoss
+from repro.nn import init
+from repro.tensor import functional
+
+__all__ = [
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "Linear", "Conv2d", "BatchNorm2d", "LayerNorm", "Identity", "Dropout", "Embedding",
+    "ReLU", "GELU", "Sigmoid", "Tanh", "Softmax",
+    "MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "Flatten",
+    "MultiheadAttention",
+    "CrossEntropyLoss", "MSELoss", "SoftTargetKLLoss",
+    "init", "functional",
+]

@@ -1,0 +1,44 @@
+"""Multi-head self-attention (the float reference the quantized version mirrors)."""
+from __future__ import annotations
+
+import math
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class MultiheadAttention(Module):
+    """Standard multi-head self-attention over ``(N, L, D)`` sequences.
+
+    Uses a fused QKV projection (like timm's ViT) so the Torch2Chip quantized
+    attention can mirror the exact same parameter layout when swapping.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int, attn_drop: float = 0.0, proj_drop: float = 0.0):
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError(f"embed_dim {embed_dim} not divisible by heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.scale = 1.0 / math.sqrt(self.head_dim)
+        self.qkv = Linear(embed_dim, embed_dim * 3)
+        self.proj = Linear(embed_dim, embed_dim)
+        self.attn_drop = Dropout(attn_drop)
+        self.proj_drop = Dropout(proj_drop)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, l, d = x.shape
+        qkv = self.qkv(x)  # (N, L, 3D)
+        qkv = qkv.reshape(n, l, 3, self.num_heads, self.head_dim).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]  # (N, H, L, hd)
+        attn = (q @ k.swapaxes(-1, -2)) * self.scale
+        attn = attn.softmax(axis=-1)
+        attn = self.attn_drop(attn)
+        out = attn @ v  # (N, H, L, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(n, l, d)
+        return self.proj_drop(self.proj(out))
+
+    def extra_repr(self) -> str:
+        return f"dim={self.embed_dim}, heads={self.num_heads}"

@@ -1,0 +1,63 @@
+"""Module containers."""
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        for i, m in enumerate(modules):
+            self.add_module(str(i), m)
+
+    def forward(self, x):
+        for m in self._modules.values():
+            x = m(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: Union[int, slice]) -> Module:
+        items = list(self._modules.values())
+        if isinstance(idx, slice):
+            return Sequential(*items[idx])
+        return items[idx]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """List of modules that registers each element."""
+
+    def __init__(self, modules: Iterable[Module] = ()):  # noqa: D401
+        super().__init__()
+        for i, m in enumerate(modules):
+            self.add_module(str(i), m)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is not callable")

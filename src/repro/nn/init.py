@@ -1,0 +1,83 @@
+"""Weight initialization schemes (Kaiming / Xavier / constants)."""
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+def set_init_rng(seed: int) -> None:
+    """Reseed the module-level RNG used by all initializers."""
+    global _DEFAULT_RNG
+    _DEFAULT_RNG = np.random.default_rng(seed)
+
+
+def _fan(tensor: Tensor) -> tuple[int, int]:
+    shape = tensor.shape
+    if len(shape) == 2:
+        fan_in, fan_out = shape[1], shape[0]
+    elif len(shape) == 4:
+        rf = shape[2] * shape[3]
+        fan_in, fan_out = shape[1] * rf, shape[0] * rf
+    else:
+        n = int(np.prod(shape))
+        fan_in = fan_out = max(n, 1)
+    return fan_in, fan_out
+
+
+def kaiming_normal_(tensor: Tensor, nonlinearity: str = "relu", rng: Optional[np.random.Generator] = None) -> Tensor:
+    rng = rng or _DEFAULT_RNG
+    fan_in, _ = _fan(tensor)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(fan_in)
+    tensor.data = rng.standard_normal(tensor.shape).astype(np.float32) * std
+    return tensor
+
+
+def kaiming_uniform_(tensor: Tensor, a: float = math.sqrt(5), rng: Optional[np.random.Generator] = None) -> Tensor:
+    rng = rng or _DEFAULT_RNG
+    fan_in, _ = _fan(tensor)
+    gain = math.sqrt(2.0 / (1 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    tensor.data = rng.uniform(-bound, bound, tensor.shape).astype(np.float32)
+    return tensor
+
+
+def xavier_uniform_(tensor: Tensor, rng: Optional[np.random.Generator] = None) -> Tensor:
+    rng = rng or _DEFAULT_RNG
+    fan_in, fan_out = _fan(tensor)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    tensor.data = rng.uniform(-bound, bound, tensor.shape).astype(np.float32)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0, rng: Optional[np.random.Generator] = None) -> Tensor:
+    rng = rng or _DEFAULT_RNG
+    tensor.data = (rng.standard_normal(tensor.shape) * std + mean).astype(np.float32)
+    return tensor
+
+
+def uniform_(tensor: Tensor, a: float = 0.0, b: float = 1.0, rng: Optional[np.random.Generator] = None) -> Tensor:
+    rng = rng or _DEFAULT_RNG
+    tensor.data = rng.uniform(a, b, tensor.shape).astype(np.float32)
+    return tensor
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    tensor.data = np.zeros(tensor.shape, dtype=np.float32)
+    return tensor
+
+
+def ones_(tensor: Tensor) -> Tensor:
+    tensor.data = np.ones(tensor.shape, dtype=np.float32)
+    return tensor
+
+
+def constant_(tensor: Tensor, value: float) -> Tensor:
+    tensor.data = np.full(tensor.shape, value, dtype=np.float32)
+    return tensor

@@ -1,0 +1,202 @@
+"""Core trainable layers: Linear, Conv2d, BatchNorm2d, LayerNorm, Dropout."""
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class Identity(Module):
+    """Pass-through module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.empty((out_features, in_features), dtype=np.float32))
+        init.kaiming_uniform_(self.weight)
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias = Parameter(np.empty((out_features,), dtype=np.float32))
+            init.uniform_(self.bias, -bound, bound)
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"
+
+
+class Conv2d(Module):
+    """2-D convolution (square kernels), supporting grouped/depthwise conv."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.weight = Parameter(
+            np.empty((out_channels, in_channels // groups, kernel_size, kernel_size), dtype=np.float32)
+        )
+        init.kaiming_normal_(self.weight)
+        if bias:
+            self.bias = Parameter(np.zeros((out_channels,), dtype=np.float32))
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding, self.groups)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+                f"s={self.stride}, p={self.padding}, g={self.groups}, bias={self.bias is not None}")
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over ``(N, C, H, W)`` with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1, affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones((num_features,), dtype=np.float32))
+            self.bias = Parameter(np.zeros((num_features,), dtype=np.float32))
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+        self.register_buffer("running_mean", np.zeros((num_features,), dtype=np.float32))
+        self.register_buffer("running_var", np.ones((num_features,), dtype=np.float32))
+        self.register_buffer("num_batches_tracked", np.zeros((), dtype=np.int64))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            gamma = self.weight if self.affine else Tensor(np.ones(self.num_features, dtype=np.float32))
+            beta = self.bias if self.affine else Tensor(np.zeros(self.num_features, dtype=np.float32))
+            out, mean, var = F.batch_norm_train(x, gamma, beta, self.eps)
+            n = x.shape[0] * x.shape[2] * x.shape[3]
+            unbiased = var * (n / max(n - 1, 1))
+            m = self.momentum
+            self.running_mean.data = (1 - m) * self.running_mean.data + m * mean
+            self.running_var.data = (1 - m) * self.running_var.data + m * unbiased
+            self.num_batches_tracked.data = self.num_batches_tracked.data + 1
+            return out
+        mean = Tensor(self.running_mean.data.reshape(1, -1, 1, 1))
+        var = Tensor(self.running_var.data.reshape(1, -1, 1, 1))
+        xhat = (x - mean) / (var + self.eps).sqrt()
+        if self.affine:
+            xhat = xhat * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(1, -1, 1, 1)
+        return xhat
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension(s).
+
+    Torch2Chip extension: ``running_stats=True`` switches inference to use
+    pre-computed running mean/var (EMA over training batches) instead of
+    instant statistics, trading accuracy for hardware latency (the serialized
+    on-the-fly mean/var in a ViT is expensive on an accelerator; see paper
+    §3.2.2).  Statistics are tracked *per position* (batch-reduced, e.g. one
+    mean/var per token for ``(N, L, D)`` inputs), which fuses into a
+    per-position-per-channel affine — a plain SRAM table on hardware.
+    """
+
+    def __init__(self, normalized_shape: Union[int, Tuple[int, ...]], eps: float = 1e-5,
+                 running_stats: bool = False, momentum: float = 0.1):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.running_stats = running_stats
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(self.normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(self.normalized_shape, dtype=np.float32))
+        if running_stats:
+            self.register_buffer("running_mean", np.zeros((), dtype=np.float32))
+            self.register_buffer("running_var", np.ones((), dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
+        if self.running_stats and not self.training:
+            mean = Tensor(self.running_mean.data.astype(np.float32))
+            var = Tensor(self.running_var.data.astype(np.float32))
+        else:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            if self.running_stats and self.training:
+                # batch-reduce to per-position statistics (e.g. (L, 1) for
+                # token streams); initialize the buffers' shape on first use
+                m = self.momentum
+                pos_mean = mean.data.mean(axis=0)
+                pos_var = var.data.mean(axis=0)
+                if self.running_mean.data.shape != pos_mean.shape:
+                    self.running_mean.data = pos_mean.copy()
+                    self.running_var.data = pos_var.copy()
+                else:
+                    self.running_mean.data = (1 - m) * self.running_mean.data + m * pos_mean
+                    self.running_var.data = (1 - m) * self.running_var.data + m * pos_var
+        xhat = (x - mean) / (var + self.eps).sqrt()
+        return xhat * self.weight + self.bias
+
+    def extra_repr(self) -> str:
+        return f"{self.normalized_shape}, eps={self.eps}, running_stats={self.running_stats}"
+
+
+class Dropout(Module):
+    """Inverted dropout."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        super().__init__()
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Embedding(Module):
+    """Lookup table of learnable vectors (used for ViT position embeddings)."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int):
+        super().__init__()
+        self.weight = Parameter(np.empty((num_embeddings, embedding_dim), dtype=np.float32))
+        init.normal_(self.weight, std=0.02)
+
+    def forward(self, idx) -> Tensor:
+        return self.weight[np.asarray(idx, dtype=np.int64)]

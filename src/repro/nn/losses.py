@@ -1,0 +1,39 @@
+"""Loss modules."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Cross entropy over integer class targets, with optional label smoothing."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        super().__init__()
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        t = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        return F.cross_entropy(logits, t, self.label_smoothing)
+
+
+class MSELoss(Module):
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        return F.mse_loss(pred, target if isinstance(target, Tensor) else Tensor(target))
+
+
+class SoftTargetKLLoss(Module):
+    """KL divergence against teacher probabilities (knowledge distillation)."""
+
+    def __init__(self, temperature: float = 1.0):
+        super().__init__()
+        self.temperature = temperature
+
+    def forward(self, student_logits: Tensor, teacher_logits: Tensor) -> Tensor:
+        t = self.temperature
+        logp = (student_logits * (1.0 / t)).log_softmax(axis=-1)
+        p = (teacher_logits.detach() * (1.0 / t)).softmax(axis=-1)
+        return F.kl_div_loss(logp, p) * (t * t)

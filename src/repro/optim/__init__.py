@@ -1,0 +1,16 @@
+"""Optimizers and learning-rate schedulers."""
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lr_scheduler import (
+    LRScheduler,
+    StepLR,
+    CosineAnnealingLR,
+    WarmupCosineLR,
+    MultiStepLR,
+)
+
+__all__ = [
+    "Optimizer", "SGD", "Adam", "AdamW",
+    "LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupCosineLR", "MultiStepLR",
+]

@@ -1,0 +1,52 @@
+"""Adam and AdamW optimizers."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; L2 weight decay added to the gradient."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, dict(lr=lr, betas=betas, eps=eps, weight_decay=weight_decay))
+
+    def _decay(self, p, g, lr, wd):
+        return g + wd * p.data if wd else g
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            b1, b2 = group["betas"]
+            eps = group["eps"]
+            wd = group["weight_decay"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                st = self.state.setdefault(id(p), {"step": 0,
+                                                   "m": np.zeros_like(p.data),
+                                                   "v": np.zeros_like(p.data)})
+                st["step"] += 1
+                g = self._decay(p, p.grad, lr, wd)
+                st["m"] = b1 * st["m"] + (1 - b1) * g
+                st["v"] = b2 * st["v"] + (1 - b2) * g * g
+                mhat = st["m"] / (1 - b1 ** st["step"])
+                vhat = st["v"] / (1 - b2 ** st["step"])
+                p.data = p.data - lr * mhat / (np.sqrt(vhat) + eps)
+                self._post(p, lr, wd)
+
+    def _post(self, p, lr, wd):
+        pass
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _decay(self, p, g, lr, wd):
+        return g
+
+    def _post(self, p, lr, wd):
+        if wd:
+            p.data = p.data - lr * wd * p.data

@@ -1,0 +1,77 @@
+"""Learning-rate schedulers."""
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch (or iteration)."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lrs = [g["lr"] for g in optimizer.param_groups]
+        self.last_epoch = 0
+
+    def get_lr(self, base_lr: float) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        for group, base in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = self.get_lr(base)
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.param_groups[0]["lr"]
+
+
+class StepLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, base_lr: float) -> float:
+        return base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self, base_lr: float) -> float:
+        k = sum(1 for m in self.milestones if self.last_epoch >= m)
+        return base_lr * self.gamma ** k
+
+
+class CosineAnnealingLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = max(t_max, 1)
+        self.eta_min = eta_min
+
+    def get_lr(self, base_lr: float) -> float:
+        t = min(self.last_epoch, self.t_max)
+        return self.eta_min + 0.5 * (base_lr - self.eta_min) * (1 + math.cos(math.pi * t / self.t_max))
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup followed by cosine annealing (SSL / ViT recipes)."""
+
+    def __init__(self, optimizer: Optimizer, warmup: int, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.warmup = warmup
+        self.t_max = max(t_max, warmup + 1)
+        self.eta_min = eta_min
+
+    def get_lr(self, base_lr: float) -> float:
+        if self.last_epoch < self.warmup:
+            return base_lr * (self.last_epoch + 1) / max(self.warmup, 1)
+        t = min(self.last_epoch - self.warmup, self.t_max - self.warmup)
+        span = self.t_max - self.warmup
+        return self.eta_min + 0.5 * (base_lr - self.eta_min) * (1 + math.cos(math.pi * t / span))

@@ -1,0 +1,47 @@
+"""Optimizer base class with parameter groups."""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from repro.tensor.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer.
+
+    Accepts either an iterable of tensors or a list of param-group dicts
+    (``{"params": [...], "lr": ..., ...}``) like torch.
+    """
+
+    def __init__(self, params: Union[Iterable[Tensor], List[Dict]], defaults: Dict):
+        self.defaults = defaults
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            groups = params
+        else:
+            groups = [{"params": params}]
+        self.param_groups: List[Dict] = []
+        for g in groups:
+            group = dict(defaults)
+            group.update(g)
+            group["params"] = list(group["params"])
+            self.param_groups.append(group)
+        self.state: Dict[int, Dict] = {}
+
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def lr(self) -> float:
+        return self.param_groups[0]["lr"]
+
+    def set_lr(self, lr: float) -> None:
+        for group in self.param_groups:
+            group["lr"] = lr

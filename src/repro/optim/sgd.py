@@ -1,0 +1,41 @@
+"""SGD with momentum and (decoupled-from-grad) weight decay."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum.
+
+    Weight decay is the standard L2 form (added to the gradient), matching the
+    SGD recipes the paper's QAT experiments use.
+    """
+
+    def __init__(self, params, lr: float = 0.1, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, dict(lr=lr, momentum=momentum, weight_decay=weight_decay, nesterov=nesterov))
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            mom = group["momentum"]
+            wd = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                g = p.grad
+                if wd:
+                    g = g + wd * p.data
+                if mom:
+                    st = self.state.setdefault(id(p), {})
+                    buf = st.get("momentum_buffer")
+                    if buf is None:
+                        buf = np.array(g, dtype=np.float32)
+                    else:
+                        buf = mom * buf + g
+                    st["momentum_buffer"] = buf
+                    g = g + mom * buf if nesterov else buf
+                p.data = p.data - lr * g

@@ -1,0 +1,37 @@
+"""Weight sparsification (paper §2.2, §4.3, Table 3).
+
+Pruners operate on mask dictionaries over the prunable weights of a model and
+are schedule-driven (gradual sparsification from scratch, as Table 3's
+"Starting from scratch, the dense model is pruned with gradually increased
+sparsity").  :class:`MagnitudePruner` is the element-wise baseline (Han et
+al., 2016), :class:`NMPruner` implements N:M structured fine-grained sparsity
+(Zhou et al., 2021), and :class:`GraNetPruner` adds gradient-based
+neuroregeneration (Liu et al., 2021).
+"""
+from repro.pruning.pruner import Pruner, prunable_weights, cubic_schedule
+from repro.pruning.magnitude import MagnitudePruner
+from repro.pruning.nm import NMPruner
+from repro.pruning.granet import GraNetPruner
+from repro.pruning.structured import BlockPruner, FilterPruner
+
+PRUNERS = {
+    "magnitude": MagnitudePruner,
+    "nm": NMPruner,
+    "granet": GraNetPruner,
+    "filter": FilterPruner,
+    "block": BlockPruner,
+}
+
+
+def build_pruner(name: str, model, **kwargs) -> Pruner:
+    """Instantiate a registered pruner by name."""
+    if name not in PRUNERS:
+        raise KeyError(f"unknown pruner {name!r}; known: {sorted(PRUNERS)}")
+    return PRUNERS[name](model, **kwargs)
+
+
+__all__ = [
+    "Pruner", "prunable_weights", "cubic_schedule",
+    "MagnitudePruner", "NMPruner", "GraNetPruner", "FilterPruner", "BlockPruner",
+    "PRUNERS", "build_pruner",
+]

@@ -1,0 +1,62 @@
+"""GraNet: gradual pruning with neuroregeneration (Liu et al., 2021).
+
+On top of the cubic magnitude-pruning ramp, every mask update additionally
+*regenerates* connections: it prunes an extra ``regrow_frac`` of the surviving
+weights by magnitude and revives the same number of currently-dead weights
+with the largest gradient magnitude ("boosting pruning plasticity").
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.pruning.pruner import Pruner
+
+
+class GraNetPruner(Pruner):
+    """Gradual magnitude pruning + gradient-based regrowth."""
+
+    def __init__(self, model, sparsity: float, regrow_frac: float = 0.1, **kwargs):
+        super().__init__(model, sparsity, **kwargs)
+        self.regrow_frac = regrow_frac
+
+    def update_masks(self, sparsity: float, grads: Optional[Dict[str, np.ndarray]] = None, **_) -> None:
+        if sparsity <= 0:
+            for name in self.masks:
+                self.masks[name][:] = 1.0
+            return
+        # Phase 1: global magnitude pruning to the scheduled sparsity.
+        thresh = self._global_magnitude_threshold([p.data for _, p in self.targets], sparsity)
+        for name, p in self.targets:
+            self.masks[name] = (np.abs(p.data) > thresh).astype(np.float32)
+
+        # Phase 2: prune-and-regrow within each layer, gradient-guided.
+        if grads is None or self.regrow_frac <= 0:
+            return
+        for name, p in self.targets:
+            mask = self.masks[name]
+            g = grads.get(name)
+            if g is None:
+                continue
+            alive = np.flatnonzero(mask.reshape(-1))
+            dead = np.flatnonzero(mask.reshape(-1) == 0)
+            r = int(self.regrow_frac * alive.size)
+            r = min(r, dead.size)
+            if r <= 0:
+                continue
+            w = np.abs(p.data).reshape(-1)
+            gmag = np.abs(g).reshape(-1)
+            # kill the r weakest surviving weights...
+            kill = alive[np.argsort(w[alive])[:r]]
+            # ...and revive the r dead weights with the largest gradients.
+            revive = dead[np.argsort(gmag[dead])[-r:]]
+            flat = mask.reshape(-1)
+            flat[kill] = 0.0
+            flat[revive] = 1.0
+            self.masks[name] = flat.reshape(mask.shape)
+
+    def collect_grads(self) -> Dict[str, np.ndarray]:
+        """Snapshot current gradients of the prunable weights (for regrowth)."""
+        return {name: (p.grad.copy() if p.grad is not None else np.zeros_like(p.data))
+                for name, p in self.targets}

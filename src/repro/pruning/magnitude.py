@@ -1,0 +1,40 @@
+"""Element-wise magnitude pruning (Han et al., 2016)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pruning.pruner import Pruner
+
+
+class MagnitudePruner(Pruner):
+    """Global magnitude pruning: remove the smallest-|w| weights everywhere.
+
+    ``scope="global"`` ranks weights across all prunable tensors (a single
+    threshold); ``scope="layer"`` prunes each tensor to the target sparsity
+    independently.
+    """
+
+    def __init__(self, model, sparsity: float, scope: str = "global", **kwargs):
+        super().__init__(model, sparsity, **kwargs)
+        if scope not in ("global", "layer"):
+            raise ValueError(f"unknown scope {scope!r}")
+        self.scope = scope
+
+    def update_masks(self, sparsity: float, **_) -> None:
+        if sparsity <= 0:
+            for name in self.masks:
+                self.masks[name][:] = 1.0
+            return
+        if self.scope == "global":
+            thresh = self._global_magnitude_threshold([p.data for _, p in self.targets], sparsity)
+            for name, p in self.targets:
+                self.masks[name] = (np.abs(p.data) > thresh).astype(np.float32)
+        else:
+            for name, p in self.targets:
+                flat = np.abs(p.data).reshape(-1)
+                k = int(sparsity * flat.size)
+                if k <= 0:
+                    self.masks[name] = np.ones_like(p.data)
+                    continue
+                thresh = np.partition(flat, k - 1)[k - 1]
+                self.masks[name] = (np.abs(p.data) > thresh).astype(np.float32)

@@ -1,0 +1,66 @@
+"""N:M structured fine-grained sparsity (Zhou et al., 2021).
+
+In every group of ``m`` consecutive weights along the input dimension, only
+the ``n`` largest-magnitude survive — the pattern NVIDIA sparse tensor cores
+(and the paper's example custom pruner) accelerate.  2:4 gives 50% sparsity.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pruning.pruner import Pruner
+
+
+class NMPruner(Pruner):
+    """Keep the top-``n`` of every ``m`` consecutive weights."""
+
+    def __init__(self, model, n: int = 2, m: int = 4, **kwargs):
+        if not 0 < n <= m:
+            raise ValueError(f"need 0 < n <= m, got {n}:{m}")
+        super().__init__(model, sparsity=1.0 - n / m, **kwargs)
+        self.n = n
+        self.m = m
+
+    def current_target(self, t: float) -> float:
+        # N:M is a fixed pattern; the schedule ramps by keeping extra groups
+        # dense early on (fraction of groups constrained follows the ramp).
+        return super().current_target(t)
+
+    def _nm_mask(self, w: np.ndarray, group_fraction: float, rng: np.random.Generator) -> np.ndarray:
+        """Mask with the N:M pattern applied to ``group_fraction`` of groups."""
+        flat = w.reshape(w.shape[0], -1)
+        o, k = flat.shape
+        pad = (-k) % self.m
+        if pad:
+            flat = np.pad(np.abs(flat), ((0, 0), (0, pad)), constant_values=np.inf)
+        else:
+            flat = np.abs(flat)
+        groups = flat.reshape(o, -1, self.m)  # (O, G, m)
+        order = np.argsort(groups, axis=-1)  # ascending |w|
+        mask = np.ones_like(groups)
+        drop = self.m - self.n
+        np.put_along_axis(mask, order[..., :drop], 0.0, axis=-1)
+        if group_fraction < 1.0:
+            keep_dense = rng.random(mask.shape[:2]) >= group_fraction
+            mask[keep_dense] = 1.0
+        mask = mask.reshape(o, -1)[:, :k]
+        return mask.reshape(w.shape).astype(np.float32)
+
+    def update_masks(self, sparsity: float, **_) -> None:
+        frac = 0.0 if self.final_sparsity == 0 else min(sparsity / self.final_sparsity, 1.0)
+        rng = np.random.default_rng(0)  # deterministic ramp
+        for name, p in self.targets:
+            self.masks[name] = self._nm_mask(p.data, frac, rng)
+
+    def verify_pattern(self) -> bool:
+        """Check every fully-constrained group obeys the N:M budget."""
+        for name, p in self.targets:
+            m = self.masks[name].reshape(p.data.shape[0], -1)
+            k = m.shape[1]
+            pad = (-k) % self.m
+            if pad:
+                m = np.pad(m, ((0, 0), (0, pad)), constant_values=1.0)
+            groups = m.reshape(m.shape[0], -1, self.m)
+            if (groups.sum(-1) < self.n).any():
+                return False
+        return True

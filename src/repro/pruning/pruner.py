@@ -1,0 +1,83 @@
+"""Pruner base class: mask bookkeeping over a model's prunable weights."""
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+def prunable_weights(model: Module, skip_first_last: bool = True) -> List[Tuple[str, Parameter]]:
+    """Collect the conv/linear weight parameters eligible for pruning.
+
+    By convention the first conv (stem) and the classifier are kept dense
+    (``skip_first_last``), matching common sparse-training practice.
+    """
+    convlin = [(name, m) for name, m in model.named_modules()
+               if isinstance(m, (nn.Conv2d, nn.Linear)) and getattr(m, "weight", None) is not None]
+    if skip_first_last and len(convlin) > 2:
+        convlin = convlin[1:-1]
+    return [(f"{name}.weight", m.weight) for name, m in convlin]
+
+
+def cubic_schedule(t: float, final_sparsity: float, start: float = 0.0) -> float:
+    """Zhu & Gupta cubic sparsity ramp: s(t) = s_f (1 - (1 - t)^3)."""
+    t = min(max(t, 0.0), 1.0)
+    return start + (final_sparsity - start) * (1.0 - (1.0 - t) ** 3)
+
+
+class Pruner:
+    """Base pruner: holds masks, applies them, reports sparsity.
+
+    Subclasses implement :meth:`update_masks` which recomputes masks for a
+    requested sparsity level.  The training loop calls :meth:`step` with the
+    normalized training progress and :meth:`apply` after each optimizer step
+    (so pruned weights stay zero).
+    """
+
+    def __init__(self, model: Module, sparsity: float, skip_first_last: bool = True):
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+        self.model = model
+        self.final_sparsity = sparsity
+        self.targets = prunable_weights(model, skip_first_last)
+        self.masks: Dict[str, np.ndarray] = {
+            name: np.ones_like(p.data) for name, p in self.targets
+        }
+
+    # ------------------------------------------------------------- plumbing
+    def apply(self) -> None:
+        """Zero out pruned weights in place."""
+        for name, p in self.targets:
+            p.data *= self.masks[name]
+
+    def sparsity(self) -> float:
+        """Current fraction of pruned weights over all prunable tensors."""
+        total = sum(m.size for m in self.masks.values())
+        zeros = sum(int((m == 0).sum()) for m in self.masks.values())
+        return zeros / max(total, 1)
+
+    def current_target(self, t: float) -> float:
+        """Scheduled sparsity at normalized progress ``t`` in [0, 1]."""
+        return cubic_schedule(t, self.final_sparsity)
+
+    def step(self, t: float, **kwargs) -> None:
+        """Recompute masks for the scheduled sparsity, then enforce them."""
+        self.update_masks(self.current_target(t), **kwargs)
+        self.apply()
+
+    # ------------------------------------------------------------ interface
+    def update_masks(self, sparsity: float, **kwargs) -> None:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _global_magnitude_threshold(tensors: List[np.ndarray], sparsity: float) -> float:
+        """|w| threshold achieving the sparsity level across all tensors."""
+        allw = np.concatenate([np.abs(t).reshape(-1) for t in tensors])
+        k = int(sparsity * allw.size)
+        if k <= 0:
+            return -1.0
+        return float(np.partition(allw, k - 1)[k - 1])

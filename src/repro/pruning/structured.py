@@ -1,0 +1,89 @@
+"""Structured pruners: filter-wise and block-wise sparsity (paper §2.2).
+
+* :class:`FilterPruner` — removes entire output filters ranked by L2 norm
+  (Shen et al., 2022 style granularity).  Zeroed filters survive deployment
+  as all-zero rows of the integer weight tensor, which an accelerator can
+  skip wholesale.
+* :class:`BlockPruner` — hierarchical coarse-grain sparsity (Kadetotad et
+  al., 2020): weights are pruned in contiguous ``block`` -sized groups along
+  the input dimension, keeping the SRAM access pattern regular.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pruning.pruner import Pruner
+
+
+class FilterPruner(Pruner):
+    """Remove whole output filters by smallest L2 norm (per layer)."""
+
+    def update_masks(self, sparsity: float, **_) -> None:
+        if sparsity <= 0:
+            for name in self.masks:
+                self.masks[name][:] = 1.0
+            return
+        for name, p in self.targets:
+            w = p.data.reshape(p.data.shape[0], -1)
+            norms = np.linalg.norm(w, axis=1)
+            k = int(sparsity * len(norms))
+            mask = np.ones_like(p.data)
+            if k > 0:
+                drop = np.argsort(norms)[:k]
+                mask[drop] = 0.0
+            self.masks[name] = mask
+
+    def filter_sparsity(self) -> float:
+        """Fraction of fully-zero output filters across prunable layers."""
+        zero, total = 0, 0
+        for name, p in self.targets:
+            m = self.masks[name].reshape(p.data.shape[0], -1)
+            zero += int((m.sum(axis=1) == 0).sum())
+            total += m.shape[0]
+        return zero / max(total, 1)
+
+
+class BlockPruner(Pruner):
+    """Prune contiguous blocks of ``block`` weights along the input dim."""
+
+    def __init__(self, model, sparsity: float, block: int = 8, **kwargs):
+        super().__init__(model, sparsity, **kwargs)
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        self.block = block
+
+    def update_masks(self, sparsity: float, **_) -> None:
+        if sparsity <= 0:
+            for name in self.masks:
+                self.masks[name][:] = 1.0
+            return
+        for name, p in self.targets:
+            flat = np.abs(p.data).reshape(p.data.shape[0], -1)
+            o, k = flat.shape
+            pad = (-k) % self.block
+            if pad:
+                flat = np.pad(flat, ((0, 0), (0, pad)))
+            groups = flat.reshape(o, -1, self.block)
+            scores = groups.sum(axis=-1)  # block saliency = L1 norm
+            n_blocks = scores.size
+            kth = int(sparsity * n_blocks)
+            mask_blocks = np.ones_like(scores)
+            if kth > 0:
+                thresh = np.partition(scores.reshape(-1), kth - 1)[kth - 1]
+                mask_blocks = (scores > thresh).astype(np.float32)
+            mask = np.repeat(mask_blocks, self.block, axis=1)[:, :k]
+            self.masks[name] = mask.reshape(p.data.shape).astype(np.float32)
+
+    def verify_block_structure(self) -> bool:
+        """Every block is fully kept or fully dropped."""
+        for name, p in self.targets:
+            m = self.masks[name].reshape(p.data.shape[0], -1)
+            k = m.shape[1]
+            pad = (-k) % self.block
+            if pad:
+                m = np.pad(m, ((0, 0), (0, pad)), constant_values=1.0)
+            groups = m.reshape(m.shape[0], -1, self.block)
+            sums = groups.sum(axis=-1)
+            if not np.isin(sums, [0, self.block]).all():
+                return False
+        return True

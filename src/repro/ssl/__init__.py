@@ -1,0 +1,13 @@
+"""Self-supervised pre-training (paper §3.3, Table 4).
+
+* :func:`barlow_loss` — redundancy-reduction loss (Zbontar et al., 2021).
+* :func:`xd_loss` — cross-distillation between a lightweight student and a
+  wider teacher encoder (Meng et al., 2023), paper Eq. 16.
+* :class:`Projector` / :class:`SSLPair` — projector heads and the two-encoder
+  training wrapper the SSL trainer drives.
+"""
+from repro.ssl.barlow import barlow_loss, cross_correlation
+from repro.ssl.xd import xd_loss, XDModel
+from repro.ssl.heads import Projector
+
+__all__ = ["barlow_loss", "cross_correlation", "xd_loss", "XDModel", "Projector"]

@@ -1,0 +1,31 @@
+"""Barlow Twins: redundancy-reduction self-supervised loss."""
+from __future__ import annotations
+
+from repro.tensor.tensor import Tensor
+
+
+def _batch_normalize(z: Tensor, eps: float = 1e-5) -> Tensor:
+    """Standardize each embedding dimension over the batch."""
+    mu = z.mean(axis=0, keepdims=True)
+    sd = (z.var(axis=0, keepdims=True) + eps).sqrt()
+    return (z - mu) / sd
+
+
+def cross_correlation(z1: Tensor, z2: Tensor) -> Tensor:
+    """Empirical cross-correlation matrix of batch-normalized embeddings."""
+    n = z1.shape[0]
+    z1n = _batch_normalize(z1)
+    z2n = _batch_normalize(z2)
+    return (z1n.transpose() @ z2n) * (1.0 / n)
+
+
+def barlow_loss(z1: Tensor, z2: Tensor, lambda_offdiag: float = 5e-3) -> Tensor:
+    """``sum_i (1 - C_ii)^2 + lambda * sum_{i != j} C_ij^2``."""
+    import numpy as np
+
+    c = cross_correlation(z1, z2)
+    d = c.shape[0]
+    eye = Tensor(np.eye(d, dtype=np.float32))
+    on_diag = (((c - eye) * eye) ** 2.0).sum()
+    off_diag = ((c * (1.0 - eye)) ** 2.0).sum()
+    return on_diag + lambda_offdiag * off_diag

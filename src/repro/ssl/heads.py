@@ -1,0 +1,20 @@
+"""Projector heads for SSL embeddings."""
+from __future__ import annotations
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+
+class Projector(nn.Module):
+    """MLP projector mapping encoder features to the SSL embedding space."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int):
+        super().__init__()
+        self.net = nn.Sequential(
+            nn.Linear(in_dim, hidden_dim),
+            nn.ReLU(),
+            nn.Linear(hidden_dim, out_dim),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,60 @@
+"""XD: cross-distillation for lightweight SSL encoders (Meng et al., 2023).
+
+Paper Eq. 16: the student's embedding of view ``A`` is cross-correlated with
+the teacher's embedding of view ``A~`` (and vice versa); pushing the diagonal
+to 1 and the off-diagonal to 0 distills the teacher's representation geometry
+into the lightweight encoder *during* contrastive pre-training.  Combined
+with each encoder's own Barlow loss, the slimmed student (e.g. MobileNet-V1)
+inherits representations it could not learn alone.
+"""
+from __future__ import annotations
+
+from repro import nn
+from repro.ssl.barlow import barlow_loss, cross_correlation
+from repro.ssl.heads import Projector
+from repro.tensor.tensor import Tensor
+
+
+def xd_loss(z_student: Tensor, z_teacher: Tensor, lambda_offdiag: float = 5e-3) -> Tensor:
+    """Cross-distillation loss: L = sum_i (1 - C_ii) + lambda sum_{i!=j} C_ij^2."""
+    import numpy as np
+
+    c = cross_correlation(z_student, z_teacher.detach())
+    d = c.shape[0]
+    eye = Tensor(np.eye(d, dtype=np.float32))
+    on_diag = ((1.0 - c) * eye).sum()
+    off_diag = ((c * (1.0 - eye)) ** 2.0).sum()
+    return on_diag + lambda_offdiag * off_diag
+
+
+class XDModel(nn.Module):
+    """Student + teacher encoder pair with projector heads.
+
+    The encoders must expose ``features(x) -> (N, D)``; the heads map to a
+    shared embedding dimension so the cross-correlation is square.
+    """
+
+    def __init__(self, student: nn.Module, teacher: nn.Module,
+                 student_dim: int, teacher_dim: int,
+                 embed_dim: int = 128, hidden_dim: int = 256):
+        super().__init__()
+        self.student = student
+        self.teacher = teacher
+        self.student_head = Projector(student_dim, hidden_dim, embed_dim)
+        self.teacher_head = Projector(teacher_dim, hidden_dim, embed_dim)
+
+    def embed_student(self, x: Tensor) -> Tensor:
+        return self.student_head(self.student.features(x))
+
+    def embed_teacher(self, x: Tensor) -> Tensor:
+        return self.teacher_head(self.teacher.features(x))
+
+    def loss(self, view_a: Tensor, view_b: Tensor,
+             lambda_offdiag: float = 5e-3, lambda_xd: float = 1.0) -> Tensor:
+        """Joint objective: both encoders' Barlow losses + cross terms."""
+        zs_a, zs_b = self.embed_student(view_a), self.embed_student(view_b)
+        zt_a, zt_b = self.embed_teacher(view_a), self.embed_teacher(view_b)
+        l_student = barlow_loss(zs_a, zs_b, lambda_offdiag)
+        l_teacher = barlow_loss(zt_a, zt_b, lambda_offdiag)
+        l_xd = xd_loss(zs_a, zt_b, lambda_offdiag) + xd_loss(zs_b, zt_a, lambda_offdiag)
+        return l_student + l_teacher + lambda_xd * l_xd

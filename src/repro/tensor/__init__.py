@@ -1,0 +1,44 @@
+"""Reverse-mode autograd tensor engine over numpy.
+
+This subpackage is the substrate that replaces ``torch`` for the Torch2Chip
+reproduction: a broadcast-aware :class:`Tensor` with reverse-mode automatic
+differentiation, plus the neural-network primitives (convolution, pooling,
+attention math, straight-through estimators) the toolkit needs.
+"""
+from repro.tensor.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    tensor,
+    zeros,
+    ones,
+    full,
+    arange,
+    randn,
+    rand,
+    stack,
+    cat,
+    where,
+    maximum,
+    minimum,
+)
+from repro.tensor import functional
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "randn",
+    "rand",
+    "stack",
+    "cat",
+    "where",
+    "maximum",
+    "minimum",
+    "functional",
+]

@@ -1,0 +1,69 @@
+"""im2col / col2im transforms for convolution.
+
+Convolution is implemented as an im2col + matmul, the standard approach for
+CPU reference implementations.  Both transforms are fully vectorized using
+``numpy.lib.stride_tricks`` windows (im2col) and ``np.add.at`` scatter
+(col2im).
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x: ``(N, C, H, W)`` input.
+    Returns
+    -------
+    ``(N, C * kh * kw, OH * OW)`` column matrix.
+    """
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, padding)
+    ow = conv_out_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(s[0], s[1], s[2], s[3], s[2] * stride, s[3] * stride),
+        writeable=False,
+    )
+    return np.ascontiguousarray(windows).reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, padding)
+    ow = conv_out_size(w, kw, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    # Scatter each kernel offset's contribution with slice-strided adds,
+    # avoiding a python loop over output positions.
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            out[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if padding > 0:
+        out = out[:, :, padding:hp - padding, padding:wp - padding]
+    return out

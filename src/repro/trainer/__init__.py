@@ -1,0 +1,20 @@
+"""Training schemes (paper §3.4): the ``TRAINER`` registry.
+
+``TRAINER[name](**args)`` covers the full spectrum the paper ships:
+supervised training, QAT, PTQ (calibration + AdaRound/QDrop reconstruction),
+sparse training, and self-supervised XD pre-training.
+"""
+from repro.trainer.metrics import AverageMeter, accuracy, evaluate
+from repro.trainer.base import Trainer
+from repro.trainer.qat import QATTrainer
+from repro.trainer.ptq import PTQTrainer, reconstruct_unit
+from repro.trainer.sparse import SparseTrainer
+from repro.trainer.ssl_trainer import SSLTrainer
+from repro.trainer.registry import TRAINER, build_trainer
+
+__all__ = [
+    "AverageMeter", "accuracy", "evaluate",
+    "Trainer", "QATTrainer", "PTQTrainer", "reconstruct_unit",
+    "SparseTrainer", "SSLTrainer",
+    "TRAINER", "build_trainer",
+]

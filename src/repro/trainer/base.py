@@ -1,0 +1,107 @@
+"""Supervised trainer: the base of the TRAINER hierarchy."""
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import ArrayDataset
+from repro.nn.module import Module
+from repro.optim import SGD
+from repro.optim.lr_scheduler import CosineAnnealingLR, LRScheduler
+from repro.optim.optimizer import Optimizer
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.trainer.metrics import AverageMeter, accuracy, evaluate
+
+
+class Trainer:
+    """Supervised training loop with cosine LR schedule.
+
+    Hooks (``on_epoch_end(trainer, epoch)``, ``on_step_end(trainer)``) let
+    subclasses and pruners interleave with the optimization without
+    re-implementing the loop.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_set: ArrayDataset,
+        test_set: Optional[ArrayDataset] = None,
+        epochs: int = 10,
+        batch_size: int = 64,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 5e-4,
+        optimizer: Optional[Optimizer] = None,
+        scheduler: Optional[LRScheduler] = None,
+        label_smoothing: float = 0.0,
+        seed: int = 0,
+        verbose: bool = False,
+    ):
+        self.model = model
+        self.train_set = train_set
+        self.test_set = test_set
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.label_smoothing = label_smoothing
+        self.verbose = verbose
+        self.optimizer = optimizer or SGD(model.parameters(), lr=lr, momentum=momentum,
+                                          weight_decay=weight_decay)
+        self.scheduler = scheduler or CosineAnnealingLR(self.optimizer, t_max=epochs)
+        self.loader = DataLoader(train_set, batch_size=batch_size, shuffle=True, seed=seed)
+        self.history: List[dict] = []
+        self.step_hooks: List[Callable] = []
+        self.epoch_hooks: List[Callable] = []
+        self._global_step = 0
+
+    # -------------------------------------------------------------- pieces
+    def compute_loss(self, x: np.ndarray, y: np.ndarray) -> Tensor:
+        logits = self.model(Tensor(x))
+        self._last_logits = logits
+        return F.cross_entropy(logits, y, self.label_smoothing)
+
+    def train_epoch(self, epoch: int) -> dict:
+        self.model.train()
+        loss_m, acc_m = AverageMeter("loss"), AverageMeter("acc")
+        for x, y in self.loader:
+            self.optimizer.zero_grad()
+            loss = self.compute_loss(x, y)
+            loss.backward()
+            self.optimizer.step()
+            self._global_step += 1
+            for hook in self.step_hooks:
+                hook(self)
+            loss_m.update(loss.item(), len(y))
+            acc_m.update(accuracy(self._last_logits.data, y), len(y))
+            # drop the computation graph between steps: on deep models it
+            # retains every intermediate activation (gigabytes)
+            self._last_logits = self._last_logits.detach()
+            loss = None
+        self.scheduler.step()
+        return {"epoch": epoch, "loss": loss_m.avg, "train_acc": acc_m.avg, "lr": self.scheduler.lr}
+
+    def fit(self) -> Module:
+        """Run the full schedule; returns the trained model."""
+        for epoch in range(self.epochs):
+            stats = self.train_epoch(epoch)
+            for hook in self.epoch_hooks:
+                hook(self, epoch)
+            if self.test_set is not None and (epoch == self.epochs - 1 or self.verbose):
+                stats["test_acc"] = evaluate(self.model, self.test_set)
+            self.history.append(stats)
+            if self.verbose:
+                print(f"[{type(self).__name__}] {stats}")
+        return self.model
+
+    def evaluate(self) -> float:
+        if self.test_set is None:
+            raise RuntimeError("no test set configured")
+        return evaluate(self.model, self.test_set)
+
+    @property
+    def progress(self) -> float:
+        """Normalized training progress in [0, 1] (used by prune schedules)."""
+        total = self.epochs * max(len(self.loader), 1)
+        return min(self._global_step / max(total, 1), 1.0)

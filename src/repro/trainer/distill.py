@@ -1,0 +1,45 @@
+"""Knowledge-distillation fine-tuning trainer.
+
+A common compression recipe the toolkit should cover: fine-tune a (quantized
+or pruned) student against a full-precision teacher's soft targets, mixing
+the KD loss with the hard-label cross entropy.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import SoftTargetKLLoss
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+from repro.trainer.base import Trainer
+
+
+class DistillTrainer(Trainer):
+    """Student trainer with a frozen teacher.
+
+    loss = (1 - kd_weight) * CE(student, labels)
+           + kd_weight * T^2 * KL(teacher_probs || student_probs)
+    """
+
+    def __init__(self, model: Module, teacher: Module, kd_weight: float = 0.5,
+                 temperature: float = 4.0, **kwargs):
+        super().__init__(model, **kwargs)
+        if not 0.0 <= kd_weight <= 1.0:
+            raise ValueError("kd_weight must be in [0, 1]")
+        self.teacher = teacher
+        self.teacher.eval()
+        self.teacher.requires_grad_(False)
+        self.kd_weight = kd_weight
+        self.kd_loss = SoftTargetKLLoss(temperature)
+
+    def compute_loss(self, x: np.ndarray, y: np.ndarray) -> Tensor:
+        xt = Tensor(x)
+        logits = self.model(xt)
+        self._last_logits = logits
+        hard = F.cross_entropy(logits, y, self.label_smoothing)
+        with no_grad():
+            teacher_logits = self.teacher(xt)
+        soft = self.kd_loss(logits, teacher_logits)
+        return hard * (1.0 - self.kd_weight) + soft * self.kd_weight

@@ -1,0 +1,47 @@
+"""Training metrics and evaluation helpers."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import ArrayDataset
+from repro.nn.module import Module
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+
+class AverageMeter:
+    """Running average of a scalar metric."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.sum = 0.0
+        self.count = 0
+
+    def update(self, value: float, n: int = 1) -> None:
+        self.sum += value * n
+        self.count += n
+
+    @property
+    def avg(self) -> float:
+        return self.sum / max(self.count, 1)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of a batch of logits."""
+    return float((logits.argmax(axis=1) == targets).mean())
+
+
+def evaluate(model: Module, dataset: ArrayDataset, batch_size: int = 250) -> float:
+    """Top-1 test accuracy of a model over a dataset."""
+    model.eval()
+    correct, total = 0, 0
+    with no_grad():
+        for x, y in DataLoader(dataset, batch_size=batch_size):
+            pred = model(Tensor(x)).data.argmax(axis=1)
+            correct += int((pred == y).sum())
+            total += len(y)
+    return correct / max(total, 1)

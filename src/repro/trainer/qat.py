@@ -1,0 +1,24 @@
+"""Quantization-aware training.
+
+The QAT trainer drives the *training path* of a dual-path Q-model: fake
+quantization with straight-through gradients, with the quantizers' learnable
+parameters (PACT/RCF alpha, LSQ steps) optimized jointly with the weights.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.nn.module import Module
+from repro.trainer.base import Trainer
+
+
+class QATTrainer(Trainer):
+    """Trainer over a Q-model (or a float model + QConfig to convert)."""
+
+    def __init__(self, model: Module, qcfg: Optional[QConfig] = None, **kwargs):
+        if qcfg is not None:
+            model = quantize_model(model, qcfg)
+        self.qmodel = model
+        super().__init__(model, **kwargs)

@@ -1,0 +1,29 @@
+"""The ``TRAINER`` registry of the paper's five-line workflow."""
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.trainer.base import Trainer
+from repro.trainer.distill import DistillTrainer
+from repro.trainer.profit import PROFITTrainer
+from repro.trainer.ptq import PTQTrainer
+from repro.trainer.qat import QATTrainer
+from repro.trainer.sparse import SparseTrainer
+from repro.trainer.ssl_trainer import SSLTrainer
+
+TRAINER: Dict[str, type] = {
+    "supervised": Trainer,
+    "qat": QATTrainer,
+    "profit": PROFITTrainer,
+    "ptq": PTQTrainer,
+    "sparse": SparseTrainer,
+    "ssl": SSLTrainer,
+    "distill": DistillTrainer,
+}
+
+
+def build_trainer(name: str, *args, **kwargs):
+    """``TRAINER[user_select](args)`` with a friendlier error message."""
+    if name not in TRAINER:
+        raise KeyError(f"unknown trainer {name!r}; known: {sorted(TRAINER)}")
+    return TRAINER[name](*args, **kwargs)

@@ -1,0 +1,62 @@
+"""Sparse training: supervised training interleaved with mask updates.
+
+Follows Table 3's recipe: start dense, ramp sparsity with the cubic schedule
+during training, keep pruned weights at zero via post-step mask application.
+For GraNet, gradients are snapshotted before the optimizer step so regrowth
+can use them.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.module import Module
+from repro.pruning import build_pruner
+from repro.pruning.granet import GraNetPruner
+from repro.pruning.pruner import Pruner
+from repro.trainer.base import Trainer
+
+
+class SparseTrainer(Trainer):
+    """Trainer with an attached pruner.
+
+    Parameters
+    ----------
+    pruner:
+        A :class:`Pruner` instance, or a registered name + ``pruner_kwargs``.
+    update_every:
+        Mask-update period in optimizer steps.
+    """
+
+    def __init__(self, model: Module, pruner="magnitude", sparsity: float = 0.8,
+                 update_every: int = 20, pruner_kwargs: Optional[dict] = None, **kwargs):
+        super().__init__(model, **kwargs)
+        if isinstance(pruner, Pruner):
+            self.pruner = pruner
+        else:
+            pk = dict(pruner_kwargs or {})
+            if pruner != "nm":
+                pk.setdefault("sparsity", sparsity)
+            self.pruner = build_pruner(pruner, model, **pk)
+        self.update_every = update_every
+        self.step_hooks.append(self._on_step)
+
+    def _on_step(self, trainer: Trainer) -> None:
+        if self._global_step % self.update_every != 0:
+            return
+        if isinstance(self.pruner, GraNetPruner):
+            grads = self.pruner.collect_grads()
+            self.pruner.step(self.progress, grads=grads)
+        else:
+            self.pruner.step(self.progress)
+
+    def fit(self) -> Module:
+        model = super().fit()
+        # Final enforcement at the terminal sparsity.
+        if isinstance(self.pruner, GraNetPruner):
+            self.pruner.step(1.0, grads=None)
+        else:
+            self.pruner.step(1.0)
+        return model
+
+    def sparsity(self) -> float:
+        return self.pruner.sparsity()

@@ -1,0 +1,101 @@
+"""Self-supervised pre-training trainer (Barlow Twins / XD).
+
+Generates two augmented views per batch and minimizes the XD objective over
+the student+teacher pair; the lightweight student encoder is the artifact
+carried into downstream fine-tuning + compression (paper Table 4 flow).
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import ArrayDataset
+from repro.data.transforms import ssl_view_transform
+from repro.nn.module import Module
+from repro.optim import AdamW
+from repro.optim.lr_scheduler import WarmupCosineLR
+from repro.ssl.barlow import barlow_loss
+from repro.ssl.heads import Projector
+from repro.ssl.xd import XDModel
+from repro.tensor.tensor import Tensor
+from repro.trainer.metrics import AverageMeter
+
+
+class SSLTrainer:
+    """Pre-train an encoder with Barlow Twins, optionally with XD.
+
+    Parameters
+    ----------
+    student / teacher:
+        Encoders exposing ``features(x)``.  Without a teacher the objective
+        reduces to plain Barlow Twins on the student.
+    """
+
+    def __init__(
+        self,
+        student: Module,
+        train_set: ArrayDataset,
+        student_dim: int,
+        teacher: Optional[Module] = None,
+        teacher_dim: Optional[int] = None,
+        embed_dim: int = 128,
+        epochs: int = 10,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        weight_decay: float = 1e-4,
+        lambda_offdiag: float = 5e-3,
+        lambda_xd: float = 1.0,
+        seed: int = 0,
+        verbose: bool = False,
+    ):
+        self.student = student
+        self.teacher = teacher
+        self.lambda_offdiag = lambda_offdiag
+        self.lambda_xd = lambda_xd
+        self.epochs = epochs
+        self.verbose = verbose
+        if teacher is not None:
+            self.pair = XDModel(student, teacher, student_dim, teacher_dim or student_dim,
+                                embed_dim=embed_dim)
+            params = list(self.pair.parameters())
+        else:
+            self.pair = None
+            self.head = Projector(student_dim, 2 * embed_dim, embed_dim)
+            params = list(student.parameters()) + list(self.head.parameters())
+        self.optimizer = AdamW(params, lr=lr, weight_decay=weight_decay)
+        self.scheduler = WarmupCosineLR(self.optimizer, warmup=max(epochs // 10, 1), t_max=epochs)
+        self.loader = DataLoader(train_set, batch_size=batch_size, shuffle=True, seed=seed)
+        self.view_tf = ssl_view_transform()
+        self._rng = np.random.default_rng(seed)
+        self.history = []
+
+    def _views(self, x: np.ndarray):
+        return self.view_tf(x, rng=self._rng), self.view_tf(x, rng=self._rng)
+
+    def _loss(self, va: Tensor, vb: Tensor) -> Tensor:
+        if self.pair is not None:
+            return self.pair.loss(va, vb, self.lambda_offdiag, self.lambda_xd)
+        za = self.head(self.student.features(va))
+        zb = self.head(self.student.features(vb))
+        return barlow_loss(za, zb, self.lambda_offdiag)
+
+    def fit(self) -> Module:
+        """Pre-train; returns the student encoder."""
+        trainable = self.pair if self.pair is not None else self.student
+        trainable.train()
+        for epoch in range(self.epochs):
+            meter = AverageMeter("ssl_loss")
+            for x, _ in self.loader:
+                va, vb = self._views(x)
+                self.optimizer.zero_grad()
+                loss = self._loss(Tensor(va), Tensor(vb))
+                loss.backward()
+                self.optimizer.step()
+                meter.update(loss.item(), len(x))
+            self.scheduler.step()
+            self.history.append({"epoch": epoch, "ssl_loss": meter.avg})
+            if self.verbose:
+                print(f"[SSL] epoch {epoch} loss {meter.avg:.4f}")
+        return self.student

@@ -1,0 +1,4 @@
+"""Miscellaneous utilities."""
+from repro.utils.seed import seed_everything
+
+__all__ = ["seed_everything"]

@@ -1,0 +1,27 @@
+"""Model checkpointing as ``.npz`` state dicts."""
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_checkpoint(model: Module, path: str, **metadata) -> None:
+    """Save a model state dict (plus scalar metadata) to ``path`` (.npz)."""
+    state = model.state_dict()
+    meta = {f"__meta_{k}": np.asarray(v) for k, v in metadata.items()}
+    np.savez(path, **state, **meta)
+
+
+def load_checkpoint(model: Module, path: str, strict: bool = True) -> Dict:
+    """Load a checkpoint into ``model``; returns the metadata dict."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    data = np.load(path)
+    state = {k: data[k] for k in data.files if not k.startswith("__meta_")}
+    meta = {k[len("__meta_"):]: data[k].item() if data[k].ndim == 0 else data[k]
+            for k in data.files if k.startswith("__meta_")}
+    model.load_state_dict(state, strict=strict)
+    return meta

@@ -1,0 +1,15 @@
+"""Determinism helpers."""
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.nn import init
+
+
+def seed_everything(seed: int) -> None:
+    """Seed python, numpy and the weight-initializer RNG."""
+    random.seed(seed)
+    np.random.seed(seed)
+    init.set_init_rng(seed)

@@ -1,0 +1,64 @@
+"""Asymmetric (zero-point) quantizer."""
+import numpy as np
+import pytest
+
+from repro.core.quantizers import AsymMinMaxQuantizer
+from repro.tensor import Tensor, no_grad
+
+
+class TestAsymMinMax:
+    def _calibrated(self, data):
+        q = AsymMinMaxQuantizer(nbit=8)
+        q.observe = True
+        q(Tensor(data))
+        q.finalize_calibration()
+        return q
+
+    def test_zero_point_nonzero_for_shifted_data(self, rng):
+        data = rng.random(1000).astype(np.float32) * 2 - 1.5  # range [-1.5, 0.5]
+        q = self._calibrated(data)
+        assert float(q.zero_point.data) > 0
+
+    def test_grid_covers_asymmetric_range(self, rng):
+        data = (rng.random(2000) * 3 - 1).astype(np.float32)  # [-1, 2]
+        q = self._calibrated(data)
+        with no_grad():
+            out = q.trainFunc(Tensor(data)).data
+        # reconstruction error bounded by half a step everywhere (not just the
+        # positive side, which is what a symmetric-unsigned grid would give)
+        assert np.abs(out - data).max() <= float(q.scale.data) / 2 + 1e-5
+
+    def test_beats_unsigned_symmetric_on_negative_data(self, rng):
+        from repro.core.quantizers import MinMaxQuantizer
+        data = (rng.random(2000) * 2 - 1).astype(np.float32)  # [-1, 1]
+        asym = self._calibrated(data)
+        sym = MinMaxQuantizer(nbit=8, unsigned=True)
+        sym.observe = True
+        sym(Tensor(data))
+        sym.finalize_calibration()
+        with no_grad():
+            e_asym = np.abs(asym.trainFunc(Tensor(data)).data - data).mean()
+            e_sym = np.abs(sym.trainFunc(Tensor(data)).data - data).mean()
+        assert e_asym < e_sym  # unsigned grid clamps all negatives
+
+    def test_integers_in_unsigned_grid(self, rng):
+        data = (rng.random(500) * 2 - 1).astype(np.float32)
+        q = self._calibrated(data)
+        with no_grad():
+            ints = q.q(Tensor(data)).data
+        assert ints.min() >= 0 and ints.max() <= 255
+
+    def test_dq_inverts_q_on_grid(self, rng):
+        data = (rng.random(100) * 4 - 2).astype(np.float32)
+        q = self._calibrated(data)
+        with no_grad():
+            ints = q.q(Tensor(data))
+            back = q.dq(ints).data
+            again = q.q(Tensor(back)).data
+        np.testing.assert_allclose(ints.data, again)
+
+    def test_online_self_calibration(self, rng):
+        q = AsymMinMaxQuantizer(nbit=8)
+        q.train()
+        q(Tensor((rng.random(100) - 0.7).astype(np.float32)))
+        assert float(q.scale.data) != 1.0

@@ -1,0 +1,104 @@
+"""DoReFa quantizers and the observability/analysis tooling."""
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    activation_ranges,
+    format_report,
+    layer_output_sqnr,
+    sqnr,
+    weight_quant_report,
+)
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.quantizers import DoReFaActQuantizer, DoReFaWeightQuantizer
+from repro.core.t2c import calibrate_model
+from repro.tensor import Tensor, no_grad
+
+
+class TestDoReFa:
+    def test_weight_output_in_unit_interval(self, rng):
+        q = DoReFaWeightQuantizer(nbit=4)
+        w = Tensor(rng.standard_normal(500).astype(np.float32) * 3)
+        out = q(w).data
+        assert np.abs(out).max() <= 1.0 + 1e-6
+
+    def test_weight_dual_path_consistent(self, rng):
+        q = DoReFaWeightQuantizer(nbit=4)
+        w = Tensor(rng.standard_normal(200).astype(np.float32))
+        with no_grad():
+            fake = q.trainFunc(w).data
+            ints = q.q(w).data
+        np.testing.assert_allclose(fake, ints * float(q.scale.data), atol=1e-6)
+
+    def test_weight_grad_flows(self, rng):
+        q = DoReFaWeightQuantizer(nbit=4)
+        w = Tensor(rng.standard_normal(50).astype(np.float32), requires_grad=True)
+        (q(w) ** 2.0).sum().backward()
+        assert w.grad is not None and np.abs(w.grad).max() > 0
+
+    def test_act_clipped_to_alpha(self):
+        q = DoReFaActQuantizer(nbit=4, alpha=1.0)
+        out = q(Tensor(np.array([-1.0, 0.5, 3.0], dtype=np.float32))).data
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_act_grid_step(self):
+        q = DoReFaActQuantizer(nbit=2, alpha=1.0)  # grid {0, 1/3, 2/3, 1}
+        out = q(Tensor(np.linspace(0, 1, 100).astype(np.float32))).data
+        np.testing.assert_allclose(np.unique(out), [0, 1 / 3, 2 / 3, 1.0], atol=1e-6)
+
+
+class TestSQNR:
+    def test_identical_is_inf(self, rng):
+        x = rng.standard_normal(100)
+        assert sqnr(x, x) == float("inf")
+
+    def test_known_value(self):
+        sig = np.ones(100)
+        noisy = np.ones(100) + 0.1
+        assert sqnr(sig, noisy) == pytest.approx(20.0, abs=0.1)  # 10log10(1/0.01)
+
+    def test_more_bits_higher_sqnr(self, rng):
+        from repro.core.quantizers import MinMaxWeightQuantizer
+        w = Tensor(rng.standard_normal(2000).astype(np.float32))
+        vals = []
+        for nbit in (2, 4, 8):
+            q = MinMaxWeightQuantizer(nbit=nbit)
+            with no_grad():
+                vals.append(sqnr(w.data, q.trainFunc(w).data))
+        assert vals[0] < vals[1] < vals[2]
+
+
+class TestReports:
+    @pytest.fixture
+    def qmodel(self, resnet20_with_stats, tiny_data):
+        train, _ = tiny_data
+        qm = quantize_model(resnet20_with_stats, QConfig(4, 4))
+        calibrate_model(qm, [train.images[:64]])
+        return qm
+
+    def test_weight_report_covers_all_layers(self, qmodel):
+        rows = weight_quant_report(qmodel)
+        from repro.core.qlayers import QConv2d, QLinear
+        n = sum(1 for m in qmodel.modules() if isinstance(m, (QConv2d, QLinear)))
+        assert len(rows) == n
+        for r in rows:
+            assert r["sqnr_db"] > 5.0      # 4-bit weights carry real signal
+            assert 0 < r["grid_utilization"] <= 1.0
+
+    def test_activation_ranges_calibrated(self, qmodel):
+        rows = activation_ranges(qmodel)
+        assert rows
+        assert all(r["scale"] > 0 for r in rows)
+
+    def test_end_to_end_sqnr(self, qmodel, resnet20_with_stats, tiny_data):
+        _, test = tiny_data
+        val = layer_output_sqnr(qmodel, resnet20_with_stats, test.images[:32])
+        assert val > 3.0  # fake-quant logits track the float logits
+
+    def test_format_report_renders(self, qmodel):
+        text = format_report(weight_quant_report(qmodel)[:3])
+        assert "sqnr_db" in text and len(text.splitlines()) == 4
+
+    def test_format_empty(self):
+        assert "empty" in format_report([])

@@ -1,0 +1,64 @@
+"""Classifier-head fusion: argmax preservation under scale normalization."""
+import numpy as np
+import pytest
+
+from repro.core.fusion import FuserBase
+from repro.core.qlayers import QLinear
+from repro.core.qmodels import QLinearUnit
+from repro.core.quantizers import MinMaxChannelQuantizer, MinMaxQuantizer
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def fused_head(rng):
+    lin = QLinear(32, 10, bias=True,
+                  wq=MinMaxChannelQuantizer(nbit=8), aq=MinMaxQuantizer(nbit=8, unsigned=True))
+    lin.weight.data = (rng.standard_normal((10, 32)) * 0.2).astype(np.float32)
+    lin.bias.data = (rng.standard_normal(10) * 0.5).astype(np.float32)
+    unit = QLinearUnit(lin)
+    # calibrate the input quantizer on representative pooled features
+    feats = np.abs(rng.standard_normal((256, 32))).astype(np.float32)
+    lin.aq.observe = True
+    with no_grad():
+        lin.aq(Tensor(feats))
+    lin.aq.finalize_calibration()
+
+    fuser = FuserBase.__new__(FuserBase)
+    from repro.core.fixed_point import FixedPointFormat
+    fuser.fmt, fuser.mode, fuser.float_scale, fuser.headroom = FixedPointFormat(4, 12), "channel", False, 4
+    s_max = fuser.fuse_fc_logits(unit)
+    unit.set_deploy(True)
+    return unit, feats, s_max
+
+
+class TestFCLogitsFusion:
+    def test_argmax_preserved(self, fused_head):
+        unit, feats, _ = fused_head
+        lin = unit.linear
+        with no_grad():
+            x_int = np.clip(np.round(feats / float(lin.aq.scale.data)), 0, lin.aq.qub)
+            int_logits = unit(Tensor(x_int.astype(np.float32))).data
+            # float reference
+            ref = feats @ lin.weight.data.T + lin.bias.data
+        # random (margin-free) logits flip easily under 8-bit noise; trained
+        # models with real margins are covered by the integration tests
+        agree = (int_logits.argmax(1) == ref.argmax(1)).mean()
+        assert agree > 0.8
+
+    def test_logits_recoverable_via_smax(self, fused_head):
+        unit, feats, s_max = fused_head
+        lin = unit.linear
+        with no_grad():
+            x_int = np.clip(np.round(feats / float(lin.aq.scale.data)), 0, lin.aq.qub)
+            int_logits = unit(Tensor(x_int.astype(np.float32))).data
+            ref = feats @ lin.weight.data.T + lin.bias.data
+        recovered = int_logits * s_max
+        # correlation per sample must be near-perfect
+        corr = np.mean([np.corrcoef(recovered[i], ref[i])[0, 1] for i in range(64)])
+        assert corr > 0.98
+
+    def test_scale_normalized_to_unit_max(self, fused_head):
+        unit, _, _ = fused_head
+        eff = np.abs(unit.mq.effective_scale)
+        assert eff.max() <= 1.0 + 1e-3
+        assert eff.max() > 0.4  # normalization keeps precision

@@ -1,0 +1,59 @@
+"""Fixed-point INT(i, f) encode/decode."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fixed_point import (
+    FixedPointFormat,
+    from_fixed_point,
+    quantize_to_fixed_point,
+    to_fixed_point,
+)
+
+
+class TestFormat:
+    def test_int16_totals(self):
+        fmt = FixedPointFormat(4, 12)
+        assert fmt.total_bits == 16
+        assert fmt.lo == -32768 and fmt.hi == 32767
+        assert fmt.resolution == pytest.approx(2 ** -12)
+
+    def test_str_matches_paper_notation(self):
+        assert str(FixedPointFormat(4, 12)) == "INT(12, 4)"
+
+
+class TestEncodeDecode:
+    def test_roundtrip_on_grid(self):
+        fmt = FixedPointFormat(4, 12)
+        vals = np.array([0.5, -1.25, 3.0])
+        np.testing.assert_allclose(from_fixed_point(to_fixed_point(vals, fmt), fmt), vals)
+
+    def test_clamps_out_of_range(self):
+        fmt = FixedPointFormat(4, 12)
+        raw = to_fixed_point(np.array([100.0]), fmt)
+        assert raw[0] == fmt.hi
+
+    def test_rounding_error_within_half_lsb(self, rng):
+        fmt = FixedPointFormat(4, 12)
+        vals = rng.uniform(-7, 7, 100)
+        back = from_fixed_point(to_fixed_point(vals, fmt), fmt)
+        assert np.abs(back - vals).max() <= fmt.resolution / 2 + 1e-9
+
+    def test_quantize_idempotent(self, rng):
+        fmt = FixedPointFormat(8, 8)
+        vals = rng.uniform(-100, 100, 50)
+        once = quantize_to_fixed_point(vals, fmt)
+        twice = quantize_to_fixed_point(once, fmt)
+        np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 14),
+       st.floats(-1000, 1000, allow_nan=False))
+def test_decode_encode_properties(int_bits, frac_bits, value):
+    fmt = FixedPointFormat(int_bits, frac_bits)
+    raw = to_fixed_point(np.array([value]), fmt)
+    assert fmt.lo <= raw[0] <= fmt.hi
+    back = from_fixed_point(raw, fmt)[0]
+    clipped = np.clip(value, fmt.lo * fmt.resolution, fmt.hi * fmt.resolution)
+    assert abs(back - clipped) <= fmt.resolution / 2 + 1e-7

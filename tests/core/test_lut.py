@@ -1,0 +1,72 @@
+"""LUT softmax / GELU approximation."""
+import numpy as np
+import pytest
+
+from repro.core.lut import LUTGelu, LUTSoftmax, _gelu_ref, lut_softmax_reference_error
+from repro.tensor import Tensor
+
+
+class TestLUTSoftmax:
+    def _scores(self, rng, shape=(4, 8, 10)):
+        return Tensor(rng.integers(-128, 128, shape).astype(np.float32))
+
+    def test_probs_sum_close_to_one(self, rng):
+        lut = LUTSoftmax(0.05, -128, 127, prob_bits=8)
+        p = lut(self._scores(rng)).data * lut.prob_scale
+        np.testing.assert_allclose(p.sum(-1), 1.0, atol=0.05)
+
+    def test_probs_nonnegative_integers(self, rng):
+        lut = LUTSoftmax(0.05, -128, 127)
+        p = lut(self._scores(rng)).data
+        assert (p >= 0).all()
+        np.testing.assert_array_equal(p, np.round(p))
+
+    def test_close_to_float_softmax(self, rng):
+        lut = LUTSoftmax(0.05, -128, 127, prob_bits=8)
+        s = self._scores(rng)
+        p = lut(s).data * lut.prob_scale
+        ref = Tensor(s.data * 0.05).softmax(axis=-1).data
+        assert np.abs(p - ref).max() < 0.02
+
+    def test_argmax_preserved(self, rng):
+        lut = LUTSoftmax(0.1, -128, 127)
+        s = self._scores(rng)
+        p = lut(s).data
+        np.testing.assert_array_equal(p.argmax(-1), s.data.argmax(-1))
+
+    def test_more_prob_bits_lower_error(self):
+        errs = [lut_softmax_reference_error(0.05, pb) for pb in (4, 8, 12)]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_shift_invariance(self, rng):
+        """softmax(x) == softmax(x + c): the max-subtraction must absorb offsets."""
+        lut = LUTSoftmax(0.05, -128, 127)
+        s = rng.integers(-50, 50, (2, 6)).astype(np.float32)
+        p1 = lut(Tensor(s)).data
+        p2 = lut(Tensor(s + 30)).data
+        np.testing.assert_array_equal(p1, p2)
+
+
+class TestLUTGelu:
+    def test_matches_pointwise_reference_exactly(self):
+        """The LUT must equal round(gelu(i*s_in)/s_out) for every code."""
+        lut = LUTGelu(0.05, -128, 127, 0.04, -128, 127)
+        codes = np.arange(-128, 128)
+        expected = np.clip(np.round(_gelu_ref(codes * 0.05) / 0.04), -128, 127)
+        out = lut(Tensor(codes.astype(np.float32))).data
+        np.testing.assert_array_equal(out, expected)
+
+    def test_out_of_range_inputs_clamped(self):
+        lut = LUTGelu(0.05, -8, 7, 0.05, -8, 7)
+        out = lut(Tensor(np.array([-100.0, 100.0], dtype=np.float32))).data
+        assert out[0] == lut.table.data[0]
+        assert out[1] == lut.table.data[-1]
+
+    def test_monotone_for_positive_codes(self):
+        lut = LUTGelu(0.05, -128, 127, 0.01, -512, 511)
+        tab = lut.table.data
+        assert (np.diff(tab[128:]) >= 0).all()  # GELU increasing for x>0
+
+    def test_table_size(self):
+        lut = LUTGelu(0.1, -8, 7, 0.1, -8, 7)
+        assert len(lut.table.data) == 16

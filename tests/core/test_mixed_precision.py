@@ -1,0 +1,94 @@
+"""Mixed-precision sensitivity analysis and bit allocation."""
+import numpy as np
+import pytest
+
+from repro.core.mixed_precision import (
+    allocate_bits,
+    average_bits,
+    layer_sensitivity,
+    quantize_model_mixed,
+)
+from repro.core.qconfig import QConfig
+from repro.core.qlayers import QConv2d
+from repro.models import build_model
+from repro.utils import seed_everything
+
+
+@pytest.fixture
+def model():
+    seed_everything(44)
+    return build_model("resnet20", num_classes=10, width=8)
+
+
+class TestSensitivity:
+    def test_covers_all_layers(self, model):
+        rows = layer_sensitivity(model)
+        from repro import nn
+        n = sum(1 for m in model.modules()
+                if isinstance(m, (nn.Conv2d, nn.Linear)))
+        assert len(rows) == n
+
+    def test_more_bits_more_sqnr(self, model):
+        for r in layer_sensitivity(model):
+            assert r["sqnr_2b"] < r["sqnr_4b"] < r["sqnr_8b"]
+
+
+class TestAllocation:
+    def test_respects_budget(self, model):
+        sens = layer_sensitivity(model)
+        alloc = allocate_bits(sens, avg_bits=4.0)
+        assert average_bits(alloc, sens) <= 5.0  # soft overshoot bound
+
+    def test_tight_budget_stays_low(self, model):
+        sens = layer_sensitivity(model)
+        alloc = allocate_bits(sens, avg_bits=2.0, min_sqnr_db=0.0)
+        assert average_bits(alloc, sens) <= 2.5
+
+    def test_generous_budget_promotes_sensitive_layers(self, model):
+        sens = layer_sensitivity(model)
+        alloc = allocate_bits(sens, avg_bits=7.5, min_sqnr_db=25.0)
+        assert max(alloc.values()) == 8
+
+    def test_all_layers_allocated(self, model):
+        sens = layer_sensitivity(model)
+        alloc = allocate_bits(sens, avg_bits=4.0)
+        assert set(alloc) == {r["layer"] for r in sens}
+        assert all(b in (2, 4, 8) for b in alloc.values())
+
+    def test_sensitive_layers_get_more_bits(self, model):
+        sens = layer_sensitivity(model)
+        alloc = allocate_bits(sens, avg_bits=4.0, min_sqnr_db=100.0)
+        # with an unreachable floor, allocation is purely worst-first greedy:
+        # among layers at different widths, the lower-width ones must not be
+        # (much) more sensitive than promoted ones at their width
+        by_bits = {}
+        for r in sens:
+            by_bits.setdefault(alloc[r["layer"]], []).append(r)
+        if 2 in by_bits and 8 in by_bits:
+            worst_promoted = min(r["sqnr_2b"] for r in by_bits[8])
+            best_left = max(r["sqnr_2b"] for r in by_bits[2])
+            assert worst_promoted <= best_left + 1e-6
+
+
+class TestMixedModel:
+    def test_quantizers_follow_allocation(self, model, tiny_data):
+        sens = layer_sensitivity(model)
+        # budget that runs out mid-way through the promotions -> mixed widths
+        alloc = allocate_bits(sens, avg_bits=3.0, min_sqnr_db=100.0)
+        assert len(set(alloc.values())) > 1
+        qm = quantize_model_mixed(model, alloc, QConfig(4, 8))
+        bit_set = {m.wq.nbit for m in qm.modules() if isinstance(m, QConv2d)}
+        assert len(bit_set) > 1  # genuinely mixed
+
+    def test_mixed_model_deploys(self, model, tiny_data):
+        from repro.core.t2c import T2C, calibrate_model
+        from repro.trainer.metrics import evaluate
+
+        train, test = tiny_data
+        sens = layer_sensitivity(model)
+        alloc = allocate_bits(sens, avg_bits=6.0)
+        qm = quantize_model_mixed(model, alloc, QConfig(8, 8))
+        calibrate_model(qm, [train.images[:64]])
+        qnn = T2C(qm).nn2chip()
+        acc = evaluate(qnn, test)
+        assert 0.0 <= acc <= 1.0  # runs end to end with heterogeneous widths

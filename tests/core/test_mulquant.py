@@ -1,0 +1,102 @@
+"""MulQuant: integer requantization."""
+import numpy as np
+import pytest
+
+from repro.core.fixed_point import FixedPointFormat
+from repro.core.mulquant import MulQuant
+from repro.tensor import Tensor
+
+
+class TestScalar:
+    def test_basic_rescale(self):
+        mq = MulQuant(scale=0.5, out_lo=0, out_hi=255)
+        out = mq(Tensor(np.array([10.0, 101.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [5, 51])
+
+    def test_bias_in_output_units(self):
+        mq = MulQuant(scale=1.0, bias=7.0, out_lo=-100, out_hi=100)
+        out = mq(Tensor(np.array([3.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [10])
+
+    def test_clamping(self):
+        mq = MulQuant(scale=1.0, out_lo=0, out_hi=15)
+        out = mq(Tensor(np.array([-5.0, 99.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0, 15])
+
+    def test_output_always_integral(self, rng):
+        mq = MulQuant(scale=0.0173, bias=3.7)
+        out = mq(Tensor(rng.integers(-1000, 1000, 100).astype(np.float32))).data
+        np.testing.assert_array_equal(out, np.round(out))
+
+
+class TestShiftNormalization:
+    def test_tiny_scales_survive_fixed_point(self, rng):
+        """Scales ~1e-3 (typical fused products) must keep fine resolution."""
+        scale = 0.00173
+        mq = MulQuant(scale=scale, fmt=FixedPointFormat(4, 12))
+        acc = rng.integers(-20000, 20000, 1000).astype(np.float32)
+        out = mq(Tensor(acc)).data
+        ref = np.round(acc * scale)
+        assert np.abs(out - ref).max() <= 1.0
+        # relative representation error far below the raw grid resolution
+        assert abs(float(mq.effective_scale[0]) - scale) / scale < 1e-3
+
+    def test_shift_computed(self):
+        mq = MulQuant(scale=0.001)
+        assert mq.shift > 0
+        mq2 = MulQuant(scale=100.0)
+        assert mq2.shift < 0
+
+    def test_effective_scale_close(self):
+        for s in (1e-4, 0.5, 3.0, 40.0):
+            mq = MulQuant(scale=s)
+            assert float(mq.effective_scale[0]) == pytest.approx(s, rel=1e-3)
+
+
+class TestPerChannel:
+    def test_channelwise_broadcast_nchw(self, rng):
+        scales = np.array([1.0, 2.0, 0.5])
+        mq = MulQuant(scale=scales, channel_axis=1)
+        x = np.ones((2, 3, 4, 4), dtype=np.float32) * 100
+        out = mq(Tensor(x)).data
+        np.testing.assert_allclose(out[:, 0], 100)
+        np.testing.assert_allclose(out[:, 1], 200)
+        np.testing.assert_allclose(out[:, 2], 50)
+
+    def test_channelwise_last_axis(self):
+        mq = MulQuant(scale=np.array([1.0, 3.0]), channel_axis=-1)
+        out = mq(Tensor(np.full((4, 2), 10.0, dtype=np.float32))).data
+        np.testing.assert_allclose(out[:, 1], 30)
+
+    def test_per_channel_bias(self):
+        mq = MulQuant(scale=np.ones(2), bias=np.array([5.0, -5.0]), channel_axis=-1)
+        out = mq(Tensor(np.zeros((1, 2), dtype=np.float32))).data
+        np.testing.assert_allclose(out, [[5, -5]])
+
+
+class TestFloatScaleBaseline:
+    def test_float_mode_no_fixed_point_error(self):
+        s = 0.0012345
+        mq = MulQuant(scale=s, float_scale=True)
+        assert float(mq.effective_scale[0]) == pytest.approx(s, rel=1e-6)
+
+    def test_fixed_vs_float_agree_for_representable(self, rng):
+        acc = rng.integers(-100, 100, 50).astype(np.float32)
+        s = 0.5  # exactly representable
+        a = MulQuant(scale=s)(Tensor(acc)).data
+        b = MulQuant(scale=s, float_scale=True)(Tensor(acc)).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBiasFormat:
+    def test_large_bias_representable(self):
+        # biases live in output-integer units: values of hundreds must fit
+        mq = MulQuant(scale=1.0, bias=500.0, fmt=FixedPointFormat(4, 12))
+        out = mq(Tensor(np.zeros(1, dtype=np.float32))).data
+        assert out[0] == pytest.approx(500, abs=1)
+
+    def test_state_dict_holds_integer_raws(self):
+        mq = MulQuant(scale=0.25, bias=2.0)
+        sd = mq.state_dict()
+        assert np.issubdtype(sd["scale"].dtype, np.integer)
+        assert np.issubdtype(sd["bias"].dtype, np.integer)

@@ -1,0 +1,112 @@
+"""Range observers for PTQ calibration."""
+import numpy as np
+import pytest
+
+from repro.core.observer import (
+    MinMaxObserver,
+    MSEObserver,
+    PercentileObserver,
+    build_observer,
+)
+
+
+class TestMinMax:
+    def test_first_update_initializes(self):
+        obs = MinMaxObserver()
+        obs.update(np.array([-2.0, 5.0]))
+        assert obs.min_val == -2.0 and obs.max_val == 5.0
+
+    def test_ema_smooths(self):
+        obs = MinMaxObserver(momentum=0.5)
+        obs.update(np.array([0.0, 10.0]))
+        obs.update(np.array([0.0, 0.0]))
+        assert obs.max_val == pytest.approx(5.0)
+
+    def test_signed_scale_uses_max_abs(self):
+        obs = MinMaxObserver()
+        obs.update(np.array([-10.0, 3.0]))
+        assert obs.compute_scale(-128, 127) == pytest.approx(10 / 127)
+
+    def test_unsigned_scale_uses_max(self):
+        obs = MinMaxObserver()
+        obs.update(np.array([-10.0, 3.0]))
+        assert obs.compute_scale(0, 255) == pytest.approx(3 / 255)
+
+
+class TestPercentile:
+    def test_clips_outliers(self, rng):
+        obs = PercentileObserver(percentile=99.0)
+        data = rng.standard_normal(10000)
+        data[0] = 1000.0  # huge outlier
+        obs.update(data)
+        scale = obs.compute_scale(-128, 127)
+        assert scale < 1.0  # outlier must not blow up the range
+
+    def test_reservoir_bounded(self, rng):
+        obs = PercentileObserver(max_samples=1000)
+        for _ in range(10):
+            obs.update(rng.standard_normal(5000))
+        assert obs._count <= 1000 + 5000 // 8
+
+
+class TestMSE:
+    def test_beats_maxabs_with_outliers(self, rng):
+        data = rng.standard_normal(4000).astype(np.float32)
+        data[:4] = 50.0
+        mse_obs = MSEObserver()
+        mse_obs.update(data)
+        s_mse = float(mse_obs.compute_scale(-8, 7))
+        s_naive = float(np.abs(data).max() / 7)
+
+        def err(s):
+            return ((np.clip(np.round(data / s), -8, 7) * s - data) ** 2).mean()
+
+        assert err(s_mse) <= err(s_naive)
+
+
+class TestKL:
+    def test_clips_long_tail(self, rng):
+        from repro.core.observer import KLObserver
+        data = rng.standard_normal(20000).astype(np.float32)
+        data[:10] = 80.0  # rare huge outliers
+        obs = KLObserver()
+        obs.update(data)
+        scale = float(obs.compute_scale(-128, 127))
+        assert scale * 127 < 40.0  # threshold well inside the outliers
+
+    def test_reasonable_on_gaussian(self, rng):
+        from repro.core.observer import KLObserver
+        data = rng.standard_normal(20000).astype(np.float32)
+        obs = KLObserver()
+        obs.update(data)
+        scale = float(obs.compute_scale(-128, 127))
+        clip = scale * 127
+        assert 1.5 < clip < 6.0  # covers the useful mass, not just 1 sigma
+
+    def test_bulk_fidelity_beats_naive(self, rng):
+        """KL calibration preserves the distribution *bulk*: on the central
+        mass its error is far below the outlier-stretched max-abs grid."""
+        from repro.core.observer import KLObserver
+        data = np.concatenate([rng.standard_normal(8000),
+                               rng.standard_normal(100) * 20]).astype(np.float32)
+        bulk = data[np.abs(data) < 3.0]
+
+        def bulk_err(scale):
+            q = np.clip(np.round(bulk / scale), -8, 7)
+            return ((q * scale - bulk) ** 2).mean()
+
+        kl = KLObserver(); kl.update(data)
+        s_kl = float(kl.compute_scale(-8, 7))
+        naive = float(np.abs(data).max() / 7)
+        assert bulk_err(s_kl) < bulk_err(naive) / 2
+        assert s_kl * 7 < naive * 7 / 2  # threshold well inside the outliers
+
+
+class TestFactory:
+    def test_build_all(self):
+        for name in ("minmax", "percentile", "mse", "kl"):
+            assert build_observer(name) is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_observer("entropy")

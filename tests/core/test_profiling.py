@@ -1,0 +1,65 @@
+"""MAC/storage profiler."""
+import numpy as np
+import pytest
+
+from repro.core.profiling import profile_macs, summarize_profile
+from repro.models import build_model
+from repro.pruning import MagnitudePruner
+from repro.utils import seed_everything
+
+
+class TestProfiler:
+    def test_manual_conv_macs(self):
+        from repro import nn
+        m = nn.Sequential(nn.Conv2d(3, 8, 3, stride=1, padding=1))
+        rows = profile_macs(m, input_shape=(3, 8, 8))
+        # 8x8 output x 8 out-ch x 3 in-ch x 9 taps
+        assert rows[0]["macs"] == 64 * 8 * 3 * 9
+
+    def test_linear_macs(self):
+        from repro import nn
+        m = nn.Sequential(nn.Flatten(), nn.Linear(48, 10))
+        rows = profile_macs(m, input_shape=(3, 4, 4))
+        assert rows[0]["macs"] == 48 * 10
+
+    def test_depthwise_counts_groups(self):
+        from repro import nn
+        m = nn.Sequential(nn.Conv2d(8, 8, 3, padding=1, groups=8))
+        rows = profile_macs(m, input_shape=(8, 4, 4))
+        assert rows[0]["macs"] == 16 * 8 * 1 * 9
+
+    def test_stride_halves_spatial(self):
+        from repro import nn
+        m1 = nn.Sequential(nn.Conv2d(3, 4, 3, stride=1, padding=1))
+        m2 = nn.Sequential(nn.Conv2d(3, 4, 3, stride=2, padding=1))
+        r1 = profile_macs(m1, (3, 8, 8))[0]["macs"]
+        r2 = profile_macs(m2, (3, 8, 8))[0]["macs"]
+        assert r1 == 4 * r2
+
+    def test_whole_model_profile(self):
+        seed_everything(0)
+        model = build_model("resnet20", num_classes=10, width=8)
+        rows = profile_macs(model)
+        summary = summarize_profile(rows)
+        assert summary["total_macs"] > 1e6
+        assert summary["effective_macs"] == summary["total_macs"]  # dense
+
+    def test_sparsity_reduces_effective_macs(self):
+        seed_everything(0)
+        model = build_model("resnet20", num_classes=10, width=8)
+        pruner = MagnitudePruner(model, sparsity=0.8)
+        pruner.step(1.0)
+        summary = summarize_profile(profile_macs(model))
+        assert summary["mac_reduction"] > 0.5
+        assert summary["effective_macs"] < summary["total_macs"]
+
+    def test_model_unchanged_after_profiling(self):
+        seed_everything(0)
+        model = build_model("resnet20", num_classes=10, width=8)
+        before = model.conv1.weight.data.copy()
+        profile_macs(model)
+        np.testing.assert_array_equal(model.conv1.weight.data, before)
+        # hooks removed: second profile gives identical rows
+        r1 = profile_macs(model)
+        r2 = profile_macs(model)
+        assert [r["macs"] for r in r1] == [r["macs"] for r in r2]

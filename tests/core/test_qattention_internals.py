@@ -1,0 +1,87 @@
+"""Deploy-path internals of the quantized attention."""
+import numpy as np
+import pytest
+
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.qvit import QAttention
+from repro.core.t2c import T2C, calibrate_model
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def fused_vit(tiny_data):
+    from repro.utils import seed_everything
+    seed_everything(8)
+    train, _ = tiny_data
+    m = build_model("vit-7", num_classes=10, embed_dim=32)
+    m.train()
+    for i in range(2):
+        m(Tensor(train.images[i * 32:(i + 1) * 32]))
+    m.eval()
+    qm = quantize_model(m, QConfig(8, 8))
+    calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(3)])
+    T2C(qm).fuse()
+    return qm
+
+
+class TestDeployAttention:
+    def _attn_and_input(self, fused_vit, tiny_data):
+        _, test = tiny_data
+        blk = fused_vit.blocks[0]
+        with no_grad():
+            xi = fused_vit.input_q(Tensor(test.images[:4]))
+            tok = fused_vit._tokens(xi)
+            n = tok.shape[0]
+            cls = Tensor(np.broadcast_to(fused_vit.cls_int.data, (n, 1, 32)).copy())
+            from repro.tensor import cat
+            tok = cat([cls, tok], axis=1)
+            tok = Tensor(np.clip(tok.data + fused_vit.pos_int.data,
+                                 fused_vit.embed_q.qlb, fused_vit.embed_q.qub))
+            ln_out = blk.ln1(tok)
+        return blk.attn, ln_out
+
+    def test_qkv_lands_in_declared_grids(self, fused_vit, tiny_data):
+        attn, x = self._attn_and_input(fused_vit, tiny_data)
+        with no_grad():
+            t = attn.mq_qkv(attn.qkv(x))
+        assert t.data.min() >= attn.qq.qlb
+        assert t.data.max() <= attn.qq.qub
+        np.testing.assert_array_equal(t.data, np.round(t.data))
+
+    def test_probabilities_rows_sum_to_grid_one(self, fused_vit, tiny_data):
+        attn, x = self._attn_and_input(fused_vit, tiny_data)
+        n, l, _ = x.shape
+        with no_grad():
+            t = attn.mq_qkv(attn.qkv(x))
+            q, k, _ = attn._split_qkv(t, n, l)
+            s_int = attn.mq_score(q @ k.swapaxes(-1, -2))
+            p_int = attn.lut_softmax(s_int)
+        sums = p_int.data.sum(-1) / (1 << attn.prob_bits)
+        np.testing.assert_allclose(sums, 1.0, atol=0.07)
+
+    def test_scores_within_score_grid(self, fused_vit, tiny_data):
+        attn, x = self._attn_and_input(fused_vit, tiny_data)
+        n, l, _ = x.shape
+        with no_grad():
+            t = attn.mq_qkv(attn.qkv(x))
+            q, k, _ = attn._split_qkv(t, n, l)
+            s_int = attn.mq_score(q @ k.swapaxes(-1, -2))
+        assert s_int.data.min() >= attn.sq.qlb
+        assert s_int.data.max() <= attn.sq.qub
+
+    def test_deploy_output_is_integer_stream(self, fused_vit, tiny_data):
+        attn, x = self._attn_and_input(fused_vit, tiny_data)
+        with no_grad():
+            out = attn(x)
+        np.testing.assert_array_equal(out.data, np.round(out.data))
+
+    def test_score_scale_folds_softmax_scale(self, fused_vit):
+        attn: QAttention = fused_vit.blocks[0].attn
+        sq = float(np.asarray(attn.qq.scale.data).reshape(-1)[0])
+        sk = float(np.asarray(attn.kq.scale.data).reshape(-1)[0])
+        ss = float(np.asarray(attn.sq.scale.data).reshape(-1)[0])
+        expected = sq * sk * attn.softmax_scale / ss
+        got = float(attn.mq_score.effective_scale[0])
+        assert got == pytest.approx(expected, rel=2e-3)

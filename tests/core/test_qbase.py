@@ -1,0 +1,94 @@
+"""_QBase dual-path semantics."""
+import numpy as np
+import pytest
+
+from repro.core.qbase import IdentityQuantizer, QuantSpec, _QBase
+from repro.tensor import Tensor
+
+
+class TestQuantSpec:
+    @pytest.mark.parametrize("nbit,unsigned,qlb,qub", [
+        (8, False, -128, 127), (8, True, 0, 255),
+        (4, False, -8, 7), (4, True, 0, 15),
+        (2, False, -2, 1), (2, True, 0, 3),
+    ])
+    def test_ranges(self, nbit, unsigned, qlb, qub):
+        s = QuantSpec(nbit, unsigned)
+        assert (s.qlb, s.qub) == (qlb, qub)
+        assert s.levels == 2 ** nbit
+
+
+class TestDualPath:
+    def _q(self, nbit=4, unsigned=False, scale=0.5):
+        q = _QBase(nbit=nbit, unsigned=unsigned)
+        q.set_scale(scale)
+        return q
+
+    def test_train_path_returns_dequantized(self):
+        q = self._q()
+        x = Tensor(np.array([0.3, 1.0, -0.74], dtype=np.float32))
+        out = q(x)
+        np.testing.assert_allclose(out.data, [0.5, 1.0, -0.5])  # on the grid
+
+    def test_deploy_path_returns_integers(self):
+        q = self._q()
+        q.deploy = True
+        out = q(Tensor(np.array([0.3, 1.0, -0.74], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [1, 2, -1])
+
+    def test_paths_consistent(self, rng):
+        q = self._q(nbit=8, scale=0.02)
+        x = Tensor(rng.standard_normal(100).astype(np.float32))
+        fake = q.trainFunc(x).data
+        ints = q.evalFunc(x).data
+        np.testing.assert_allclose(fake, ints * 0.02, rtol=1e-5)
+
+    def test_clamping_at_grid_bounds(self):
+        q = self._q(nbit=2, scale=1.0)  # grid [-2, 1]
+        out = q.q(Tensor(np.array([-10.0, 10.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [-2, 1])
+
+    def test_unsigned_clamps_negative_to_zero(self):
+        q = self._q(nbit=4, unsigned=True, scale=1.0)
+        out = q.q(Tensor(np.array([-3.0, 20.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0, 15])
+
+    def test_ste_gradient_flows_through_train_path(self):
+        q = self._q(nbit=8, scale=0.1)
+        x = Tensor(np.array([0.55], dtype=np.float32), requires_grad=True)
+        q(x).backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_deploy_path_produces_no_graph(self):
+        q = self._q()
+        q.deploy = True
+        x = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        out = q(x)
+        assert not out.requires_grad
+
+    def test_zero_point_shifts(self):
+        q = self._q(nbit=4, unsigned=True, scale=1.0)
+        q.set_zero_point(3.0)
+        out = q.q(Tensor(np.array([0.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [3])
+        back = q.dq(out)
+        np.testing.assert_allclose(back.data, [0.0])
+
+    def test_set_scale_floors_tiny_values(self):
+        q = self._q()
+        q.set_scale(0.0)
+        assert float(q.scale.data) > 0
+
+    def test_scale_is_a_buffer(self):
+        q = self._q()
+        assert "scale" in dict(q.named_buffers())
+        assert "zero_point" in dict(q.named_buffers())
+
+
+class TestIdentity:
+    def test_identity_passthrough_both_paths(self, rng):
+        q = IdentityQuantizer()
+        x = Tensor(rng.standard_normal(10).astype(np.float32))
+        np.testing.assert_array_equal(q(x).data, x.data)
+        q.deploy = True
+        np.testing.assert_array_equal(q(x).data, x.data)

@@ -1,0 +1,99 @@
+"""Dual-path QConv2d / QLinear."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.qlayers import QConv2d, QLinear
+from repro.core.quantizers import MinMaxChannelQuantizer, MinMaxQuantizer, MinMaxWeightQuantizer
+from repro.tensor import Tensor, no_grad
+
+
+class TestQConv2d:
+    def _qconv(self):
+        return QConv2d(3, 8, 3, padding=1, bias=False,
+                       wq=MinMaxChannelQuantizer(nbit=8), aq=MinMaxQuantizer(nbit=8))
+
+    def test_from_float_copies_weights(self, rng):
+        conv = nn.Conv2d(3, 8, 3, bias=True)
+        q = QConv2d.from_float(conv, MinMaxWeightQuantizer(nbit=8), MinMaxQuantizer(nbit=8))
+        np.testing.assert_array_equal(q.weight.data, conv.weight.data)
+        np.testing.assert_array_equal(q.bias.data, conv.bias.data)
+
+    def test_train_path_close_to_float_at_8bit(self, rng):
+        q = self._qconv()
+        q.train()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        qout = q(x).data
+        fout = nn.functional.conv2d(x, q.weight, None, 1, 1).data
+        assert np.abs(qout - fout).mean() / np.abs(fout).mean() < 0.05
+
+    def test_freeze_int_weight_is_integral_and_in_range(self, rng):
+        q = self._qconv()
+        q.train()
+        q(Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32)))
+        wint = q.freeze_int_weight()
+        np.testing.assert_array_equal(wint, np.round(wint))
+        assert wint.min() >= -128 and wint.max() <= 127
+
+    def test_deploy_path_uses_wint(self, rng):
+        q = self._qconv()
+        q.train()
+        q(Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32)))
+        q.freeze_int_weight()
+        q.set_deploy(True)
+        xi = Tensor(rng.integers(-128, 128, (1, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            acc = q(xi).data
+        # integer inputs x integer weights => integer accumulator
+        np.testing.assert_array_equal(acc, np.round(acc))
+
+    def test_deploy_flag_propagates_to_quantizers(self):
+        q = self._qconv()
+        q.set_deploy(True)
+        assert q.wq.deploy and q.aq.deploy
+
+    def test_gradients_flow_in_train_path(self, rng):
+        q = self._qconv()
+        q.train()
+        x = Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32), requires_grad=True)
+        (q(x) ** 2.0).sum().backward()
+        assert q.weight.grad is not None
+        assert x.grad is not None
+
+
+class TestQLinear:
+    def _qlin(self):
+        return QLinear(16, 4, bias=True,
+                       wq=MinMaxChannelQuantizer(nbit=8), aq=MinMaxQuantizer(nbit=8))
+
+    def test_train_path_shape(self, rng):
+        q = self._qlin()
+        q.train()
+        assert q(Tensor(rng.standard_normal((3, 16)).astype(np.float32))).shape == (3, 4)
+
+    def test_deploy_integer_matmul(self, rng):
+        q = self._qlin()
+        q.train()
+        q(Tensor(rng.standard_normal((2, 16)).astype(np.float32)))
+        q.freeze_int_weight()
+        q.set_deploy(True)
+        xi = Tensor(rng.integers(0, 16, (2, 16)).astype(np.float32))
+        with no_grad():
+            acc = q(xi).data
+        np.testing.assert_array_equal(acc, np.round(acc))
+
+    def test_deploy_ignores_float_bias(self, rng):
+        """The float bias is fused into MulQuant, never added in deploy."""
+        q = self._qlin()
+        q.bias.data[:] = 100.0
+        q.train()
+        q(Tensor(rng.standard_normal((1, 16)).astype(np.float32)))
+        q.freeze_int_weight()
+        q.set_deploy(True)
+        acc = q(Tensor(np.zeros((1, 16), dtype=np.float32))).data
+        np.testing.assert_allclose(acc, 0.0)
+
+    def test_from_float_roundtrip(self, rng):
+        lin = nn.Linear(8, 3)
+        q = QLinear.from_float(lin, MinMaxWeightQuantizer(nbit=8), MinMaxQuantizer(nbit=8))
+        np.testing.assert_array_equal(q.weight.data, lin.weight.data)

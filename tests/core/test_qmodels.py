@@ -1,0 +1,140 @@
+"""Q-model structures: conversion fidelity, shared quantizers, deploy flags."""
+import numpy as np
+import pytest
+
+from repro.core.qbase import _QBase
+from repro.core.qconfig import QConfig
+from repro.core.qlayers import QConv2d
+from repro.core.qmodels import (
+    QBasicBlock,
+    QBottleneck,
+    QConvBNReLU,
+    QMobileNetV1,
+    QResNet,
+    quantize_model,
+)
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+class TestQResNetConversion:
+    def test_block_types(self, resnet20_with_stats):
+        qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+        assert isinstance(qm, QResNet)
+        assert all(isinstance(b, QBasicBlock) for b in qm.blocks)
+
+    def test_bottleneck_conversion(self):
+        from repro.utils import seed_everything
+        seed_everything(0)
+        m = build_model("resnet50", num_classes=10, width=8)
+        qm = quantize_model(m, QConfig(8, 8))
+        assert all(isinstance(b, QBottleneck) for b in qm.blocks)
+        assert len(list(qm.blocks)) == 16
+
+    def test_weights_shared_values(self, resnet20_with_stats):
+        qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+        np.testing.assert_array_equal(qm.stem.conv.weight.data,
+                                      resnet20_with_stats.conv1.weight.data)
+
+    def test_block_input_quantizer_shared_with_downsample(self, resnet20_with_stats):
+        qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+        blocks_with_down = [b for b in qm.blocks if b.down is not None]
+        assert blocks_with_down, "expected projection shortcuts"
+        for b in blocks_with_down:
+            assert b.unit1.conv.aq is b.down.conv.aq
+
+    def test_train_path_matches_float_at_high_precision(self, resnet20_with_stats, tiny_data):
+        _, test = tiny_data
+        qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+        # calibrate so scales are sensible
+        from repro.core.t2c import calibrate_model
+        train, _ = tiny_data
+        calibrate_model(qm, [train.images[:64]])
+        qm.eval()
+        x = Tensor(test.images[:16])
+        with no_grad():
+            f = resnet20_with_stats(x).data
+            q = qm(x).data
+        corr = np.mean([np.corrcoef(f[i], q[i])[0, 1] for i in range(16)])
+        assert corr > 0.99
+
+    def test_set_deploy_reaches_every_quantizer(self, resnet20_with_stats):
+        qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+        qm.set_deploy(True)
+        convs = [m for m in qm.modules() if isinstance(m, QConv2d)]
+        assert all(c.deploy for c in convs)
+        qm.set_deploy(False)
+        assert all(not c.deploy for c in convs)
+
+    def test_deploy_without_fusion_raises(self, resnet20_with_stats, tiny_data):
+        _, test = tiny_data
+        qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+        qm.set_deploy(True)
+        with pytest.raises(RuntimeError):
+            qm(Tensor(test.images[:2]))
+
+
+class TestQMobileNetConversion:
+    def test_unit_chain_length(self, mobilenet_with_stats):
+        qm = quantize_model(mobilenet_with_stats, QConfig(8, 8))
+        assert isinstance(qm, QMobileNetV1)
+        # stem + 2 per separable block
+        n_blocks = len(list(mobilenet_with_stats.blocks))
+        assert len(list(qm.units)) == 1 + 2 * n_blocks
+
+    def test_depthwise_preserved(self, mobilenet_with_stats):
+        qm = quantize_model(mobilenet_with_stats, QConfig(8, 8))
+        dw_units = [u for u in qm.units if u.conv.groups > 1]
+        assert dw_units
+        for u in dw_units:
+            assert u.conv.groups == u.conv.in_channels
+
+
+class TestQConfig:
+    def test_quantizer_bitwidths(self):
+        cfg = QConfig(wbit=3, abit=5, wq="minmax_weight", aq="minmax")
+        assert cfg.make_wq().nbit == 3
+        assert cfg.make_aq().nbit == 5
+
+    def test_aq_signed_flag(self):
+        cfg = QConfig(aq="minmax")
+        assert cfg.make_aq(signed=False).unsigned
+        assert not cfg.make_aq(signed=True).unsigned
+
+    def test_fresh_instances(self):
+        cfg = QConfig()
+        assert cfg.make_wq() is not cfg.make_wq()
+
+    def test_input_quantizer_signed(self):
+        assert not QConfig(input_bit=8).make_input_q().unsigned
+
+    def test_unknown_model_raises(self):
+        from repro import nn
+        with pytest.raises(TypeError):
+            quantize_model(nn.Linear(2, 2), QConfig())
+
+
+class TestUnitForward:
+    def test_unit_without_bn(self, rng):
+        from repro import nn
+        conv = nn.Conv2d(3, 4, 3, padding=1, bias=True)
+        from repro.core.quantizers import MinMaxQuantizer, MinMaxWeightQuantizer
+        unit = QConvBNReLU(QConv2d.from_float(conv, MinMaxWeightQuantizer(nbit=8),
+                                              MinMaxQuantizer(nbit=8)), bn=None, relu=False)
+        unit.train()
+        x = Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+        assert unit(x).shape == (1, 4, 8, 8)
+        assert not unit.has_bn
+
+    def test_relu_flag_controls_clipping(self, rng):
+        from repro import nn
+        from repro.core.quantizers import IdentityQuantizer
+        conv = nn.Conv2d(2, 2, 1, bias=False)
+        conv.weight.data = np.eye(2, dtype=np.float32).reshape(2, 2, 1, 1)
+        unit_relu = QConvBNReLU(QConv2d.from_float(conv, IdentityQuantizer(), IdentityQuantizer()),
+                                bn=None, relu=True)
+        unit_lin = QConvBNReLU(QConv2d.from_float(conv, IdentityQuantizer(), IdentityQuantizer()),
+                               bn=None, relu=False)
+        x = Tensor(np.full((1, 2, 2, 2), -1.0, dtype=np.float32))
+        assert unit_relu(x).data.min() == 0.0
+        assert unit_lin(x).data.min() == -1.0

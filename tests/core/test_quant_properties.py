@@ -1,0 +1,84 @@
+"""Hypothesis property tests across the quantization stack."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fixed_point import FixedPointFormat
+from repro.core.mulquant import MulQuant
+from repro.core.qbase import QuantSpec, _QBase
+from repro.tensor import Tensor, no_grad
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False, width=32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 8), st.booleans(), st.lists(finite, min_size=1, max_size=64),
+       st.floats(1e-3, 10.0))
+def test_qbase_roundtrip_error_bound(nbit, unsigned, vals, scale):
+    """dq(q(x)) is within scale/2 of x for values inside the clip range."""
+    q = _QBase(nbit=nbit, unsigned=unsigned)
+    q.set_scale(scale)
+    x = np.array(vals, dtype=np.float32)
+    with no_grad():
+        back = q.dq(q.q(Tensor(x))).data
+    lo, hi = q.qlb * scale, q.qub * scale
+    inside = (x >= lo) & (x <= hi)
+    assert (np.abs(back - x)[inside] <= scale / 2 + 1e-5).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 8), st.booleans())
+def test_quantspec_contains_zero(nbit, unsigned):
+    s = QuantSpec(nbit, unsigned)
+    assert s.qlb <= 0 <= s.qub
+    assert s.qub - s.qlb == s.levels - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(1e-5, 100.0), st.floats(-100, 100),
+       st.lists(st.integers(-10000, 10000), min_size=1, max_size=32))
+def test_mulquant_output_integral_and_clamped(scale, bias, acc):
+    mq = MulQuant(scale, bias, fmt=FixedPointFormat(4, 12), out_lo=-1000, out_hi=1000)
+    out = mq(Tensor(np.array(acc, dtype=np.float32))).data
+    np.testing.assert_array_equal(out, np.round(out))
+    assert out.min() >= -1000 and out.max() <= 1000
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(1e-5, 50.0))
+def test_mulquant_effective_scale_relative_error(scale):
+    mq = MulQuant(scale, fmt=FixedPointFormat(4, 12))
+    rel = abs(float(mq.effective_scale[0]) - scale) / scale
+    assert rel < 2e-3  # normalized multiplier keeps ~11+ bits of precision
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(finite, min_size=4, max_size=64), st.integers(2, 8))
+def test_fakequant_idempotent(vals, nbit):
+    """Quantizing an already-quantized tensor is a no-op."""
+    from repro.core.quantizers import MinMaxWeightQuantizer
+    q = MinMaxWeightQuantizer(nbit=nbit)
+    x = Tensor(np.array(vals, dtype=np.float32))
+    with no_grad():
+        once = q.trainFunc(x).data
+        twice = q.trainFunc(Tensor(once.copy())).data
+    np.testing.assert_allclose(once, twice, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(finite, min_size=8, max_size=64))
+def test_channel_quantizer_preserves_channel_extremes(vals):
+    """Each channel's max-abs weight is reconstructed exactly (its own scale
+    is anchored to it), whereas a per-tensor grid only guarantees this for
+    the globally-largest channel."""
+    from repro.core.quantizers import MinMaxChannelQuantizer
+    n = (len(vals) // 4) * 4
+    arr = np.array(vals[:n], dtype=np.float32).reshape(n // 4, 4)[:, :, None, None]
+    x = Tensor(arr)
+    with no_grad():
+        per_ch = MinMaxChannelQuantizer(nbit=4).trainFunc(x).data
+    for c in range(arr.shape[0]):
+        m = np.abs(arr[c]).max()
+        if m < 1e-5:
+            continue
+        np.testing.assert_allclose(np.abs(per_ch[c]).max(), m, rtol=1e-4)

@@ -1,0 +1,258 @@
+"""The quantizer zoo: algorithm-specific behaviour + shared contracts."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quantizers import (
+    QUANTIZERS,
+    AdaRoundQuantizer,
+    LSQQuantizer,
+    MinMaxChannelQuantizer,
+    MinMaxQuantizer,
+    MinMaxWeightQuantizer,
+    PACTQuantizer,
+    QDropQuantizer,
+    RCFActQuantizer,
+    RCFWeightQuantizer,
+    SAWBQuantizer,
+    build_quantizer,
+)
+from repro.tensor import Tensor, no_grad
+
+
+def _w(rng, shape=(16, 8, 3, 3)):
+    return Tensor(rng.standard_normal(shape).astype(np.float32) * 0.1)
+
+
+class TestSharedContract:
+    """Every bundled quantizer must keep trainFunc == scale * q() so the
+    automatic integer conversion is faithful (the paper's core invariant)."""
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("minmax_weight", {}), ("minmax_channel", {}), ("sawb", dict(nbit=4)),
+        ("rcf_weight", dict(nbit=4)), ("lsq", dict(nbit=4)),
+    ])
+    def test_fake_quant_equals_scaled_integers(self, rng, name, kwargs):
+        q = build_quantizer(name, **{"nbit": 4, **kwargs})
+        w = _w(rng)
+        with no_grad():
+            fake = q.trainFunc(w).data
+            ints = q.q(w).data
+        scale = np.asarray(q.scale.data)
+        np.testing.assert_allclose(fake, ints * scale, atol=1e-5)
+
+    @pytest.mark.parametrize("name", ["minmax_weight", "sawb", "rcf_weight", "lsq"])
+    def test_integers_within_grid(self, rng, name):
+        q = build_quantizer(name, nbit=4)
+        with no_grad():
+            q.trainFunc(_w(rng))
+            ints = q.q(_w(rng)).data
+        assert ints.min() >= q.qlb and ints.max() <= q.qub
+
+    def test_registry_complete(self):
+        expected = {"identity", "minmax", "asym_minmax", "minmax_channel", "minmax_weight",
+                    "sawb", "pact", "rcf_weight", "rcf_act", "lsq", "adaround", "qdrop",
+                    "dorefa_weight", "dorefa_act"}
+        assert expected == set(QUANTIZERS)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_quantizer("dorefa")
+
+
+class TestMinMax:
+    def test_online_qat_self_calibration(self, rng):
+        q = MinMaxQuantizer(nbit=8)
+        q.train()
+        x = Tensor(rng.standard_normal(1000).astype(np.float32) * 4)
+        q(x)
+        assert float(q.scale.data) != 1.0  # scale refreshed from data
+
+    def test_calibration_freezes_scale(self, rng):
+        q = MinMaxQuantizer(nbit=8)
+        q.observe = True
+        q(Tensor(rng.standard_normal(100).astype(np.float32)))
+        q.finalize_calibration()
+        s = float(q.scale.data)
+        q.train()
+        q(Tensor(100 * rng.standard_normal(100).astype(np.float32)))
+        assert float(q.scale.data) == s  # calibrated: no more updates
+
+    def test_finalize_without_data_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxQuantizer().finalize_calibration()
+
+    def test_channel_scale_shape(self, rng):
+        q = MinMaxChannelQuantizer(nbit=8)
+        w = _w(rng)
+        with no_grad():
+            q.trainFunc(w)
+        assert q.scale.data.shape == (16, 1, 1, 1)
+
+    def test_channel_quantizer_beats_tensor_on_skewed_channels(self, rng):
+        w = rng.standard_normal((8, 4, 3, 3)).astype(np.float32) * 0.01
+        w[0] *= 100  # one loud channel
+        wt = Tensor(w)
+        with no_grad():
+            per_ch = MinMaxChannelQuantizer(nbit=4).trainFunc(wt).data
+            per_tn = MinMaxWeightQuantizer(nbit=4).trainFunc(wt).data
+        assert np.abs(per_ch - w)[1:].mean() < np.abs(per_tn - w)[1:].mean()
+
+
+class TestSAWB:
+    def test_alpha_positive_on_gaussian(self, rng):
+        q = SAWBQuantizer(nbit=4)
+        assert q.compute_alpha(rng.standard_normal(10000)) > 0
+
+    def test_unsupported_bits_raise(self):
+        with pytest.raises(ValueError):
+            SAWBQuantizer(nbit=5)
+
+    def test_alpha_below_max_abs(self, rng):
+        # SAWB clips: the optimal threshold is inside the data range
+        w = rng.standard_normal(10000)
+        q = SAWBQuantizer(nbit=2)
+        assert q.compute_alpha(w) < np.abs(w).max()
+
+    def test_degenerate_distribution_fallback(self):
+        q = SAWBQuantizer(nbit=4)
+        w = np.ones(100)  # E[w^2]=1, E|w|=1 => c1-c2 < 0 path exercised
+        assert q.compute_alpha(w) > 0
+
+
+class TestPACT:
+    def test_output_clipped_at_alpha_grid(self, rng):
+        q = PACTQuantizer(nbit=4, alpha_init=2.0)
+        x = Tensor(np.array([5.0, -3.0, 1.0], dtype=np.float32))
+        out = q(x)
+        assert out.data.max() <= 2.0 + 1e-5
+        assert out.data.min() >= 0.0
+
+    def test_alpha_gets_gradient_from_saturated_inputs(self):
+        q = PACTQuantizer(nbit=4, alpha_init=1.0)
+        x = Tensor(np.array([5.0], dtype=np.float32), requires_grad=True)
+        q(x).backward()
+        assert q.alpha.grad is not None
+        assert abs(q.alpha.grad[0]) > 0
+
+    def test_scale_tracks_alpha(self):
+        q = PACTQuantizer(nbit=4, alpha_init=3.0)
+        q(Tensor(np.ones(4, dtype=np.float32)))
+        assert float(q.scale.data) == pytest.approx(3.0 / 15)
+
+
+class TestRCF:
+    def test_weight_symmetric_range(self, rng):
+        q = RCFWeightQuantizer(nbit=4, alpha_init=0.5)
+        out = q(_w(rng))
+        assert out.data.max() <= 0.5 + 1e-5
+        assert out.data.min() >= -0.5 - 1e-5
+
+    def test_alpha_trainable(self, rng):
+        q = RCFWeightQuantizer(nbit=4, alpha_init=0.05)
+        w = Tensor(rng.standard_normal(50).astype(np.float32), requires_grad=True)
+        (q(w) ** 2.0).sum().backward()
+        assert q.alpha.grad is not None
+
+    def test_act_unsigned(self):
+        q = RCFActQuantizer(nbit=4, alpha_init=2.0)
+        out = q(Tensor(np.array([-1.0, 3.0], dtype=np.float32)))
+        assert out.data.min() >= 0.0
+
+
+class TestLSQ:
+    def test_step_initialized_from_data(self, rng):
+        q = LSQQuantizer(nbit=4, step_init=123.0)
+        q(Tensor(rng.standard_normal(100).astype(np.float32)))
+        assert float(q.step.data[0]) < 1.0  # re-initialized
+
+    def test_step_receives_gradient(self, rng):
+        q = LSQQuantizer(nbit=4)
+        x = Tensor(rng.standard_normal(64).astype(np.float32), requires_grad=True)
+        (q(x) ** 2.0).sum().backward()
+        assert q.step.grad is not None
+        assert np.abs(q.step.grad).max() > 0
+
+
+class TestAdaRound:
+    def test_init_reproduces_float_residuals(self, rng):
+        q = AdaRoundQuantizer(nbit=8)
+        w = rng.standard_normal(200).astype(np.float32) * 0.1
+        q.init_from_weight(w)
+        soft = q.trainFunc(Tensor(w)).data
+        # soft rounding initialized at h(alpha)=residual reproduces w closely
+        np.testing.assert_allclose(soft, w, atol=float(q.scale.data) * 0.51 + 1e-4)
+
+    def test_hard_rounding_is_floor_plus_gate(self, rng):
+        q = AdaRoundQuantizer(nbit=8)
+        w = rng.standard_normal(50).astype(np.float32) * 0.1
+        q.init_from_weight(w)
+        s = float(q.scale.data)
+        ints = q.q(Tensor(w)).data
+        expected = np.clip(np.floor(w / s) + (q.alpha.data >= 0), q.qlb, q.qub)
+        np.testing.assert_array_equal(ints, expected)
+
+    def test_reg_loss_zero_when_binary(self, rng):
+        q = AdaRoundQuantizer(nbit=8)
+        q.init_from_weight(rng.standard_normal(50).astype(np.float32))
+        q.alpha.data[:] = 100.0  # h -> 1 exactly after rectification
+        assert q.reg_loss().item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_forward_before_init_self_initializes(self, rng):
+        q = AdaRoundQuantizer(nbit=8)
+        q(Tensor(rng.standard_normal(10).astype(np.float32)))
+        assert q.alpha is not None
+
+    def test_h_before_init_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaRoundQuantizer().h()
+
+    def test_pruned_zeros_pinned(self, rng):
+        """Learned rounding must not regrow pruned (exact-zero) weights."""
+        q = AdaRoundQuantizer(nbit=8)
+        w = rng.standard_normal(100).astype(np.float32) * 0.1
+        w[::3] = 0.0
+        q.init_from_weight(w)
+        q.alpha.data[:] = 100.0  # force every gate up
+        ints = q.q(Tensor(w)).data
+        assert (ints[::3] == 0).all()
+        soft = q.trainFunc(Tensor(w)).data
+        assert (soft[::3] == 0).all()
+
+
+class TestQDrop:
+    def test_drop_keeps_some_fp_values(self, rng):
+        q = QDropQuantizer(nbit=2, p=0.5)
+        q.observe = True
+        x = Tensor(rng.random(1000).astype(np.float32) * 3)
+        q(x)
+        q.finalize_calibration()
+        out = q(x).data
+        grid = np.round(out / float(q.scale.data)) * float(q.scale.data)
+        frac_off_grid = (np.abs(out - grid) > 1e-6).mean()
+        assert 0.2 < frac_off_grid < 0.8  # ~half kept at full precision
+
+    def test_disabled_drop_is_plain_quantizer(self, rng):
+        q = QDropQuantizer(nbit=4, p=0.5)
+        q.observe = True
+        x = Tensor(rng.random(500).astype(np.float32))
+        q(x)
+        q.finalize_calibration()
+        q.drop_enabled = False
+        out = q(x).data
+        s = float(q.scale.data)
+        np.testing.assert_allclose(out, np.round(out / s) * s, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 8), st.floats(0.01, 10.0))
+def test_quantization_error_bounded_by_half_step(nbit, spread):
+    """|x - fakequant(x)| <= scale/2 for in-range values (property)."""
+    rng = np.random.default_rng(nbit)
+    q = MinMaxWeightQuantizer(nbit=nbit)
+    x = Tensor((rng.standard_normal(256) * spread).astype(np.float32))
+    with no_grad():
+        out = q.trainFunc(x).data
+    s = float(q.scale.data)
+    in_range = np.abs(x.data) <= s * q.qub
+    assert (np.abs(out - x.data)[in_range] <= s / 2 + 1e-6).all()

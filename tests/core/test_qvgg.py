@@ -1,0 +1,84 @@
+"""QVGG: the reference architecture extension (docs/customization.md §4)."""
+import numpy as np
+import pytest
+
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.qvgg import QVGG, VGGFuser
+from repro.core.t2c import T2C, calibrate_model
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def vgg_with_stats(tiny_data):
+    """Briefly trained VGG (untrained nets have margin-free logits that make
+    integer-vs-fakequant correlation meaningless)."""
+    from repro.optim import SGD
+    from repro.tensor import functional as F
+    from repro.utils import seed_everything
+
+    seed_everything(60)
+    train, _ = tiny_data
+    m = build_model("vgg8", num_classes=10, width_mult=0.5)
+    opt = SGD(m.parameters(), lr=0.1, momentum=0.9, weight_decay=5e-4)
+    m.train()
+    for epoch in range(5):
+        for i in range(len(train.images) // 64):
+            x = train.images[i * 64:(i + 1) * 64]
+            y = train.labels[i * 64:(i + 1) * 64]
+            opt.zero_grad()
+            F.cross_entropy(m(Tensor(x)), y).backward()
+            opt.step()
+    m.eval()
+    return m
+
+
+@pytest.fixture
+def calibrated_qvgg(vgg_with_stats, tiny_data):
+    train, _ = tiny_data
+    qm = quantize_model(vgg_with_stats, QConfig(8, 8))
+    calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(4)])
+    qm.eval()
+    return qm
+
+
+class TestQVGG:
+    def test_conversion_structure(self, calibrated_qvgg):
+        assert isinstance(calibrated_qvgg, QVGG)
+        assert len(calibrated_qvgg.units()) == 6  # VGG8: six conv triples
+
+    def test_pools_preserved(self, calibrated_qvgg):
+        from repro import nn
+        pools = [s for s in calibrated_qvgg.chain if isinstance(s, nn.MaxPool2d)]
+        assert len(pools) == 3
+
+    def test_integer_equivalence(self, calibrated_qvgg, tiny_data):
+        _, test = tiny_data
+        x = Tensor(test.images[:48])
+        with no_grad():
+            fq = calibrated_qvgg(x).data
+        t2c = T2C(calibrated_qvgg)
+        assert isinstance(t2c._fuser, VGGFuser)
+        t2c.fuse()
+        with no_grad():
+            ii = calibrated_qvgg(x).data
+        corr = np.mean([np.corrcoef(fq[i], ii[i])[0, 1] for i in range(48)])
+        assert corr > 0.99
+
+    def test_maxpool_exact_on_integers(self, calibrated_qvgg, tiny_data):
+        """Integer max-pool commutes with the shared domain: outputs integral."""
+        _, test = tiny_data
+        T2C(calibrated_qvgg).fuse()
+        with no_grad():
+            out = calibrated_qvgg(Tensor(test.images[:8])).data
+        np.testing.assert_array_equal(out, np.round(out))
+
+    def test_repack(self, calibrated_qvgg, tiny_data):
+        _, test = tiny_data
+        t2c = T2C(calibrated_qvgg)
+        t2c.fuse()
+        qnn = t2c.nn2chip()
+        x = Tensor(test.images[:16])
+        with no_grad():
+            np.testing.assert_array_equal(calibrated_qvgg(x).data, qnn(x).data)

@@ -1,0 +1,155 @@
+"""Integer-only ViT: quantized attention, LUT non-linearities, LN modes."""
+import numpy as np
+import pytest
+
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.qvit import QAttention, QVisionTransformer, ViTFuser
+from repro.core.t2c import T2C, calibrate_model
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def vit_model(tiny_data):
+    from repro.utils import seed_everything
+    seed_everything(3)
+    train, _ = tiny_data
+    m = build_model("vit-7", num_classes=10, embed_dim=32)
+    m.train()
+    for i in range(3):
+        m(Tensor(train.images[i * 32:(i + 1) * 32]))
+    m.eval()
+    return m
+
+
+@pytest.fixture
+def calibrated_qvit(vit_model, tiny_data):
+    train, _ = tiny_data
+    qm = quantize_model(vit_model, QConfig(wbit=8, abit=8))
+    calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(3)])
+    qm.eval()
+    return qm
+
+
+class TestConversion:
+    def test_structure(self, calibrated_qvit):
+        assert isinstance(calibrated_qvit, QVisionTransformer)
+        assert len(list(calibrated_qvit.blocks)) == 7
+        assert isinstance(calibrated_qvit.blocks[0].attn, QAttention)
+
+    def test_weights_copied(self, vit_model, tiny_data):
+        qm = quantize_model(vit_model, QConfig(8, 8))
+        np.testing.assert_array_equal(qm.head.linear.weight.data, vit_model.head.weight.data)
+        np.testing.assert_array_equal(qm.pos_embed.data, vit_model.pos_embed.data)
+
+    def test_train_path_close_to_float(self, vit_model, calibrated_qvit, tiny_data):
+        _, test = tiny_data
+        x = Tensor(test.images[:16])
+        with no_grad():
+            f = vit_model(x).data
+            q = calibrated_qvit(x).data
+        corr = np.mean([np.corrcoef(f[i], q[i])[0, 1] for i in range(16)])
+        assert corr > 0.98
+
+
+class TestIntegerPath:
+    def test_fused_outputs_integral(self, calibrated_qvit, tiny_data):
+        _, test = tiny_data
+        T2C(calibrated_qvit).fuse()
+        with no_grad():
+            out = calibrated_qvit(Tensor(test.images[:8])).data
+        np.testing.assert_array_equal(out, np.round(out))
+
+    def test_integer_matches_fakequant(self, calibrated_qvit, tiny_data):
+        _, test = tiny_data
+        x = Tensor(test.images[:48])
+        with no_grad():
+            fq = calibrated_qvit(x).data
+        T2C(calibrated_qvit).fuse()
+        with no_grad():
+            ii = calibrated_qvit(x).data
+        corr = np.mean([np.corrcoef(fq[i], ii[i])[0, 1] for i in range(len(fq))])
+        assert corr > 0.9
+
+    def test_all_luts_wired(self, calibrated_qvit):
+        T2C(calibrated_qvit).fuse()
+        for blk in calibrated_qvit.blocks:
+            assert blk.attn.lut_softmax is not None
+            assert blk.mlp.lut_gelu is not None
+            assert blk.mq_id1 is not None and blk.mq_id2 is not None
+
+    def test_intermediate_token_streams_are_integers(self, calibrated_qvit, tiny_data):
+        _, test = tiny_data
+        T2C(calibrated_qvit).fuse()
+        blk = calibrated_qvit.blocks[0]
+        x = Tensor(test.images[:4])
+        with no_grad():
+            xi = calibrated_qvit.input_q(x)
+            tok = calibrated_qvit._tokens(xi)
+        np.testing.assert_array_equal(tok.data, np.round(tok.data))
+
+
+class TestLayerNormModes:
+    def test_running_stats_mode_fully_integer(self, tiny_data):
+        from repro.utils import seed_everything
+        seed_everything(4)
+        train, test = tiny_data
+        m = build_model("vit-7", num_classes=10, embed_dim=32, ln_running_stats=True)
+        m.train()
+        for i in range(4):
+            m(Tensor(train.images[i * 32:(i + 1) * 32]))
+        m.eval()
+        qm = quantize_model(m, QConfig(8, 8))
+        calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(3)])
+        T2C(qm).fuse()
+        # running-stats LN is replaced by a per-channel MulQuant
+        assert qm.blocks[0].ln1.mq is not None
+        with no_grad():
+            out = qm(Tensor(test.images[:8])).data
+        np.testing.assert_array_equal(out, np.round(out))
+
+    def test_instant_mode_uses_reference_path(self, calibrated_qvit):
+        T2C(calibrated_qvit).fuse()
+        ln = calibrated_qvit.blocks[0].ln1
+        assert ln.mq is None
+        assert ln.in_scale is not None and ln.out_scale is not None
+
+
+class TestViTRepack:
+    def test_repack_matches_fused_bitwise(self, calibrated_qvit, tiny_data):
+        _, test = tiny_data
+        t2c = T2C(calibrated_qvit)
+        t2c.fuse()
+        qnn = t2c.nn2chip()
+        x = Tensor(test.images[:16])
+        with no_grad():
+            np.testing.assert_array_equal(calibrated_qvit(x).data, qnn(x).data)
+
+    def test_repack_running_stats_vit_integer_only(self, tiny_data):
+        """With running-stat LN the re-packed ViT holds integers only (plus
+        the single input scale)."""
+        from repro.core.vanilla import integer_state_report
+        from repro.utils import seed_everything
+
+        seed_everything(5)
+        train, _ = tiny_data
+        m = build_model("vit-7", num_classes=10, embed_dim=32, ln_running_stats=True)
+        m.train()
+        for i in range(3):
+            m(Tensor(train.images[i * 32:(i + 1) * 32]))
+        m.eval()
+        qm = quantize_model(m, QConfig(8, 8))
+        calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(3)])
+        qnn = T2C(qm).nn2chip()
+        report = integer_state_report(qnn)
+        assert report["names_non_integer"] == ["input_q.scale"]
+
+    def test_repack_drops_float_cls_pos(self, calibrated_qvit):
+        t2c = T2C(calibrated_qvit)
+        t2c.fuse()
+        qnn = t2c.nn2chip()
+        names = dict(qnn.named_parameters())
+        assert "cls_token" not in names and "pos_embed" not in names
+        buffers = dict(qnn.named_buffers())
+        assert "cls_int" in buffers and "pos_int" in buffers

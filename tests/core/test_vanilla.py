@@ -1,0 +1,53 @@
+"""Vanilla re-pack components."""
+import numpy as np
+import pytest
+
+from repro.core.vanilla import GridRange, InputQuant, integer_state_report
+from repro.tensor import Tensor
+
+
+class TestInputQuant:
+    def test_rounds_and_clamps(self):
+        iq = InputQuant(scale=0.5, qlb=-4, qub=3)
+        out = iq(Tensor(np.array([0.6, -10.0, 10.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [1, -4, 3])
+
+    def test_no_parameters(self):
+        iq = InputQuant(0.1, -128, 127)
+        assert list(iq.parameters()) == []
+        assert "scale" in dict(iq.named_buffers())
+
+    def test_repr(self):
+        assert "range" in repr(InputQuant(0.1, -8, 7))
+
+
+class TestGridRange:
+    def test_holds_bounds(self):
+        g = GridRange(-8, 7)
+        assert g.qlb == -8 and g.qub == 7
+
+    def test_not_callable(self):
+        with pytest.raises(RuntimeError):
+            GridRange(-8, 7)(Tensor(np.zeros(2, dtype=np.float32)))
+
+    def test_no_state(self):
+        g = GridRange(-8, 7)
+        assert g.state_dict() == {}
+
+
+class TestIntegerStateReport:
+    def test_flags_float_tensors(self):
+        from repro import nn
+        m = nn.Linear(2, 2)
+        m.weight.data = np.array([[1.0, 2.0], [3.0, 4.5]], dtype=np.float32)
+        m.bias.data = np.array([1.0, 2.0], dtype=np.float32)
+        report = integer_state_report(m)
+        assert report["num_non_integer"] == 1
+        assert report["names_non_integer"] == ["weight"]
+
+    def test_all_integer(self):
+        from repro import nn
+        m = nn.Linear(2, 2, bias=False)
+        m.weight.data = np.array([[1.0, -2.0], [0.0, 3.0]], dtype=np.float32)
+        report = integer_state_report(m)
+        assert report["num_non_integer"] == 0

@@ -1,0 +1,56 @@
+"""Dataset / DataLoader plumbing."""
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+
+
+@pytest.fixture
+def dataset(rng):
+    return ArrayDataset(rng.standard_normal((50, 3, 8, 8)).astype(np.float32),
+                        rng.integers(0, 5, 50))
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self, dataset):
+        assert len(dataset) == 50
+        x, y = dataset[3]
+        assert x.shape == (3, 8, 8)
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((4, 1, 2, 2)), np.zeros(5))
+
+    def test_subset_size_and_no_duplicates(self, dataset):
+        sub = dataset.subset(20)
+        assert len(sub) == 20
+        # all subset images must come from the parent
+        assert all((dataset.images == img).all(axis=(1, 2, 3)).any() for img in sub.images[:5])
+
+
+class TestDataLoader:
+    def test_batch_count(self, dataset):
+        assert len(DataLoader(dataset, batch_size=16)) == 4
+        assert len(DataLoader(dataset, batch_size=16, drop_last=True)) == 3
+
+    def test_covers_all_samples(self, dataset):
+        seen = sum(len(y) for _, y in DataLoader(dataset, batch_size=16))
+        assert seen == 50
+
+    def test_shuffle_changes_order_but_not_content(self, dataset):
+        dl = DataLoader(dataset, batch_size=50, shuffle=True, seed=1)
+        (x1, y1), = list(dl)
+        assert not np.array_equal(y1, dataset.labels)
+        assert sorted(y1.tolist()) == sorted(dataset.labels.tolist())
+
+    def test_transform_applied_per_batch(self, rng):
+        calls = []
+
+        def tf(x, rng=None):
+            calls.append(len(x))
+            return x * 2
+
+        ds = ArrayDataset(np.ones((10, 1, 2, 2), dtype=np.float32), np.zeros(10), transform=tf)
+        batches = list(DataLoader(ds, batch_size=5))
+        assert calls == [5, 5]
+        np.testing.assert_array_equal(batches[0][0], 2.0)

@@ -1,0 +1,56 @@
+"""Batch augmentation transforms."""
+import numpy as np
+import pytest
+
+from repro.data import transforms as T
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.standard_normal((8, 3, 16, 16)).astype(np.float32)
+
+
+class TestTransforms:
+    def test_flip_preserves_shape_and_content_set(self, batch, rng):
+        out = T.RandomHorizontalFlip(p=1.0)(batch, rng=rng)
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_flip_p0_identity(self, batch, rng):
+        out = T.RandomHorizontalFlip(p=0.0)(batch, rng=rng)
+        np.testing.assert_array_equal(out, batch)
+
+    def test_crop_shape_preserved(self, batch, rng):
+        out = T.RandomCrop(padding=2)(batch, rng=rng)
+        assert out.shape == batch.shape
+
+    def test_crop_content_from_padded_window(self, rng):
+        x = np.arange(16.0, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = T.RandomCrop(padding=1)(x, rng=np.random.default_rng(0))
+        # every output value must exist in the reflect-padded input
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)), mode="reflect")
+        assert np.isin(out, padded).all()
+
+    def test_color_jitter_bounded(self, batch, rng):
+        out = T.ColorJitter(gain=0.1, bias=0.0)(batch, rng=rng)
+        assert out.shape == batch.shape
+        ratio = out / np.where(np.abs(batch) < 1e-6, 1.0, batch)
+        valid = np.abs(batch) > 1e-3
+        assert ratio[valid].min() > 0.85 and ratio[valid].max() < 1.15
+
+    def test_noise_changes_values(self, batch, rng):
+        out = T.GaussianNoise(0.5)(batch, rng=rng)
+        assert not np.allclose(out, batch)
+
+    def test_erasing_zeroes_a_patch(self, rng):
+        x = np.ones((4, 3, 16, 16), dtype=np.float32)
+        out = T.RandomErasing(p=1.0)(x, rng=rng)
+        assert (out == 0).any()
+        assert (x == 1).all()  # input untouched
+
+    def test_compose_runs_in_order(self, batch, rng):
+        tf = T.Compose([T.RandomHorizontalFlip(1.0), T.RandomHorizontalFlip(1.0)])
+        np.testing.assert_array_equal(tf(batch, rng=rng), batch)
+
+    def test_standard_and_ssl_factories(self, batch, rng):
+        assert T.standard_train_transform()(batch, rng=rng).shape == batch.shape
+        assert T.ssl_view_transform()(batch, rng=rng).shape == batch.shape

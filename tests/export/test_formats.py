@@ -1,0 +1,76 @@
+"""Text-format export: two's complement, hex/bin/dec round trips."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.export.formats import (
+    bits_needed,
+    format_bin,
+    format_hex,
+    from_twos_complement,
+    load_tensor,
+    parse_bin,
+    parse_hex,
+    save_tensor,
+    to_twos_complement,
+)
+
+
+class TestTwosComplement:
+    def test_known_8bit(self):
+        vals = np.array([0, 1, -1, 127, -128])
+        np.testing.assert_array_equal(to_twos_complement(vals, 8), [0, 1, 255, 127, 128])
+
+    def test_roundtrip(self):
+        vals = np.array([-8, -1, 0, 3, 7])
+        np.testing.assert_array_equal(from_twos_complement(to_twos_complement(vals, 4), 4), vals)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(np.array([200]), 8)
+
+
+class TestFormatting:
+    def test_hex_width(self):
+        lines = format_hex(np.array([-1, 15]), 8)
+        assert lines == ["ff", "0f"]
+
+    def test_hex_16bit_width(self):
+        assert format_hex(np.array([-1]), 16) == ["ffff"]
+
+    def test_bin_width(self):
+        assert format_bin(np.array([-2]), 4) == ["1110"]
+
+    def test_parse_inverts_format(self, rng):
+        vals = rng.integers(-128, 128, 100)
+        np.testing.assert_array_equal(parse_hex(format_hex(vals, 8), 8), vals)
+        np.testing.assert_array_equal(parse_bin(format_bin(vals, 8), 8), vals)
+
+    def test_bits_needed(self):
+        assert bits_needed(np.array([0, 7])) == 4
+        assert bits_needed(np.array([-8, 7])) == 4
+        assert bits_needed(np.array([-9])) == 8
+        assert bits_needed(np.array([127])) == 8
+        assert bits_needed(np.array([128])) == 16
+
+
+class TestFileIO:
+    @pytest.mark.parametrize("fmt", ["dec", "hex", "bin"])
+    def test_save_load_roundtrip(self, tmp_path, rng, fmt):
+        x = rng.integers(-128, 128, (4, 5)).astype(np.int64)
+        path = str(tmp_path / f"w.{fmt}")
+        save_tensor(path, x, fmt, 8)
+        back = load_tensor(path, fmt, 8, shape=(4, 5))
+        np.testing.assert_array_equal(back, x)
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_tensor(str(tmp_path / "x"), np.zeros(3), "oct", 8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-(2 ** 15), 2 ** 15 - 1), min_size=1, max_size=64))
+def test_hex_bin_roundtrip_property(vals):
+    arr = np.array(vals)
+    np.testing.assert_array_equal(parse_hex(format_hex(arr, 16), 16), arr)
+    np.testing.assert_array_equal(parse_bin(format_bin(arr, 16), 16), arr)

@@ -1,0 +1,54 @@
+"""Packed qint container."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.export.qint import dequantize, load_qint, pack_qint, save_qint, unpack_qint
+
+
+class TestPack:
+    def test_8bit_payload_size(self):
+        payload, header = pack_qint(np.zeros((4, 4)), bits=8)
+        assert len(payload) == 16
+        assert header["stored_bits"] == 8
+
+    def test_sub_byte_uses_int8_container(self):
+        _, header = pack_qint(np.zeros(4), bits=4)
+        assert header["stored_bits"] == 8
+
+    def test_16bit_container(self):
+        payload, header = pack_qint(np.array([1000, -1000]), bits=12)
+        assert header["stored_bits"] == 16
+        assert len(payload) == 4
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            pack_qint(np.array([300]), bits=8)
+
+    def test_roundtrip(self, rng):
+        x = rng.integers(-8, 8, (3, 7))
+        payload, header = pack_qint(x, bits=4)
+        np.testing.assert_array_equal(unpack_qint(payload, header), x)
+
+    def test_dequantize_uses_scale(self):
+        payload, header = pack_qint(np.array([4]), bits=8, scale=0.25)
+        x = unpack_qint(payload, header)
+        np.testing.assert_allclose(dequantize(x, header), [1.0])
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path, rng):
+        x = rng.integers(-128, 128, (5, 5))
+        save_qint(str(tmp_path / "w"), x, bits=8, scale=0.1)
+        back, header = load_qint(str(tmp_path / "w"))
+        np.testing.assert_array_equal(back, x)
+        assert header["scale"] == pytest.approx(0.1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 16), st.lists(st.integers(-100, 100), min_size=1, max_size=32))
+def test_qint_roundtrip_property(bits, vals):
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    arr = np.clip(np.array(vals), lo, hi)
+    payload, header = pack_qint(arr, bits=bits)
+    np.testing.assert_array_equal(unpack_qint(payload, header), arr)

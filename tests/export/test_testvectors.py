@@ -1,0 +1,72 @@
+"""RTL golden test-vector generation."""
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import QConvBNReLU, quantize_model
+from repro.core.t2c import T2C, calibrate_model
+from repro.export.formats import load_tensor
+from repro.export.testvectors import generate_model_vectors, generate_unit_vectors
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def fused_model(resnet20_with_stats, tiny_data):
+    train, _ = tiny_data
+    qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+    calibrate_model(qm, [train.images[:64]])
+    T2C(qm).fuse()
+    return qm
+
+
+class TestUnitVectors:
+    def test_files_written(self, fused_model, tmp_path):
+        unit = fused_model.stem
+        manifest = generate_unit_vectors(unit, (3, 32, 32), str(tmp_path), "stem", n_vectors=2)
+        for f in manifest["files"].values():
+            assert os.path.exists(tmp_path / f)
+        assert os.path.exists(tmp_path / "stem_vectors.json")
+
+    def test_expected_matches_golden_model(self, fused_model, tmp_path):
+        unit = fused_model.stem
+        manifest = generate_unit_vectors(unit, (3, 32, 32), str(tmp_path), "stem",
+                                         n_vectors=2, seed=3)
+        x = load_tensor(str(tmp_path / manifest["files"]["input"]), "hex",
+                        manifest["bits"]["input"], shape=(2, 3, 32, 32))
+        expected = load_tensor(str(tmp_path / manifest["files"]["expected"]), "hex",
+                               manifest["bits"]["output"])
+        with no_grad():
+            y = unit(Tensor(x.astype(np.float32))).data
+        np.testing.assert_array_equal(y.reshape(-1), expected)
+
+    def test_requires_fused_unit(self, resnet20_with_stats, tmp_path):
+        qm = quantize_model(resnet20_with_stats, QConfig(8, 8))
+        with pytest.raises(RuntimeError):
+            generate_unit_vectors(qm.stem, (3, 32, 32), str(tmp_path), "x")
+
+    def test_mulquant_metadata_recorded(self, fused_model, tmp_path):
+        manifest = generate_unit_vectors(fused_model.stem, (3, 32, 32), str(tmp_path), "s")
+        assert "shift" in manifest["mulquant"]
+        assert len(manifest["mulquant"]["scale_raw"]) == fused_model.stem.conv.out_channels
+
+
+class TestModelVectors:
+    def test_index_covers_units(self, fused_model, tiny_data, tmp_path):
+        _, test = tiny_data
+        index = generate_model_vectors(fused_model, test.images[:1], str(tmp_path), max_units=3)
+        assert len(index["units"]) == 3
+        with open(tmp_path / "vectors_index.json") as f:
+            assert json.load(f)["units"]
+
+    def test_model_forward_intact_after_tracing(self, fused_model, tiny_data, tmp_path):
+        _, test = tiny_data
+        x = Tensor(test.images[:4])
+        with no_grad():
+            before = fused_model(x).data
+        generate_model_vectors(fused_model, test.images[:1], str(tmp_path), max_units=2)
+        with no_grad():
+            after = fused_model(x).data
+        np.testing.assert_array_equal(before, after)

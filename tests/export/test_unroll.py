@@ -1,0 +1,71 @@
+"""PE-array memory-bank unrolling."""
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.export.formats import parse_hex
+from repro.export.unroll import PEArraySpec, reassemble, unroll_conv_weight, unroll_matrix, write_banks
+
+
+@pytest.fixture
+def spec():
+    return PEArraySpec(rows=4, cols=8, word_bits=8)
+
+
+class TestUnroll:
+    def test_bank_count(self, spec, rng):
+        w = rng.integers(-8, 8, (10, 20))
+        banks = unroll_matrix(w, spec)
+        assert len(banks) == 3 * 3  # ceil(10/4) x ceil(20/8)
+
+    def test_tiles_zero_padded(self, spec, rng):
+        w = rng.integers(1, 8, (5, 9))  # strictly positive values
+        banks = unroll_matrix(w, spec)
+        last = [b for b in banks if b["row"] == 1 and b["col"] == 1][0]
+        assert last["data"].shape == (4, 8)
+        assert (last["data"][1:] == 0).all()  # rows 5..7 padding
+
+    def test_roundtrip(self, spec, rng):
+        w = rng.integers(-128, 128, (11, 19))
+        banks = unroll_matrix(w, spec)
+        np.testing.assert_array_equal(reassemble(banks, w.shape, spec), w)
+
+    def test_conv_weight_flattening(self, spec, rng):
+        w = rng.integers(-8, 8, (6, 3, 3, 3)).astype(np.float32)
+        banks = unroll_conv_weight(w, spec)
+        back = reassemble(banks, (6, 27), spec)
+        np.testing.assert_array_equal(back, w.reshape(6, 27))
+
+    def test_non_2d_raises(self, spec):
+        with pytest.raises(ValueError):
+            unroll_matrix(np.zeros((2, 2, 2)), spec)
+        with pytest.raises(ValueError):
+            unroll_conv_weight(np.zeros((2, 2)), spec)
+
+
+class TestWriteBanks:
+    def test_files_and_index(self, spec, tmp_path, rng):
+        w = rng.integers(-8, 8, (4, 8))
+        banks = unroll_matrix(w, spec)
+        index = write_banks(str(tmp_path), "conv1", banks, spec)
+        assert os.path.exists(tmp_path / "conv1_banks.json")
+        for entry in index["banks"]:
+            assert os.path.exists(tmp_path / entry["file"])
+
+    def test_hex_contents_reload(self, spec, tmp_path, rng):
+        w = rng.integers(-128, 128, (4, 8))
+        banks = unroll_matrix(w, spec)
+        write_banks(str(tmp_path), "fc", banks, spec)
+        with open(tmp_path / "fc_r0_c0.hex") as f:
+            lines = [ln.strip() for ln in f if ln.strip()]
+        vals = parse_hex(lines, 8).reshape(4, 8)
+        np.testing.assert_array_equal(vals, w)
+
+    def test_index_json_valid(self, spec, tmp_path, rng):
+        banks = unroll_matrix(rng.integers(-8, 8, (4, 8)), spec)
+        write_banks(str(tmp_path), "x", banks, spec)
+        with open(tmp_path / "x_banks.json") as f:
+            idx = json.load(f)
+        assert idx["spec"]["rows"] == 4

@@ -1,0 +1,69 @@
+"""Model-level export writer + size reporting."""
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.export.report import compression_report, model_size_mb
+from repro.export.writer import export_state_dict
+from repro.models import build_model
+
+
+class TestWriter:
+    def test_manifest_lists_all_tensors(self, tmp_path, rng):
+        state = {"a.weight": rng.integers(-8, 8, (3, 3)).astype(np.float32),
+                 "b.bias": rng.integers(-8, 8, 5).astype(np.float32)}
+        manifest = export_state_dict(state, str(tmp_path), formats=("dec", "hex"))
+        assert set(manifest["tensors"]) == {"a.weight", "b.bias"}
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_integer_tensor_roundtrip_via_files(self, tmp_path, rng):
+        from repro.export.formats import load_tensor
+        x = rng.integers(-100, 100, (4, 4)).astype(np.float32)
+        manifest = export_state_dict({"w": x}, str(tmp_path), formats=("hex",))
+        entry = manifest["tensors"]["w"]
+        back = load_tensor(os.path.join(tmp_path, entry["files"]["hex"]),
+                           "hex", entry["bits"], shape=entry["shape"])
+        np.testing.assert_array_equal(back, x)
+
+    def test_float_tensor_flagged(self, tmp_path):
+        manifest = export_state_dict({"scale": np.array([0.123], dtype=np.float32)}, str(tmp_path))
+        assert manifest["tensors"]["scale"]["integer"] is False
+
+    def test_qint_format(self, tmp_path, rng):
+        x = rng.integers(-8, 8, 10).astype(np.float32)
+        export_state_dict({"w": x}, str(tmp_path), formats=("qint",))
+        assert (tmp_path / "w.qint.bin").exists()
+        assert (tmp_path / "w.qint.json").exists()
+
+    def test_manifest_json_parseable(self, tmp_path, rng):
+        export_state_dict({"w": np.ones(4, dtype=np.float32)}, str(tmp_path))
+        with open(tmp_path / "manifest.json") as f:
+            data = json.load(f)
+        assert "tensors" in data
+
+
+class TestReport:
+    def test_model_size_fp32(self):
+        m = build_model("resnet20", width=16)
+        mb = model_size_mb(m)
+        n = m.num_parameters()
+        assert mb == pytest.approx(n * 4 / 1e6)
+
+    def test_model_size_scales_with_bits(self):
+        m = build_model("resnet20", width=16)
+        assert model_size_mb(m, 4) == pytest.approx(model_size_mb(m, 8) / 2)
+
+    def test_compression_report_ratio(self):
+        m = build_model("resnet20", width=8)
+        rep = compression_report(m, wbit=8, abit=8)
+        assert rep["ratio"] == pytest.approx(4.0, rel=0.01)
+        rep4 = compression_report(m, wbit=4, abit=4)
+        assert rep4["ratio"] == pytest.approx(8.0, rel=0.01)
+
+    def test_extra_params_counted(self):
+        m = build_model("resnet20", width=8)
+        base = compression_report(m, 8, 8)["int_mb"]
+        extra = compression_report(m, 8, 8, extra_int16_params=1000)["int_mb"]
+        assert extra == pytest.approx(base + 0.002)

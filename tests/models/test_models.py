@@ -1,0 +1,94 @@
+"""Model zoo: shapes, structure, features, registry."""
+import numpy as np
+import pytest
+
+from repro.models import build_model, MODELS
+from repro.models.resnet import BasicBlock, Bottleneck
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def x32(rng):
+    return Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+
+
+class TestResNet:
+    def test_resnet20_structure(self):
+        m = build_model("resnet20", width=16)
+        blocks = [b for s in m.stages for b in s]
+        assert len(blocks) == 9
+        assert all(isinstance(b, BasicBlock) for b in blocks)
+
+    def test_resnet50_uses_bottleneck(self):
+        m = build_model("resnet50", width=8)
+        blocks = [b for s in m.stages for b in s]
+        assert len(blocks) == 16
+        assert all(isinstance(b, Bottleneck) for b in blocks)
+
+    def test_forward_shape(self, x32):
+        m = build_model("resnet18", num_classes=7, width=8)
+        assert m(x32).shape == (2, 7)
+
+    def test_features_dim(self, x32):
+        m = build_model("resnet20", width=8)
+        f = m.features(x32)
+        assert f.shape == (2, 32)  # width * 2^2
+
+    def test_downsample_on_stage_transition(self):
+        m = build_model("resnet18", width=8)
+        first_of_stage2 = m.stages[1][0]
+        assert not isinstance(first_of_stage2.downsample, type(m.stages[0][0].downsample))
+
+
+class TestMobileNet:
+    def test_forward_shape(self, x32):
+        m = build_model("mobilenet-v1", num_classes=4)
+        assert m(x32).shape == (2, 4)
+
+    def test_width_multiplier_scales_params(self):
+        small = build_model("mobilenet-v1", width_mult=0.5).num_parameters()
+        big = build_model("mobilenet-v1", width_mult=1.0).num_parameters()
+        assert big > small * 2
+
+    def test_depthwise_blocks(self):
+        m = build_model("mobilenet-v1")
+        dw = m.blocks[0][0]
+        assert dw.groups == dw.in_channels
+
+
+class TestViT:
+    def test_forward_shape(self, x32):
+        m = build_model("vit-7", num_classes=5, embed_dim=32)
+        assert m(x32).shape == (2, 5)
+
+    def test_depth_is_7(self):
+        m = build_model("vit-7", embed_dim=32)
+        assert len(list(m.blocks)) == 7
+
+    def test_patch_count(self):
+        m = build_model("vit-7", embed_dim=32, image_size=32)
+        assert m.patch_embed.num_patches == 64
+        assert m.pos_embed.shape == (1, 65, 32)
+
+    def test_bad_patch_size_raises(self):
+        from repro.models.vit import VisionTransformer
+        with pytest.raises(ValueError):
+            VisionTransformer(image_size=30, patch_size=4)
+
+    def test_ln_running_stats_flag_propagates(self):
+        m = build_model("vit-7", embed_dim=32, ln_running_stats=True)
+        assert m.blocks[0].norm1.running_stats
+
+
+class TestRegistry:
+    def test_all_models_buildable(self, x32):
+        kw = {"resnet20": dict(width=8), "resnet18": dict(width=8), "resnet50": dict(width=8),
+              "mobilenet-v1": dict(width_mult=0.5), "vgg8": dict(width_mult=0.5),
+              "vit-7": dict(embed_dim=32)}
+        for name in MODELS:
+            m = build_model(name, num_classes=3, **kw[name])
+            assert m(x32).shape == (2, 3)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")

@@ -1,0 +1,71 @@
+"""Weight initializers and seeding."""
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.nn.module import Parameter
+from repro.utils import seed_everything
+
+
+@pytest.fixture
+def w():
+    return Parameter(np.zeros((64, 32, 3, 3), dtype=np.float32))
+
+
+class TestInit:
+    def test_kaiming_normal_std(self, w):
+        init.kaiming_normal_(w, rng=np.random.default_rng(0))
+        fan_in = 32 * 9
+        expected = np.sqrt(2.0 / fan_in)
+        assert w.data.std() == pytest.approx(expected, rel=0.1)
+
+    def test_kaiming_uniform_bounded(self, w):
+        init.kaiming_uniform_(w, rng=np.random.default_rng(0))
+        fan_in = 32 * 9
+        bound = np.sqrt(2.0 / (1 + 5)) * np.sqrt(3.0 / fan_in)
+        assert np.abs(w.data).max() <= bound + 1e-6
+
+    def test_xavier_uniform_bounded(self):
+        w = Parameter(np.zeros((10, 20), dtype=np.float32))
+        init.xavier_uniform_(w, rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 30)
+        assert np.abs(w.data).max() <= bound + 1e-6
+
+    def test_constants(self, w):
+        init.ones_(w)
+        assert (w.data == 1).all()
+        init.zeros_(w)
+        assert (w.data == 0).all()
+        init.constant_(w, 3.5)
+        assert (w.data == 3.5).all()
+
+    def test_normal_params(self):
+        w = Parameter(np.zeros(10000, dtype=np.float32))
+        init.normal_(w, mean=2.0, std=0.5, rng=np.random.default_rng(0))
+        assert w.data.mean() == pytest.approx(2.0, abs=0.05)
+        assert w.data.std() == pytest.approx(0.5, abs=0.05)
+
+    def test_fan_for_linear(self):
+        w = Parameter(np.zeros((7, 13), dtype=np.float32))
+        fan_in, fan_out = init._fan(w)
+        assert (fan_in, fan_out) == (13, 7)
+
+
+class TestSeeding:
+    def test_seed_everything_reproduces_init(self):
+        seed_everything(123)
+        a = Parameter(np.zeros((4, 4), dtype=np.float32))
+        init.kaiming_normal_(a)
+        seed_everything(123)
+        b = Parameter(np.zeros((4, 4), dtype=np.float32))
+        init.kaiming_normal_(b)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_seed_everything_reproduces_models(self):
+        from repro.models import build_model
+        seed_everything(7)
+        m1 = build_model("resnet20", width=8)
+        seed_everything(7)
+        m2 = build_model("resnet20", width=8)
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)

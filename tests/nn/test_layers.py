@@ -1,0 +1,156 @@
+"""Layer behaviour: Linear, Conv2d, BatchNorm2d, LayerNorm, Dropout."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        lin = nn.Linear(8, 5)
+        out = lin(Tensor(rng.standard_normal((3, 8)).astype(np.float32)))
+        assert out.shape == (3, 5)
+
+    def test_no_bias(self):
+        lin = nn.Linear(4, 2, bias=False)
+        assert lin.bias is None
+        assert len(list(lin.parameters())) == 1
+
+    def test_3d_input(self, rng):
+        lin = nn.Linear(8, 5)
+        out = lin(Tensor(rng.standard_normal((2, 7, 8)).astype(np.float32)))
+        assert out.shape == (2, 7, 5)
+
+
+class TestConv2d:
+    def test_shapes_strided(self, rng):
+        conv = nn.Conv2d(3, 16, 3, stride=2, padding=1)
+        out = conv(Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 16, 16, 16)
+
+    def test_depthwise_param_count(self):
+        conv = nn.Conv2d(8, 8, 3, groups=8, bias=False)
+        assert conv.weight.shape == (8, 1, 3, 3)
+
+
+class TestBatchNorm2d:
+    def test_training_normalizes_batch(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((16, 4, 8, 8)).astype(np.float32) * 3 + 5)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((4, 2, 4, 4), 10.0, dtype=np.float32))
+        bn(x)
+        assert bn.running_mean.data[0] == pytest.approx(5.0)  # 0.5*0 + 0.5*10
+        assert int(bn.num_batches_tracked.data) == 1
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.running_mean.data[:] = 1.0
+        bn.running_var.data[:] = 4.0
+        bn.eval()
+        x = Tensor(np.full((1, 2, 2, 2), 3.0, dtype=np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data, (3 - 1) / 2, rtol=1e-3)
+
+    def test_affine_params_apply(self):
+        bn = nn.BatchNorm2d(1)
+        bn.eval()
+        bn.weight.data[:] = 2.0
+        bn.bias.data[:] = 7.0
+        out = bn(Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32)))
+        np.testing.assert_allclose(out.data, 7.0, atol=1e-2)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = nn.LayerNorm(16)
+        x = Tensor(rng.standard_normal((4, 10, 16)).astype(np.float32) * 5 + 3)
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(-1), 0, atol=1e-4)
+        np.testing.assert_allclose(out.data.std(-1), 1, atol=1e-2)
+
+    def test_running_stats_mode(self, rng):
+        ln = nn.LayerNorm(8, running_stats=True, momentum=1.0)
+        x = Tensor((rng.standard_normal((2, 4, 8)) * 2 + 1).astype(np.float32))
+        ln.train()
+        ln(x)
+        # statistics tracked per position: one (mean, var) per token
+        assert ln.running_mean.data.shape == (4, 1)
+        assert np.any(ln.running_mean.data != 0.0)
+        ln.eval()
+        out_run = ln(x)
+        ln2 = nn.LayerNorm(8)
+        out_inst = ln2(x)
+        # running-stat LN approximates instant LN but is not identical
+        assert np.abs(out_run.data - out_inst.data).mean() < 1.0
+
+    def test_running_stats_state_dict_roundtrip_after_shaping(self, rng):
+        ln = nn.LayerNorm(8, running_stats=True)
+        ln.train()
+        ln(Tensor(rng.standard_normal((2, 4, 8)).astype(np.float32)))
+        fresh = nn.LayerNorm(8, running_stats=True)
+        fresh.load_state_dict(ln.state_dict())  # buffer adopts stored shape
+        np.testing.assert_array_equal(fresh.running_mean.data, ln.running_mean.data)
+
+    def test_grad_flows_to_gamma_beta(self, rng):
+        ln = nn.LayerNorm(8)
+        x = Tensor(rng.standard_normal((3, 8)).astype(np.float32))
+        ln(x).sum().backward()
+        assert ln.weight.grad is not None
+        assert ln.bias.grad is not None
+
+
+class TestDropoutEmbedding:
+    def test_dropout_eval_identity(self, rng):
+        d = nn.Dropout(0.9)
+        d.eval()
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(d(Tensor(x)).data, x)
+
+    def test_embedding_lookup(self):
+        e = nn.Embedding(10, 4)
+        out = e(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out.data[0], out.data[1])
+
+
+class TestAttention:
+    def test_shapes(self, rng):
+        attn = nn.MultiheadAttention(16, 4)
+        x = Tensor(rng.standard_normal((2, 9, 16)).astype(np.float32))
+        assert attn(x).shape == (2, 9, 16)
+
+    def test_invalid_heads_raises(self):
+        with pytest.raises(ValueError):
+            nn.MultiheadAttention(10, 3)
+
+    def test_grad_flows(self, rng):
+        attn = nn.MultiheadAttention(8, 2)
+        x = Tensor(rng.standard_normal((1, 5, 8)).astype(np.float32), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert attn.qkv.weight.grad is not None
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        m = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        out = m(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert out.shape == (1, 2)
+
+    def test_sequential_index_slice(self):
+        m = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert isinstance(m[1], nn.ReLU)
+        assert len(m[0:2]) == 2
+
+    def test_modulelist_registers(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(ml.parameters())) == 4
+        with pytest.raises(RuntimeError):
+            ml(Tensor(np.zeros((1, 2), dtype=np.float32)))

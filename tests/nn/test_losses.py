@@ -1,0 +1,57 @@
+"""Loss modules."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, randn
+
+
+class TestCrossEntropyLoss:
+    def test_matches_functional(self, rng):
+        logits = randn(4, 5, rng=rng)
+        targets = np.array([0, 1, 2, 3])
+        mod = nn.CrossEntropyLoss()(logits, targets)
+        from repro.tensor import functional as F
+        fn = F.cross_entropy(logits, targets)
+        assert mod.item() == pytest.approx(fn.item())
+
+    def test_accepts_tensor_targets(self, rng):
+        logits = randn(2, 3, rng=rng)
+        out = nn.CrossEntropyLoss()(logits, Tensor(np.array([0, 1])))
+        assert np.isfinite(out.item())
+
+
+class TestMSELoss:
+    def test_accepts_numpy_target(self, rng):
+        pred = randn(3, 3, rng=rng)
+        out = nn.MSELoss()(pred, pred.data.copy())
+        assert out.item() == pytest.approx(0.0, abs=1e-7)
+
+
+class TestSoftTargetKL:
+    def test_zero_when_student_equals_teacher(self, rng):
+        logits = randn(4, 6, rng=rng)
+        loss = nn.SoftTargetKLLoss(temperature=2.0)(logits, logits)
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_positive_when_different(self, rng):
+        s = randn(4, 6, rng=rng)
+        t = randn(4, 6, rng=np.random.default_rng(9))
+        assert nn.SoftTargetKLLoss()(s, t).item() > 0
+
+    def test_temperature_scales_gradients(self, rng):
+        s = randn(4, 6, rng=rng, requires_grad=True)
+        t = randn(4, 6, rng=np.random.default_rng(9))
+        nn.SoftTargetKLLoss(temperature=1.0)(s, t).backward()
+        g1 = np.abs(s.grad).sum()
+        s.grad = None
+        nn.SoftTargetKLLoss(temperature=8.0)(s, t).backward()
+        g8 = np.abs(s.grad).sum()
+        assert g1 != pytest.approx(g8)
+
+    def test_teacher_gets_no_gradient(self, rng):
+        s = randn(2, 4, rng=rng, requires_grad=True)
+        t = randn(2, 4, rng=np.random.default_rng(1), requires_grad=True)
+        nn.SoftTargetKLLoss()(s, t).backward()
+        assert s.grad is not None
+        assert t.grad is None

@@ -1,0 +1,121 @@
+"""Module system: registration, traversal, state dicts, modes."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.lin = nn.Linear(4, 3)
+        self.w = Parameter(np.ones(2, dtype=np.float32))
+        self.register_buffer("buf", np.zeros(3, dtype=np.float32))
+
+    def forward(self, x):
+        return self.lin(x)
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        m = Toy()
+        names = dict(m.named_parameters())
+        assert set(names) == {"lin.weight", "lin.bias", "w"}
+
+    def test_buffers_found(self):
+        m = Toy()
+        assert "buf" in dict(m.named_buffers())
+
+    def test_reassign_module_replaces(self):
+        m = Toy()
+        m.lin = nn.Linear(4, 2)
+        assert m.lin.out_features == 2
+        assert len(list(m.named_parameters())) == 3
+
+    def test_register_parameter_none_removes(self):
+        m = Toy()
+        m.register_parameter("w", None)
+        assert "w" not in dict(m.named_parameters())
+        assert m.w is None
+
+    def test_overwrite_param_with_plain_value(self):
+        m = Toy()
+        m.w = 5
+        assert "w" not in dict(m.named_parameters())
+
+
+class TestTraversal:
+    def test_named_modules_paths(self):
+        m = Toy()
+        paths = [name for name, _ in m.named_modules()]
+        assert paths == ["", "lin"]
+
+    def test_get_set_submodule(self):
+        m = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.ReLU(), nn.Linear(2, 2)))
+        sub = m.get_submodule("1.1")
+        assert isinstance(sub, nn.Linear)
+        m.set_submodule("1.1", nn.Identity())
+        assert isinstance(m.get_submodule("1.1"), nn.Identity)
+
+    def test_apply_visits_all(self):
+        m = Toy()
+        visited = []
+        m.apply(lambda mod: visited.append(type(mod).__name__))
+        assert "Toy" in visited and "Linear" in visited
+
+    def test_num_parameters(self):
+        m = nn.Linear(4, 3)
+        assert m.num_parameters() == 4 * 3 + 3
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = Toy()
+        m.eval()
+        assert not m.training and not m.lin.training
+        m.train()
+        assert m.training and m.lin.training
+
+    def test_zero_grad(self):
+        m = Toy()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        m(x).sum().backward()
+        assert m.lin.weight.grad is not None
+        m.zero_grad()
+        assert m.lin.weight.grad is None
+
+    def test_requires_grad_(self):
+        m = Toy()
+        m.requires_grad_(False)
+        assert all(not p.requires_grad for p in m.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1, m2 = Toy(), Toy()
+        m2.load_state_dict(m1.state_dict())
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_copy(self):
+        m = Toy()
+        sd = m.state_dict()
+        sd["w"][:] = 99
+        assert m.w.data[0] == 1.0
+
+    def test_strict_mismatch_raises(self):
+        m = Toy()
+        sd = m.state_dict()
+        del sd["w"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+        m.load_state_dict(sd, strict=False)  # tolerated when not strict
+
+    def test_shape_mismatch_raises(self):
+        m = Toy()
+        sd = m.state_dict()
+        sd["w"] = np.zeros(5, dtype=np.float32)
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)

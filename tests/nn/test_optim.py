@@ -1,0 +1,123 @@
+"""Optimizers and LR schedulers."""
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, MultiStepLR, StepLR, WarmupCosineLR
+from repro.tensor.tensor import Tensor
+
+
+def quadratic_minimize(opt_cls, steps=200, **kw):
+    """Minimize ||x - 3||^2; return final distance to optimum."""
+    x = Parameter(np.array([10.0, -4.0], dtype=np.float32))
+    opt = opt_cls([x], **kw)
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = ((x - 3.0) ** 2.0).sum()
+        loss.backward()
+        opt.step()
+    return float(np.abs(x.data - 3.0).max())
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert quadratic_minimize(SGD, lr=0.1) < 1e-4
+
+    def test_sgd_momentum_converges(self):
+        assert quadratic_minimize(SGD, lr=0.05, momentum=0.9) < 1e-4
+
+    def test_adam_converges(self):
+        assert quadratic_minimize(Adam, lr=0.3) < 1e-3
+
+    def test_adamw_converges(self):
+        assert quadratic_minimize(AdamW, lr=0.3) < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        x = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        for _ in range(10):
+            opt.zero_grad()
+            (x * Tensor(np.zeros(1, dtype=np.float32))).sum().backward()
+            opt.step()
+        assert abs(x.data[0]) < 1.0
+
+    def test_adamw_decay_is_decoupled(self):
+        # With zero gradient, AdamW still decays weights; Adam does not move
+        # (m=v=0 keeps the update at exactly zero).
+        xw = Parameter(np.array([1.0], dtype=np.float32))
+        optw = AdamW([xw], lr=0.1, weight_decay=0.5)
+        xa = Parameter(np.array([1.0], dtype=np.float32))
+        opta = Adam([xa], lr=0.1, weight_decay=0.0)
+        for _ in range(5):
+            for x, opt in ((xw, optw), (xa, opta)):
+                opt.zero_grad()
+                x.grad = np.zeros(1, dtype=np.float32)
+                opt.step()
+        assert xw.data[0] < 1.0
+        assert xa.data[0] == pytest.approx(1.0)
+
+    def test_param_groups(self):
+        a = Parameter(np.zeros(1, dtype=np.float32))
+        b = Parameter(np.zeros(1, dtype=np.float32))
+        opt = SGD([{"params": [a], "lr": 0.1}, {"params": [b], "lr": 0.5}], lr=0.01)
+        assert opt.param_groups[0]["lr"] == 0.1
+        assert opt.param_groups[1]["lr"] == 0.5
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_none_grad_skipped(self):
+        x = Parameter(np.ones(1, dtype=np.float32))
+        opt = SGD([x], lr=0.1)
+        opt.step()  # no grad: should not crash or move
+        assert x.data[0] == 1.0
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sch = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sch.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep(self):
+        opt = self._opt()
+        sch = MultiStepLR(opt, milestones=[2, 3], gamma=0.5)
+        lrs = [0.0] * 4
+        for i in range(4):
+            sch.step()
+            lrs[i] = opt.lr
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.25, 0.25])
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sch = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(10):
+            sch.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-8)
+
+    def test_cosine_monotone_decrease(self):
+        opt = self._opt()
+        sch = CosineAnnealingLR(opt, t_max=20)
+        prev = 1.0
+        for _ in range(20):
+            sch.step()
+            assert opt.lr <= prev + 1e-9
+            prev = opt.lr
+
+    def test_warmup_ramps_then_decays(self):
+        opt = self._opt()
+        sch = WarmupCosineLR(opt, warmup=5, t_max=20)
+        lrs = []
+        for _ in range(20):
+            sch.step()
+            lrs.append(opt.lr)
+        assert lrs[0] < lrs[3]           # warming up
+        assert lrs[10] > lrs[-1]         # decaying after warmup

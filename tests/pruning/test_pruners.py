@@ -1,0 +1,169 @@
+"""Pruners: schedules, patterns, mask semantics, zeros-through-PTQ."""
+import numpy as np
+import pytest
+
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import T2C, calibrate_model
+from repro.models import build_model
+from repro.pruning import GraNetPruner, MagnitudePruner, NMPruner, build_pruner
+from repro.pruning.pruner import cubic_schedule, prunable_weights
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def model():
+    from repro.utils import seed_everything
+    seed_everything(5)
+    return build_model("resnet20", num_classes=10, width=8)
+
+
+class TestPlumbing:
+    def test_prunable_skips_first_last(self, model):
+        names = [n for n, _ in prunable_weights(model)]
+        all_names = [n for n, _ in prunable_weights(model, skip_first_last=False)]
+        assert len(names) == len(all_names) - 2
+        assert "conv1.weight" not in names
+        assert not any("fc" in n for n in names)
+
+    def test_cubic_schedule_endpoints(self):
+        assert cubic_schedule(0.0, 0.8) == 0.0
+        assert cubic_schedule(1.0, 0.8) == pytest.approx(0.8)
+        assert cubic_schedule(0.5, 0.8) < 0.8
+
+    def test_cubic_monotone(self):
+        vals = [cubic_schedule(t, 0.9) for t in np.linspace(0, 1, 20)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_invalid_sparsity_raises(self, model):
+        with pytest.raises(ValueError):
+            MagnitudePruner(model, sparsity=1.0)
+
+    def test_registry(self, model):
+        for name in ("magnitude", "granet", "filter", "block"):
+            assert build_pruner(name, model, sparsity=0.5) is not None
+        assert build_pruner("nm", model, n=2, m=4) is not None
+        with pytest.raises(KeyError):
+            build_pruner("lottery", model)
+
+
+class TestMagnitude:
+    def test_reaches_target_sparsity(self, model):
+        p = MagnitudePruner(model, sparsity=0.7)
+        p.step(1.0)
+        assert p.sparsity() == pytest.approx(0.7, abs=0.02)
+
+    def test_apply_zeroes_weights(self, model):
+        p = MagnitudePruner(model, sparsity=0.5)
+        p.step(1.0)
+        name, w = p.targets[0]
+        zeros = (w.data == 0).mean()
+        assert zeros > 0.2
+
+    def test_keeps_largest_magnitudes(self, model):
+        p = MagnitudePruner(model, sparsity=0.5)
+        _, w = p.targets[0]
+        before = np.abs(w.data).copy()
+        p.step(1.0)
+        mask = p.masks[p.targets[0][0]]
+        # every surviving weight is >= every pruned weight (global threshold)
+        if (mask == 0).any() and (mask == 1).any():
+            assert before[mask == 1].min() >= before[mask == 0].max() - 1e-6
+
+    def test_layer_scope_uniform(self, model):
+        p = MagnitudePruner(model, sparsity=0.5, scope="layer")
+        p.step(1.0)
+        for name in p.masks:
+            layer_sparsity = (p.masks[name] == 0).mean()
+            assert layer_sparsity == pytest.approx(0.5, abs=0.05)
+
+    def test_schedule_ramps(self, model):
+        p = MagnitudePruner(model, sparsity=0.8)
+        p.step(0.3)
+        s1 = p.sparsity()
+        p.step(1.0)
+        assert p.sparsity() > s1 > 0
+
+
+class TestNM:
+    def test_2_4_gives_50_percent(self, model):
+        p = NMPruner(model, n=2, m=4)
+        p.step(1.0)
+        assert p.sparsity() == pytest.approx(0.5, abs=0.02)
+
+    def test_pattern_verified(self, model):
+        p = NMPruner(model, n=2, m=4)
+        p.step(1.0)
+        assert p.verify_pattern()
+
+    def test_group_keeps_largest(self, model):
+        p = NMPruner(model, n=1, m=4)
+        _, w = p.targets[0]
+        p.step(1.0)
+        mask = p.masks[p.targets[0][0]].reshape(w.data.shape[0], -1)
+        flat = np.abs(w.data).reshape(w.data.shape[0], -1)
+        k = flat.shape[1] - flat.shape[1] % 4
+        groups_w = flat[:, :k].reshape(flat.shape[0], -1, 4)
+        groups_m = mask[:, :k].reshape(flat.shape[0], -1, 4)
+        kept_idx = groups_m.argmax(-1)
+        np.testing.assert_array_equal(kept_idx, groups_w.argmax(-1))
+
+    def test_invalid_nm_raises(self, model):
+        with pytest.raises(ValueError):
+            NMPruner(model, n=5, m=4)
+
+    def test_partial_ramp_lower_sparsity(self, model):
+        p = NMPruner(model, n=2, m=4)
+        p.step(0.4)
+        assert 0 < p.sparsity() < 0.5
+
+
+class TestGraNet:
+    def test_regrowth_uses_gradients(self, model):
+        p = GraNetPruner(model, sparsity=0.6, regrow_frac=0.3)
+        p.step(1.0)  # magnitude-only first
+        name, w = p.targets[0]
+        dead_before = np.flatnonzero(p.masks[name].reshape(-1) == 0)
+        # fabricate a huge gradient on one dead weight: it must be revived
+        grads = {n: np.zeros_like(q.data) for n, q in p.targets}
+        target_flat = dead_before[0]
+        grads[name].reshape(-1)[target_flat] = 1e9
+        p.update_masks(0.6, grads=grads)
+        assert p.masks[name].reshape(-1)[target_flat] == 1.0
+
+    def test_sparsity_preserved_after_regrowth(self, model):
+        p = GraNetPruner(model, sparsity=0.5, regrow_frac=0.2)
+        grads = {n: np.random.default_rng(0).standard_normal(q.data.shape) for n, q in p.targets}
+        p.step(1.0, grads=grads)
+        assert p.sparsity() == pytest.approx(0.5, abs=0.05)
+
+    def test_collect_grads_shapes(self, model):
+        p = GraNetPruner(model, sparsity=0.5)
+        g = p.collect_grads()
+        for name, w in p.targets:
+            assert g[name].shape == w.data.shape
+
+
+class TestSparsityThroughDeployment:
+    def test_zeros_survive_integer_conversion(self, tiny_data):
+        """The paper's Table 3 claim: pruned weights land as raw zeros in the
+        exported integer model."""
+        from repro.utils import seed_everything
+        seed_everything(6)
+        train, _ = tiny_data
+        model = build_model("resnet20", num_classes=10, width=8)
+        model.train()
+        for i in range(2):
+            model(Tensor(train.images[i * 64:(i + 1) * 64]))
+        model.eval()
+        pruner = MagnitudePruner(model, sparsity=0.7)
+        pruner.step(1.0)
+
+        qm = quantize_model(model, QConfig(8, 8))
+        calibrate_model(qm, [train.images[:64]])
+        qnn = T2C(qm).nn2chip()
+        int_weights = [p.data for n, p in qnn.named_parameters()
+                       if n.endswith("weight") and p.data.ndim == 4]
+        total = sum(w.size for w in int_weights)
+        zeros = sum(int((w == 0).sum()) for w in int_weights)
+        assert zeros / total > 0.5  # most pruned zeros survive quantization

@@ -1,0 +1,89 @@
+"""SSL losses and the XD model pair."""
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.ssl import Projector, XDModel, barlow_loss, cross_correlation, xd_loss
+from repro.tensor import Tensor, randn
+
+
+class TestCrossCorrelation:
+    def test_identical_views_give_identity(self, rng):
+        z = randn(64, 8, rng=rng)
+        c = cross_correlation(z, z)
+        np.testing.assert_allclose(np.diag(c.data), 1.0, atol=1e-3)
+
+    def test_independent_views_near_zero_offdiag(self, rng):
+        z1 = randn(512, 4, rng=rng)
+        z2 = randn(512, 4, rng=np.random.default_rng(99))
+        c = cross_correlation(z1, z2).data
+        off = c[~np.eye(4, dtype=bool)]
+        assert np.abs(off).mean() < 0.2
+
+    def test_shape(self, rng):
+        c = cross_correlation(randn(16, 6, rng=rng), randn(16, 6, rng=rng))
+        assert c.shape == (6, 6)
+
+
+class TestBarlowLoss:
+    def test_zero_for_perfectly_aligned_decorrelated(self, rng):
+        # orthogonal embedding dims, identical views -> loss ~ 0
+        n = 256
+        z = np.zeros((n, 4), dtype=np.float32)
+        rng2 = np.random.default_rng(0)
+        z = rng2.standard_normal((n, 4)).astype(np.float32)
+        q, _ = np.linalg.qr(z.T @ z)  # decorrelate
+        z = z @ q.astype(np.float32)
+        t = Tensor(z)
+        loss = barlow_loss(t, t)
+        assert loss.item() < 0.1
+
+    def test_positive_for_mismatched_views(self, rng):
+        loss = barlow_loss(randn(64, 8, rng=rng), randn(64, 8, rng=np.random.default_rng(1)))
+        assert loss.item() > 1.0
+
+    def test_gradient_flows(self, rng):
+        z1 = randn(32, 4, rng=rng, requires_grad=True)
+        z2 = randn(32, 4, rng=np.random.default_rng(2), requires_grad=True)
+        barlow_loss(z1, z2).backward()
+        assert z1.grad is not None and np.abs(z1.grad).max() > 0
+
+    def test_lambda_scales_offdiag_penalty(self, rng):
+        z1 = randn(64, 6, rng=rng)
+        z2 = randn(64, 6, rng=np.random.default_rng(3))
+        small = barlow_loss(z1, z2, lambda_offdiag=1e-4).item()
+        large = barlow_loss(z1, z2, lambda_offdiag=1.0).item()
+        assert large > small
+
+
+class TestXDLoss:
+    def test_teacher_detached(self, rng):
+        zs = randn(32, 4, rng=rng, requires_grad=True)
+        zt = randn(32, 4, rng=np.random.default_rng(4), requires_grad=True)
+        xd_loss(zs, zt).backward()
+        assert zs.grad is not None
+        assert zt.grad is None  # distillation never updates the teacher branch
+
+    def test_aligned_embeddings_minimize(self, rng):
+        z = randn(128, 8, rng=rng)
+        aligned = xd_loss(z, z).item()
+        random = xd_loss(z, randn(128, 8, rng=np.random.default_rng(5))).item()
+        assert aligned < random
+
+
+class TestXDModel:
+    def test_loss_runs_and_backprops(self, tiny_data, rng):
+        student = build_model("mobilenet-v1", num_classes=10, width_mult=0.25)
+        teacher = build_model("resnet20", num_classes=10, width=8)
+        pair = XDModel(student, teacher, student.out_channels, 32, embed_dim=16)
+        x = Tensor(tiny_data[0].images[:16])
+        loss = pair.loss(x, x)
+        loss.backward()
+        gs = [p.grad for p in student.parameters() if p.grad is not None]
+        gt = [p.grad for p in teacher.parameters() if p.grad is not None]
+        assert gs and gt  # both encoders train (teacher via its own Barlow term)
+
+    def test_projector_shape(self, rng):
+        p = Projector(32, 64, 16)
+        out = p(randn(4, 32, rng=rng))
+        assert out.shape == (4, 16)

@@ -1,0 +1,113 @@
+"""Autograd engine mechanics: graph traversal, accumulation, modes."""
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled, randn
+
+
+def t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float32), requires_grad=True)
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_grad(self):
+        a = t([3.0])
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+        (a * 2.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 20.0])
+
+    def test_diamond_graph_accumulates_once(self):
+        # a -> b, a -> c, d = b + c: grad(a) must be 2, not 1 or 4.
+        a = t([1.0])
+        b = a * 1.0
+        c = a * 1.0
+        (b + c).backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_reused_tensor_in_single_op(self):
+        a = t([3.0])
+        (a * a).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = t([1.0])
+        (a * 2.0).backward()
+        (a * 3.0).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_zero_grad(self):
+        a = t([1.0])
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        a = t([1.0])
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_branch_without_grad_is_pruned(self):
+        a = t([1.0])
+        b = Tensor(np.array([2.0], dtype=np.float32))  # no grad
+        out = a * b
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+        assert b.grad is None
+
+
+class TestGradModes:
+    def test_no_grad_blocks_graph(self):
+        a = t([1.0])
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert out._prev == ()
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        a = t([2.0])
+        b = (a * 3.0).detach()
+        (b * 5.0).backward()
+        assert a.grad is None
+
+    def test_clone_keeps_graph(self):
+        a = t([2.0])
+        a.clone().sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_copy_inplace_not_tracked(self):
+        a = t([1.0])
+        a.copy_(np.array([5.0]))
+        np.testing.assert_allclose(a.data, [5.0])
+        assert a.requires_grad
+
+
+class TestDtypes:
+    def test_float64_input_downcast(self):
+        a = Tensor(np.ones(3, dtype=np.float64))
+        assert a.dtype == np.float32
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2], dtype=np.int64), requires_grad=True)
+
+    def test_int_conversion(self):
+        a = Tensor(np.array([1.7, -2.3], dtype=np.float32))
+        assert a.int().dtype == np.int64

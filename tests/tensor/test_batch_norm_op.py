@@ -1,0 +1,56 @@
+"""Fused training-mode batch norm op."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, functional as F
+
+
+class TestBatchNormTrain:
+    def _params(self, c=3):
+        gamma = Tensor(np.array([1.0, 2.0, 0.5][:c], dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.array([0.0, -0.1, 0.3][:c], dtype=np.float32), requires_grad=True)
+        return gamma, beta
+
+    def test_matches_composed_reference(self, rng):
+        x = rng.standard_normal((4, 3, 5, 5)).astype(np.float32) * 2 + 1
+        gamma, beta = self._params()
+        out, mean, var = F.batch_norm_train(Tensor(x), gamma, beta)
+        m = x.mean(axis=(0, 2, 3), keepdims=True)
+        v = x.var(axis=(0, 2, 3), keepdims=True)
+        ref = (x - m) / np.sqrt(v + 1e-5) * gamma.data.reshape(1, -1, 1, 1) + beta.data.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(out.data, ref, atol=1e-5)
+        np.testing.assert_allclose(mean, m.reshape(-1), rtol=1e-5)
+
+    def test_gradcheck(self, gradcheck, rng):
+        x = Tensor(rng.standard_normal((3, 2, 4, 4)).astype(np.float32), requires_grad=True)
+        gamma = Tensor(np.array([1.5, 0.7], dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.array([0.2, -0.4], dtype=np.float32), requires_grad=True)
+        const = Tensor(rng.standard_normal((3, 2, 4, 4)).astype(np.float32))
+        gradcheck(lambda: (F.batch_norm_train(x, gamma, beta)[0] * const).sum(),
+                  [x, gamma, beta])
+
+    def test_gradient_sums_to_zero_per_channel(self, rng):
+        """BN output is mean-invariant, so dL/dx must sum to ~0 per channel
+        for any upstream gradient."""
+        x = Tensor(rng.standard_normal((4, 3, 4, 4)).astype(np.float32), requires_grad=True)
+        gamma, beta = self._params()
+        out, _, _ = F.batch_norm_train(x, gamma, beta)
+        (out * Tensor(rng.standard_normal(out.shape).astype(np.float32))).sum().backward()
+        per_ch = x.grad.sum(axis=(0, 2, 3))
+        np.testing.assert_allclose(per_ch, 0.0, atol=1e-3)
+
+    def test_module_uses_fused_op_in_training(self, rng):
+        bn = nn.BatchNorm2d(4)
+        bn.train()
+        x = Tensor(rng.standard_normal((2, 4, 3, 3)).astype(np.float32), requires_grad=True)
+        out = bn(x)
+        assert out._op == "batch_norm"
+
+    def test_eval_path_unchanged(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.running_mean.data[:] = 1.0
+        bn.running_var.data[:] = 4.0
+        bn.eval()
+        out = bn(Tensor(np.full((1, 2, 2, 2), 3.0, dtype=np.float32)))
+        np.testing.assert_allclose(out.data, 1.0, rtol=1e-3)

@@ -1,0 +1,98 @@
+"""Edge cases across the tensor engine."""
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, arange, full, ones, randn, zeros
+
+
+class TestFactories:
+    def test_zeros_ones_full(self):
+        assert zeros(2, 3).data.sum() == 0
+        assert ones((2, 3)).data.sum() == 6
+        assert (full((4,), 2.5).data == 2.5).all()
+
+    def test_arange(self):
+        np.testing.assert_array_equal(arange(3).data, [0, 1, 2])
+
+    def test_randn_seeded(self):
+        a = randn(5, rng=np.random.default_rng(1))
+        b = randn(5, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_requires_grad_factory(self):
+        assert zeros(2, requires_grad=True).requires_grad
+
+
+class TestScalars:
+    def test_item_on_scalar(self):
+        assert Tensor(np.float32(3.5)).item() == 3.5
+
+    def test_item_like_single_element(self):
+        assert Tensor(np.array([7.0], dtype=np.float32)).item() == 7.0
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2), dtype=np.float32))) == 4
+
+
+class TestVar:
+    def test_unbiased_correction(self, rng):
+        x = rng.standard_normal(50).astype(np.float32)
+        t = Tensor(x)
+        np.testing.assert_allclose(t.var(unbiased=True).item(), x.var(ddof=1), rtol=1e-4)
+        np.testing.assert_allclose(t.var().item(), x.var(), rtol=1e-4)
+
+
+class TestZeroDimensionalReductions:
+    def test_sum_empty_axis_tuple(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = t.sum(axis=(0, 1))
+        assert out.item() == 6.0
+        out.backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 3)))
+
+    def test_negative_axis(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32))
+        assert t.sum(axis=-1).shape == (2,)
+        assert t.mean(axis=-2).shape == (3,)
+
+
+class TestChainedBroadcasting:
+    def test_multi_level_broadcast_grads(self):
+        a = Tensor(np.ones((1, 1, 3), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((4, 1, 1), dtype=np.float32), requires_grad=True)
+        c = Tensor(np.ones((1, 5, 1), dtype=np.float32), requires_grad=True)
+        (a * b * c).sum().backward()
+        assert a.grad.shape == (1, 1, 3) and a.grad[0, 0, 0] == 20
+        assert b.grad.shape == (4, 1, 1) and b.grad[0, 0, 0] == 15
+        assert c.grad.shape == (1, 5, 1) and c.grad[0, 0, 0] == 12
+
+    def test_scalar_tensor_broadcast(self):
+        s = Tensor(np.float32(2.0), requires_grad=True)
+        m = Tensor(np.ones((3, 3), dtype=np.float32))
+        (s * m).sum().backward()
+        assert s.grad.shape == ()
+        assert s.grad == 9.0
+
+
+class TestNumericalStability:
+    def test_softmax_large_logits(self):
+        t = Tensor(np.array([[1000.0, 0.0]], dtype=np.float32))
+        p = t.softmax(axis=-1).data
+        assert np.isfinite(p).all()
+        np.testing.assert_allclose(p, [[1.0, 0.0]], atol=1e-6)
+
+    def test_log_of_nonpositive_clamped(self):
+        t = Tensor(np.array([0.0, -1.0], dtype=np.float32))
+        out = t.log().data
+        assert np.isfinite(out).all()
+
+    def test_sqrt_at_zero_grad_finite(self):
+        t = Tensor(np.array([0.0], dtype=np.float32), requires_grad=True)
+        t.sqrt().backward()
+        assert np.isfinite(t.grad).all()
+
+    def test_pow_negative_base_log_guard(self):
+        a = Tensor(np.array([2.0], dtype=np.float32))
+        b = Tensor(np.array([3.0], dtype=np.float32), requires_grad=True)
+        (a ** b).backward()
+        assert np.isfinite(b.grad).all()

@@ -1,0 +1,47 @@
+"""im2col / col2im transform correctness."""
+import numpy as np
+import pytest
+
+from repro.tensor.im2col import col2im, conv_out_size, im2col
+
+
+class TestConvOutSize:
+    @pytest.mark.parametrize("size,k,s,p,expected", [
+        (32, 3, 1, 1, 32), (32, 3, 2, 1, 16), (7, 3, 1, 0, 5), (8, 2, 2, 0, 4),
+    ])
+    def test_known(self, size, k, s, p, expected):
+        assert conv_out_size(size, k, s, p) == expected
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        cols = im2col(x, 1, 1, 1, 0)
+        np.testing.assert_array_equal(cols.reshape(1, 2, 4, 4), x)
+
+    def test_patch_content(self):
+        x = np.arange(16.0, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, 2, 0)  # non-overlapping 2x2 patches
+        # first patch = [[0,1],[4,5]]
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 4, 5])
+
+    def test_col2im_adjointness(self, rng):
+        """col2im must be the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float64)
+        c = rng.standard_normal((2, 27, 36)).astype(np.float64)
+        lhs = (im2col(x, 3, 3, 1, 1) * c).sum()
+        rhs = (x * col2im(c, x.shape, 3, 3, 1, 1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_counts_overlaps(self):
+        ones = np.ones((1, 1 * 9, 16), dtype=np.float32)
+        out = col2im(ones, (1, 1, 4, 4), 3, 3, 1, 1)
+        # center pixels are covered by all 9 kernel offsets
+        assert out[0, 0, 1, 1] == 9
+        # corners only by 4
+        assert out[0, 0, 0, 0] == 4

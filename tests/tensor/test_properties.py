@@ -1,0 +1,94 @@
+"""Hypothesis property-based tests on the tensor engine."""
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, maximum, minimum
+from repro.tensor.im2col import col2im, im2col
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False, width=32)
+
+
+def arrays(max_side=6, max_dims=3):
+    return hnp.arrays(np.float32,
+                      hnp.array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+                      elements=floats)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_add_commutative(a):
+    x, y = Tensor(a), Tensor(a[::-1].copy() if a.ndim == 1 else a)
+    np.testing.assert_array_equal((x + y).data, (y + x).data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_double_negation(a):
+    x = Tensor(a)
+    np.testing.assert_allclose((-(-x)).data, a, rtol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_relu_idempotent(a):
+    x = Tensor(a)
+    once = x.relu().data
+    twice = Tensor(once).relu().data
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_clamp_bounds_respected(a):
+    out = Tensor(a).clamp(-1.0, 1.0).data
+    assert out.min() >= -1.0 and out.max() <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_max_min_consistency(a):
+    x = Tensor(a)
+    np.testing.assert_array_equal(maximum(x, x).data, a)
+    np.testing.assert_array_equal(minimum(x, x).data, a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(max_dims=2))
+def test_sum_of_parts_equals_total(a):
+    x = Tensor(a)
+    total = x.sum().item()
+    by_axis = x.sum(axis=0).sum().item()
+    np.testing.assert_allclose(total, by_axis, rtol=1e-3, atol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 10), st.integers(1, 3), st.integers(0, 2), st.integers(1, 2),
+       st.integers(1, 3), st.integers(1, 2))
+def test_im2col_col2im_adjoint(size, kh, pad, stride, c, n):
+    if (size + 2 * pad - kh) < 0:
+        return
+    rng = np.random.default_rng(size * 100 + kh)
+    x = rng.standard_normal((n, c, size, size))
+    cols = im2col(x, kh, kh, stride, pad)
+    y = rng.standard_normal(cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * col2im(y, x.shape, kh, kh, stride, pad)).sum())
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(max_dims=2))
+def test_softmax_is_distribution(a):
+    if a.ndim == 1:
+        a = a[None]
+    p = Tensor(a).softmax(axis=-1).data
+    assert (p >= 0).all()
+    np.testing.assert_allclose(p.sum(-1), np.ones(p.shape[0]), rtol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_round_ste_output_is_integral(a):
+    out = Tensor(a).round_ste().data
+    np.testing.assert_array_equal(out, np.round(out))

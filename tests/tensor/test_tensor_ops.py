@@ -1,0 +1,250 @@
+"""Elementwise / reduction / shape operations and their gradients."""
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, randn, where, maximum, minimum, stack, cat
+
+
+def t(arr, rg=True):
+    return Tensor(np.asarray(arr, dtype=np.float32), requires_grad=rg)
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        a = t([[1.0, 2.0], [3.0, 4.0]])
+        b = t([10.0, 20.0])
+        out = a + b
+        np.testing.assert_allclose(out.data, [[11, 22], [13, 24]])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, [2.0, 2.0])  # summed over broadcast dim
+
+    def test_scalar_radd_rsub_rmul(self):
+        a = t([2.0, 4.0])
+        np.testing.assert_allclose((1.0 + a).data, [3, 5])
+        np.testing.assert_allclose((10.0 - a).data, [8, 6])
+        np.testing.assert_allclose((3.0 * a).data, [6, 12])
+        np.testing.assert_allclose((8.0 / a).data, [4, 2])
+
+    def test_mul_grad(self):
+        a, b = t([2.0, 3.0]), t([5.0, 7.0])
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5, 7])
+        np.testing.assert_allclose(b.grad, [2, 3])
+
+    def test_div_grad(self):
+        a, b = t([6.0]), t([3.0])
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [1 / 3])
+        np.testing.assert_allclose(b.grad, [-6 / 9])
+
+    def test_pow_grad(self):
+        a = t([2.0, 3.0])
+        (a ** 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [12.0, 27.0])
+
+    def test_neg(self):
+        a = t([1.0, -2.0])
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1, -1])
+
+    def test_comparison_returns_bool_tensor(self):
+        a = t([1.0, 5.0], rg=False)
+        assert (a > 2.0).data.tolist() == [False, True]
+        assert (a <= 1.0).data.tolist() == [True, False]
+
+
+class TestUnary:
+    def test_exp_log_roundtrip(self):
+        a = t([0.5, 1.0, 2.0])
+        out = a.exp().log()
+        np.testing.assert_allclose(out.data, a.data, rtol=1e-5)
+
+    def test_sqrt_grad(self):
+        a = t([4.0])
+        a.sqrt().backward()
+        np.testing.assert_allclose(a.grad, [0.25])
+
+    def test_abs_grad(self):
+        a = t([-2.0, 3.0])
+        a.abs().sum().backward()
+        np.testing.assert_allclose(a.grad, [-1, 1])
+
+    def test_relu_grad_zero_below(self):
+        a = t([-1.0, 0.0, 2.0])
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 0, 1])
+
+    def test_clamp_grad_passes_in_range_only(self):
+        a = t([-5.0, 0.3, 5.0])
+        a.clamp(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1, 0])
+
+    def test_sigmoid_tanh_values(self):
+        a = t([0.0], rg=False)
+        assert abs(a.sigmoid().item() - 0.5) < 1e-6
+        assert abs(a.tanh().item()) < 1e-6
+
+
+class TestSTE:
+    def test_round_ste_forward_and_grad(self):
+        a = t([0.4, 0.6, -1.2])
+        out = a.round_ste()
+        np.testing.assert_allclose(out.data, [0, 1, -1])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1, 1])  # straight-through
+
+    def test_floor_ste(self):
+        a = t([1.7, -0.3])
+        out = a.floor_ste()
+        np.testing.assert_allclose(out.data, [1, -1])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+
+    def test_hard_round_blocks_grad(self):
+        a = t([0.4])
+        a.round().backward()
+        np.testing.assert_allclose(a.grad, [0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = t(np.arange(6).reshape(2, 3))
+        assert a.sum(axis=1).shape == (2,)
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1)
+        np.testing.assert_allclose(a.sum(axis=0).data, [3, 5, 7])
+
+    def test_mean_grad(self):
+        a = t(np.ones((2, 4)))
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 4), 1 / 8))
+
+    def test_var_matches_numpy(self):
+        x = np.random.default_rng(0).standard_normal((4, 5)).astype(np.float32)
+        a = t(x, rg=False)
+        np.testing.assert_allclose(a.var(axis=1).data, x.var(axis=1), rtol=1e-4)
+
+    def test_max_grad_spreads_over_ties(self):
+        a = t([[1.0, 3.0, 3.0]])
+        a.max(axis=1).backward()
+        np.testing.assert_allclose(a.grad, [[0, 0.5, 0.5]])
+
+    def test_min(self):
+        a = t([[3.0, -1.0, 2.0]], rg=False)
+        assert a.min().item() == -1.0
+
+    def test_argmax(self):
+        a = t([[0.0, 5.0, 2.0]], rg=False)
+        assert a.argmax(axis=1).data.tolist() == [1]
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        a = t(np.arange(6.0))
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_transpose_roundtrip(self):
+        a = t(np.arange(24.0).reshape(2, 3, 4))
+        out = a.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        (out ** 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+
+    def test_getitem_grad_scatters(self):
+        a = t(np.arange(5.0))
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2, 0, 1, 0, 0])
+
+    def test_slice(self):
+        a = t(np.arange(10.0))
+        out = a[2:5]
+        np.testing.assert_allclose(out.data, [2, 3, 4])
+        out.sum().backward()
+        assert a.grad.sum() == 3
+
+    def test_pad_grad(self):
+        a = t(np.ones((2, 2)))
+        out = a.pad(((1, 1), (0, 2)))
+        assert out.shape == (4, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+    def test_flatten_unsqueeze_squeeze(self):
+        a = t(np.ones((2, 3, 4)), rg=False)
+        assert a.flatten(1).shape == (2, 12)
+        assert a.unsqueeze(0).shape == (1, 2, 3, 4)
+        assert a.unsqueeze(0).squeeze(0).shape == (2, 3, 4)
+
+    def test_broadcast_to_grad(self):
+        a = t(np.ones((1, 3)))
+        a.broadcast_to((4, 3)).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((1, 3), 4.0))
+
+    def test_swapaxes(self):
+        a = t(np.zeros((2, 5, 7)), rg=False)
+        assert a.swapaxes(1, 2).shape == (2, 7, 5)
+
+
+class TestCombining:
+    def test_stack_and_grad(self):
+        a, b = t([1.0, 2.0]), t([3.0, 4.0])
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+
+    def test_cat_grad_splits(self):
+        a, b = t(np.ones((2, 2))), t(np.ones((3, 2)))
+        out = cat([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 2.0))
+
+    def test_where_grad(self):
+        a, b = t([1.0, 2.0]), t([10.0, 20.0])
+        out = where(np.array([True, False]), a, b)
+        np.testing.assert_allclose(out.data, [1, 20])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0])
+        np.testing.assert_allclose(b.grad, [0, 1])
+
+    def test_maximum_minimum_grads(self):
+        a, b = t([1.0, 5.0]), t([3.0, 2.0])
+        maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1])
+        np.testing.assert_allclose(b.grad, [1, 0])
+        a.grad = b.grad = None
+        minimum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0])
+        np.testing.assert_allclose(b.grad, [0, 1])
+
+
+class TestMatmul:
+    def test_2d(self, gradcheck):
+        a = randn(3, 4, rng=np.random.default_rng(1), requires_grad=True)
+        b = randn(4, 5, rng=np.random.default_rng(2), requires_grad=True)
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched(self, gradcheck):
+        a = randn(2, 3, 4, rng=np.random.default_rng(1), requires_grad=True)
+        b = randn(2, 4, 5, rng=np.random.default_rng(2), requires_grad=True)
+        gradcheck(lambda: ((a @ b) ** 2.0).mean(), [a, b])
+
+    def test_broadcast_batch(self):
+        a = Tensor(np.ones((2, 3, 4), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((4, 5), dtype=np.float32), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert b.grad.shape == (4, 5)
+        np.testing.assert_allclose(b.grad, np.full((4, 5), 6.0))
+
+    def test_softmax_rows_sum_to_one(self):
+        a = randn(4, 7, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(a.softmax(axis=-1).data.sum(-1), np.ones(4), rtol=1e-5)
+
+    def test_log_softmax_grad(self, gradcheck):
+        a = randn(3, 5, rng=np.random.default_rng(3), requires_grad=True)
+        const = Tensor(np.random.default_rng(4).standard_normal((3, 5)).astype(np.float32))
+        gradcheck(lambda: (a.log_softmax(axis=-1) * const).sum(), [a])

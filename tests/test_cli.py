@@ -1,0 +1,59 @@
+"""CLI workflow: train -> qat -> ptq -> export, end to end on tiny settings."""
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = ["--train-size", "300", "--test-size", "100", "--noise", "0.35"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["qat"])
+        assert args.model == "resnet20" and args.wbit == 8
+
+
+class TestWorkflow:
+    def test_train_and_ptq(self, tmp_path):
+        ckpt = str(tmp_path / "fp32.npz")
+        rc = main(["train", *TINY, "--epochs", "1", "--out", ckpt])
+        assert rc == 0 and os.path.exists(ckpt)
+        out = str(tmp_path / "ptq.npz")
+        rc = main(["ptq", *TINY, "--ckpt", ckpt, "--calib-batches", "2", "--out", out])
+        assert rc == 0 and os.path.exists(out)
+
+    def test_qat_then_export(self, tmp_path):
+        ckpt = str(tmp_path / "qat.npz")
+        rc = main(["qat", *TINY, "--epochs", "1", "--wbit", "4", "--abit", "4",
+                   "--wq", "sawb", "--aq", "pact", "--out", ckpt])
+        assert rc == 0
+        out_dir = str(tmp_path / "deploy")
+        rc = main(["export", *TINY, "--ckpt", ckpt, "--wbit", "4", "--abit", "4",
+                   "--wq", "sawb", "--aq", "pact", "--calib-batches", "2",
+                   "--formats", "dec", "hex", "--out-dir", out_dir])
+        assert rc == 0
+        with open(os.path.join(out_dir, "manifest.json")) as f:
+            manifest = json.load(f)
+        assert manifest["tensors"]
+
+
+class TestCheckpoint:
+    def test_roundtrip_with_metadata(self, tmp_path):
+        from repro.models import build_model
+        from repro.utils.checkpoint import load_checkpoint, save_checkpoint
+
+        m1 = build_model("resnet20", width=8)
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(m1, path, accuracy=0.93, epoch=5)
+        m2 = build_model("resnet20", width=8)
+        meta = load_checkpoint(m2, path)
+        assert meta["accuracy"] == pytest.approx(0.93)
+        assert meta["epoch"] == 5
+        np.testing.assert_array_equal(m1.conv1.weight.data, m2.conv1.weight.data)

@@ -1,0 +1,78 @@
+"""Trainer plumbing: hooks, schedulers, custom optimizers."""
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.models import build_model
+from repro.optim import AdamW, StepLR
+from repro.trainer import Trainer
+from repro.utils import seed_everything
+
+
+@pytest.fixture
+def tiny(rng):
+    x = rng.standard_normal((120, 3, 8, 8)).astype(np.float32)
+    y = rng.integers(0, 3, 120)
+    return ArrayDataset(x, y), ArrayDataset(x[:40], y[:40])
+
+
+def small_model():
+    seed_everything(50)
+    return build_model("resnet20", num_classes=3, width=4)
+
+
+class TestHooks:
+    def test_step_hooks_called_every_step(self, tiny):
+        train, _ = tiny
+        t = Trainer(small_model(), train, epochs=2, batch_size=40)
+        calls = []
+        t.step_hooks.append(lambda tr: calls.append(tr._global_step))
+        t.fit()
+        assert len(calls) == 2 * 3  # 2 epochs x 3 batches
+
+    def test_epoch_hooks_called_per_epoch(self, tiny):
+        train, _ = tiny
+        t = Trainer(small_model(), train, epochs=3, batch_size=60)
+        epochs = []
+        t.epoch_hooks.append(lambda tr, e: epochs.append(e))
+        t.fit()
+        assert epochs == [0, 1, 2]
+
+
+class TestSchedulerIntegration:
+    def test_custom_scheduler_steps(self, tiny):
+        train, _ = tiny
+        model = small_model()
+        t = Trainer(model, train, epochs=4, batch_size=60, lr=1.0)
+        t.scheduler = StepLR(t.optimizer, step_size=2, gamma=0.1)
+        t.fit()
+        assert t.optimizer.lr == pytest.approx(0.01)
+
+    def test_cosine_default_ends_near_zero(self, tiny):
+        train, _ = tiny
+        t = Trainer(small_model(), train, epochs=3, batch_size=60, lr=0.5)
+        t.fit()
+        assert t.optimizer.lr < 0.5
+
+
+class TestCustomOptimizer:
+    def test_adamw_injection(self, tiny):
+        train, _ = tiny
+        model = small_model()
+        opt = AdamW(model.parameters(), lr=1e-3)
+        t = Trainer(model, train, epochs=1, batch_size=60, optimizer=opt)
+        assert t.optimizer is opt
+        t.fit()
+        assert len(t.history) == 1
+
+
+class TestLabelSmoothing:
+    def test_smoothing_changes_loss(self, tiny):
+        train, _ = tiny
+        seed_everything(51)
+        t0 = Trainer(small_model(), train, epochs=1, batch_size=60, label_smoothing=0.0)
+        seed_everything(51)
+        t1 = Trainer(small_model(), train, epochs=1, batch_size=60, label_smoothing=0.2)
+        t0.fit()
+        t1.fit()
+        assert t0.history[0]["loss"] != t1.history[0]["loss"]

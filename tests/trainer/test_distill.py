@@ -1,0 +1,61 @@
+"""Knowledge-distillation trainer."""
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.trainer import Trainer
+from repro.trainer.distill import DistillTrainer
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = make_dataset("synthetic-cifar10", noise=0.35, num_classes=4)
+    return ds.splits(500, 200)
+
+
+@pytest.fixture(scope="module")
+def teacher(data):
+    seed_everything(40)
+    train, test = data
+    t = build_model("resnet20", num_classes=4, width=8)
+    Trainer(t, train, test, epochs=3, batch_size=50, lr=0.1).fit()
+    return t
+
+
+class TestDistill:
+    def test_student_learns(self, data, teacher):
+        seed_everything(41)
+        train, test = data
+        student = build_model("mobilenet-v1", num_classes=4, width_mult=0.5)
+        dt = DistillTrainer(student, teacher, kd_weight=0.5, temperature=4.0,
+                            train_set=train, test_set=test, epochs=3,
+                            batch_size=50, lr=0.2)
+        dt.fit()
+        assert dt.evaluate() > 0.5
+
+    def test_teacher_frozen(self, data, teacher):
+        train, _ = data
+        before = teacher.conv1.weight.data.copy()
+        student = build_model("mobilenet-v1", num_classes=4, width_mult=0.25)
+        dt = DistillTrainer(student, teacher, train_set=train, epochs=1,
+                            batch_size=100, lr=0.1)
+        dt.fit()
+        np.testing.assert_array_equal(teacher.conv1.weight.data, before)
+
+    def test_invalid_kd_weight(self, data, teacher):
+        train, _ = data
+        s = build_model("mobilenet-v1", num_classes=4, width_mult=0.25)
+        with pytest.raises(ValueError):
+            DistillTrainer(s, teacher, kd_weight=1.5, train_set=train, epochs=1)
+
+    def test_pure_kd_mode_runs(self, data, teacher):
+        """kd_weight=1: gradient comes only from the teacher's soft targets."""
+        seed_everything(42)
+        train, _ = data
+        s = build_model("mobilenet-v1", num_classes=4, width_mult=0.25)
+        dt = DistillTrainer(s, teacher, kd_weight=1.0, train_set=train,
+                            epochs=1, batch_size=100, lr=0.1)
+        dt.fit()
+        assert len(dt.history) == 1

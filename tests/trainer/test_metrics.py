@@ -1,0 +1,51 @@
+"""Metrics helpers."""
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.trainer.metrics import AverageMeter, accuracy, evaluate
+
+
+class TestAverageMeter:
+    def test_weighted_average(self):
+        m = AverageMeter()
+        m.update(1.0, n=1)
+        m.update(2.0, n=3)
+        assert m.avg == pytest.approx(1.75)
+
+    def test_reset(self):
+        m = AverageMeter()
+        m.update(5.0)
+        m.reset()
+        assert m.avg == 0.0 and m.count == 0
+
+    def test_empty_avg_is_zero(self):
+        assert AverageMeter().avg == 0.0
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(4)
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_half(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+
+class TestEvaluate:
+    def test_evaluate_identity_model(self):
+        class Argmaxer:
+            def eval(self):
+                pass
+
+            def __call__(self, x):
+                from repro.tensor import Tensor
+                return Tensor(x.data.reshape(len(x.data), -1)[:, :3])
+
+        images = np.zeros((10, 3, 1, 1), dtype=np.float32)
+        labels = np.random.default_rng(0).integers(0, 3, 10)
+        for i, lbl in enumerate(labels):
+            images[i, lbl] = 1.0
+        ds = ArrayDataset(images, labels)
+        assert evaluate(Argmaxer(), ds, batch_size=4) == 1.0

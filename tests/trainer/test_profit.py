@@ -1,0 +1,61 @@
+"""PROFIT progressive-freezing trainer."""
+import numpy as np
+import pytest
+
+from repro.core.qconfig import QConfig
+from repro.core.qlayers import QConv2d
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.trainer.profit import PROFITTrainer
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = make_dataset("synthetic-cifar10", noise=0.35, num_classes=4)
+    return ds.splits(400, 150)
+
+
+class TestPROFIT:
+    def _trainer(self, data, epochs=3, phases=3):
+        seed_everything(20)
+        train, test = data
+        model = build_model("mobilenet-v1", num_classes=4, width_mult=0.5)
+        return PROFITTrainer(model, qcfg=QConfig(4, 4, wq="sawb", aq="pact"),
+                             phases=phases, train_set=train, test_set=test,
+                             epochs=epochs, batch_size=50, lr=0.1)
+
+    def test_freezes_layers_progressively(self, data):
+        t = self._trainer(data)
+        t.fit()
+        assert len(t.frozen) > 0
+        n_layers = sum(1 for m in t.qmodel.modules() if isinstance(m, QConv2d))
+        assert len(t.frozen) < n_layers  # never freezes everything
+
+    def test_frozen_layers_stop_updating(self, data):
+        t = self._trainer(data, epochs=3, phases=3)
+        t.fit()
+        frozen_mods = [m for n, m in t.qmodel.named_modules() if n in t.frozen]
+        assert frozen_mods
+        for m in frozen_mods:
+            assert not m.weight.requires_grad
+
+    def test_instability_metric_ranks_all_layers(self, data):
+        t = self._trainer(data)
+        scores = t.layer_instability()
+        n_layers = sum(1 for m in t.qmodel.modules() if isinstance(m, QConv2d))
+        assert len(scores) == n_layers
+        metrics = [s for s, _, _ in scores]
+        assert metrics == sorted(metrics, reverse=True)
+        assert all(s >= 0 for s in metrics)
+
+    def test_invalid_phases_raises(self, data):
+        train, test = data
+        model = build_model("mobilenet-v1", num_classes=4, width_mult=0.5)
+        with pytest.raises(ValueError):
+            PROFITTrainer(model, qcfg=QConfig(4, 4), phases=0, train_set=train, epochs=2)
+
+    def test_epochs_all_executed(self, data):
+        t = self._trainer(data, epochs=4, phases=2)
+        t.fit()
+        assert len(t.history) == 4

@@ -1,0 +1,178 @@
+"""Trainer hierarchy: supervised, QAT, PTQ, sparse, SSL, registry."""
+import numpy as np
+import pytest
+
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import QResNet
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.trainer import (
+    TRAINER,
+    PTQTrainer,
+    QATTrainer,
+    SparseTrainer,
+    SSLTrainer,
+    Trainer,
+    build_trainer,
+    evaluate,
+)
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = make_dataset("synthetic-cifar10", noise=0.35, num_classes=4)
+    return ds.splits(600, 200)
+
+
+class TestSupervised:
+    def test_learns_above_chance(self, data):
+        seed_everything(10)
+        train, test = data
+        model = build_model("resnet20", num_classes=4, width=8)
+        t = Trainer(model, train, test, epochs=2, batch_size=50, lr=0.1)
+        t.fit()
+        assert t.evaluate() > 0.6  # chance = 0.25
+
+    def test_history_recorded(self, data):
+        seed_everything(10)
+        train, test = data
+        model = build_model("resnet20", num_classes=4, width=4)
+        t = Trainer(model, train, epochs=2, batch_size=100)
+        t.fit()
+        assert len(t.history) == 2
+        assert t.history[1]["loss"] < t.history[0]["loss"] + 0.5
+
+    def test_progress_tracks(self, data):
+        train, _ = data
+        model = build_model("resnet20", num_classes=4, width=4)
+        t = Trainer(model, train, epochs=1, batch_size=100)
+        assert t.progress == 0.0
+        t.fit()
+        assert t.progress == pytest.approx(1.0)
+
+    def test_evaluate_without_test_raises(self, data):
+        train, _ = data
+        t = Trainer(build_model("resnet20", num_classes=4, width=4), train, epochs=1)
+        with pytest.raises(RuntimeError):
+            t.evaluate()
+
+
+class TestQAT:
+    def test_converts_and_trains(self, data):
+        seed_everything(11)
+        train, test = data
+        model = build_model("resnet20", num_classes=4, width=4)
+        t = QATTrainer(model, qcfg=QConfig(wbit=4, abit=4, wq="sawb", aq="pact"),
+                       train_set=train, test_set=test, epochs=3, batch_size=50, lr=0.1)
+        assert isinstance(t.qmodel, QResNet)
+        t.fit()
+        assert t.evaluate() > 0.45
+
+    def test_accepts_prequantized_model(self, data):
+        from repro.core.qmodels import quantize_model
+        train, _ = data
+        qm = quantize_model(build_model("resnet20", num_classes=4, width=4), QConfig(8, 8))
+        t = QATTrainer(qm, train_set=train, epochs=1, batch_size=100)
+        assert t.qmodel is qm
+
+
+class TestPTQ:
+    def _float_model(self, data):
+        seed_everything(12)
+        train, test = data
+        model = build_model("resnet20", num_classes=4, width=4)
+        Trainer(model, train, epochs=2, batch_size=50, lr=0.1).fit()
+        return model
+
+    def test_calibration_only(self, data):
+        train, test = data
+        model = self._float_model(data)
+        fp_acc = evaluate(model, test)
+        t = PTQTrainer(model, train, qcfg=QConfig(8, 8), calib_batches=4, batch_size=50)
+        qm = t.fit()
+        assert evaluate(qm, test) > fp_acc - 0.1
+
+    def test_adaround_reconstruction_improves_4bit(self, data):
+        train, test = data
+        model = self._float_model(data)
+        nearest = PTQTrainer(model, train, qcfg=QConfig(4, 8, wq="minmax_weight"),
+                             calib_batches=4, batch_size=50).fit()
+        acc_nearest = evaluate(nearest, test)
+        ada = PTQTrainer(model, train,
+                         qcfg=QConfig(4, 8, wq="adaround"),
+                         calib_batches=4, batch_size=50, reconstruct=True,
+                         recon_iters=60).fit()
+        acc_ada = evaluate(ada, test)
+        assert acc_ada >= acc_nearest - 0.05  # AdaRound at least competitive
+
+    def test_qdrop_drop_disabled_after_fit(self, data):
+        from repro.core.quantizers.qdrop import QDropQuantizer
+        train, _ = data
+        model = self._float_model(data)
+        qm = PTQTrainer(model, train, qcfg=QConfig(4, 4, aq="qdrop"),
+                        calib_batches=2, batch_size=50).fit()
+        assert all(not m.drop_enabled for m in qm.modules() if isinstance(m, QDropQuantizer))
+
+
+class TestSparse:
+    def test_reaches_sparsity(self, data):
+        seed_everything(13)
+        train, test = data
+        model = build_model("resnet20", num_classes=4, width=4)
+        t = SparseTrainer(model, pruner="magnitude", sparsity=0.6,
+                          train_set=train, test_set=test, epochs=2, batch_size=50,
+                          update_every=2, lr=0.1)
+        t.fit()
+        assert t.sparsity() == pytest.approx(0.6, abs=0.05)
+        assert t.evaluate() > 0.4
+
+    def test_nm_trainer(self, data):
+        seed_everything(14)
+        train, _ = data
+        model = build_model("resnet20", num_classes=4, width=4)
+        t = SparseTrainer(model, pruner="nm", pruner_kwargs=dict(n=2, m=4),
+                          train_set=train, epochs=1, batch_size=100, update_every=2)
+        t.fit()
+        assert t.sparsity() == pytest.approx(0.5, abs=0.05)
+        assert t.pruner.verify_pattern()
+
+    def test_granet_trainer_runs(self, data):
+        seed_everything(15)
+        train, _ = data
+        model = build_model("resnet20", num_classes=4, width=4)
+        t = SparseTrainer(model, pruner="granet", sparsity=0.5,
+                          train_set=train, epochs=1, batch_size=100, update_every=2)
+        t.fit()
+        assert t.sparsity() == pytest.approx(0.5, abs=0.05)
+
+
+class TestSSL:
+    def test_loss_decreases(self, data):
+        seed_everything(16)
+        train, _ = data
+        enc = build_model("mobilenet-v1", num_classes=4, width_mult=0.25)
+        t = SSLTrainer(enc, train, student_dim=enc.out_channels, embed_dim=16,
+                       epochs=4, batch_size=100, lr=5e-3)
+        t.fit()
+        assert t.history[-1]["ssl_loss"] < t.history[0]["ssl_loss"]
+
+    def test_xd_pair_mode(self, data):
+        seed_everything(17)
+        train, _ = data
+        student = build_model("mobilenet-v1", num_classes=4, width_mult=0.25)
+        teacher = build_model("resnet20", num_classes=4, width=4)
+        t = SSLTrainer(student, train, student_dim=student.out_channels,
+                       teacher=teacher, teacher_dim=16, embed_dim=16,
+                       epochs=1, batch_size=50)
+        out = t.fit()
+        assert out is student
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert set(TRAINER) == {"supervised", "qat", "profit", "ptq", "sparse", "ssl", "distill"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_trainer("rl")
