@@ -25,6 +25,13 @@ from repro.utils import seed_everything
 
 CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
 
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ so tier-1 filters (`-m "not
+    benchmark"`) exclude these runs even when the path is collected."""
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
 #: benchmark-wide workload scale (kept CPU-friendly)
 TRAIN_N = 2000
 TEST_N = 500

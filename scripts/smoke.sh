@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 test suite + an end-to-end observability run + a
+# compile check of every example.  Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests (benchmarks excluded via marker/testpaths) =="
+python -m pytest -q -m "not benchmark"
+
+echo "== end-to-end inspect run (telemetry subsystem) =="
+TEL_DIR="$(mktemp -d)"
+trap 'rm -rf "$TEL_DIR"' EXIT
+python -m repro.cli inspect --model resnet20 --epochs 1 \
+    --train-size 300 --test-size 100 --calib-batches 2 \
+    --telemetry-out "$TEL_DIR"
+for f in manifest.json trace.json events.jsonl metrics.json saturation.json \
+         layer_report.json report.txt; do
+    test -s "$TEL_DIR/$f" || { echo "missing telemetry output: $f"; exit 1; }
+done
+
+echo "== compile-check examples =="
+for f in examples/*.py; do
+    python -m py_compile "$f"
+done
+
+echo "smoke OK"

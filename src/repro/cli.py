@@ -7,17 +7,24 @@ Usage (module form)::
     python -m repro.cli ptq     --model resnet20 --ckpt ckpt.npz --wbit 8 --abit 8
     python -m repro.cli export  --model resnet20 --ckpt ckpt.npz --wbit 4 --abit 4 \
                                 --formats dec hex qint --out-dir deploy/
+    python -m repro.cli inspect --model resnet20 --epochs 1 --telemetry-out telemetry_out/
 
 Everything runs on the synthetic datasets (``--dataset`` picks which); the
 CLI exists so a hardware designer can drive the whole flow without writing
-Python.
+Python.  ``inspect`` runs the full compress→fuse→export flow under a
+:class:`~repro.telemetry.report.TelemetrySession` and writes the Chrome
+trace, the JSONL event log, the per-layer profile and the integer-datapath
+saturation audit to disk.
 """
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.core import T2C
 from repro.core.qconfig import QConfig
 from repro.core.qmodels import quantize_model
@@ -103,6 +110,16 @@ def cmd_ptq(args) -> int:
 
 
 def cmd_export(args) -> int:
+    if getattr(args, "telemetry_out", None):
+        with telemetry.TelemetrySession(out_dir=args.telemetry_out,
+                                        label=f"export-{args.model}"):
+            rc = _run_export(args)
+        print(f"telemetry -> {args.telemetry_out}/manifest.json")
+        return rc
+    return _run_export(args)
+
+
+def _run_export(args) -> int:
     seed_everything(args.seed)
     train, test, n_cls = _data(args)
     model = _model(args, n_cls)
@@ -115,9 +132,98 @@ def cmd_export(args) -> int:
     calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(args.calib_batches)])
     nn2c = T2C(qm, mode=args.fusion, float_scale=args.float_scale)
     qnn = nn2c.nn2chip(save_model=True, export_dir=args.out_dir, formats=tuple(args.formats))
-    acc = evaluate(qnn, test)
+    with telemetry.trace("evaluate_integer"):
+        acc = evaluate(qnn, test)
+    telemetry.emit("integer_accuracy", accuracy=acc)
     print(f"integer-only accuracy {acc:.4f}; exported -> {args.out_dir}/manifest.json")
     return 0
+
+
+def cmd_inspect(args) -> int:
+    """Run the full compress→fuse→export flow with telemetry on; write the
+    trace, event log, per-layer profile and saturation audit to disk."""
+    seed_everything(args.seed)
+    out_dir = args.telemetry_out
+    from repro.core.analysis import format_report, weight_quant_report
+    from repro.core.profiling import profile_macs, summarize_profile
+    from repro.core.t2c import calibrate_model
+    from repro.tensor import no_grad
+    from repro.tensor.tensor import Tensor
+
+    with telemetry.TelemetrySession(out_dir=out_dir,
+                                    label=f"inspect-{args.model}") as session:
+        with telemetry.trace("inspect", model=args.model,
+                             wbit=args.wbit, abit=args.abit):
+            train, test, n_cls = _data(args)
+            model = _model(args, n_cls)
+            if args.epochs > 0:
+                Trainer(model, train, test, epochs=args.epochs,
+                        batch_size=args.batch_size, lr=args.lr,
+                        verbose=True).fit()
+
+            input_shape = tuple(train.images[0].shape)
+            with telemetry.trace("profile_macs"):
+                profile_rows = profile_macs(model, input_shape=input_shape)
+
+            qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
+            qm = quantize_model(model, qcfg)
+            if args.ckpt:
+                load_checkpoint(qm, args.ckpt)
+            calibrate_model(qm, [train.images[i * 64:(i + 1) * 64]
+                                 for i in range(args.calib_batches)])
+            weight_rows = weight_quant_report(qm)
+
+            # per-layer timing + activation stats over one instrumented batch
+            with telemetry.trace("instrumented_eval"):
+                with telemetry.instrument(qm) as inst:
+                    with no_grad():
+                        qm.eval()
+                        qm(Tensor(test.images[:args.batch_size]))
+                layer_rows = inst.report()
+
+            # integer-only deploy path: this is where saturation counters fill
+            nn2c = T2C(qm, mode=args.fusion, float_scale=args.float_scale)
+            qnn = nn2c.nn2chip()
+            with telemetry.trace("evaluate_integer"):
+                acc = evaluate(qnn, test)
+            telemetry.emit("integer_accuracy", accuracy=acc)
+
+        sat_rows = telemetry.saturation_report()
+        _write_inspect_report(out_dir, profile_rows, layer_rows, weight_rows,
+                              sat_rows, summarize_profile(profile_rows), acc)
+
+    print(f"integer-only accuracy {acc:.4f}")
+    if sat_rows:
+        worst = sat_rows[0]
+        print(f"worst saturation: {worst['layer']} ({worst['kind']}) "
+              f"{worst['clipped']}/{worst['total']} = {worst['rate']:.2%}")
+    print(f"telemetry -> {out_dir}/ (manifest.json, trace.json, events.jsonl, "
+          f"metrics.json, saturation.json, layer_report.json, report.txt)")
+    return 0
+
+
+def _write_inspect_report(out_dir, profile_rows, layer_rows, weight_rows,
+                          sat_rows, summary, accuracy) -> None:
+    from repro.core.analysis import format_report
+
+    with open(os.path.join(out_dir, "layer_report.json"), "w") as f:
+        json.dump({
+            "summary": {**summary, "integer_accuracy": accuracy},
+            "profile": profile_rows,
+            "layers": layer_rows,
+            "weight_quant": weight_rows,
+            "saturation": sat_rows,
+        }, f, indent=1, default=str)
+    sections = [
+        ("workload profile (MACs)", profile_rows),
+        ("per-layer forward timing / activation stats", layer_rows),
+        ("weight quantization", weight_rows),
+        ("integer-datapath saturation audit", sat_rows),
+    ]
+    with open(os.path.join(out_dir, "report.txt"), "w") as f:
+        f.write(f"integer-only accuracy: {accuracy:.4f}\n")
+        for title, rows in sections:
+            f.write(f"\n== {title} ==\n{format_report(rows)}\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,7 +264,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--formats", nargs="+", default=["dec", "hex"],
                    choices=("dec", "hex", "bin", "qint"))
     p.add_argument("--out-dir", default="t2c_out")
+    p.add_argument("--telemetry-out", default=None, metavar="DIR",
+                   help="also capture a TelemetrySession (trace/events/"
+                        "metrics/saturation) into DIR")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("inspect", help="full observability run: trace + events "
+                                       "+ per-layer profile + saturation audit")
+    _common(p)
+    p.add_argument("--epochs", type=int, default=1,
+                   help="fp32 warm-up epochs before quantization (0 to skip)")
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--lr", type=float, default=0.1)
+    p.add_argument("--ckpt", default=None,
+                   help="optional Q-model checkpoint to load instead of "
+                        "the warm-up weights")
+    p.add_argument("--calib-batches", type=int, default=4)
+    p.add_argument("--fusion", choices=("channel", "prefuse"), default="channel")
+    p.add_argument("--float-scale", action="store_true")
+    p.add_argument("--telemetry-out", default="telemetry_out", metavar="DIR")
+    p.set_defaults(func=cmd_inspect)
     return ap
 
 

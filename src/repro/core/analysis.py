@@ -62,21 +62,29 @@ def weight_quant_report(model: Module) -> List[Dict]:
 
 
 def activation_ranges(model: Module) -> List[Dict]:
-    """Calibrated activation-quantizer scales and implied clipping ranges."""
+    """Calibrated activation-quantizer scales and implied clipping ranges.
+
+    Weight quantizers are excluded by identity: every quantizer that is some
+    layer's ``wq`` attribute is skipped, whatever the attribute path looks
+    like — custom module layouts that alias or re-nest their weight
+    quantizers cannot leak them into the activation report.
+    """
+    weight_q_ids = {
+        id(m.wq) for m in model.modules()
+        if isinstance(getattr(m, "wq", None), _QBase)
+    }
     rows = []
     for name, m in model.named_modules():
-        if isinstance(m, _QBase) and not isinstance(m, type(None)):
-            parent_is_wq = name.endswith(".wq")
-            if parent_is_wq:
-                continue
-            s = np.asarray(m.scale.data).reshape(-1)
-            rows.append({
-                "quantizer": name or "<root>",
-                "nbit": m.nbit,
-                "unsigned": m.unsigned,
-                "scale": float(s[0]) if s.size == 1 else float(s.mean()),
-                "clip_hi": float(s.max()) * m.qub,
-            })
+        if not isinstance(m, _QBase) or id(m) in weight_q_ids:
+            continue
+        s = np.asarray(m.scale.data).reshape(-1)
+        rows.append({
+            "quantizer": name or "<root>",
+            "nbit": m.nbit,
+            "unsigned": m.unsigned,
+            "scale": float(s[0]) if s.size == 1 else float(s.mean()),
+            "clip_hi": float(s.max()) * m.qub,
+        })
     return rows
 
 

@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.core.fixed_point import FixedPointFormat, from_fixed_point, to_fixed_point
 from repro.nn.module import Module
+from repro.telemetry import state as _telemetry_state
+from repro.telemetry.saturation import record as _record_saturation
 from repro.tensor.tensor import Tensor
 
 
@@ -137,7 +139,13 @@ class MulQuant(Module):
         # products exactly for the bit-widths used here, so this is
         # bit-equivalent to the two-shift integer implementation.
         v = acc * m + b
-        y = np.clip(np.sign(v) * np.floor(np.abs(v) + 0.5), self.out_lo, self.out_hi)
+        r = np.sign(v) * np.floor(np.abs(v) + 0.5)
+        y = np.clip(r, self.out_lo, self.out_hi)
+        if _telemetry_state.enabled():
+            # saturation audit: a requantizer clamping real accumulator mass
+            # is invisible in accuracy numbers until it is too late
+            clipped = int(np.count_nonzero((r < self.out_lo) | (r > self.out_hi)))
+            _record_saturation(self, "mulquant", clipped, int(r.size))
         return Tensor(y.astype(np.float32))
 
     def extra_repr(self) -> str:

@@ -4,6 +4,10 @@ Accelerator design starts from a workload profile; this module counts
 per-layer multiply-accumulates for conv/linear layers (shape-traced, so
 strides/pooling are handled exactly) and folds in weight sparsity to report
 *effective* MACs — the number a zero-skipping accelerator executes.
+
+Forward interception goes through :mod:`repro.telemetry.hooks`
+(:class:`~repro.telemetry.hooks.ForwardPatchSet`), so the model is restored
+exactly even if the traced forward raises.
 """
 from __future__ import annotations
 
@@ -13,8 +17,15 @@ import numpy as np
 
 from repro import nn
 from repro.nn.module import Module
+from repro.telemetry.hooks import ForwardPatchSet
 from repro.tensor import no_grad
 from repro.tensor.tensor import Tensor
+
+
+def _is_attention(mod: Module) -> bool:
+    # duck-typed so both the float MultiheadAttention and the quantized
+    # QAttention (same layout, fused QKV) are profiled without importing core
+    return all(hasattr(mod, a) for a in ("num_heads", "head_dim", "qkv", "proj"))
 
 
 def profile_macs(model: Module, input_shape=(3, 32, 32)) -> List[Dict]:
@@ -22,45 +33,73 @@ def profile_macs(model: Module, input_shape=(3, 32, 32)) -> List[Dict]:
 
     Each row: ``layer``, ``type``, ``macs``, ``effective_macs`` (zero weights
     skipped), ``params``, ``weight_sparsity``.
+
+    Counting assumptions
+    --------------------
+    * Conv/linear MACs are exact from traced shapes (stride, padding, groups
+      and token/batch dimensions all accounted for).
+    * Attention modules contribute the two activation-activation matmuls —
+      scores ``Q·K^T`` and context ``attn·V``, ``2·N·H·L²·hd`` MACs total —
+      as a separate row (``params = 0``); their QKV/projection linears are
+      counted by their own rows.  These matmuls have no weight operand, so
+      weight sparsity never discounts them.
+    * Softmax, non-linearities (LUT or float), normalization and
+      requantization arithmetic are not MACs and are not counted.
     """
     rows: List[Dict] = []
-    hooked = []
 
-    def make_hook(name, mod, orig):
-        def hook(x, *args, **kwargs):
-            out = orig(x, *args, **kwargs)
-            if isinstance(mod, nn.Conv2d):
-                spatial = int(np.prod(out.shape[2:]))
-                k2 = mod.kernel_size ** 2
-                macs = spatial * mod.out_channels * (mod.in_channels // mod.groups) * k2
-                macs *= x.shape[0]
-            else:  # Linear
-                macs = int(np.prod(x.shape[:-1])) * mod.in_features * mod.out_features
-            w = mod.weight.data
-            sparsity = float((w == 0).mean())
-            rows.append({
-                "layer": name,
-                "type": type(mod).__name__,
-                "macs": int(macs),
-                "effective_macs": int(round(macs * (1.0 - sparsity))),
-                "params": int(w.size),
-                "weight_sparsity": sparsity,
-            })
-            return out
-        return hook
+    def conv_linear_wrapper(name, mod):
+        def make(orig):
+            def hook(x, *args, **kwargs):
+                out = orig(x, *args, **kwargs)
+                if isinstance(mod, nn.Conv2d):
+                    spatial = int(np.prod(out.shape[2:]))
+                    k2 = mod.kernel_size ** 2
+                    macs = spatial * mod.out_channels * (mod.in_channels // mod.groups) * k2
+                    macs *= x.shape[0]
+                else:  # Linear
+                    macs = int(np.prod(x.shape[:-1])) * mod.in_features * mod.out_features
+                w = mod.weight.data
+                sparsity = float((w == 0).mean())
+                rows.append({
+                    "layer": name,
+                    "type": type(mod).__name__,
+                    "macs": int(macs),
+                    "effective_macs": int(round(macs * (1.0 - sparsity))),
+                    "params": int(w.size),
+                    "weight_sparsity": sparsity,
+                })
+                return out
+            return hook
+        return make
 
-    for name, mod in model.named_modules():
-        if isinstance(mod, (nn.Conv2d, nn.Linear)) and getattr(mod, "weight", None) is not None:
-            orig = type(mod).forward.__get__(mod)
-            object.__setattr__(mod, "forward", make_hook(name, mod, orig))
-            hooked.append(mod)
-    try:
+    def attention_wrapper(name, mod):
+        def make(orig):
+            def hook(x, *args, **kwargs):
+                n, l, _ = x.shape
+                # scores QK^T: N*H*L*L*hd; context attn@V: same again
+                macs = 2 * n * mod.num_heads * l * l * mod.head_dim
+                rows.append({
+                    "layer": name,
+                    "type": type(mod).__name__,
+                    "macs": int(macs),
+                    "effective_macs": int(macs),
+                    "params": 0,
+                    "weight_sparsity": 0.0,
+                })
+                return orig(x, *args, **kwargs)
+            return hook
+        return make
+
+    with ForwardPatchSet() as patches:
+        for name, mod in model.named_modules():
+            if isinstance(mod, (nn.Conv2d, nn.Linear)) and getattr(mod, "weight", None) is not None:
+                patches.patch(mod, conv_linear_wrapper(name, mod))
+            elif _is_attention(mod):
+                patches.patch(mod, attention_wrapper(name, mod))
         with no_grad():
             model.eval()
             model(Tensor(np.zeros((1,) + tuple(input_shape), dtype=np.float32)))
-    finally:
-        for mod in hooked:
-            object.__delattr__(mod, "forward")
     return rows
 
 

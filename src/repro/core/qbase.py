@@ -21,6 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.module import Module
+from repro.telemetry import state as _telemetry_state
+from repro.telemetry.saturation import record as _record_saturation
 from repro.tensor import no_grad
 from repro.tensor.tensor import Tensor
 
@@ -121,6 +123,13 @@ class _QBase(Module):
     def evalFunc(self, x: Tensor) -> Tensor:
         """Inference path: low-precision integers only (paper Fig. 2)."""
         with no_grad():
+            if _telemetry_state.enabled():
+                # mirror q() but audit how many elements the grid clamps
+                xq = (x.detach() / Tensor(self.scale.data) + Tensor(self.zero_point.data)).round()
+                d = xq.data
+                clipped = int(np.count_nonzero((d < self.qlb) | (d > self.qub)))
+                _record_saturation(self, "quantizer", clipped, int(d.size))
+                return xq.clamp(self.qlb, self.qub)
             return self.q(x.detach())
 
     def observeFunc(self, x: Tensor) -> None:

@@ -24,6 +24,9 @@ from repro.core.fusion import FuserBase, build_fuser
 from repro.core.qbase import _QBase
 from repro.core.vanilla import repack
 from repro.nn.module import Module
+from repro.telemetry import emit as _emit
+from repro.telemetry import trace as _trace
+from repro.telemetry.hooks import attach_names
 from repro.tensor import no_grad
 from repro.tensor.tensor import Tensor
 
@@ -36,16 +39,22 @@ def calibrate_model(qmodel: Module, batches: Iterable[np.ndarray]) -> Module:
     """
     qmodel.eval()
     quantizers = [m for m in qmodel.modules() if isinstance(m, _QBase)]
-    for q in quantizers:
-        q.observe = True
-    with no_grad():
-        for x in batches:
-            qmodel(Tensor(np.asarray(x, dtype=np.float32)))
-    for q in quantizers:
-        q.observe = False
-        if hasattr(q, "finalize_calibration") and getattr(q, "observer", None) is not None:
-            if q.observer.initialized:
-                q.finalize_calibration()
+    with _trace("calibrate_model", quantizers=len(quantizers)) as span:
+        for q in quantizers:
+            q.observe = True
+        n_batches = 0
+        with no_grad():
+            for x in batches:
+                with _trace("calibration_batch", index=n_batches):
+                    qmodel(Tensor(np.asarray(x, dtype=np.float32)))
+                n_batches += 1
+        for q in quantizers:
+            q.observe = False
+            if hasattr(q, "finalize_calibration") and getattr(q, "observer", None) is not None:
+                if q.observer.initialized:
+                    q.finalize_calibration()
+        span.annotate(batches=n_batches)
+        _emit("calibrate", quantizers=len(quantizers), batches=n_batches)
     return qmodel
 
 
@@ -90,10 +99,15 @@ class T2C:
 
     def fuse(self) -> Module:
         """Wire MulQuants and switch the model to integer-only inference."""
-        self._fuser.fuse()
-        self.model.set_deploy(True)
-        self.model.eval()
-        self._fused = True
+        with _trace("T2C.fuse", fuser=type(self._fuser).__name__, mode=self.mode):
+            self._fuser.fuse()
+            self.model.set_deploy(True)
+            self.model.eval()
+            self._fused = True
+            # stamp dotted paths so the fused MulQuants report saturation
+            # under readable layer names
+            attach_names(self.model)
+            _emit("fuse", mode=self.mode, float_scale=self.float_scale)
         return self.model
 
     def nn2chip(

@@ -21,6 +21,10 @@ from repro import nn
 from repro.core.qbase import _QBase
 from repro.core.qlayers import QConv2d, QLinear
 from repro.nn.module import Module
+from repro.telemetry import state as _telemetry_state
+from repro.telemetry import trace as _trace
+from repro.telemetry.hooks import attach_names
+from repro.telemetry.saturation import record as _record_saturation
 from repro.tensor.tensor import Tensor
 
 
@@ -54,7 +58,11 @@ class InputQuant(Module):
         self.qub = qub
 
     def forward(self, x: Tensor) -> Tensor:
-        y = np.clip(np.round(x.data / float(self.scale.data)), self.qlb, self.qub)
+        r = np.round(x.data / float(self.scale.data))
+        y = np.clip(r, self.qlb, self.qub)
+        if _telemetry_state.enabled():
+            clipped = int(np.count_nonzero((r < self.qlb) | (r > self.qub)))
+            _record_saturation(self, "input", clipped, int(r.size))
         return Tensor(y.astype(np.float32))
 
     def extra_repr(self) -> str:
@@ -93,6 +101,11 @@ def repack(qmodel: Module) -> Module:
     The input model must already be fused and in deploy mode.  The original
     model is left untouched.
     """
+    with _trace("repack", model=type(qmodel).__name__):
+        return _repack(qmodel)
+
+
+def _repack(qmodel: Module) -> Module:
     model = copy.deepcopy(qmodel)
 
     # Swap the model-level input quantizer for the minimal vanilla version.
@@ -124,6 +137,8 @@ def repack(qmodel: Module) -> Module:
                 # train-path quantizer: keep only the grid bounds the deploy
                 # forward consults for residual clamping
                 setattr(mod, name, GridRange(child.qlb, child.qub))
+    # re-stamp dotted paths so deploy-path saturation counters stay readable
+    attach_names(model)
     return model
 
 

@@ -10,6 +10,8 @@ import numpy as np
 from repro.export.formats import bits_needed, save_tensor
 from repro.export.qint import save_qint
 from repro.nn.module import Module
+from repro.telemetry import emit as _emit
+from repro.telemetry import trace as _trace
 
 
 def export_state_dict(
@@ -54,5 +56,9 @@ def export_state_dict(
 
 def export_model(model: Module, out_dir: str, formats: Sequence[str] = ("dec",)) -> Dict:
     """Export every parameter/buffer of a (re-packed) model."""
-    state = model.state_dict()
-    return export_state_dict(state, out_dir, formats=formats)
+    with _trace("export_model", out_dir=out_dir, formats=",".join(formats)):
+        state = model.state_dict()
+        manifest = export_state_dict(state, out_dir, formats=formats)
+        _emit("export", out_dir=out_dir, formats=list(formats),
+              tensors=len(manifest["tensors"]))
+    return manifest

@@ -1,0 +1,220 @@
+"""Non-invasive model instrumentation: forward patching + per-layer probes.
+
+The substrate's :class:`~repro.nn.module.Module` has no hook registry, so the
+only way to observe a layer from outside is to shadow its bound ``forward``
+with an instance attribute.  Done ad hoc (as the old MAC profiler did) that is
+fragile: a raised exception or a double patch leaves the model permanently
+wrapped.  This module centralizes the pattern:
+
+* :func:`patch_forward` — wrap one module's forward; returns an undo callable
+  that restores the exact previous state (including a pre-existing instance
+  override).
+* :class:`ForwardPatchSet` — a context manager collecting many patches and
+  guaranteeing restoration on exit, even on error.
+* :func:`instrument` — the user-facing API: attach per-layer forward timing
+  and activation statistics (min/max/mean/sparsity) to any model, read the
+  rows, detach.
+"""
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.telemetry import metrics
+
+_MISSING = object()
+
+
+def patch_forward(module: Module, make_wrapper: Callable) -> Callable[[], None]:
+    """Shadow ``module.forward`` with ``make_wrapper(original_forward)``.
+
+    Returns a zero-argument ``restore`` callable.  Restoration is exact: if
+    the module already carried an instance-level forward (e.g. an outer patch
+    set), that override is reinstated instead of being dropped.
+    """
+    prior = module.__dict__.get("forward", _MISSING)
+    wrapped = make_wrapper(module.forward)
+    object.__setattr__(module, "forward", wrapped)
+
+    def restore() -> None:
+        if prior is _MISSING:
+            if module.__dict__.get("forward") is wrapped:
+                object.__delattr__(module, "forward")
+        else:
+            object.__setattr__(module, "forward", prior)
+
+    return restore
+
+
+class ForwardPatchSet:
+    """A batch of forward patches with guaranteed (context-managed) undo."""
+
+    def __init__(self):
+        self._restores: List[Callable[[], None]] = []
+
+    def patch(self, module: Module, make_wrapper: Callable) -> None:
+        self._restores.append(patch_forward(module, make_wrapper))
+
+    def restore_all(self) -> None:
+        # undo in reverse so stacked patches unwind correctly
+        while self._restores:
+            self._restores.pop()()
+
+    def __enter__(self) -> "ForwardPatchSet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.restore_all()
+
+
+def attach_names(model: Module, prefix: str = "") -> None:
+    """Stamp every submodule with its dotted path as ``_telemetry_name``.
+
+    Saturation counters and layer probes use this name to label metrics; it is
+    refreshed cheaply whenever the module tree is rearranged (fusion, repack).
+    """
+    for name, m in model.named_modules(prefix):
+        object.__setattr__(m, "_telemetry_name", name or "<root>")
+
+
+def telemetry_name(module: Module) -> str:
+    """The stamped dotted path, falling back to a type-based identity."""
+    name = getattr(module, "_telemetry_name", None)
+    return name if name else f"{type(module).__name__}@{id(module):x}"
+
+
+class LayerProbe:
+    """Accumulated observations for one instrumented layer."""
+
+    def __init__(self, name: str, type_name: str):
+        self.name = name
+        self.type = type_name
+        self.calls = 0
+        self.total_time = 0.0
+        self.out_min = np.inf
+        self.out_max = -np.inf
+        self._sum = 0.0
+        self._zeros = 0
+        self._count = 0
+
+    def update(self, elapsed: float, out_data: Optional[np.ndarray]) -> None:
+        self.calls += 1
+        self.total_time += elapsed
+        if out_data is None:
+            return
+        self.out_min = min(self.out_min, float(out_data.min()))
+        self.out_max = max(self.out_max, float(out_data.max()))
+        self._sum += float(out_data.sum())
+        self._zeros += int(np.count_nonzero(out_data == 0))
+        self._count += out_data.size
+
+    def row(self) -> Dict:
+        seen = self._count > 0
+        return {
+            "layer": self.name,
+            "type": self.type,
+            "calls": self.calls,
+            "time_ms": self.total_time * 1e3,
+            "out_min": self.out_min if seen else 0.0,
+            "out_max": self.out_max if seen else 0.0,
+            "out_mean": (self._sum / self._count) if seen else 0.0,
+            "out_sparsity": (self._zeros / self._count) if seen else 0.0,
+        }
+
+
+class Instrumentation:
+    """Handle returned by :func:`instrument`; detach restores the model."""
+
+    def __init__(self, model: Module, probes: Dict[int, LayerProbe],
+                 patches: ForwardPatchSet):
+        self.model = model
+        self._probes = probes
+        self._patches = patches
+        self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self._patches.restore_all()
+            self._attached = False
+
+    def report(self) -> List[Dict]:
+        """Per-layer rows in model traversal order."""
+        return [p.row() for p in self._probes.values()]
+
+    def __enter__(self) -> "Instrumentation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
+
+
+def _default_selector(module: Module) -> bool:
+    # leaves only: instrumenting containers double-counts their children
+    return next(module.children(), None) is None
+
+
+def instrument(
+    model: Module,
+    selector: Optional[Callable[[Module], bool]] = None,
+    types: Optional[Sequence[type]] = None,
+    stats: bool = True,
+    timing: bool = True,
+    registry: Optional[metrics.MetricsRegistry] = None,
+) -> Instrumentation:
+    """Attach forward-timing and activation-statistics probes to a model.
+
+    Parameters
+    ----------
+    selector:
+        Predicate choosing which modules to probe (default: leaf modules).
+    types:
+        Alternative to ``selector``: probe every instance of these classes.
+    stats:
+        Collect output min/max/mean/sparsity per layer.
+    timing:
+        Feed per-call latency into the ``layer_forward_seconds`` histogram of
+        ``registry`` (default: the process-global one) in addition to the
+        per-probe totals.
+
+    Returns an :class:`Instrumentation` handle (also a context manager); call
+    :meth:`~Instrumentation.detach` (or leave the ``with`` block) to restore
+    the model to its un-instrumented state.
+    """
+    if types is not None:
+        selector = lambda m: isinstance(m, tuple(types))  # noqa: E731
+    elif selector is None:
+        selector = _default_selector
+    reg = registry or metrics.get_registry()
+    hist = reg.histogram("layer_forward_seconds",
+                         "per-layer forward latency", labels=("layer",))
+    attach_names(model)
+
+    probes: Dict[int, LayerProbe] = {}
+    patches = ForwardPatchSet()
+    try:
+        for name, mod in model.named_modules():
+            if mod is model or not selector(mod):
+                continue
+            probe = LayerProbe(name or "<root>", type(mod).__name__)
+            probes[id(mod)] = probe
+
+            def make_wrapper(orig, _probe=probe):
+                def wrapper(*args, **kwargs):
+                    t0 = time.perf_counter()
+                    out = orig(*args, **kwargs)
+                    elapsed = time.perf_counter() - t0
+                    data = getattr(out, "data", None) if stats else None
+                    _probe.update(elapsed, data if isinstance(data, np.ndarray) else None)
+                    if timing:
+                        hist.labels(layer=_probe.name).observe(elapsed)
+                    return out
+                return wrapper
+
+            patches.patch(mod, make_wrapper)
+    except Exception:
+        patches.restore_all()
+        raise
+    return Instrumentation(model, probes, patches)

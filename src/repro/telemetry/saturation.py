@@ -1,0 +1,68 @@
+"""Integer-datapath saturation auditing.
+
+A requantizer that silently clamps a meaningful fraction of its accumulator
+values is the classic silent accuracy killer on silicon: the fake-quant model
+looks fine, the deployed integer model does not, and nothing in the usual
+reports says why.  This module gives every clamp site on the deploy path —
+:class:`~repro.core.mulquant.MulQuant`, the quantizer integer path, and the
+model-input quantizer — a counter pair (clamped elements / total elements) in
+the global metrics registry, keyed by the layer's dotted path.
+
+The recording helpers are called from the hot forward paths, so they are
+guarded by the global telemetry switch at the call site and do almost nothing
+when telemetry is off.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry import metrics
+from repro.telemetry.hooks import telemetry_name
+
+CLIPPED = "saturation_clipped_total"
+TOTAL = "saturation_elements_total"
+_LABELS = ("layer", "kind")
+
+
+def record(module, kind: str, clipped: int, total: int,
+           registry: Optional[metrics.MetricsRegistry] = None) -> None:
+    """Count ``clipped`` out of ``total`` elements clamped at ``module``.
+
+    ``kind`` names the clamp site class: ``"mulquant"`` (fixed-point
+    requantizer), ``"quantizer"`` (integer quantizer deploy path) or
+    ``"input"`` (the deployed model's input/ADC quantizer).
+    """
+    reg = registry or metrics.get_registry()
+    name = telemetry_name(module)
+    reg.counter(CLIPPED, "elements clamped to the output range",
+                labels=_LABELS).labels(layer=name, kind=kind).inc(clipped)
+    reg.counter(TOTAL, "elements that passed through the clamp site",
+                labels=_LABELS).labels(layer=name, kind=kind).inc(total)
+
+
+def saturation_report(registry: Optional[metrics.MetricsRegistry] = None) -> List[Dict]:
+    """Per-clamp-site rows: ``layer``, ``kind``, ``clipped``, ``total``, ``rate``.
+
+    Sorted by descending saturation rate, so the first row is the layer most
+    likely to be eating accuracy on hardware.
+    """
+    reg = registry or metrics.get_registry()
+    clipped_m = reg.get(CLIPPED)
+    total_m = reg.get(TOTAL)
+    if clipped_m is None or total_m is None:
+        return []
+    clipped = {tuple(sorted(s["labels"].items())): s["value"] for s in clipped_m.samples()}
+    totals = {tuple(sorted(s["labels"].items())): s["value"] for s in total_m.samples()}
+    rows = []
+    for key, total in totals.items():
+        labels = dict(key)
+        n_clip = clipped.get(key, 0)
+        rows.append({
+            "layer": labels.get("layer", "?"),
+            "kind": labels.get("kind", "?"),
+            "clipped": int(n_clip),
+            "total": int(total),
+            "rate": (n_clip / total) if total else 0.0,
+        })
+    rows.sort(key=lambda r: (-r["rate"], r["layer"]))
+    return rows

@@ -5,6 +5,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import ArrayDataset
 from repro.nn.module import Module
@@ -65,34 +66,46 @@ class Trainer:
     def train_epoch(self, epoch: int) -> dict:
         self.model.train()
         loss_m, acc_m = AverageMeter("loss"), AverageMeter("acc")
-        for x, y in self.loader:
-            self.optimizer.zero_grad()
-            loss = self.compute_loss(x, y)
-            loss.backward()
-            self.optimizer.step()
-            self._global_step += 1
-            for hook in self.step_hooks:
-                hook(self)
-            loss_m.update(loss.item(), len(y))
-            acc_m.update(accuracy(self._last_logits.data, y), len(y))
-            # drop the computation graph between steps: on deep models it
-            # retains every intermediate activation (gigabytes)
-            self._last_logits = self._last_logits.detach()
-            loss = None
+        with telemetry.trace("train_epoch", index=epoch):
+            for x, y in self.loader:
+                self.optimizer.zero_grad()
+                loss = self.compute_loss(x, y)
+                loss.backward()
+                self.optimizer.step()
+                self._global_step += 1
+                for hook in self.step_hooks:
+                    hook(self)
+                step_loss = loss.item()
+                step_acc = accuracy(self._last_logits.data, y)
+                loss_m.update(step_loss, len(y))
+                acc_m.update(step_acc, len(y))
+                telemetry.emit("step", trainer=type(self).__name__,
+                               step=self._global_step, epoch=epoch,
+                               loss=step_loss, acc=step_acc, batch=len(y))
+                # drop the computation graph between steps: on deep models it
+                # retains every intermediate activation (gigabytes)
+                self._last_logits = self._last_logits.detach()
+                loss = None
         self.scheduler.step()
         return {"epoch": epoch, "loss": loss_m.avg, "train_acc": acc_m.avg, "lr": self.scheduler.lr}
 
     def fit(self) -> Module:
         """Run the full schedule; returns the trained model."""
-        for epoch in range(self.epochs):
-            stats = self.train_epoch(epoch)
-            for hook in self.epoch_hooks:
-                hook(self, epoch)
-            if self.test_set is not None and (epoch == self.epochs - 1 or self.verbose):
-                stats["test_acc"] = evaluate(self.model, self.test_set)
-            self.history.append(stats)
-            if self.verbose:
-                print(f"[{type(self).__name__}] {stats}")
+        with telemetry.trace("Trainer.fit", trainer=type(self).__name__,
+                             epochs=self.epochs):
+            for epoch in range(self.epochs):
+                stats = self.train_epoch(epoch)
+                for hook in self.epoch_hooks:
+                    hook(self, epoch)
+                if self.test_set is not None and (epoch == self.epochs - 1 or self.verbose):
+                    with telemetry.trace("evaluate", index=epoch):
+                        stats["test_acc"] = evaluate(self.model, self.test_set)
+                self.history.append(stats)
+                telemetry.emit("epoch", trainer=type(self).__name__, **stats)
+                if self.verbose:
+                    print(f"[{type(self).__name__}] " + "  ".join(
+                        f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                        for k, v in stats.items()))
         return self.model
 
     def evaluate(self) -> float:

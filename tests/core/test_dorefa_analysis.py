@@ -91,6 +91,42 @@ class TestReports:
         assert rows
         assert all(r["scale"] > 0 for r in rows)
 
+    def test_activation_ranges_excludes_weight_quantizers(self, qmodel):
+        """No row may be any layer's weight quantizer (identity check, not
+        name heuristics)."""
+        from repro.core.qbase import _QBase
+        wq_ids = {id(m.wq) for m in qmodel.modules()
+                  if isinstance(getattr(m, "wq", None), _QBase)}
+        names = {r["quantizer"] for r in activation_ranges(qmodel)}
+        for name, m in qmodel.named_modules():
+            if id(m) in wq_ids:
+                assert name not in names
+
+    def test_activation_ranges_identity_filter_custom_layout(self):
+        """A weight quantizer reachable under a *non*-``.wq`` attribute path
+        (custom module layout) must still be excluded, and activation
+        quantizers with unusual names must still be included."""
+        from repro import nn
+        from repro.core.quantizers import MinMaxQuantizer
+
+        class CustomLayer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.wq = MinMaxQuantizer(nbit=4)
+                # alias the weight quantizer under a second, non-wq name
+                self.weight_quant_alias = self.wq
+                self.act_quantizer = MinMaxQuantizer(nbit=8, unsigned=True)
+
+            def forward(self, x):
+                return x
+
+        m = CustomLayer()
+        rows = activation_ranges(m)
+        names = {r["quantizer"] for r in rows}
+        assert "act_quantizer" in names
+        assert "wq" not in names
+        assert "weight_quant_alias" not in names
+
     def test_end_to_end_sqnr(self, qmodel, resnet20_with_stats, tiny_data):
         _, test = tiny_data
         val = layer_output_sqnr(qmodel, resnet20_with_stats, test.images[:32])

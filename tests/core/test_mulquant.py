@@ -100,3 +100,46 @@ class TestBiasFormat:
         sd = mq.state_dict()
         assert np.issubdtype(sd["scale"].dtype, np.integer)
         assert np.issubdtype(sd["bias"].dtype, np.integer)
+
+
+class TestSaturationCounters:
+    """MulQuant saturation audit: counters must match hand-computed clamps."""
+
+    def _report(self):
+        from repro import telemetry
+        return {r["layer"]: r for r in telemetry.saturation_report()}
+
+    def test_fixed_point_mode_hand_count(self):
+        from repro import telemetry
+        prev = telemetry.set_enabled(True)
+        telemetry.get_registry().clear()
+        try:
+            mq = MulQuant(scale=1.0, out_lo=-8, out_hi=7)
+            # effective scale is 1.0 (power-of-two normalized); inputs round
+            # to [-9, -8, 0, 7, 8]: -9 clamps low, 8 clamps high -> 2 of 5
+            mq(Tensor(np.array([-9.0, -8.0, 0.3, 7.2, 8.0], dtype=np.float32)))
+            row = self._report()[f"MulQuant@{id(mq):x}"]
+            assert row["clipped"] == 2 and row["total"] == 5
+        finally:
+            telemetry.set_enabled(prev)
+            telemetry.get_registry().clear()
+
+    def test_no_counters_when_disabled(self):
+        from repro import telemetry
+        telemetry.get_registry().clear()
+        mq = MulQuant(scale=1.0, out_lo=-8, out_hi=7)
+        mq(Tensor(np.array([-100.0, 100.0], dtype=np.float32)))
+        assert telemetry.saturation_report() == []
+
+    def test_output_identical_with_audit_on(self, rng):
+        from repro import telemetry
+        mq = MulQuant(scale=0.013, bias=3.0, out_lo=0, out_hi=255)
+        x = Tensor(rng.normal(scale=4000, size=256).astype(np.float32))
+        y_off = mq(x).data.copy()
+        prev = telemetry.set_enabled(True)
+        try:
+            y_on = mq(x).data.copy()
+        finally:
+            telemetry.set_enabled(prev)
+            telemetry.get_registry().clear()
+        np.testing.assert_array_equal(y_off, y_on)

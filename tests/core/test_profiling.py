@@ -53,6 +53,56 @@ class TestProfiler:
         assert summary["mac_reduction"] > 0.5
         assert summary["effective_macs"] < summary["total_macs"]
 
+    def test_attention_matmul_macs(self):
+        """Attention contributes QK^T + attn·V: 2·N·H·L²·hd MACs per module,
+        on top of (and separate from) its QKV/proj linear rows."""
+        from repro import nn
+        attn = nn.MultiheadAttention(embed_dim=16, num_heads=2)
+
+        class TokenWrap(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.attn = attn
+
+            def forward(self, x):
+                n = x.shape[0]
+                return self.attn(x.reshape(n, 6, 16))
+
+        rows = profile_macs(TokenWrap(), input_shape=(6, 16))
+        by_type = {}
+        for r in rows:
+            by_type.setdefault(r["type"], []).append(r)
+        (arow,) = by_type["MultiheadAttention"]
+        assert arow["macs"] == 2 * 1 * 2 * 6 * 6 * 8  # 2·N·H·L²·hd
+        assert arow["params"] == 0
+        lin_macs = {r["layer"]: r["macs"] for r in by_type["Linear"]}
+        assert lin_macs["attn.qkv"] == 6 * 16 * 48
+        assert lin_macs["attn.proj"] == 6 * 16 * 16
+
+    def test_vit_profile_includes_attention(self):
+        seed_everything(0)
+        model = build_model("vit-7", num_classes=10, embed_dim=64)
+        rows = profile_macs(model)
+        attn_rows = [r for r in rows if r["type"] == "MultiheadAttention"]
+        assert len(attn_rows) == 7  # one per block
+        attn_total = sum(r["macs"] for r in attn_rows)
+        assert attn_total > 0
+        total = summarize_profile(rows)["total_macs"]
+        assert attn_total < total  # linears still dominate at this scale
+
+    def test_model_restored_after_exception(self):
+        from repro import nn
+
+        class Boom(nn.Module):
+            def forward(self, x):
+                raise RuntimeError("boom")
+
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), Boom())
+        with pytest.raises(RuntimeError):
+            profile_macs(model, (3, 8, 8))
+        for mod in model.modules():
+            assert "forward" not in mod.__dict__
+
     def test_model_unchanged_after_profiling(self):
         seed_everything(0)
         model = build_model("resnet20", num_classes=10, width=8)

@@ -1,0 +1,16 @@
+"""Telemetry tests touch process-global state; isolate every test."""
+import pytest
+
+from repro.telemetry import metrics, report, state
+
+
+@pytest.fixture(autouse=True)
+def _isolate_telemetry():
+    prev = state.set_enabled(False)
+    prev_sink = report.set_event_sink(None)
+    yield
+    state.set_enabled(prev)
+    report.set_event_sink(prev_sink)
+    metrics.get_registry().clear()
+    from repro.telemetry import tracing
+    tracing.get_tracer().reset()

@@ -1,0 +1,101 @@
+"""Forward patching and the instrument() probe API."""
+import numpy as np
+import pytest
+
+from repro import nn, telemetry
+from repro.telemetry.hooks import ForwardPatchSet, patch_forward
+from repro.telemetry.metrics import MetricsRegistry
+from repro.tensor.tensor import Tensor
+
+
+def _model():
+    return nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+
+
+class TestPatchForward:
+    def test_wrap_and_restore(self):
+        m = nn.Linear(4, 4)
+        calls = []
+        restore = patch_forward(m, lambda orig: lambda x: (calls.append(1), orig(x))[1])
+        m(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert calls == [1]
+        restore()
+        m(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert calls == [1]
+        assert "forward" not in m.__dict__
+
+    def test_stacked_patches_unwind(self):
+        m = nn.Linear(4, 4)
+        order = []
+        r1 = patch_forward(m, lambda orig: lambda x: (order.append("a"), orig(x))[1])
+        r2 = patch_forward(m, lambda orig: lambda x: (order.append("b"), orig(x))[1])
+        m(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert order == ["b", "a"]
+        r2()
+        r1()
+        assert "forward" not in m.__dict__
+
+    def test_patchset_restores_on_exception(self):
+        model = _model()
+        with pytest.raises(RuntimeError):
+            with ForwardPatchSet() as patches:
+                for mod in model.modules():
+                    if isinstance(mod, nn.Linear):
+                        patches.patch(mod, lambda orig: orig)
+                raise RuntimeError("boom")
+        for mod in model.modules():
+            assert "forward" not in mod.__dict__
+
+
+class TestInstrument:
+    def test_probes_leaf_layers(self):
+        model = _model()
+        with telemetry.instrument(model, registry=MetricsRegistry(enabled=True)) as inst:
+            model(Tensor(np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)))
+        rows = inst.report()
+        assert [r["type"] for r in rows] == ["Linear", "ReLU", "Linear"]
+        assert all(r["calls"] == 1 for r in rows)
+        assert all(r["time_ms"] >= 0 for r in rows)
+
+    def test_activation_stats(self):
+        model = nn.Sequential(nn.ReLU())
+        x = np.array([[-1.0, 0.0, 2.0, 4.0]], dtype=np.float32)
+        with telemetry.instrument(model, registry=MetricsRegistry(enabled=True)) as inst:
+            model(Tensor(x))
+        row = inst.report()[0]
+        assert row["out_min"] == 0.0 and row["out_max"] == 4.0
+        assert row["out_mean"] == pytest.approx(1.5)
+        assert row["out_sparsity"] == pytest.approx(0.5)  # two zeros of four
+
+    def test_detach_restores_model(self):
+        model = _model()
+        inst = telemetry.instrument(model, registry=MetricsRegistry(enabled=True))
+        inst.detach()
+        for mod in model.modules():
+            assert "forward" not in mod.__dict__
+        inst.detach()  # idempotent
+
+    def test_types_filter(self):
+        model = _model()
+        with telemetry.instrument(model, types=[nn.Linear],
+                                  registry=MetricsRegistry(enabled=True)) as inst:
+            model(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert all(r["type"] == "Linear" for r in inst.report())
+        assert len(inst.report()) == 2
+
+    def test_timing_feeds_registry_histogram(self):
+        reg = MetricsRegistry(enabled=True)
+        model = _model()
+        with telemetry.instrument(model, registry=reg):
+            model(Tensor(np.ones((1, 4), dtype=np.float32)))
+        hist = reg.get("layer_forward_seconds")
+        assert hist is not None
+        assert sum(s["count"] for s in hist.samples()) == 3
+
+    def test_model_output_unchanged(self):
+        model = _model()
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)).astype(np.float32))
+        y_plain = model(x).data.copy()
+        with telemetry.instrument(model, registry=MetricsRegistry(enabled=True)):
+            y_inst = model(x).data.copy()
+        np.testing.assert_array_equal(y_plain, y_inst)

@@ -1,0 +1,116 @@
+"""MetricsRegistry primitives: counters, gauges, histograms, labels, gating."""
+import pytest
+
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            reg.counter("hits").inc(-1)
+
+    def test_labels_create_children(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("sat", labels=("layer",))
+        c.labels(layer="conv1").inc(3)
+        c.labels(layer="conv2").inc(7)
+        c.labels(layer="conv1").inc(1)
+        samples = {s["labels"]["layer"]: s["value"] for s in c.samples()}
+        assert samples == {"conv1": 4, "conv2": 7}
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("sat", labels=("layer",))
+        with pytest.raises(ValueError):
+            c.labels(wrong="x")
+
+    def test_unlabeled_metric_rejects_labels(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            reg.counter("plain").labels(layer="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry(enabled=True)
+        g = reg.gauge("depth")
+        g.set(10.0)
+        g.inc(2)
+        g.dec(1)
+        assert g.value == 11.0
+
+
+class TestHistogram:
+    def test_buckets_cumulative_placement(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.2)
+        d = h._value_dict()
+        assert d["buckets"]["le=1"] == 2
+        assert d["buckets"]["le=10"] == 1
+        assert d["overflow"] == 1
+        assert h.mean == pytest.approx(106.2 / 4)
+
+    def test_labeled_histogram_children_share_buckets(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", labels=("layer",), buckets=(1.0,))
+        h.labels(layer="a").observe(0.5)
+        assert h.labels(layer="a").buckets == (1.0,)
+
+
+class TestRegistry:
+    def test_create_or_get_same_object(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_snapshot_collects_everything(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a").inc()
+        reg.gauge("b").set(2)
+        snap = reg.snapshot()
+        assert {s["name"] for s in snap["metrics"]} == {"a", "b"}
+
+    def test_reset_zeroes_values(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("a", labels=("k",))
+        c.labels(k="x").inc(5)
+        reg.reset()
+        assert c.samples() == []
+
+
+class TestGating:
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("a")
+        c.inc(100)
+        assert c.value == 0
+
+    def test_default_registry_follows_global_switch(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc()
+        assert c.value == 0  # global switch is off
+        telemetry.enable()
+        c.inc(2)
+        assert c.value == 2
+
+    def test_global_registry_singleton(self):
+        assert telemetry.get_registry() is telemetry.get_registry()

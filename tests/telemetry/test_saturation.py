@@ -1,0 +1,103 @@
+"""Integer-datapath saturation auditing across the deploy-path clamp sites."""
+import numpy as np
+
+from repro import telemetry
+from repro.core.mulquant import MulQuant
+from repro.core.quantizers import MinMaxQuantizer
+from repro.core.vanilla import InputQuant
+from repro.tensor.tensor import Tensor
+
+
+def _rows():
+    return {(r["layer"], r["kind"]): r for r in telemetry.saturation_report()}
+
+
+class TestMulQuantAudit:
+    def test_hand_computed_clamp_count(self):
+        telemetry.enable()
+        telemetry.get_registry().clear()
+        mq = MulQuant(0.5, out_lo=0, out_hi=15, float_scale=True)
+        # 0.5x then round-half-away: [-2, 4, 30.9, 31, 8] -> [-1, 2, 15, 16, 4]
+        # -1 clamps low, 16 clamps high, 15 lands exactly on the bound: 2 of 5
+        mq(Tensor(np.array([-2.0, 4.0, 30.9, 31.0, 8.0], dtype=np.float32)))
+        row = _rows()[(telemetry.telemetry_name(mq), "mulquant")]
+        assert row["clipped"] == 2
+        assert row["total"] == 5
+        assert row["rate"] == 2 / 5
+
+    def test_counts_accumulate_across_batches(self):
+        telemetry.enable()
+        telemetry.get_registry().clear()
+        mq = MulQuant(1.0, out_lo=0, out_hi=10, float_scale=True)
+        mq(Tensor(np.full((4,), 100.0, dtype=np.float32)))
+        mq(Tensor(np.full((4,), 5.0, dtype=np.float32)))
+        row = _rows()[(telemetry.telemetry_name(mq), "mulquant")]
+        assert row["clipped"] == 4 and row["total"] == 8
+
+    def test_disabled_records_nothing_and_output_identical(self):
+        mq = MulQuant(0.5, out_lo=0, out_hi=15, float_scale=True)
+        x = Tensor(np.array([-2.0, 31.0, 8.0], dtype=np.float32))
+        y_off = mq(x).data.copy()
+        assert telemetry.saturation_report() == []
+        telemetry.enable()
+        y_on = mq(x).data.copy()
+        np.testing.assert_array_equal(y_off, y_on)
+
+    def test_uses_attached_dotted_name(self):
+        telemetry.enable()
+        telemetry.get_registry().clear()
+        mq = MulQuant(1.0, out_lo=0, out_hi=1, float_scale=True)
+        object.__setattr__(mq, "_telemetry_name", "blocks.0.mq")
+        mq(Tensor(np.array([5.0], dtype=np.float32)))
+        assert ("blocks.0.mq", "mulquant") in _rows()
+
+
+class TestQuantizerAudit:
+    def test_deploy_path_counts_grid_clipping(self):
+        telemetry.enable()
+        telemetry.get_registry().clear()
+        q = MinMaxQuantizer(nbit=4, unsigned=False)  # grid [-8, 7]
+        q.set_scale(1.0)
+        q.deploy = True
+        # integers: [-9, -8, 0, 7, 8, 100] -> below, ok, ok, ok, above, above
+        out = q(Tensor(np.array([-9.0, -8.0, 0.0, 7.0, 8.0, 100.0], dtype=np.float32)))
+        row = _rows()[(telemetry.telemetry_name(q), "quantizer")]
+        assert row["clipped"] == 3 and row["total"] == 6
+        np.testing.assert_array_equal(out.data, [-8, -8, 0, 7, 7, 7])
+
+    def test_matches_unaudited_path(self):
+        q = MinMaxQuantizer(nbit=4, unsigned=False)
+        q.set_scale(0.3)
+        q.deploy = True
+        x = Tensor(np.linspace(-5, 5, 17).astype(np.float32))
+        y_off = q(x).data.copy()
+        telemetry.enable()
+        y_on = q(x).data.copy()
+        np.testing.assert_array_equal(y_off, y_on)
+
+
+class TestInputQuantAudit:
+    def test_counts(self):
+        telemetry.enable()
+        telemetry.get_registry().clear()
+        iq = InputQuant(scale=1.0, qlb=-4, qub=3)
+        iq(Tensor(np.array([-5.0, -4.0, 0.0, 3.0, 4.0], dtype=np.float32)))
+        row = _rows()[(telemetry.telemetry_name(iq), "input")]
+        assert row["clipped"] == 2 and row["total"] == 5
+
+
+class TestReportShape:
+    def test_sorted_by_rate_desc(self):
+        telemetry.enable()
+        telemetry.get_registry().clear()
+        mild = MulQuant(1.0, out_lo=0, out_hi=100, float_scale=True)
+        harsh = MulQuant(1.0, out_lo=0, out_hi=1, float_scale=True)
+        object.__setattr__(mild, "_telemetry_name", "mild")
+        object.__setattr__(harsh, "_telemetry_name", "harsh")
+        mild(Tensor(np.array([5.0, 200.0], dtype=np.float32)))     # 1/2
+        harsh(Tensor(np.array([5.0, 5.0, 0.0], dtype=np.float32)))  # 2/3
+        rows = telemetry.saturation_report()
+        assert [r["layer"] for r in rows] == ["harsh", "mild"]
+
+    def test_empty_when_nothing_recorded(self):
+        assert telemetry.saturation_report() == []

@@ -1,0 +1,101 @@
+"""Tracer/Span: nesting, exports, and the disabled fast path."""
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.tracing import NULL_SPAN, Tracer
+
+
+class TestSpans:
+    def test_nesting(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            with tr.span("inner-1"):
+                pass
+            with tr.span("inner-2"):
+                pass
+        assert len(tr.roots) == 1
+        outer = tr.roots[0]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+
+    def test_durations_ordered(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer, inner = tr.roots[0], tr.roots[0].children[0]
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_annotate_and_attrs(self):
+        tr = Tracer(enabled=True)
+        with tr.span("s", model="resnet20") as span:
+            span.annotate(batches=4)
+        assert tr.roots[0].attrs == {"model": "resnet20", "batches": 4}
+
+    def test_exception_recorded_and_tree_intact(self):
+        tr = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert tr.roots[0].attrs["error"] == "RuntimeError"
+        assert tr._stack == []
+
+    def test_sequential_roots(self):
+        tr = Tracer(enabled=True)
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        assert [r.name for r in tr.roots] == ["a", "b"]
+
+
+class TestExports:
+    def _traced(self):
+        tr = Tracer(enabled=True)
+        with tr.span("fit", epochs=2):
+            with tr.span("epoch", index=0):
+                pass
+        return tr
+
+    def test_chrome_trace_shape(self):
+        doc = self._traced().to_chrome_trace()
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["dur"] >= 0 and ev["ts"] >= 0
+        assert events[0]["args"] == {"epochs": 2}
+
+    def test_chrome_trace_json_serializable(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        self._traced().save_chrome_trace(path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["traceEvents"][0]["name"] == "fit"
+
+    def test_format_tree_alignment(self):
+        text = self._traced().format_tree()
+        lines = text.split("\n")
+        assert lines[0].startswith("fit")
+        assert lines[1].startswith("  epoch")
+        assert all(line.rstrip().endswith("ms") for line in lines)
+
+    def test_empty_tree(self):
+        assert "no spans" in Tracer(enabled=True).format_tree()
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_null(self):
+        tr = Tracer(enabled=False)
+        s = tr.span("x")
+        assert s is NULL_SPAN
+        with s as inner:
+            inner.annotate(a=1)
+        assert tr.roots == []
+
+    def test_global_trace_follows_switch(self):
+        assert telemetry.trace("x") is NULL_SPAN
+        telemetry.enable()
+        span = telemetry.trace("x")
+        assert span is not NULL_SPAN

@@ -44,6 +44,53 @@ class TestWorkflow:
         assert manifest["tensors"]
 
 
+class TestTelemetryCLI:
+    def test_inspect_writes_full_report(self, tmp_path):
+        out_dir = str(tmp_path / "tel")
+        rc = main(["inspect", *TINY, "--epochs", "1", "--calib-batches", "2",
+                   "--telemetry-out", out_dir])
+        assert rc == 0
+        for fname in ("manifest.json", "trace.json", "trace.txt", "events.jsonl",
+                      "metrics.json", "saturation.json", "layer_report.json",
+                      "report.txt"):
+            assert os.path.exists(os.path.join(out_dir, fname)), fname
+        trace = json.load(open(os.path.join(out_dir, "trace.json")))
+        span_names = {ev["name"] for ev in trace["traceEvents"]}
+        assert {"inspect", "calibrate_model", "T2C.fuse",
+                "evaluate_integer"} <= span_names
+        kinds = {json.loads(line)["kind"]
+                 for line in open(os.path.join(out_dir, "events.jsonl"))}
+        assert {"step", "epoch", "calibrate", "fuse", "integer_accuracy"} <= kinds
+        report = json.load(open(os.path.join(out_dir, "layer_report.json")))
+        assert report["layers"]  # per-layer probe rows
+        assert report["saturation"]  # MulQuant clamp sites
+        assert any(r["kind"] == "mulquant" for r in report["saturation"])
+        assert 0.0 <= report["summary"]["integer_accuracy"] <= 1.0
+
+    def test_inspect_leaves_telemetry_disabled(self, tmp_path):
+        from repro import telemetry
+        rc = main(["inspect", *TINY, "--epochs", "0", "--calib-batches", "2",
+                   "--telemetry-out", str(tmp_path / "t")])
+        assert rc == 0
+        assert not telemetry.enabled()
+
+    def test_export_with_telemetry_out(self, tmp_path):
+        ckpt = str(tmp_path / "qat.npz")
+        rc = main(["qat", *TINY, "--epochs", "1", "--out", ckpt])
+        assert rc == 0
+        out_dir = str(tmp_path / "deploy")
+        tel_dir = str(tmp_path / "tel")
+        rc = main(["export", *TINY, "--ckpt", ckpt, "--calib-batches", "2",
+                   "--out-dir", out_dir, "--telemetry-out", tel_dir])
+        assert rc == 0
+        assert os.path.exists(os.path.join(out_dir, "manifest.json"))
+        trace = json.load(open(os.path.join(tel_dir, "trace.json")))
+        span_names = {ev["name"] for ev in trace["traceEvents"]}
+        assert "export_model" in span_names
+        sat = json.load(open(os.path.join(tel_dir, "saturation.json")))
+        assert sat  # deploy-path evaluation recorded clamp sites
+
+
 class TestCheckpoint:
     def test_roundtrip_with_metadata(self, tmp_path):
         from repro.models import build_model
