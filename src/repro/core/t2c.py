@@ -84,11 +84,14 @@ class T2C:
         fmt: FixedPointFormat = FixedPointFormat(4, 12),
         mode: str = "channel",
         float_scale: bool = False,
+        lint_after_fuse: bool = False,
     ):
         self.model = model
         self.fmt = fmt
         self.mode = mode
         self.float_scale = float_scale
+        self.lint_after_fuse = lint_after_fuse
+        self.lint_report = None
         if fuser is None:
             self._fuser: FuserBase = build_fuser(model, fmt=fmt, mode=mode, float_scale=float_scale)
         elif isinstance(fuser, FuserBase):
@@ -108,7 +111,26 @@ class T2C:
             # under readable layer names
             attach_names(self.model)
             _emit("fuse", mode=self.mode, float_scale=self.float_scale)
+        if self.lint_after_fuse:
+            self.lint()
         return self.model
+
+    def lint(self, accum_bits: int = 32):
+        """Statically verify the fused model (interval engine + contracts).
+
+        Returns the :class:`repro.lint.LintReport`; it is also kept on
+        ``self.lint_report`` so callers of the post-fuse hook can inspect it.
+        An ERROR-level finding means the integer model is not safe to hand
+        to hardware (e.g. a proven accumulator overflow).
+        """
+        from repro.lint import lint_model  # lazy: lint imports core
+
+        if not self._fused:
+            self.fuse()
+        self.lint_report = lint_model(self.model, accum_bits=accum_bits)
+        s = self.lint_report.to_json()["summary"]
+        _emit("lint", errors=s["errors"], warnings=s["warnings"])
+        return self.lint_report
 
     def nn2chip(
         self,

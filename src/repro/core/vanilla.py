@@ -58,7 +58,7 @@ class InputQuant(Module):
         self.qub = qub
 
     def forward(self, x: Tensor) -> Tensor:
-        r = np.round(x.data / float(self.scale.data))
+        r = np.round(x.data / float(self.scale.data))  # lint: allow-float (ADC boundary)
         y = np.clip(r, self.qlb, self.qub)
         if _telemetry_state.enabled():
             clipped = int(np.count_nonzero((r < self.qlb) | (r > self.qub)))
@@ -75,7 +75,8 @@ def _check_symmetric(q) -> None:
         raise NotImplementedError(
             "vanilla re-pack supports symmetric activation grids; asymmetric "
             "(zero-point) models deploy through the fused Q-model, whose "
-            "layers carry the integer offset-subtract stage")
+            "layers carry the integer offset-subtract stage (lint rule "
+            "deploy.asymmetric-grid flags this before re-pack)")
 
 
 def _vanilla_conv(q: QConv2d) -> nn.Conv2d:
@@ -142,12 +143,29 @@ def _repack(qmodel: Module) -> Module:
     return model
 
 
-def integer_state_report(model: Module) -> dict:
-    """Sanity report over a repacked model: every parameter must be integral."""
+def integer_state_report(model: Module, accum_bits: int = 32) -> dict:
+    """Sanity report over a repacked model: every parameter must be integral.
+
+    On repacked models (those carrying an :class:`InputQuant`), the report
+    also includes the interval engine's proven per-layer accumulator widths
+    under ``"accum"``: ``min_accum_bits`` maps each MAC site to the smallest
+    safe register width, and ``over_limit`` lists layers whose proven bound
+    exceeds ``accum_bits``.
+    """
     report = {"num_tensors": 0, "num_non_integer": 0, "names_non_integer": []}
     for name, p in list(model.named_parameters()) + list(model.named_buffers()):
         report["num_tensors"] += 1
         if not np.allclose(p.data, np.round(p.data)):
             report["num_non_integer"] += 1
             report["names_non_integer"].append(name)
+
+    if any(isinstance(m, InputQuant) for m in model.modules()):
+        from repro.lint.engine import lint_intervals  # lazy: lint imports core
+
+        ir = lint_intervals(model, accum_bits=accum_bits)
+        report["accum"] = {
+            "accum_bits": accum_bits,
+            "min_accum_bits": ir.min_accum_bits(),
+            "over_limit": ir.overflows(accum_bits),
+        }
     return report

@@ -1,14 +1,24 @@
-"""Model-level export: one file per tensor + manifest (paper Fig. 5)."""
+"""Model-level export: one file per tensor + manifest (paper Fig. 5).
+
+Every exported artifact is *validated*: the writer decodes each hex/bin/dec/
+qint file straight back off disk and compares against the source tensor
+(``export.roundtrip-mismatch`` on any difference), and a tensor whose values
+need more bits than the ``bits_map`` declared produces an
+``export.width-overflow`` WARN while the files are widened to a safe word
+size.  The findings ride in the manifest under ``"lint"`` so downstream
+reports can embed them.
+"""
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.export.formats import bits_needed, save_tensor
-from repro.export.qint import save_qint
+from repro.export.formats import bits_needed, load_tensor, save_tensor
+from repro.export.qint import load_qint, save_qint
+from repro.lint.findings import Finding, findings_summary, findings_to_json, make_finding
 from repro.nn.module import Module
 from repro.telemetry import emit as _emit
 from repro.telemetry import trace as _trace
@@ -19,14 +29,18 @@ def export_state_dict(
     out_dir: str,
     formats: Sequence[str] = ("dec",),
     bits_map: Optional[Dict[str, int]] = None,
+    validate: bool = True,
 ) -> Dict:
     """Export a dict of integer tensors; returns the manifest.
 
     Non-integer tensors (e.g. the input quantizer scale, float-scale-mode
     MulQuants) are recorded in the manifest and stored as decimal floats.
+    With ``validate`` (default), every artifact is decoded back and compared
+    to the source tensor; findings land in ``manifest["lint"]``.
     """
     os.makedirs(out_dir, exist_ok=True)
     manifest = {"tensors": {}, "formats": list(formats)}
+    findings: List[Finding] = []
     for name, arr in state.items():
         arr = np.asarray(arr)
         safe = name.replace(".", "_")
@@ -34,7 +48,14 @@ def export_state_dict(
         integral = bool(np.allclose(arr, np.round(arr))) and arr.size > 0
         entry["integer"] = integral
         if integral:
-            bits = (bits_map or {}).get(name) or bits_needed(arr)
+            declared = (bits_map or {}).get(name)
+            needed = bits_needed(arr)
+            bits = max(declared, needed) if declared else needed
+            if declared and needed > declared:
+                findings.append(make_finding(
+                    "export.width-overflow", name,
+                    f"values need {needed} bits but {declared} were declared; "
+                    f"artifacts widened to {bits} bits"))
             entry["bits"] = bits
             for fmt in formats:
                 fname = f"{safe}.{fmt}"
@@ -44,21 +65,54 @@ def export_state_dict(
                 else:
                     save_tensor(os.path.join(out_dir, fname), arr, fmt, bits)
                     entry["files"][fmt] = fname
+                if validate:
+                    findings.extend(
+                        _verify_roundtrip(out_dir, safe, name, fmt, arr, bits))
         else:
             fname = f"{safe}.float.txt"
             np.savetxt(os.path.join(out_dir, fname), arr.reshape(-1))
             entry["files"]["float"] = fname
         manifest["tensors"][name] = entry
+    manifest["lint"] = {
+        "summary": findings_summary(findings),
+        "findings": findings_to_json(findings),
+    }
     with open(os.path.join(out_dir, "manifest.json"), "w") as f:
         json.dump(manifest, f, indent=2)
     return manifest
 
 
-def export_model(model: Module, out_dir: str, formats: Sequence[str] = ("dec",)) -> Dict:
+def _verify_roundtrip(out_dir: str, safe: str, name: str, fmt: str,
+                      arr: np.ndarray, bits: int) -> List[Finding]:
+    """Decode one artifact back off disk and compare against the source."""
+    try:
+        if fmt == "qint":
+            decoded, _ = load_qint(os.path.join(out_dir, safe + ".qint"))
+            decoded = decoded.reshape(arr.shape)
+        else:
+            decoded = load_tensor(os.path.join(out_dir, f"{safe}.{fmt}"),
+                                  fmt, bits, shape=arr.shape)
+    except (ValueError, OSError) as exc:
+        return [make_finding("export.roundtrip-mismatch", name,
+                             f"{fmt} artifact failed to decode: {exc}")]
+    src = np.asarray(np.round(arr), dtype=np.int64)
+    if not np.array_equal(decoded, src):
+        bad = int(np.count_nonzero(decoded != src))
+        return [make_finding(
+            "export.roundtrip-mismatch", name,
+            f"{fmt} artifact decodes to {bad} differing value(s) of {src.size}")]
+    return []
+
+
+def export_model(model: Module, out_dir: str, formats: Sequence[str] = ("dec",),
+                 bits_map: Optional[Dict[str, int]] = None) -> Dict:
     """Export every parameter/buffer of a (re-packed) model."""
     with _trace("export_model", out_dir=out_dir, formats=",".join(formats)):
         state = model.state_dict()
-        manifest = export_state_dict(state, out_dir, formats=formats)
+        manifest = export_state_dict(state, out_dir, formats=formats,
+                                     bits_map=bits_map)
+        s = manifest["lint"]["summary"]
         _emit("export", out_dir=out_dir, formats=list(formats),
-              tensors=len(manifest["tensors"]))
+              tensors=len(manifest["tensors"]),
+              lint_errors=s["errors"], lint_warnings=s["warnings"])
     return manifest

@@ -1,0 +1,196 @@
+"""Graph contract checker: rule-based findings over fused/re-packed models.
+
+Unlike the interval engine (which *simulates* the datapath), this pass sweeps
+the module tree and checks structural deploy contracts:
+
+* fusion completeness — no reachable BatchNorm, no unit without its MulQuant,
+  no train-path quantizer surviving the vanilla re-pack;
+* mode flags — observers still calibrating, modules still on the train path;
+* fixed-point faithfulness — MulQuant scales that underflowed to zero on the
+  ``INT(int_bits, frac_bits)`` grid, or whose round-trip error exceeds
+  tolerance (the check :mod:`repro.core.fixed_point` makes possible);
+* integer-only state — non-integer tensors on the deploy path, un-frozen
+  ``wint`` buffers, asymmetric grids headed for the symmetric-only re-pack,
+  and pruning-mask zeros that did not survive into the integer weights.
+
+The pass is static: no forward runs, no input data.  It accepts either a
+fused Q-model (``T2C.fuse()`` output) or a re-packed vanilla model and infers
+which contracts apply.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.mulquant import MulQuant
+from repro.core.qbase import IdentityQuantizer, _QBase
+from repro.core.qlayers import QConv2d, QLinear
+from repro.core.vanilla import GridRange, InputQuant
+from repro.lint.findings import Finding, make_finding
+from repro.nn.module import Module
+
+#: default relative tolerance for the MulQuant scale round-trip check —
+#: generous against the INT(4,12)+preshift encoding (max-channel error is
+#: ~2^-15 relative) while still catching wide per-channel spreads where the
+#: small channels lose most of their precision.
+SCALE_RTOL = 1e-2
+
+#: bias error tolerance in output-integer units: half an output LSB.
+BIAS_ATOL = 0.5
+
+
+def model_kind(model: Module) -> str:
+    """``"repacked"``, ``"fused"``, or ``"float"`` (not deploy-ready)."""
+    mods = list(model.modules())
+    if any(isinstance(m, InputQuant) for m in mods):
+        return "repacked"
+    if any(isinstance(m, _QBase) and m.deploy for m in mods):
+        return "fused"
+    return "float"
+
+
+def check_contracts(model: Module,
+                    masks: Optional[Dict[str, np.ndarray]] = None,
+                    scale_rtol: float = SCALE_RTOL,
+                    bias_atol: float = BIAS_ATOL) -> List[Finding]:
+    """Run every structural contract rule; returns the findings.
+
+    ``masks`` optionally maps parameter paths (``"<module>.weight"``) to
+    pruning masks; without it, the pruning rule infers the mask from exact
+    zeros of the float weight.
+    """
+    kind = model_kind(model)
+    out: List[Finding] = []
+    named = list(model.named_modules())
+
+    for path, mod in named:
+        where = path or type(model).__name__
+        if isinstance(mod, nn.BatchNorm2d):
+            if kind == "repacked":
+                out.append(make_finding(
+                    "contract.unfused-batchnorm", where,
+                    "BatchNorm survived the vanilla re-pack"))
+        if isinstance(mod, (QConv2d, QLinear)):
+            if kind == "repacked":
+                out.append(make_finding(
+                    "contract.leftover-quantizer", where,
+                    f"{type(mod).__name__} survived the vanilla re-pack"))
+            else:
+                out.extend(_check_qlayer(where, mod, masks, path))
+        elif isinstance(mod, _QBase) and not isinstance(mod, IdentityQuantizer):
+            if kind == "repacked":
+                out.append(make_finding(
+                    "contract.leftover-quantizer", where,
+                    f"train-path quantizer {type(mod).__name__} survived the "
+                    "vanilla re-pack"))
+            else:
+                if mod.observe:
+                    out.append(make_finding(
+                        "contract.observer-active", where,
+                        "quantizer still calibrating (observe=True)"))
+                if kind == "fused" and not mod.deploy:
+                    out.append(make_finding(
+                        "contract.train-flag", where,
+                        "quantizer still on the training path (deploy=False)"))
+        if isinstance(mod, MulQuant):
+            out.extend(_check_mulquant(where, mod, scale_rtol, bias_atol))
+        if kind == "fused" and hasattr(mod, "mq") and not isinstance(mod, _QBase):
+            if getattr(mod, "deploy", False) and mod.mq is None \
+                    and getattr(mod, "running_stats", True):
+                out.append(make_finding(
+                    "contract.missing-mulquant", where,
+                    f"{type(mod).__name__} is in deploy mode with no MulQuant "
+                    "wired (fuse() missed it)"))
+
+    if kind == "repacked":
+        out.extend(_check_integer_state(model))
+    return out
+
+
+def _check_qlayer(where: str, mod, masks, path: str) -> List[Finding]:
+    """Fused-model rules for a QConv2d/QLinear layer."""
+    out: List[Finding] = []
+    w, wint = mod.weight.data, mod.wint.data
+    if mod.deploy and not np.any(wint) and np.any(w):
+        out.append(make_finding(
+            "contract.unfrozen-weight", where,
+            "wint buffer is all-zero while the float weight is not; "
+            "freeze_int_weight() never ran"))
+    zp_raw = getattr(mod.aq.zero_point, "data", mod.aq.zero_point)
+    zp = np.asarray(zp_raw).reshape(-1)
+    if np.any(zp != 0.0):
+        out.append(make_finding(
+            "deploy.asymmetric-grid", where,
+            "activation grid carries a zero point; the symmetric-only vanilla "
+            "re-pack (_check_symmetric) will reject this layer"))
+    mask = (masks or {}).get(f"{path}.weight")
+    zero_src = mask == 0 if mask is not None else w == 0
+    if np.any(wint) and np.any(zero_src & (wint != 0)):
+        lost = int(np.count_nonzero(zero_src & (wint != 0)))
+        out.append(make_finding(
+            "contract.pruning-mask-lost", where,
+            f"{lost} pruned (zero) weights became non-zero integers; the "
+            "sparsity pattern will not reach hardware"))
+    return out
+
+
+def _check_mulquant(where: str, mod: MulQuant,
+                    scale_rtol: float, bias_atol: float) -> List[Finding]:
+    out: List[Finding] = []
+    if mod.float_scale:
+        return out  # the float baseline mode opts out of fixed-point rules
+    intended_s = getattr(mod, "scale_f", None)
+    intended_b = getattr(mod, "bias_f", None)
+    eff_s = np.asarray(mod.effective_scale, dtype=np.float64)
+    if intended_s is not None:
+        s = np.asarray(intended_s, dtype=np.float64)
+        dead = (eff_s == 0.0) & (s != 0.0)
+        if np.any(dead):
+            out.append(make_finding(
+                "contract.scale-underflow", where,
+                f"{int(np.count_nonzero(dead))} scale entries quantized to 0 "
+                f"on the {mod.fmt} grid; those channels are silenced"))
+        live = (s != 0.0) & (eff_s != 0.0)
+        if np.any(live):
+            rel = np.abs(eff_s[live] - s[live]) / np.abs(s[live])
+            worst = float(rel.max())
+            if worst > scale_rtol:
+                out.append(make_finding(
+                    "contract.scale-roundtrip", where,
+                    f"scale fixed-point round-trip error {worst:.3%} exceeds "
+                    f"{scale_rtol:.3%} (format {mod.fmt}, shift {mod.shift})"))
+    elif np.any(eff_s == 0.0):
+        # no intended value recorded (older checkpoint): a zero entry is
+        # still suspicious on a requantizer
+        out.append(make_finding(
+            "contract.scale-underflow", where,
+            "zero entries in the fixed-point scale; channels are silenced"))
+    if intended_b is not None:
+        b = np.asarray(intended_b, dtype=np.float64)
+        eff_b = np.asarray(mod.effective_bias, dtype=np.float64)
+        err = float(np.abs(eff_b - b).max()) if b.size else 0.0
+        if err > bias_atol:
+            out.append(make_finding(
+                "contract.bias-roundtrip", where,
+                f"bias fixed-point error {err:.3g} output LSBs exceeds "
+                f"{bias_atol} (format {mod.bias_fmt})"))
+    return out
+
+
+def _check_integer_state(model: Module) -> List[Finding]:
+    """Re-packed models must hold integer tensors only (minus the ADC scale)."""
+    out: List[Finding] = []
+    # the ADC grid step is float by design, wherever the InputQuant sits
+    exempt = {f"{n}.scale" if n else "scale"
+              for n, m in model.named_modules() if isinstance(m, InputQuant)}
+    tensors = list(model.named_parameters()) + list(model.named_buffers())
+    for name, p in tensors:
+        if name in exempt:
+            continue
+        if not np.allclose(p.data, np.round(p.data)):
+            out.append(make_finding(
+                "contract.non-integer-weight", name,
+                "non-integer values in a re-packed state tensor"))
+    return out

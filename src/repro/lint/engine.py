@@ -1,0 +1,458 @@
+"""Interval abstract interpreter over the fused/re-packed deploy graph.
+
+The engine proves, from weights and layer contracts alone (no input data),
+a value interval for every tensor on the integer deploy path and the
+worst-case accumulator range of every MAC site — vanilla ``Conv2d`` /
+``Linear`` layers and the two activation-activation matmuls of the ViT
+attention path (the same MAC sites :mod:`repro.core.profiling` counts).
+Each accumulator row carries the minimum safe register width, and a
+``datapath.accum-overflow`` ERROR fires when the proven range exceeds the
+configured width (int32 by default).
+
+The walk is architecture-aware, mirroring the deploy ``forward`` of each
+module class; handlers dispatch on the MRO so custom subclasses inherit the
+stock behaviour, and :meth:`IntervalEngine.register` lets toolkit users wire
+handlers for their own modules — the same extension point the fuser registry
+offers.  Both the fused Q-model (``T2C.fuse()`` output) and the re-packed
+vanilla model are supported: fused layers read their ``wint`` buffer, the
+re-packed ones their integer ``weight``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Type
+
+import numpy as np
+
+from repro import nn
+from repro.core.lut import LUTGelu, LUTSoftmax
+from repro.core.mulquant import MulQuant
+from repro.core.qbase import IdentityQuantizer, _QBase
+from repro.core.qlayers import QConv2d, QLinear
+from repro.core.qmodels import (
+    QBasicBlock,
+    QBottleneck,
+    QConvBNReLU,
+    QLinearUnit,
+    QMobileNetV1,
+    QResNet,
+)
+from repro.core.qvgg import QVGG
+from repro.core.qvit import QAttention, QLNUnit, QMLP, QViTBlock, QVisionTransformer
+from repro.core.vanilla import GridRange, InputQuant
+from repro.lint.findings import Finding, make_finding
+from repro.lint.intervals import Interval, accum_bounds, min_signed_bits
+from repro.nn.module import Module
+
+
+@dataclass
+class IntervalReport:
+    """Per-layer accumulator rows + findings from one engine run."""
+
+    rows: List[Dict] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    output: Optional[Interval] = None
+
+    def min_accum_bits(self) -> Dict[str, int]:
+        """Layer path -> proven minimum safe accumulator width."""
+        return {r["layer"]: r["min_accum_bits"] for r in self.rows}
+
+    def overflows(self, accum_bits: int = 32) -> List[str]:
+        return [r["layer"] for r in self.rows if r["min_accum_bits"] > accum_bits]
+
+
+class IntervalEngine:
+    """Walks a deploy-mode model propagating value intervals.
+
+    Parameters
+    ----------
+    accum_bits:
+        Accumulator register width the hardware provides; proven ranges
+        beyond it raise ``datapath.accum-overflow`` findings.
+    """
+
+    _handlers: Dict[Type, Callable] = {}
+
+    def __init__(self, accum_bits: int = 32):
+        self.accum_bits = accum_bits
+        self.report = IntervalReport()
+        self.ctx: Dict = {}
+
+    # --------------------------------------------------------- registry
+    @classmethod
+    def register(cls, *types: Type):
+        """Decorator: wire an interval handler for one or more module types.
+
+        The handler signature is ``fn(engine, name, module, x) -> Interval``.
+        """
+        def deco(fn: Callable) -> Callable:
+            for t in types:
+                cls._handlers[t] = fn
+            return fn
+        return deco
+
+    def _lookup(self, mod: Module) -> Optional[Callable]:
+        for klass in type(mod).__mro__:
+            if klass in self._handlers:
+                return self._handlers[klass]
+        return None
+
+    # ------------------------------------------------------------- walk
+    def visit(self, name: str, mod: Module, x: Interval) -> Interval:
+        handler = self._lookup(mod)
+        if handler is not None:
+            return handler(self, name, mod, x)
+        if not list(mod.children()) and not list(mod.parameters()):
+            return x  # stateless leaf (activation wrapper, dropout, ...)
+        self.finding("lint.unhandled-module", name,
+                     f"{type(mod).__name__} has no interval handler; "
+                     "range assumed preserved")
+        return x
+
+    def run(self, model: Module, input_interval: Optional[Interval] = None,
+            tokens: Optional[int] = None) -> IntervalReport:
+        """Interpret ``model``; returns the accumulated report.
+
+        ``input_interval`` bounds the raw model input; models that start with
+        an input quantizer do not need it (the ADC grid bounds everything).
+        ``tokens`` overrides the sequence length used for attention
+        accumulator bounds (derived from ``pos_int`` on full ViT models).
+        """
+        self.report = IntervalReport()
+        if tokens is not None:
+            self.ctx["tokens"] = tokens
+        x = input_interval if input_interval is not None else Interval.unbounded()
+        self.report.output = self.visit("", model, x)
+        return self.report
+
+    # ---------------------------------------------------------- helpers
+    def finding(self, rule: str, where: str, message: str) -> None:
+        self.report.findings.append(make_finding(rule, where, message))
+
+    def record_accum(self, name: str, kind: str, acc: Interval) -> None:
+        """Record a MAC-site accumulator row and check the register width."""
+        lo, hi = acc.bounds()
+        # The register passes through 0 (reset state) between accumulations.
+        bits = min_signed_bits(min(lo, 0.0), max(hi, 0.0))
+        self.report.rows.append({
+            "layer": name, "kind": kind,
+            "acc_lo": lo, "acc_hi": hi, "min_accum_bits": bits,
+        })
+        if bits > self.accum_bits:
+            self.finding(
+                "datapath.accum-overflow", name,
+                f"proven accumulator range [{lo:.0f}, {hi:.0f}] needs {bits} bits "
+                f"(> {self.accum_bits}-bit accumulator)")
+
+    def _weighted(self, name: str, kind: str, weight: np.ndarray,
+                  x: Interval, bias: Optional[np.ndarray]) -> Interval:
+        if not x.is_bounded:
+            self.finding("datapath.unbounded-input", name,
+                         "no input quantizer upstream bounds this layer; pass "
+                         "input_interval explicitly")
+            x = Interval.grid(-1.0, 1.0)  # keep walking with a token range
+        if not np.allclose(weight, np.round(weight)):
+            self.finding("contract.non-integer-weight", name,
+                         f"{kind} weight is not integer-valued")
+        acc = accum_bounds(weight.reshape(weight.shape[0], -1), x)
+        if bias is not None:
+            b = np.asarray(bias, dtype=np.float64).reshape(-1)
+            acc = Interval(acc.lo + b, acc.hi + b)
+        self.record_accum(name, kind, acc)
+        return acc
+
+    def _check_grid(self, name: str, x: Interval, qlb: float, qub: float,
+                    what: str) -> None:
+        lo, hi = x.bounds()
+        if lo < qlb or hi > qub:
+            self.finding(
+                "contract.bitwidth-mismatch", name,
+                f"producer range [{lo:.0f}, {hi:.0f}] exceeds the {what} "
+                f"grid [{qlb:.0f}, {qub:.0f}]")
+
+
+# ====================================================================== #
+# leaf handlers                                                          #
+# ====================================================================== #
+
+@IntervalEngine.register(InputQuant)
+def _h_input_quant(eng, name, mod, x):
+    return Interval.grid(mod.qlb, mod.qub)
+
+
+@IntervalEngine.register(IdentityQuantizer)
+def _h_identity_quant(eng, name, mod, x):
+    return x
+
+
+@IntervalEngine.register(_QBase)
+def _h_qbase(eng, name, mod, x):
+    # deploy-path evalFunc rounds and clamps onto the integer grid
+    return Interval.grid(mod.qlb, mod.qub)
+
+
+@IntervalEngine.register(GridRange)
+def _h_grid_range(eng, name, mod, x):
+    return x.clamp(float(mod.qlb), float(mod.qub))
+
+
+@IntervalEngine.register(nn.Identity, nn.Flatten, nn.Dropout)
+def _h_identity(eng, name, mod, x):
+    return x
+
+
+@IntervalEngine.register(nn.MaxPool2d, nn.AvgPool2d, nn.AdaptiveAvgPool2d)
+def _h_pool(eng, name, mod, x):
+    # max/avg of values in [lo, hi] stays in [lo, hi] (avg may be fractional;
+    # the downstream MulQuant re-rounds it)
+    return x
+
+
+@IntervalEngine.register(nn.ReLU)
+def _h_relu(eng, name, mod, x):
+    return Interval(np.maximum(x.lo, 0.0), np.maximum(x.hi, 0.0))
+
+
+@IntervalEngine.register(nn.Sequential)
+def _h_sequential(eng, name, mod, x):
+    for i, child in enumerate(mod):
+        x = eng.visit(f"{name}.{i}" if name else str(i), child, x)
+    return x
+
+
+@IntervalEngine.register(nn.Conv2d)
+def _h_conv(eng, name, mod, x):
+    if getattr(mod, "padding", 0):
+        x = x.hull_zero()  # zero padding injects 0-codes into every window
+    bias = mod.bias.data if getattr(mod, "bias", None) is not None else None
+    return eng._weighted(name, "Conv2d", mod.weight.data, x.scalar(), bias)
+
+
+@IntervalEngine.register(nn.Linear)
+def _h_linear(eng, name, mod, x):
+    bias = mod.bias.data if getattr(mod, "bias", None) is not None else None
+    return eng._weighted(name, "Linear", mod.weight.data, x.scalar(), bias)
+
+
+def _q_weight(eng, name, mod) -> np.ndarray:
+    w = mod.wint.data
+    if not np.any(w) and np.any(mod.weight.data):
+        eng.finding("contract.unfrozen-weight", name,
+                    "wint buffer is all-zero; freeze_int_weight() never ran")
+    return w
+
+
+def _q_input(eng, name, mod, x) -> Interval:
+    """Fused-layer input: check the consumer grid, apply the zp subtract."""
+    eng._check_grid(name, x, mod.aq.qlb, mod.aq.qub, "input-activation")
+    zp_raw = getattr(mod.aq.zero_point, "data", mod.aq.zero_point)
+    zp = float(np.asarray(zp_raw).reshape(-1)[0])
+    return x.scalar().shift(-zp) if zp else x.scalar()
+
+
+@IntervalEngine.register(QConv2d)
+def _h_qconv(eng, name, mod, x):
+    x = _q_input(eng, name, mod, x)
+    if mod.padding:
+        x = x.hull_zero()
+    # deploy forward drops the float bias (it lives in the MulQuant)
+    return eng._weighted(name, "QConv2d", _q_weight(eng, name, mod), x, None)
+
+
+@IntervalEngine.register(QLinear)
+def _h_qlinear(eng, name, mod, x):
+    x = _q_input(eng, name, mod, x)
+    return eng._weighted(name, "QLinear", _q_weight(eng, name, mod), x, None)
+
+
+@IntervalEngine.register(MulQuant)
+def _h_mulquant(eng, name, mod, x):
+    m = np.asarray(mod.effective_scale, dtype=np.float64)
+    b = np.asarray(mod.effective_bias, dtype=np.float64)
+    if x.lo.size == m.size and m.ndim <= 1:
+        v = Interval(x.lo.reshape(m.shape), x.hi.reshape(m.shape))
+    else:
+        v = x.scalar()  # collapse: bound shape does not match the scale table
+    v = v.scale(m)
+    try:
+        v = Interval(v.lo + b, v.hi + b)
+    except ValueError:  # bias table not broadcastable against the bounds
+        lo, hi = v.bounds()
+        v = Interval(lo + np.min(b), hi + np.max(b))
+    v = v.round_half_away()
+    return v.clamp(float(mod.out_lo), float(mod.out_hi))
+
+
+@IntervalEngine.register(LUTSoftmax)
+def _h_lut_softmax(eng, name, mod, x):
+    span = len(mod.table.data) - 1
+    lo, hi = x.bounds()
+    if hi - lo > span:
+        eng._check_grid(name, Interval(0.0, hi - lo), 0, span, "softmax LUT")
+    # probs = round(e * 2^pb / sum(e)) <= 2^pb (one-hot row saturates it)
+    return Interval(0.0, float(1 << mod.prob_bits))
+
+
+@IntervalEngine.register(LUTGelu)
+def _h_lut_gelu(eng, name, mod, x):
+    eng._check_grid(name, x, mod.in_qlb, mod.in_qub, "GELU LUT input")
+    return Interval.of_array(mod.table.data)  # exact: the table is the layer
+
+
+# ====================================================================== #
+# unit / block handlers                                                  #
+# ====================================================================== #
+
+def _visit_mq(eng, name, mq, x) -> Interval:
+    if mq is None:
+        eng.finding("contract.missing-mulquant", name,
+                    "deploy unit has no MulQuant wired")
+        return x
+    return eng.visit(name, mq, x)
+
+
+@IntervalEngine.register(QConvBNReLU)
+def _h_unit(eng, name, mod, x):
+    x = eng.visit(f"{name}.conv", mod.conv, x)
+    return _visit_mq(eng, f"{name}.mq", mod.mq, x)
+
+
+@IntervalEngine.register(QLinearUnit)
+def _h_linear_unit(eng, name, mod, x):
+    x = eng.visit(f"{name}.linear", mod.linear, x)
+    return _visit_mq(eng, f"{name}.mq", mod.mq, x)
+
+
+def _merge_residual(a: Interval, s: Interval, res_scale: float,
+                    clamp) -> Interval:
+    v = (a.scalar() + s.scalar()).divide(float(res_scale))
+    return v.round_half_away().clamp(float(clamp[0]), float(clamp[1]))
+
+
+def _h_resblock(eng, name, mod, x):
+    a = x
+    for i, unit in enumerate(mod.units()[: 3 if isinstance(mod, QBottleneck) else 2]):
+        a = eng.visit(f"{name}.unit{i + 1}", unit, a)
+    if mod.down is not None:
+        s = eng.visit(f"{name}.down", mod.down, x)
+    else:
+        s = _visit_mq(eng, f"{name}.mq_id", mod.mq_id, x)
+    return _merge_residual(a, s, mod.res_scale, mod.out_clamp)
+
+
+IntervalEngine.register(QBasicBlock, QBottleneck)(_h_resblock)
+
+
+@IntervalEngine.register(QLNUnit)
+def _h_ln_unit(eng, name, mod, x):
+    if mod.running_stats:
+        return _visit_mq(eng, f"{name}.mq", mod.mq, x)
+    if mod.out_qub == 0 and mod.out_qlb == 0:
+        eng.finding("contract.missing-mulquant", name,
+                    "instant-stats LN unit was never fused (no output grid)")
+        return x
+    eng.finding("lint.instant-layernorm", name,
+                "instant-statistics LayerNorm normalizes in float at deploy")
+    return Interval.grid(mod.out_qlb, mod.out_qub)
+
+
+@IntervalEngine.register(QAttention)
+def _h_attention(eng, name, mod, x):
+    t = eng.visit(f"{name}.qkv", mod.qkv, x)
+    t = _visit_mq(eng, f"{name}.mq_qkv", mod.mq_qkv, t).scalar()
+    q = k = v = t  # q/k/v share the clamp range of mq_qkv
+
+    # scores Q.K^T: head_dim products of two bounded integer operands
+    scores = (q * k).scale(float(mod.head_dim))
+    eng.record_accum(f"{name}.scores", "MatMul(QK^T)", scores)
+    s = _visit_mq(eng, f"{name}.mq_score", mod.mq_score, scores)
+    p = eng.visit(f"{name}.lut_softmax", mod.lut_softmax, s)
+
+    # context probs @ V: L non-negative probabilities against V.  The LUT
+    # normalizes each row to ~2^prob_bits total mass (each entry rounds by
+    # at most 1/2), so the probability-sum bound is far tighter than L*max.
+    tokens = eng.ctx.get("tokens")
+    _, p_hi = p.bounds()
+    if tokens is None:
+        eng.finding("lint.unhandled-module", f"{name}.context",
+                    "sequence length unknown; using prob-sum upper bound only")
+        s_max, s_min = p_hi, 0.0
+    else:
+        s_max = min(tokens * p_hi, p_hi + tokens / 2.0)
+        s_min = max(0.0, p_hi - tokens / 2.0)
+    v_lo, v_hi = v.bounds()
+    ctx_hi = s_max * v_hi if v_hi >= 0 else s_min * v_hi
+    ctx_lo = s_max * v_lo if v_lo <= 0 else s_min * v_lo
+    ctx = Interval(ctx_lo, ctx_hi)
+    eng.record_accum(f"{name}.context", "MatMul(attn.V)", ctx)
+
+    c = _visit_mq(eng, f"{name}.mq_ctx", mod.mq_ctx, ctx)
+    y = eng.visit(f"{name}.proj", mod.proj, c)
+    return _visit_mq(eng, f"{name}.mq_proj", mod.mq_proj, y)
+
+
+@IntervalEngine.register(QMLP)
+def _h_mlp(eng, name, mod, x):
+    h = eng.visit(f"{name}.fc1", mod.fc1, x)
+    h = _visit_mq(eng, f"{name}.mq_fc1", mod.mq_fc1, h)
+    g = eng.visit(f"{name}.lut_gelu", mod.lut_gelu, h)
+    y = eng.visit(f"{name}.fc2", mod.fc2, g)
+    return _visit_mq(eng, f"{name}.mq_fc2", mod.mq_fc2, y)
+
+
+@IntervalEngine.register(QViTBlock)
+def _h_vit_block(eng, name, mod, x):
+    a = eng.visit(f"{name}.ln1", mod.ln1, x)
+    a = eng.visit(f"{name}.attn", mod.attn, a)
+    s = _visit_mq(eng, f"{name}.mq_id1", mod.mq_id1, x)
+    x = _merge_residual(a, s, mod.res_scale, (mod.rq1.qlb, mod.rq1.qub))
+    m = eng.visit(f"{name}.ln2", mod.ln2, x)
+    m = eng.visit(f"{name}.mlp", mod.mlp, m)
+    s = _visit_mq(eng, f"{name}.mq_id2", mod.mq_id2, x)
+    return _merge_residual(m, s, mod.res_scale, (mod.rq2.qlb, mod.rq2.qub))
+
+
+# ====================================================================== #
+# architecture (model-level) handlers                                    #
+# ====================================================================== #
+
+def _h_cnn_top(eng, name, mod, x):
+    x = eng.visit("input_q", mod.input_q, x)
+    if isinstance(mod, QResNet):
+        x = eng.visit("stem", mod.stem, x)
+        x = eng.visit("blocks", mod.blocks, x)
+    elif isinstance(mod, QMobileNetV1):
+        x = eng.visit("units", mod.units, x)
+    else:  # QVGG
+        x = eng.visit("chain", mod.chain, x)
+    x = eng.visit("pool", mod.pool, x)
+    x = _visit_mq(eng, "mq_pool", mod.mq_pool, x.scalar())
+    return eng.visit("fc", mod.fc, x)
+
+
+IntervalEngine.register(QResNet, QMobileNetV1, QVGG)(_h_cnn_top)
+
+
+@IntervalEngine.register(QVisionTransformer)
+def _h_vit_top(eng, name, mod, x):
+    x = eng.visit("input_q", mod.input_q, x)
+    x = eng.visit("patch", mod.patch, x)
+    eng.ctx["tokens"] = int(mod.pos_int.data.shape[1])
+    tok = x.hull(Interval.of_array(mod.cls_int.data))
+    tok = tok + Interval.of_array(mod.pos_int.data)
+    tok = tok.clamp(float(mod.embed_q.qlb), float(mod.embed_q.qub))
+    tok = eng.visit("blocks", mod.blocks, tok)
+    tok = eng.visit("norm", mod.norm, tok)
+    return eng.visit("head", mod.head, tok)
+
+
+# ====================================================================== #
+# entry point                                                            #
+# ====================================================================== #
+
+def lint_intervals(model: Module, accum_bits: int = 32,
+                   input_interval: Optional[Interval] = None,
+                   tokens: Optional[int] = None) -> IntervalReport:
+    """Run the interval abstract interpreter over a deploy-mode model."""
+    return IntervalEngine(accum_bits=accum_bits).run(
+        model, input_interval=input_interval, tokens=tokens)

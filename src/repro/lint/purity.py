@@ -1,0 +1,121 @@
+"""Deploy-path purity lint: AST pass over the integer-only source files.
+
+The paper's invariant is that everything between the input quantizer and the
+logits runs on integers.  The deploy-path modules
+(:mod:`repro.core.vanilla`, :mod:`repro.core.mulquant`, :mod:`repro.core.lut`)
+encode that invariant in *source*, so it can be enforced without
+instantiating a model: this pass parses the files and flags float-producing
+operations inside ``forward`` / ``evalFunc`` methods —
+
+* true division (``/``) — ``purity.float-div``;
+* float statistics (``mean`` / ``std`` / ``var``) — ``purity.float-stat``;
+* float constructors (``float(...)``, ``np.float32(...)``, ...) —
+  ``purity.float-cast``;
+* non-integral float literals (``0.5``, ``1e-3``) — ``purity.float-literal``.
+
+``arr.astype(np.float32)`` is *not* flagged: the toolkit stores integer
+values in float containers throughout (the dtype is a container choice, the
+values stay integral).  Deliberate float sites — the ADC division in
+``InputQuant``, the add-half rounding constant — carry a
+``# lint: allow-float`` marker on the offending line, which suppresses every
+rule on that line.  The lint runs in CI with no model and no data.
+"""
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding, make_finding
+
+#: line marker that whitelists a float-producing site
+ALLOW_MARKER = "lint: allow-float"
+
+#: methods that constitute the deploy path of a module class
+DEPLOY_METHODS = ("forward", "evalFunc")
+
+_FLOAT_STATS = {"mean", "std", "var"}
+_FLOAT_CASTS = {"float", "float32", "float64", "float16", "double"}
+
+
+def default_files() -> List[str]:
+    """The integer-only deploy-path sources the paper's invariant covers."""
+    import repro.core as core
+
+    base = os.path.dirname(os.path.abspath(core.__file__))
+    return [os.path.join(base, f) for f in ("vanilla.py", "mulquant.py", "lut.py")]
+
+
+def lint_purity(files: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint deploy-path sources; returns findings (no model needed)."""
+    out: List[Finding] = []
+    for path in (files if files is not None else default_files()):
+        out.extend(lint_file(path))
+    return out
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r") as f:
+        source = f.read()
+    return lint_source(source, filename=path)
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    tree = ast.parse(source, filename=filename)
+    allowed = _allowed_lines(source)
+    short = os.path.basename(filename)
+    out: List[Finding] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for fn in cls.body:
+            if isinstance(fn, ast.FunctionDef) and fn.name in DEPLOY_METHODS:
+                ctx = f"{cls.name}.{fn.name}"
+                out.extend(_lint_method(fn, ctx, short, allowed))
+    return out
+
+
+def _allowed_lines(source: str) -> Set[int]:
+    return {i for i, line in enumerate(source.splitlines(), start=1)
+            if ALLOW_MARKER in line}
+
+
+def _lint_method(fn: ast.FunctionDef, ctx: str, filename: str,
+                 allowed: Set[int]) -> Iterable[Finding]:
+    out: List[Finding] = []
+
+    def emit(rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", fn.lineno)
+        if line in allowed:
+            return
+        out.append(make_finding(rule, f"{filename}:{line}", f"{ctx}: {message}"))
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            emit("purity.float-div", node,
+                 "true division produces floats on the deploy path "
+                 "(use // or a MulQuant shift)")
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+            emit("purity.float-div", node, "in-place true division (/=)")
+        elif isinstance(node, ast.Call):
+            callee = _callee_name(node.func)
+            if callee in _FLOAT_STATS:
+                emit("purity.float-stat", node,
+                     f"float statistic {callee}() on the deploy path")
+            elif callee in _FLOAT_CASTS:
+                emit("purity.float-cast", node,
+                     f"float constructor {callee}() on the deploy path")
+        elif isinstance(node, ast.Constant) and isinstance(node.value, float):
+            if node.value != round(node.value):
+                emit("purity.float-literal", node,
+                     f"non-integral float literal {node.value!r} in "
+                     "deploy-path arithmetic")
+    return out
+
+
+def _callee_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""

@@ -1,0 +1,99 @@
+"""Top-level lint orchestration: run every pass, merge + dedupe findings.
+
+``lint_model`` is the programmatic entry point behind ``repro.cli lint`` and
+``T2C.lint()``: it runs the interval engine and the contract checker over a
+deploy-mode model and returns one :class:`LintReport`.  ``lint_sources``
+wraps the model-free purity pass for CI use.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.lint.contracts import check_contracts
+from repro.lint.engine import lint_intervals
+from repro.lint.findings import (
+    Finding,
+    findings_summary,
+    findings_to_json,
+    has_errors,
+    render_findings,
+    sort_findings,
+)
+from repro.lint.intervals import Interval
+from repro.lint.purity import lint_purity
+from repro.nn.module import Module
+
+
+@dataclass
+class LintReport:
+    """Merged result of the lint passes."""
+
+    findings: List[Finding] = field(default_factory=list)
+    rows: List[Dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not has_errors(self.findings)
+
+    def min_accum_bits(self) -> Dict[str, int]:
+        return {r["layer"]: r["min_accum_bits"] for r in self.rows}
+
+    def to_json(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "summary": findings_summary(self.findings),
+            "findings": findings_to_json(self.findings),
+            "accumulators": self.rows,
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.rows:
+            lines.append("accumulator bounds (proven worst case):")
+            width = max(len(r["layer"]) for r in self.rows)
+            for r in self.rows:
+                lines.append(
+                    f"  {r['layer']:<{width}}  {r['kind']:<14} "
+                    f"[{r['acc_lo']:>14.0f}, {r['acc_hi']:>14.0f}]  "
+                    f"min {r['min_accum_bits']:>3d} bits")
+            lines.append("")
+        lines.append(render_findings(self.findings))
+        s = findings_summary(self.findings)
+        lines.append(f"lint: {s['errors']} error(s), {s['warnings']} warning(s), "
+                     f"{s['infos']} info(s)")
+        return "\n".join(lines)
+
+
+def _dedupe(findings: Sequence[Finding]) -> List[Finding]:
+    """Engine and contracts overlap on a few rules; keep one per site."""
+    seen = set()
+    out: List[Finding] = []
+    for f in sort_findings(findings):
+        key = (f.rule, f.where)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(f)
+    return out
+
+
+def lint_model(model: Module,
+               accum_bits: int = 32,
+               input_interval: Optional[Interval] = None,
+               tokens: Optional[int] = None,
+               masks: Optional[Dict[str, np.ndarray]] = None) -> LintReport:
+    """Static verification of a fused or re-packed deploy-mode model."""
+    interval_report = lint_intervals(model, accum_bits=accum_bits,
+                                     input_interval=input_interval,
+                                     tokens=tokens)
+    contract_findings = check_contracts(model, masks=masks)
+    merged = _dedupe(list(interval_report.findings) + contract_findings)
+    return LintReport(findings=merged, rows=interval_report.rows)
+
+
+def lint_sources(files: Optional[Sequence[str]] = None) -> LintReport:
+    """Model-free purity lint over the deploy-path sources (CI entry point)."""
+    return LintReport(findings=_dedupe(lint_purity(files)))

@@ -51,3 +51,30 @@ class TestIntegerStateReport:
         m.weight.data = np.array([[1.0, -2.0], [0.0, 3.0]], dtype=np.float32)
         report = integer_state_report(m)
         assert report["num_non_integer"] == 0
+
+    def test_no_accum_section_without_input_quant(self):
+        from repro import nn
+        m = nn.Linear(2, 2, bias=False)
+        m.weight.data = np.ones((2, 2), dtype=np.float32)
+        assert "accum" not in integer_state_report(m)
+
+    def test_accum_section_on_repacked_model(self):
+        from repro import nn
+        conv = nn.Conv2d(2, 3, 3, bias=False)
+        conv.weight.data = np.ones(conv.weight.shape, dtype=np.float32) * 4
+        m = nn.Sequential(InputQuant(0.05, -128, 127), conv)
+        report = integer_state_report(m)
+        accum = report["accum"]
+        assert accum["accum_bits"] == 32
+        assert accum["over_limit"] == []
+        (bits,) = accum["min_accum_bits"].values()
+        # 18 weights of 4 * |x|<=128 -> |acc| <= 9216 -> 15 bits
+        assert bits == 15
+
+    def test_accum_over_limit_flagged(self):
+        from repro import nn
+        conv = nn.Conv2d(2, 3, 3, bias=False)
+        conv.weight.data = np.ones(conv.weight.shape, dtype=np.float32) * 4
+        m = nn.Sequential(InputQuant(0.05, -128, 127), conv)
+        report = integer_state_report(m, accum_bits=12)
+        assert report["accum"]["over_limit"]

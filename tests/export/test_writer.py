@@ -44,6 +44,43 @@ class TestWriter:
         assert "tensors" in data
 
 
+class TestValidation:
+    def test_clean_export_has_empty_lint(self, tmp_path, rng):
+        x = rng.integers(-8, 8, (3, 3)).astype(np.float32)
+        manifest = export_state_dict({"w": x}, str(tmp_path),
+                                     formats=("dec", "hex", "qint"))
+        assert manifest["lint"]["findings"] == []
+        assert manifest["lint"]["summary"]["warnings"] == 0
+
+    def test_declared_width_too_small_warns_and_widens(self, tmp_path, rng):
+        from repro.export.formats import load_tensor
+        x = rng.integers(-100, 100, (4, 4)).astype(np.float32)
+        x[0, 0] = 100  # needs 8 bits; declare only 4
+        manifest = export_state_dict({"w": x}, str(tmp_path), formats=("hex",),
+                                     bits_map={"w": 4})
+        rules = [f["rule"] for f in manifest["lint"]["findings"]]
+        assert rules == ["export.width-overflow"]
+        # files were widened, so they still decode exactly
+        entry = manifest["tensors"]["w"]
+        assert entry["bits"] >= 8
+        back = load_tensor(os.path.join(tmp_path, entry["files"]["hex"]),
+                           "hex", entry["bits"], shape=entry["shape"])
+        np.testing.assert_array_equal(back, x)
+
+    def test_declared_width_sufficient_is_kept(self, tmp_path, rng):
+        x = rng.integers(-8, 8, 6).astype(np.float32)
+        manifest = export_state_dict({"w": x}, str(tmp_path), formats=("dec",),
+                                     bits_map={"w": 16})
+        assert manifest["tensors"]["w"]["bits"] == 16
+        assert manifest["lint"]["findings"] == []
+
+    def test_validation_covers_all_formats(self, tmp_path, rng):
+        x = rng.integers(-1000, 1000, (2, 5)).astype(np.float32)
+        manifest = export_state_dict({"w": x}, str(tmp_path),
+                                     formats=("dec", "hex", "bin", "qint"))
+        assert manifest["lint"]["findings"] == []
+
+
 class TestReport:
     def test_model_size_fp32(self):
         m = build_model("resnet20", width=16)

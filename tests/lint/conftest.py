@@ -1,0 +1,60 @@
+"""Lint-suite plumbing: auto-mark + a tiny hand-fused model fixture."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.mulquant import MulQuant
+from repro.core.qlayers import QConv2d, QLinear
+from repro.core.quantizers import MinMaxChannelQuantizer, MinMaxQuantizer
+from repro.core.vanilla import InputQuant
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under tests/lint/ so `-m lint` / `-m "not lint"` can
+    select the static-verification suite (mirrors the benchmark marker)."""
+    for item in items:
+        item.add_marker(pytest.mark.lint)
+
+
+def make_deploy_linear(rng, in_f=6, out_f=4, abit=8, wlim=8) -> QLinear:
+    """A deploy-mode QLinear with known integer weights (no calibration)."""
+    lin = QLinear(in_f, out_f, bias=False,
+                  wq=MinMaxChannelQuantizer(nbit=8), aq=MinMaxQuantizer(nbit=abit))
+    w = rng.integers(-wlim, wlim + 1, size=(out_f, in_f)).astype(np.float32)
+    lin.wint.data = w
+    lin.weight.data = w * 0.01  # float twin (unused on the deploy path)
+    lin.set_deploy(True)
+    return lin
+
+
+def make_deploy_conv(rng, cin=2, cout=3, k=4, abit=8, wlim=8, padding=0) -> QConv2d:
+    """A deploy-mode QConv2d with known integer weights."""
+    conv = QConv2d(cin, cout, k, padding=padding, bias=False,
+                   wq=MinMaxChannelQuantizer(nbit=8), aq=MinMaxQuantizer(nbit=abit))
+    w = rng.integers(-wlim, wlim + 1, size=(cout, cin, k, k)).astype(np.float32)
+    conv.wint.data = w
+    conv.weight.data = w * 0.01
+    conv.set_deploy(True)
+    return conv
+
+
+@pytest.fixture
+def deploy_linear(rng):
+    return make_deploy_linear(rng)
+
+
+@pytest.fixture
+def deploy_conv(rng):
+    return make_deploy_conv(rng)
+
+
+@pytest.fixture
+def tiny_chain(rng):
+    """InputQuant -> conv -> MulQuant -> linear: a minimal deploy graph."""
+    conv = make_deploy_conv(rng, cin=2, cout=3, k=4)
+    lin = make_deploy_linear(rng, in_f=3, out_f=2)
+    mq = MulQuant(np.full(3, 0.01), out_lo=-128.0, out_hi=127.0)
+    return nn.Sequential(InputQuant(0.05, -128, 127), conv, mq,
+                         nn.Flatten(), lin)

@@ -1,0 +1,47 @@
+"""End-to-end `repro.cli lint`: exit codes gate CI, --json is machine-readable."""
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--train-size", "256", "--test-size", "64", "--calib-batches", "1"]
+
+
+class TestPurity:
+    def test_purity_exits_zero(self, capsys):
+        assert main(["lint", "--purity"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: 0 error(s)" in out
+
+    def test_purity_json(self, capsys):
+        assert main(["lint", "--purity", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["findings"] == []
+
+
+class TestModelLint:
+    def test_fused_vgg_is_clean(self, capsys):
+        assert main(["lint", "--model", "vgg8", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "min_accum_bits" in out or "accum" in out
+
+    def test_overflow_exit_code(self, capsys):
+        # a 16-bit accumulator provably overflows on the conv layers
+        rc = main(["lint", "--model", "vgg8", "--accum-bits", "16", *FAST])
+        assert rc == 2
+        assert "datapath.accum-overflow" in capsys.readouterr().out
+
+    def test_json_reports_accumulators(self, capsys):
+        assert main(["lint", "--model", "vgg8", "--json", *FAST]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["accumulators"], "expected per-layer accumulator rows"
+        for row in doc["accumulators"]:
+            assert row["min_accum_bits"] <= 32
+
+    def test_repacked_path(self, capsys):
+        assert main(["lint", "--model", "vgg8", "--repacked", *FAST]) == 0
+        doc_out = capsys.readouterr().out
+        assert "error(s)" in doc_out

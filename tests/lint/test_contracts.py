@@ -1,0 +1,133 @@
+"""Contract rules: each hand-built violation yields exactly its finding."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.mulquant import MulQuant
+from repro.core.vanilla import InputQuant
+from repro.lint.contracts import check_contracts, model_kind
+
+from tests.lint.conftest import make_deploy_conv, make_deploy_linear
+
+
+def _errors(findings):
+    return sorted(f.rule for f in findings if f.severity == "ERROR")
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def _int_weight_conv(rng, cin=2, cout=3, k=3):
+    conv = nn.Conv2d(cin, cout, k, bias=False)
+    conv.weight.data = rng.integers(-8, 9, size=conv.weight.shape).astype(np.float32)
+    return conv
+
+
+class TestModelKind:
+    def test_repacked(self, rng):
+        m = nn.Sequential(InputQuant(1.0, -128, 127), _int_weight_conv(rng))
+        assert model_kind(m) == "repacked"
+
+    def test_fused(self, deploy_linear):
+        assert model_kind(nn.Sequential(deploy_linear)) == "fused"
+
+    def test_float(self):
+        assert model_kind(nn.Sequential(nn.Linear(4, 2))) == "float"
+
+
+class TestUnfusedBatchNorm:
+    def test_leftover_bn_in_repacked_model(self, rng):
+        bn = nn.BatchNorm2d(3)
+        # integral buffers so the integer-state sweep stays silent
+        bn.running_mean.data = np.zeros(3, dtype=np.float32)
+        bn.running_var.data = np.ones(3, dtype=np.float32)
+        bn.weight.data = np.ones(3, dtype=np.float32)
+        bn.bias.data = np.zeros(3, dtype=np.float32)
+        m = nn.Sequential(InputQuant(1.0, -128, 127), _int_weight_conv(rng), bn)
+        findings = check_contracts(m)
+        assert _errors(findings) == ["contract.unfused-batchnorm"]
+
+    def test_clean_repacked_model(self, rng):
+        m = nn.Sequential(InputQuant(1.0, -128, 127), _int_weight_conv(rng))
+        assert _errors(check_contracts(m)) == []
+
+
+class TestLeftoverQuantizer:
+    def test_qlayer_in_repacked_model(self, rng):
+        lin = make_deploy_linear(rng)
+        m = nn.Sequential(InputQuant(1.0, -128, 127), lin)
+        assert "contract.leftover-quantizer" in _rules(check_contracts(m))
+
+
+class TestMulQuantScale:
+    def test_non_representable_scale_underflows(self):
+        mq = MulQuant(np.array([1.0, 1e-9]), out_lo=-128.0, out_hi=127.0)
+        findings = check_contracts(nn.Sequential(mq))
+        assert "contract.scale-underflow" in _rules(findings)
+
+    def test_lossy_scale_roundtrip_warns(self):
+        mq = MulQuant(np.array([1.0, 0.001]), out_lo=-128.0, out_hi=127.0)
+        findings = check_contracts(nn.Sequential(mq))
+        assert "contract.scale-roundtrip" in _rules(findings)
+
+    def test_bias_clipping_warns(self):
+        mq = MulQuant(1.0, bias=5000.0, out_lo=-128.0, out_hi=127.0)
+        findings = check_contracts(nn.Sequential(mq))
+        assert "contract.bias-roundtrip" in _rules(findings)
+
+    def test_float_scale_exempt(self):
+        mq = MulQuant(np.array([1.0, 1e-9]), out_lo=-128.0, out_hi=127.0,
+                      float_scale=True)
+        assert _rules(check_contracts(nn.Sequential(mq))) == []
+
+    def test_representable_scale_clean(self):
+        mq = MulQuant(np.array([0.5, 0.25]), bias=np.array([1.0, -2.0]),
+                      out_lo=-128.0, out_hi=127.0)
+        assert _rules(check_contracts(nn.Sequential(mq))) == []
+
+
+class TestQLayerContracts:
+    def test_unfrozen_weight(self, rng):
+        conv = make_deploy_conv(rng)
+        conv.wint.data = np.zeros_like(conv.wint.data)
+        findings = check_contracts(nn.Sequential(conv))
+        assert "contract.unfrozen-weight" in _rules(findings)
+
+    def test_asymmetric_grid(self, rng):
+        lin = make_deploy_linear(rng)
+        lin.aq.zero_point = 3.0
+        findings = check_contracts(nn.Sequential(lin))
+        assert "deploy.asymmetric-grid" in _rules(findings)
+
+    def test_pruning_mask_lost(self, rng):
+        lin = make_deploy_linear(rng)
+        mask = np.ones_like(lin.wint.data)
+        mask[0, :3] = 0
+        lin.wint.data = np.where(lin.wint.data == 0, 1, lin.wint.data)
+        findings = check_contracts(nn.Sequential(lin),
+                                   masks={"1.weight": mask})
+        assert "contract.pruning-mask-lost" in _rules(findings)
+
+    def test_pruning_mask_preserved(self, rng):
+        lin = make_deploy_linear(rng)
+        mask = np.ones_like(lin.wint.data)
+        mask[0, :3] = 0
+        lin.wint.data = lin.wint.data * mask
+        findings = check_contracts(nn.Sequential(lin),
+                                   masks={"1.weight": mask})
+        assert "contract.pruning-mask-lost" not in _rules(findings)
+
+
+class TestIntegerState:
+    def test_float_weight_in_repacked_model(self, rng):
+        conv = _int_weight_conv(rng)
+        conv.weight.data = conv.weight.data + 0.25
+        m = nn.Sequential(InputQuant(1.0, -128, 127), conv)
+        findings = check_contracts(m)
+        assert "contract.non-integer-weight" in _rules(findings)
+
+    def test_input_scale_exempt(self, rng):
+        # InputQuant's own scale is the ADC boundary and stays float
+        m = nn.Sequential(InputQuant(0.05, -128, 127), _int_weight_conv(rng))
+        assert "contract.non-integer-weight" not in _rules(check_contracts(m))

@@ -1,0 +1,133 @@
+"""Interval engine: bounds are tight (attained), overflows are proven."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.mulquant import MulQuant
+from repro.core.vanilla import InputQuant
+from repro.lint.engine import lint_intervals
+from repro.lint.intervals import Interval, accum_bounds
+from repro.tensor import Tensor, no_grad
+
+from tests.lint.conftest import make_deploy_conv, make_deploy_linear
+
+
+def _rules(report):
+    return [f.rule for f in report.findings]
+
+
+class TestTightness:
+    """Satellite: worst-case (sign-matched) inputs hit the proven bound
+    exactly — the static bound is not just sound but attained at runtime."""
+
+    def test_linear_bound_attained(self, deploy_linear):
+        lin = deploy_linear
+        qlb, qub = lin.aq.qlb, lin.aq.qub
+        model = nn.Sequential(InputQuant(1.0, qlb, qub), lin)
+        report = lint_intervals(model)
+        (row,) = report.rows
+        assert row["kind"] == "QLinear"
+
+        w = lin.wint.data
+        per_ch = accum_bounds(w, Interval.grid(qlb, qub))
+        observed_hi, observed_lo = [], []
+        with no_grad():
+            for c in range(w.shape[0]):
+                x_hi = np.where(w[c] > 0, qub, qlb).astype(np.float32)
+                x_lo = np.where(w[c] > 0, qlb, qub).astype(np.float32)
+                observed_hi.append(float(lin(Tensor(x_hi[None])).data[0, c]))
+                observed_lo.append(float(lin(Tensor(x_lo[None])).data[0, c]))
+        np.testing.assert_array_equal(observed_hi, per_ch.hi)
+        np.testing.assert_array_equal(observed_lo, per_ch.lo)
+        # the engine row is the exact hull of the attained per-channel bounds
+        assert row["acc_hi"] == max(observed_hi)
+        assert row["acc_lo"] == min(observed_lo)
+
+    def test_conv_bound_attained(self, deploy_conv):
+        conv = deploy_conv  # k == input size -> one output position, no padding
+        qlb, qub = conv.aq.qlb, conv.aq.qub
+        model = nn.Sequential(InputQuant(1.0, qlb, qub), conv)
+        report = lint_intervals(model)
+        (row,) = report.rows
+
+        w = conv.wint.data
+        w2d = w.reshape(w.shape[0], -1)
+        per_ch = accum_bounds(w2d, Interval.grid(qlb, qub))
+        observed_hi, observed_lo = [], []
+        with no_grad():
+            for c in range(w.shape[0]):
+                x_hi = np.where(w[c] > 0, qub, qlb).astype(np.float32)
+                x_lo = np.where(w[c] > 0, qlb, qub).astype(np.float32)
+                observed_hi.append(float(conv(Tensor(x_hi[None])).data[0, c, 0, 0]))
+                observed_lo.append(float(conv(Tensor(x_lo[None])).data[0, c, 0, 0]))
+        np.testing.assert_array_equal(observed_hi, per_ch.hi)
+        np.testing.assert_array_equal(observed_lo, per_ch.lo)
+        assert row["acc_hi"] == max(observed_hi)
+        assert row["acc_lo"] == min(observed_lo)
+
+
+class TestOverflow:
+    def test_int32_overflow_is_error(self, rng):
+        lin = make_deploy_linear(rng, in_f=6, out_f=2)
+        lin.wint.data = np.full((2, 6), 1e8, dtype=np.float32)
+        model = nn.Sequential(InputQuant(1.0, -128, 127), lin)
+        report = lint_intervals(model, accum_bits=32)
+        assert "datapath.accum-overflow" in _rules(report)
+        (row,) = report.rows
+        assert row["min_accum_bits"] > 32
+
+    def test_fits_configured_width(self, deploy_linear):
+        model = nn.Sequential(InputQuant(1.0, -128, 127), deploy_linear)
+        assert "datapath.accum-overflow" not in _rules(lint_intervals(model, accum_bits=32))
+        assert "datapath.accum-overflow" in _rules(lint_intervals(model, accum_bits=8))
+
+    def test_unbounded_input_is_error(self, deploy_linear):
+        report = lint_intervals(nn.Sequential(deploy_linear))
+        assert "datapath.unbounded-input" in _rules(report)
+
+
+class TestGraphWalk:
+    def test_chain_records_every_mac_site(self, tiny_chain):
+        report = lint_intervals(tiny_chain)
+        kinds = [r["kind"] for r in report.rows]
+        assert kinds == ["QConv2d", "QLinear"]
+        for r in report.rows:
+            assert 1 <= r["min_accum_bits"] <= 128
+
+    def test_mulquant_tightens_range(self, rng):
+        conv = make_deploy_conv(rng)
+        mq = MulQuant(np.full(3, 0.01), out_lo=0.0, out_hi=255.0)
+        model = nn.Sequential(InputQuant(1.0, -128, 127), conv, mq)
+        report = lint_intervals(model)
+        lo, hi = report.output.bounds()
+        # clamp is an envelope: output must sit inside [0, 255] and below
+        # the raw accumulator range scaled by 0.01
+        assert 0.0 <= lo <= hi <= 255.0
+        (row,) = [r for r in report.rows if r["kind"] == "QConv2d"]
+        assert hi <= np.ceil(row["acc_hi"] * 0.01)
+
+    def test_bitwidth_mismatch_flagged(self, rng):
+        # producer emits up to 255 but the consumer grid is signed 4-bit
+        conv = make_deploy_conv(rng, abit=4)
+        mq = MulQuant(1.0, out_lo=0.0, out_hi=255.0)
+        model = nn.Sequential(InputQuant(1.0, 0, 255), mq, conv)
+        report = lint_intervals(model)
+        assert "contract.bitwidth-mismatch" in _rules(report)
+
+    def test_unfrozen_weight_flagged(self, rng):
+        conv = make_deploy_conv(rng)
+        conv.wint.data = np.zeros_like(conv.wint.data)
+        model = nn.Sequential(InputQuant(1.0, -128, 127), conv)
+        assert "contract.unfrozen-weight" in _rules(lint_intervals(model))
+
+    def test_relu_and_pool_preserve_bounds(self):
+        model = nn.Sequential(InputQuant(1.0, -128, 127), nn.ReLU(),
+                              nn.MaxPool2d(2, 2))
+        report = lint_intervals(model)
+        assert report.output.bounds() == (0.0, 127.0)
+
+    def test_explicit_input_interval(self, deploy_linear):
+        report = lint_intervals(nn.Sequential(deploy_linear),
+                                input_interval=Interval.grid(-8, 7))
+        assert "datapath.unbounded-input" not in _rules(report)
+        assert len(report.rows) == 1

@@ -1,0 +1,92 @@
+"""Interval domain: soundness and tightness of the bound arithmetic."""
+import numpy as np
+import pytest
+
+from repro.lint.intervals import Interval, accum_bounds, min_signed_bits
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 2.0)
+
+    def test_grid_and_bounds(self):
+        iv = Interval.grid(-128, 127)
+        assert iv.bounds() == (-128.0, 127.0)
+        assert iv.is_bounded and iv.is_scalar
+
+    def test_unbounded(self):
+        iv = Interval.unbounded()
+        assert not iv.is_bounded
+
+    def test_add(self):
+        iv = Interval(-2.0, 3.0) + Interval(-1.0, 5.0)
+        assert iv.bounds() == (-3.0, 8.0)
+
+    def test_mul_covers_sign_cases(self):
+        iv = Interval(-2.0, 3.0) * Interval(-4.0, 5.0)
+        # candidates: 8, -10, -12, 15
+        assert iv.bounds() == (-12.0, 15.0)
+
+    def test_scale_negative_constant(self):
+        iv = Interval(-2.0, 3.0).scale(-2.0)
+        assert iv.bounds() == (-6.0, 4.0)
+
+    def test_scale_per_channel(self):
+        iv = Interval(np.array([0.0, -4.0]), np.array([10.0, 4.0])).scale(
+            np.array([0.5, -1.0]))
+        np.testing.assert_array_equal(iv.lo, [0.0, -4.0])
+        np.testing.assert_array_equal(iv.hi, [5.0, 4.0])
+
+    def test_clamp(self):
+        assert Interval(-100.0, 100.0).clamp(0, 15).bounds() == (0.0, 15.0)
+
+    def test_hull_zero(self):
+        assert Interval(3.0, 9.0).hull_zero().bounds() == (0.0, 9.0)
+
+    def test_round_half_away_is_monotone_image(self):
+        iv = Interval(-2.5, 2.49).round_half_away()
+        assert iv.bounds() == (-3.0, 2.0)
+
+
+class TestMinSignedBits:
+    @pytest.mark.parametrize("lo,hi,bits", [
+        (0, 0, 1),
+        (-1, 0, 1),
+        (-128, 127, 8),
+        (-129, 127, 9),
+        (0, 127, 8),
+        (0, 128, 9),
+        (-(2 ** 31), 2 ** 31 - 1, 32),
+        (0, 2 ** 31, 33),
+    ])
+    def test_widths(self, lo, hi, bits):
+        assert min_signed_bits(lo, hi) == bits
+
+    def test_unbounded_sentinel(self):
+        assert min_signed_bits(-np.inf, 0) == 128
+
+
+class TestAccumBounds:
+    def test_matches_brute_force(self, rng):
+        w = rng.integers(-7, 8, size=(5, 6)).astype(np.float64)
+        lo, hi = -8, 7
+        bounds = accum_bounds(w, Interval.grid(lo, hi))
+        # brute-force the worst case over sign-matched inputs
+        for c in range(5):
+            x_hi = np.where(w[c] > 0, hi, lo)
+            x_lo = np.where(w[c] > 0, lo, hi)
+            assert float(w[c] @ x_hi) == bounds.hi[c]
+            assert float(w[c] @ x_lo) == bounds.lo[c]
+
+    def test_sound_for_random_inputs(self, rng):
+        w = rng.integers(-7, 8, size=(4, 10)).astype(np.float64)
+        bounds = accum_bounds(w, Interval.grid(-16, 15))
+        for _ in range(100):
+            x = rng.integers(-16, 16, size=10)
+            acc = w @ x
+            assert np.all(acc >= bounds.lo) and np.all(acc <= bounds.hi)
+
+    def test_zero_weight_row(self):
+        bounds = accum_bounds(np.zeros((1, 4)), Interval.grid(-8, 7))
+        assert bounds.bounds() == (0.0, 0.0)

@@ -1,0 +1,95 @@
+"""Deploy-path purity lint: runs with no model, flags float leaks by line."""
+from repro.lint.purity import default_files, lint_purity, lint_source
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestStockSources:
+    def test_deploy_modules_are_pure(self):
+        # the whole point: CI can verify the integer path without
+        # instantiating a model or loading a checkpoint
+        assert lint_purity() == []
+
+    def test_default_files_exist(self):
+        files = default_files()
+        assert len(files) == 3
+        assert all(f.endswith(".py") for f in files)
+
+
+class TestDetection:
+    def test_float_division_flagged(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        return x / 2\n")
+        findings = lint_source(src, "foo.py")
+        assert _rules(findings) == ["purity.float-div"]
+        assert findings[0].where == "foo.py:3"
+        assert "Foo.forward" in findings[0].message
+
+    def test_augmented_division_flagged(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        x /= 3\n"
+               "        return x\n")
+        assert "purity.float-div" in _rules(lint_source(src, "foo.py"))
+
+    def test_float_stat_flagged(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        return x.mean(axis=1)\n")
+        assert "purity.float-stat" in _rules(lint_source(src, "foo.py"))
+
+    def test_float_cast_flagged(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        return float(x)\n")
+        assert "purity.float-cast" in _rules(lint_source(src, "foo.py"))
+
+    def test_float_literal_flagged(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        return x * 0.125\n")
+        assert "purity.float-literal" in _rules(lint_source(src, "foo.py"))
+
+    def test_integral_float_literal_allowed(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        return x * 2\n")
+        assert lint_source(src, "foo.py") == []
+
+
+class TestScoping:
+    def test_only_deploy_methods_scanned(self):
+        src = ("class Foo:\n"
+               "    def helper(self, x):\n"
+               "        return x / 2\n")
+        assert lint_source(src, "foo.py") == []
+
+    def test_module_level_code_ignored(self):
+        src = "RATIO = 1 / 3\n"
+        assert lint_source(src, "foo.py") == []
+
+    def test_evalfunc_scanned(self):
+        src = ("class Foo:\n"
+               "    def evalFunc(self, x):\n"
+               "        return x / 2\n")
+        assert "purity.float-div" in _rules(lint_source(src, "foo.py"))
+
+
+class TestAllowMarker:
+    def test_marker_suppresses(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        return x / 2  # lint: allow-float (documented)\n")
+        assert lint_source(src, "foo.py") == []
+
+    def test_marker_is_line_scoped(self):
+        src = ("class Foo:\n"
+               "    def forward(self, x):\n"
+               "        y = x / 2  # lint: allow-float\n"
+               "        return y / 3\n")
+        findings = lint_source(src, "foo.py")
+        assert _rules(findings) == ["purity.float-div"]
+        assert findings[0].where == "foo.py:4"
