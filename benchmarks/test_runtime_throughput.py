@@ -1,0 +1,116 @@
+"""Compiled-runtime throughput: Plan vs interpreted module tree.
+
+Full-width ResNet-20 at batch 64 — the deployment-serving workload from the
+runtime design brief.  The compiled plan must be *bitwise* identical to the
+interpreted deploy model, and (when the native kernel is available) at least
+3x faster in steady state.  Results land in ``benchmarks/BENCH_runtime.json``
+with the per-op breakdown, and the run executes under a telemetry session so
+the per-op ``plan.<kind>`` spans are recorded in the trace.
+"""
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import DeploySpec, deploy
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import build_model
+from repro.runtime import ckernel
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+from repro.utils import seed_everything
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_runtime.json")
+
+BATCH = 64
+WARMUP = 2
+TIMED = 5
+TREE_TIMED = 2
+
+
+def _steady_state(fn, x, iters):
+    best = float("inf")
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        fn(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_runtime_throughput():
+    seed_everything(0)
+    rng = np.random.default_rng(0)
+    qm = quantize_model(build_model("resnet20", num_classes=10),
+                        QConfig(8, 8))
+    calibrate_model(qm, [rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
+                         for _ in range(2)])
+
+    with telemetry.TelemetrySession() as session:
+        d = deploy(qm, DeploySpec(runtime="auto"))
+        plan = d.plan
+        x = rng.standard_normal((BATCH, 3, 32, 32)).astype(np.float32)
+
+        with no_grad():
+            ref = d.qnn(Tensor(x)).data
+        out = plan(x)
+        assert out.dtype == ref.dtype and out.shape == ref.shape
+        assert np.array_equal(ref, out), "compiled plan diverges bitwise"
+
+        for _ in range(WARMUP):
+            plan(x)
+        plan.reset_op_stats()
+        plan_s = _steady_state(plan, x, TIMED)
+
+        def tree(batch):
+            with no_grad():
+                return d.qnn(Tensor(batch)).data
+
+        tree_s = _steady_state(tree, x, TREE_TIMED)
+        trace = telemetry.get_tracer().to_chrome_trace()
+
+    span_names = {ev.get("name", "") for ev in trace.get("traceEvents", [])}
+    assert any(n.startswith("plan.") for n in span_names), (
+        "per-op plan spans missing from the telemetry trace")
+
+    speedup = tree_s / plan_s
+    per_op = [r for r in plan.op_report() if r["calls"] > 0]
+    result = {
+        "model": "resnet20",
+        "layout": plan.layout,
+        "batch_size": BATCH,
+        "warmup": WARMUP,
+        "timed_iters": TIMED,
+        "bit_exact": True,
+        "plan_ms_per_batch": round(plan_s * 1e3, 3),
+        "tree_ms_per_batch": round(tree_s * 1e3, 3),
+        "imgs_per_sec": round(BATCH / plan_s, 1),
+        "tree_imgs_per_sec": round(BATCH / tree_s, 1),
+        "speedup": round(speedup, 2),
+        "ckernel": ckernel.available(),
+        "per_op": per_op,
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    print(f"\nplan[{plan.layout}] {result['plan_ms_per_batch']} ms/batch "
+          f"({result['imgs_per_sec']} imgs/s)  tree "
+          f"{result['tree_ms_per_batch']} ms/batch  speedup {speedup:.2f}x")
+    for row in sorted(per_op, key=lambda r: -r["seconds"])[:8]:
+        print(f"  {row['kind']:<12} {row['seconds']*1e3:8.2f} ms "
+              f"({row['calls']} calls)")
+
+    if not ckernel.available():
+        pytest.skip("native kernel unavailable: throughput floor not "
+                    "applicable to the pure-numpy fallback")
+    assert plan.layout == "channel"
+    assert speedup >= 3.0, (
+        f"steady-state speedup {speedup:.2f}x below the 3x floor "
+        f"(plan {plan_s*1e3:.1f} ms vs tree {tree_s*1e3:.1f} ms)")

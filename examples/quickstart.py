@@ -8,7 +8,7 @@ Run:  python examples/quickstart.py [--epochs 5] [--out /tmp/t2c_quickstart]
 """
 import argparse
 
-from repro.core import T2C
+from repro.core import DeploySpec, deploy
 from repro.core.qconfig import QConfig
 from repro.data import make_dataset
 from repro.models import build_model
@@ -33,8 +33,9 @@ def main():
                              train_set=train, test_set=test,
                              epochs=args.epochs, batch_size=64, lr=0.1, verbose=True)
     trainer.fit()
-    nn2c = T2C(trainer.qmodel)
-    qnn = nn2c.nn2chip(save_model=True, export_dir=args.out, formats=("dec", "hex", "qint"))
+    spec = DeploySpec(export_dir=args.out, formats=("dec", "hex", "qint"))
+    deployed = deploy(trainer.qmodel, spec)
+    qnn = deployed.qnn
     # ---------------------------------------------------------------------
 
     print(f"\nfake-quant accuracy : {trainer.evaluate():.4f}")

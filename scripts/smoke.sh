@@ -24,6 +24,13 @@ python -m repro.cli lint --purity
 python -m repro.cli lint --model vgg8 --train-size 256 --test-size 64 \
     --calib-batches 1
 
+echo "== compiled runtime (plan vs interpreted tree) =="
+python -m pytest tests/runtime -q -m runtime
+python -m repro.cli bench --model resnet20 --train-size 256 --test-size 64 \
+    --batch-size 16 --warmup 1 --batches 2 --tree-batches 1 \
+    --out "$TEL_DIR/BENCH_runtime.json"
+test -s "$TEL_DIR/BENCH_runtime.json" || { echo "missing BENCH_runtime.json"; exit 1; }
+
 echo "== compile-check examples =="
 for f in examples/*.py; do
     python -m py_compile "$f"

@@ -10,6 +10,7 @@ Usage (module form)::
     python -m repro.cli inspect --model resnet20 --epochs 1 --telemetry-out telemetry_out/
     python -m repro.cli lint    --model vgg8 --wbit 8 --abit 8      # static verification
     python -m repro.cli lint    --purity                            # AST pass only, no model
+    python -m repro.cli bench   --model resnet20 --batch-size 64    # compiled runtime
 
 Everything runs on the synthetic datasets (``--dataset`` picks which); the
 CLI exists so a hardware designer can drive the whole flow without writing
@@ -17,6 +18,11 @@ Python.  ``inspect`` runs the full compress→fuse→export flow under a
 :class:`~repro.telemetry.report.TelemetrySession` and writes the Chrome
 trace, the JSONL event log, the per-layer profile and the integer-datapath
 saturation audit to disk.
+
+``export``, ``lint``, ``inspect`` and ``bench`` all translate their flags
+into one :class:`~repro.core.DeploySpec` (``DeploySpec.from_args``) and
+share :func:`_build_deployed_model`, so the four subcommands exercise the
+identical deploy pipeline.
 """
 from __future__ import annotations
 
@@ -24,10 +30,13 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
+import numpy as np
+
 from repro import telemetry
-from repro.core import T2C
+from repro.core import DeploySpec, deploy
 from repro.core.qconfig import QConfig
 from repro.core.qmodels import quantize_model
 from repro.data import make_dataset
@@ -57,6 +66,17 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--aq", default="minmax")
 
 
+def _deploy_flags(parser: argparse.ArgumentParser, calib_batches: int = 4,
+                  runtime: str = "none") -> None:
+    """Flags shared by every subcommand that runs the deploy pipeline;
+    ``DeploySpec.from_args`` translates them into the spec."""
+    parser.add_argument("--calib-batches", type=int, default=calib_batches)
+    parser.add_argument("--fusion", choices=("channel", "prefuse"),
+                        default="channel")
+    parser.add_argument("--float-scale", action="store_true")
+    parser.set_defaults(runtime=runtime)
+
+
 def _data(args):
     ds = make_dataset(args.dataset, noise=args.noise)
     n_cls = ds.num_classes
@@ -67,6 +87,34 @@ def _data(args):
 
 def _model(args, num_classes):
     return build_model(args.model, num_classes=num_classes, **MODEL_KWARGS[args.model])
+
+
+def _build_deployed_model(args, spec, model=None, data=None, before_deploy=None):
+    """Shared deploy path for ``export``/``lint``/``inspect``/``bench``.
+
+    Builds (or reuses) the float model, quantizes it with the common
+    ``--wbit/--abit/--wq/--aq`` flags, loads ``--ckpt`` when given,
+    calibrates on the training split, then hands the Q-model to
+    :func:`repro.core.deploy` under ``spec``.  ``before_deploy`` runs on the
+    calibrated Q-model right before conversion (``inspect`` instruments it
+    there).  Returns ``(deployed, (train, test, num_classes))``.
+    """
+    from repro.core.t2c import calibrate_model
+
+    train, test, n_cls = data if data is not None else _data(args)
+    if model is None:
+        model = _model(args, n_cls)
+    qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
+    qm = quantize_model(model, qcfg)
+    if getattr(args, "ckpt", None):
+        load_checkpoint(qm, args.ckpt)
+    # re-calibration is cheap and makes the checkpoint self-contained even if
+    # it was saved before calibration
+    calibrate_model(qm, [train.images[i * 64:(i + 1) * 64]
+                         for i in range(args.calib_batches)])
+    if before_deploy is not None:
+        before_deploy(qm, train, test)
+    return deploy(qm, spec), (train, test, n_cls)
 
 
 def cmd_train(args) -> int:
@@ -123,19 +171,10 @@ def cmd_export(args) -> int:
 
 def _run_export(args) -> int:
     seed_everything(args.seed)
-    train, test, n_cls = _data(args)
-    model = _model(args, n_cls)
-    qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
-    qm = quantize_model(model, qcfg)
-    load_checkpoint(qm, args.ckpt)
-    # re-calibration is cheap and makes the checkpoint self-contained even if
-    # it was saved before calibration
-    from repro.core.t2c import calibrate_model
-    calibrate_model(qm, [train.images[i * 64:(i + 1) * 64] for i in range(args.calib_batches)])
-    nn2c = T2C(qm, mode=args.fusion, float_scale=args.float_scale)
-    qnn = nn2c.nn2chip(save_model=True, export_dir=args.out_dir, formats=tuple(args.formats))
+    spec = DeploySpec.from_args(args)
+    deployed, (_, test, _) = _build_deployed_model(args, spec)
     with telemetry.trace("evaluate_integer"):
-        acc = evaluate(qnn, test)
+        acc = evaluate(deployed.qnn, test)
     telemetry.emit("integer_accuracy", accuracy=acc)
     print(f"integer-only accuracy {acc:.4f}; exported -> {args.out_dir}/manifest.json")
     return 0
@@ -148,7 +187,6 @@ def cmd_inspect(args) -> int:
     out_dir = args.telemetry_out
     from repro.core.analysis import format_report, weight_quant_report
     from repro.core.profiling import profile_macs, summarize_profile
-    from repro.core.t2c import calibrate_model
     from repro.tensor import no_grad
     from repro.tensor.tensor import Tensor
 
@@ -167,32 +205,31 @@ def cmd_inspect(args) -> int:
             with telemetry.trace("profile_macs"):
                 profile_rows = profile_macs(model, input_shape=input_shape)
 
-            qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
-            qm = quantize_model(model, qcfg)
-            if args.ckpt:
-                load_checkpoint(qm, args.ckpt)
-            calibrate_model(qm, [train.images[i * 64:(i + 1) * 64]
-                                 for i in range(args.calib_batches)])
-            weight_rows = weight_quant_report(qm)
+            reports = {}
 
-            # per-layer timing + activation stats over one instrumented batch
-            with telemetry.trace("instrumented_eval"):
-                with telemetry.instrument(qm) as inst:
-                    with no_grad():
-                        qm.eval()
-                        qm(Tensor(test.images[:args.batch_size]))
-                layer_rows = inst.report()
+            def before_deploy(qm, train_, test_):
+                reports["weight_rows"] = weight_quant_report(qm)
+                # per-layer timing + activation stats over one batch
+                with telemetry.trace("instrumented_eval"):
+                    with telemetry.instrument(qm) as inst:
+                        with no_grad():
+                            qm.eval()
+                            qm(Tensor(test_.images[:args.batch_size]))
+                    reports["layer_rows"] = inst.report()
 
             # integer-only deploy path: this is where saturation counters fill
-            nn2c = T2C(qm, mode=args.fusion, float_scale=args.float_scale)
-            qnn = nn2c.nn2chip()
+            spec = DeploySpec.from_args(args)
+            deployed, _ = _build_deployed_model(
+                args, spec, model=model, data=(train, test, n_cls),
+                before_deploy=before_deploy)
             with telemetry.trace("evaluate_integer"):
-                acc = evaluate(qnn, test)
+                acc = evaluate(deployed.qnn, test)
             telemetry.emit("integer_accuracy", accuracy=acc)
 
         sat_rows = telemetry.saturation_report()
-        _write_inspect_report(out_dir, profile_rows, layer_rows, weight_rows,
-                              sat_rows, summarize_profile(profile_rows), acc)
+        _write_inspect_report(out_dir, profile_rows, reports["layer_rows"],
+                              reports["weight_rows"], sat_rows,
+                              summarize_profile(profile_rows), acc)
 
     print(f"integer-only accuracy {acc:.4f}")
     if sat_rows:
@@ -239,26 +276,92 @@ def cmd_lint(args) -> int:
         rep = lint_sources()
     else:
         seed_everything(args.seed)
-        train, _, n_cls = _data(args)
-        model = _model(args, n_cls)
-        qcfg = QConfig(args.wbit, args.abit, wq=args.wq, aq=args.aq)
-        qm = quantize_model(model, qcfg)
-        if args.ckpt:
-            load_checkpoint(qm, args.ckpt)
-        from repro.core.t2c import calibrate_model
-        calibrate_model(qm, [train.images[i * 64:(i + 1) * 64]
-                             for i in range(args.calib_batches)])
-        nn2c = T2C(qm, mode=args.fusion, float_scale=args.float_scale)
-        target = nn2c.fuse()
-        if args.repacked:
-            from repro.core.vanilla import repack
-            target = repack(target)
+        spec = DeploySpec.from_args(args)
+        deployed, _ = _build_deployed_model(args, spec)
+        target = deployed.qnn if args.repacked else deployed.fused
         rep = lint_model(target, accum_bits=args.accum_bits)
     if args.json:
         print(json.dumps(rep.to_json(), indent=1))
     else:
         print(rep.render())
     return 0 if rep.ok else 2
+
+
+def cmd_bench(args) -> int:
+    """Throughput benchmark: compiled runtime plan vs the interpreted tree."""
+    if args.telemetry_out:
+        with telemetry.TelemetrySession(out_dir=args.telemetry_out,
+                                        label=f"bench-{args.model}"):
+            rc = _run_bench(args)
+        print(f"telemetry -> {args.telemetry_out}/manifest.json")
+        return rc
+    return _run_bench(args)
+
+
+def _run_bench(args) -> int:
+    from repro.tensor import no_grad
+    from repro.tensor.tensor import Tensor
+
+    seed_everything(args.seed)
+    spec = DeploySpec.from_args(args)
+    deployed, (_, test, _) = _build_deployed_model(args, spec)
+    plan, qnn = deployed.plan, deployed.qnn
+
+    bs = args.batch_size
+    pool = test.images
+    if pool.shape[0] < bs:
+        pool = np.concatenate([pool] * (-(-bs // pool.shape[0])))
+    batch = np.ascontiguousarray(pool[:bs], dtype=np.float32)
+
+    with no_grad():
+        ref = qnn(Tensor(batch)).data
+    exact = bool(np.array_equal(ref, plan(batch)))
+
+    for _ in range(args.warmup):
+        plan(batch)
+    plan.reset_op_stats()
+    t0 = time.perf_counter()
+    if args.workers >= 2:
+        for _ in plan.serve([batch] * args.batches, workers=args.workers):
+            pass
+    else:
+        for _ in range(args.batches):
+            plan(batch)
+    plan_s = (time.perf_counter() - t0) / args.batches
+
+    t0 = time.perf_counter()
+    for _ in range(args.tree_batches):
+        with no_grad():
+            qnn(Tensor(batch))
+    tree_s = (time.perf_counter() - t0) / max(1, args.tree_batches)
+
+    per_op = [r for r in plan.op_report() if r["calls"]]
+    result = {
+        "model": args.model,
+        "layout": plan.layout,
+        "workers": args.workers,
+        "batch_size": bs,
+        "batches": args.batches,
+        "bit_exact": exact,
+        "plan_ms_per_batch": plan_s * 1e3,
+        "tree_ms_per_batch": tree_s * 1e3,
+        "imgs_per_sec": bs / plan_s,
+        "speedup": tree_s / plan_s,
+        "per_op": per_op,
+        "spec": spec.to_json(),
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=1)
+    telemetry.emit("bench_runtime", model=args.model, layout=plan.layout,
+                   imgs_per_sec=result["imgs_per_sec"],
+                   speedup=result["speedup"], bit_exact=exact)
+    print(f"bit-exact vs tree: {exact}")
+    print(f"plan[{plan.layout}] {plan_s * 1e3:8.1f} ms/batch "
+          f"({result['imgs_per_sec']:.1f} imgs/sec)")
+    print(f"tree           {tree_s * 1e3:8.1f} ms/batch  "
+          f"-> speedup {result['speedup']:.2f}x")
+    print(f"results -> {args.out}")
+    return 0 if exact else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -292,10 +395,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("export", help="fuse + integer-only export of a Q-model checkpoint")
     _common(p)
+    _deploy_flags(p, calib_batches=8)
     p.add_argument("--ckpt", required=True)
-    p.add_argument("--calib-batches", type=int, default=8)
-    p.add_argument("--fusion", choices=("channel", "prefuse"), default="channel")
-    p.add_argument("--float-scale", action="store_true")
     p.add_argument("--formats", nargs="+", default=["dec", "hex"],
                    choices=("dec", "hex", "bin", "qint"))
     p.add_argument("--out-dir", default="t2c_out")
@@ -307,15 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="static integer-datapath verification "
                                     "(interval bounds + deploy contracts)")
     _common(p)
+    _deploy_flags(p)
     p.add_argument("--purity", action="store_true",
                    help="AST purity lint over the deploy-path sources only "
                         "(no model is built; ideal for CI)")
     p.add_argument("--ckpt", default=None,
                    help="optional Q-model checkpoint to lint instead of "
                         "freshly calibrated weights")
-    p.add_argument("--calib-batches", type=int, default=4)
-    p.add_argument("--fusion", choices=("channel", "prefuse"), default="channel")
-    p.add_argument("--float-scale", action="store_true")
     p.add_argument("--repacked", action="store_true",
                    help="lint the vanilla re-packed model instead of the "
                         "fused Q-model")
@@ -328,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="full observability run: trace + events "
                                        "+ per-layer profile + saturation audit")
     _common(p)
+    _deploy_flags(p)
     p.add_argument("--epochs", type=int, default=1,
                    help="fp32 warm-up epochs before quantization (0 to skip)")
     p.add_argument("--batch-size", type=int, default=64)
@@ -335,11 +435,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ckpt", default=None,
                    help="optional Q-model checkpoint to load instead of "
                         "the warm-up weights")
-    p.add_argument("--calib-batches", type=int, default=4)
-    p.add_argument("--fusion", choices=("channel", "prefuse"), default="channel")
-    p.add_argument("--float-scale", action="store_true")
     p.add_argument("--telemetry-out", default="telemetry_out", metavar="DIR")
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("bench", help="compiled-runtime throughput benchmark "
+                                     "(plan vs interpreted tree)")
+    _common(p)
+    _deploy_flags(p, calib_batches=2, runtime="auto")
+    p.add_argument("--ckpt", default=None,
+                   help="optional Q-model checkpoint to benchmark")
+    p.add_argument("--runtime", choices=("auto", "channel", "batch"),
+                   default="auto", help="plan register layout")
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--warmup", type=int, default=2,
+                   help="untimed warm-up batches (binding + kernel build)")
+    p.add_argument("--batches", type=int, default=5,
+                   help="timed steady-state batches")
+    p.add_argument("--tree-batches", type=int, default=2,
+                   help="timed interpreted-baseline batches")
+    p.add_argument("--workers", type=int, default=0,
+                   help=">=2 shards batches across a shared-memory worker pool")
+    p.add_argument("--out", default="BENCH_runtime.json")
+    p.add_argument("--telemetry-out", default=None, metavar="DIR",
+                   help="capture per-op spans into a TelemetrySession in DIR")
+    p.set_defaults(func=cmd_bench)
     return ap
 
 

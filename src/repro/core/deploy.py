@@ -1,0 +1,157 @@
+"""DeploySpec: one value object describing a full deploy configuration.
+
+Historically every stage of the hand-off grew its own keyword arguments —
+``T2C(mode=..., fmt=..., float_scale=...)``, ``nn2chip(save_model=...,
+export_dir=..., formats=...)``, ``export_model(..., formats=...)`` — and the
+CLI re-plumbed each of them per subcommand.  :class:`DeploySpec` collects the
+whole configuration in one frozen dataclass, :func:`deploy` runs the fuse →
+lint → re-pack → export → plan-compile pipeline from it in one call, and the
+legacy kwargs survive as :class:`DeprecationWarning` shims that name their
+replacement field.
+"""
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional, Tuple
+
+from repro.core.fixed_point import FixedPointFormat
+
+#: sentinel distinguishing "kwarg not passed" from an explicit value, so the
+#: deprecation shims only fire for call sites that actually use the old name
+_UNSET = object()
+
+
+def warn_deprecated_kwarg(call: str, old: str, new: str) -> None:
+    """Emit the standard shim warning naming the DeploySpec replacement."""
+    warnings.warn(
+        f"{call}({old}=...) is deprecated; set DeploySpec.{new} and pass "
+        f"spec= instead", DeprecationWarning, stacklevel=3)
+
+
+@dataclass(frozen=True)
+class DeploySpec:
+    """Everything the integer hand-off needs, in one place.
+
+    Attributes
+    ----------
+    fusion:
+        Normalization-fusion mode: ``"channel"`` (sub-8-bit channel-wise
+        scaling) or ``"prefuse"`` (8-bit BN folding into weights).
+    fixed_point:
+        ``INT(i, f)`` grid for the fused MulQuant scales.
+    float_scale:
+        Keep fused scales in float32 (industry-toolkit baseline mode).
+    lint:
+        Run the static verifier right after ``fuse()`` (the report lands on
+        ``T2C.lint_report`` / ``Deployed.lint_report``).
+    accum_bits:
+        Accumulator register width the lint interval engine verifies against.
+    export_dir:
+        Write per-tensor artifacts + manifest here; ``None`` skips export.
+    formats:
+        Data formats to export (``dec``/``hex``/``bin``/``qint``).
+    runtime:
+        Plan layout for the compiled runtime: ``"auto"``, ``"channel"``,
+        ``"batch"``, or ``"none"`` to skip plan compilation.
+    """
+
+    fusion: str = "channel"
+    fixed_point: FixedPointFormat = field(
+        default_factory=lambda: FixedPointFormat(4, 12))
+    float_scale: bool = False
+    lint: bool = False
+    accum_bits: int = 32
+    export_dir: Optional[str] = None
+    formats: Tuple[str, ...] = ("dec",)
+    runtime: str = "auto"
+
+    def __post_init__(self):
+        if self.fusion not in ("channel", "prefuse"):
+            raise ValueError(f"unknown fusion mode {self.fusion!r}; "
+                             "expected 'channel' or 'prefuse'")
+        if self.runtime not in ("auto", "channel", "batch", "none"):
+            raise ValueError(f"unknown runtime layout {self.runtime!r}; "
+                             "expected 'auto', 'channel', 'batch' or 'none'")
+
+    @classmethod
+    def from_args(cls, args) -> "DeploySpec":
+        """Build a spec from an ``argparse`` namespace (shared CLI flags).
+
+        Missing attributes keep their dataclass defaults, so every subcommand
+        maps through this one translation — ``--fusion``/``--float-scale``/
+        ``--accum-bits``/``--out-dir``/``--formats``/``--runtime``.
+        """
+        kw = {}
+        for fld, attr in (("fusion", "fusion"), ("float_scale", "float_scale"),
+                          ("lint", "lint"), ("accum_bits", "accum_bits"),
+                          ("export_dir", "out_dir"), ("runtime", "runtime")):
+            v = getattr(args, attr, None)
+            if v is not None:
+                kw[fld] = v
+        fmts = getattr(args, "formats", None)
+        if fmts is not None:
+            kw["formats"] = tuple(fmts)
+        return cls(**kw)
+
+    def evolve(self, **changes) -> "DeploySpec":
+        return replace(self, **changes)
+
+    def to_json(self) -> dict:
+        out = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            out[f.name] = str(v) if isinstance(v, FixedPointFormat) else (
+                list(v) if isinstance(v, tuple) else v)
+        return out
+
+
+@dataclass
+class Deployed:
+    """Result bundle of :func:`deploy`."""
+
+    qnn: object                      #: vanilla re-packed integer model
+    fused: object                    #: the fused Q-model (T2C's working copy)
+    spec: DeploySpec
+    t2c: object                      #: the converter, for further inspection
+    plan: object = None              #: compiled runtime Plan (spec.runtime)
+    lint_report: object = None
+    manifest: Optional[dict] = None  #: export manifest when spec.export_dir
+
+    def __call__(self, batch):
+        """Run a batch through the fastest available executor."""
+        if self.plan is not None:
+            return self.plan(batch)
+        from repro.tensor import no_grad
+        from repro.tensor.tensor import Tensor
+
+        with no_grad():
+            return self.qnn(Tensor(batch)).data
+
+
+def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
+    """One-call hand-off: fuse, (lint,) re-pack, (export,) compile the plan.
+
+    ``model`` is a calibrated dual-path Q-model; ``overrides`` are applied on
+    top of ``spec`` (``deploy(qm, runtime="batch")``).  Returns a
+    :class:`Deployed` bundle whose ``plan`` (when compiled) is bit-exact
+    against the interpreted ``qnn``.
+    """
+    from repro.core.t2c import T2C  # lazy: t2c imports this module
+
+    spec = (spec or DeploySpec())
+    if overrides:
+        spec = spec.evolve(**overrides)
+    t2c = T2C(model, spec=spec)
+    t2c.fuse()
+    if spec.lint:
+        t2c.lint(accum_bits=spec.accum_bits)
+    qnn = t2c.nn2chip()
+    manifest = t2c.last_manifest
+    plan = None
+    if spec.runtime != "none":
+        from repro.runtime import Plan
+
+        plan = Plan.compile(qnn, layout=spec.runtime)
+    return Deployed(qnn=qnn, fused=t2c.model, spec=spec, t2c=t2c, plan=plan,
+                    lint_report=t2c.lint_report, manifest=manifest)

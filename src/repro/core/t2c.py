@@ -19,6 +19,8 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.deploy import _UNSET, Deployed, DeploySpec, deploy, \
+    warn_deprecated_kwarg
 from repro.core.fixed_point import FixedPointFormat
 from repro.core.fusion import FuserBase, build_fuser
 from repro.core.qbase import _QBase
@@ -48,11 +50,23 @@ def calibrate_model(qmodel: Module, batches: Iterable[np.ndarray]) -> Module:
                 with _trace("calibration_batch", index=n_batches):
                     qmodel(Tensor(np.asarray(x, dtype=np.float32)))
                 n_batches += 1
+        names = {id(m): n for n, m in qmodel.named_modules()}
+        stale = []
         for q in quantizers:
             q.observe = False
             if hasattr(q, "finalize_calibration") and getattr(q, "observer", None) is not None:
                 if q.observer.initialized:
                     q.finalize_calibration()
+                else:
+                    # the observer never saw a batch: the scale silently stays
+                    # at its initialization value, which poisons every
+                    # consumer downstream — surface it loudly
+                    stale.append(names.get(id(q), type(q).__name__))
+        if stale:
+            _emit("calibration_stale", severity="WARNING",
+                  quantizers=stale, count=len(stale))
+            span.annotate(stale=len(stale))
+        qmodel._stale_calibration = stale
         span.annotate(batches=n_batches)
         _emit("calibrate", quantizers=len(quantizers), batches=n_batches)
     return qmodel
@@ -68,36 +82,50 @@ class T2C:
         with trained weights and calibrated activation scales.
     fuser:
         Fuser class/factory; defaults to the architecture-matched one.
-    fmt:
-        Fixed-point format for the fused scales (paper's ``INT(i, f)``).
-    mode:
-        ``"channel"`` (sub-8-bit channel-wise scaling) or ``"prefuse"``
-        (8-bit BN folding into weights).
-    float_scale:
-        Keep fused scales in float32 (industry-toolkit baseline).
+    spec:
+        A :class:`~repro.core.deploy.DeploySpec` carrying the full deploy
+        configuration (fusion mode, fixed-point grid, export targets, ...).
+
+    The historical per-stage kwargs (``fmt``, ``mode``, ``float_scale``,
+    ``lint_after_fuse`` here; ``save_model``/``export_dir``/``formats`` on
+    :meth:`nn2chip`) still work but emit a :class:`DeprecationWarning`
+    naming the :class:`DeploySpec` field that replaces them.
     """
 
     def __init__(
         self,
         model: Module,
         fuser=None,
-        fmt: FixedPointFormat = FixedPointFormat(4, 12),
-        mode: str = "channel",
-        float_scale: bool = False,
-        lint_after_fuse: bool = False,
+        fmt: FixedPointFormat = _UNSET,
+        mode: str = _UNSET,
+        float_scale: bool = _UNSET,
+        lint_after_fuse: bool = _UNSET,
+        spec: Optional[DeploySpec] = None,
     ):
+        spec = spec or DeploySpec()
+        for old, new, val in (("fmt", "fixed_point", fmt),
+                              ("mode", "fusion", mode),
+                              ("float_scale", "float_scale", float_scale),
+                              ("lint_after_fuse", "lint", lint_after_fuse)):
+            if val is not _UNSET:
+                warn_deprecated_kwarg("T2C", old, new)
+                spec = spec.evolve(**{new: val})
         self.model = model
-        self.fmt = fmt
-        self.mode = mode
-        self.float_scale = float_scale
-        self.lint_after_fuse = lint_after_fuse
+        self.spec = spec
+        self.fmt = spec.fixed_point
+        self.mode = spec.fusion
+        self.float_scale = spec.float_scale
+        self.lint_after_fuse = spec.lint
         self.lint_report = None
+        self.last_manifest = None
         if fuser is None:
-            self._fuser: FuserBase = build_fuser(model, fmt=fmt, mode=mode, float_scale=float_scale)
+            self._fuser: FuserBase = build_fuser(
+                model, fmt=self.fmt, mode=self.mode, float_scale=self.float_scale)
         elif isinstance(fuser, FuserBase):
             self._fuser = fuser
         else:
-            self._fuser = fuser(model, fmt=fmt, mode=mode, float_scale=float_scale)
+            self._fuser = fuser(model, fmt=self.fmt, mode=self.mode,
+                                float_scale=self.float_scale)
         self._fused = False
 
     def fuse(self) -> Module:
@@ -134,20 +162,35 @@ class T2C:
 
     def nn2chip(
         self,
-        save_model: bool = False,
-        export_dir: Optional[str] = None,
-        formats: Sequence[str] = ("dec",),
+        save_model: bool = _UNSET,
+        export_dir: Optional[str] = _UNSET,
+        formats: Sequence[str] = _UNSET,
     ) -> Module:
         """Re-pack into vanilla integer layers; optionally export tensors.
 
-        Returns the deploy-ready model whose state dict holds integer-valued
-        tensors only.
+        Export destination and formats come from ``self.spec``
+        (``export_dir`` / ``formats``); the legacy kwargs still override
+        them under a :class:`DeprecationWarning`.  Returns the deploy-ready
+        model whose state dict holds integer-valued tensors only; the export
+        manifest (when written) lands on ``self.last_manifest``.
         """
+        spec = self.spec
+        if save_model is not _UNSET:
+            warn_deprecated_kwarg("T2C.nn2chip", "save_model", "export_dir")
+            if save_model and spec.export_dir is None:
+                spec = spec.evolve(export_dir="t2c_out")
+        if export_dir is not _UNSET:
+            warn_deprecated_kwarg("T2C.nn2chip", "export_dir", "export_dir")
+            if export_dir is not None:
+                spec = spec.evolve(export_dir=export_dir)
+        if formats is not _UNSET:
+            warn_deprecated_kwarg("T2C.nn2chip", "formats", "formats")
+            spec = spec.evolve(formats=tuple(formats))
         if not self._fused:
             self.fuse()
         qnn = repack(self.model)
-        if save_model or export_dir is not None:
+        if spec.export_dir is not None:
             from repro.export.writer import export_model
 
-            export_model(qnn, export_dir or "t2c_out", formats=formats)
+            self.last_manifest = export_model(qnn, spec=spec)
         return qnn

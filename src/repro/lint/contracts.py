@@ -90,6 +90,14 @@ def check_contracts(model: Module,
                     out.append(make_finding(
                         "contract.observer-active", where,
                         "quantizer still calibrating (observe=True)"))
+                obs = getattr(mod, "observer", None)
+                if (obs is not None and hasattr(mod, "finalize_calibration")
+                        and not getattr(obs, "initialized", True)):
+                    out.append(make_finding(
+                        "contract.stale-calibration", where,
+                        "observer never saw a calibration batch, so "
+                        "finalize_calibration() was skipped and the scale is "
+                        "still at its initialization value"))
                 if kind == "fused" and not mod.deploy:
                     out.append(make_finding(
                         "contract.train-flag", where,

@@ -34,6 +34,9 @@ RULES: Dict[str, tuple] = {
         ERROR, "train-path quantizer module survived the vanilla re-pack"),
     "contract.observer-active": (
         WARN, "quantizer still in calibration mode (observe=True) at deploy"),
+    "contract.stale-calibration": (
+        WARN, "quantizer observer never saw a calibration batch; its scale "
+              "is still at initialization"),
     "contract.train-flag": (
         WARN, "module still on the training path (deploy=False) in a fused model"),
     "contract.bitwidth-mismatch": (

@@ -1,0 +1,183 @@
+#include <stdint.h>
+#include <string.h>
+
+/* Register-blocked full-grid conv accumulation over channel-major planes.
+ *
+ * Accumulates up to 4 output channels of one conv over a contiguous block
+ * of sample planes.  `base` points at the top-left tap of the first plane;
+ * `offs[k]` are the K tap offsets relative to it (identical for every
+ * group, because `base` already includes the group's channel base).  The
+ * full padded grid is computed: every valid output position of every
+ * sample in the block lives at a grid offset below R, and positions >= R
+ * (which would read past the block or across a sample seam) are simply
+ * never produced.
+ *
+ * Weights and activations are integer-valued floats; the plan compiler
+ * certified that every partial sum stays below 2^24, so all products and
+ * sums here are exact regardless of association (this translation unit is
+ * built with -ffp-contract=fast).
+ */
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+void conv_acc_block(const float* base, const int64_t* offs,
+                    const float* w, int64_t K, int64_t wstride, int64_t ob,
+                    float* acc, int64_t acc_stride, int64_t R)
+{
+    int64_t t0 = 0;
+    /* full 64-float tiles: 16 accumulator registers live across the whole
+     * tap loop, 4 plane loads + 4 weight broadcasts feed 16 FMAs */
+    for (; t0 + 64 <= R; t0 += 64) {
+        __m512 a00 = _mm512_setzero_ps(), a01 = a00, a02 = a00, a03 = a00;
+        __m512 a10 = a00, a11 = a00, a12 = a00, a13 = a00;
+        __m512 a20 = a00, a21 = a00, a22 = a00, a23 = a00;
+        __m512 a30 = a00, a31 = a00, a32 = a00, a33 = a00;
+        if (ob == 4) {
+            for (int64_t k = 0; k < K; ++k) {
+                const float* s = base + offs[k] + t0;
+                const __m512 s0 = _mm512_loadu_ps(s);
+                const __m512 s1 = _mm512_loadu_ps(s + 16);
+                const __m512 s2 = _mm512_loadu_ps(s + 32);
+                const __m512 s3 = _mm512_loadu_ps(s + 48);
+                __m512 wb;
+                wb = _mm512_set1_ps(w[k]);
+                a00 = _mm512_fmadd_ps(wb, s0, a00);
+                a01 = _mm512_fmadd_ps(wb, s1, a01);
+                a02 = _mm512_fmadd_ps(wb, s2, a02);
+                a03 = _mm512_fmadd_ps(wb, s3, a03);
+                wb = _mm512_set1_ps(w[wstride + k]);
+                a10 = _mm512_fmadd_ps(wb, s0, a10);
+                a11 = _mm512_fmadd_ps(wb, s1, a11);
+                a12 = _mm512_fmadd_ps(wb, s2, a12);
+                a13 = _mm512_fmadd_ps(wb, s3, a13);
+                wb = _mm512_set1_ps(w[2 * wstride + k]);
+                a20 = _mm512_fmadd_ps(wb, s0, a20);
+                a21 = _mm512_fmadd_ps(wb, s1, a21);
+                a22 = _mm512_fmadd_ps(wb, s2, a22);
+                a23 = _mm512_fmadd_ps(wb, s3, a23);
+                wb = _mm512_set1_ps(w[3 * wstride + k]);
+                a30 = _mm512_fmadd_ps(wb, s0, a30);
+                a31 = _mm512_fmadd_ps(wb, s1, a31);
+                a32 = _mm512_fmadd_ps(wb, s2, a32);
+                a33 = _mm512_fmadd_ps(wb, s3, a33);
+            }
+        } else {
+            for (int64_t k = 0; k < K; ++k) {
+                const float* s = base + offs[k] + t0;
+                const __m512 s0 = _mm512_loadu_ps(s);
+                const __m512 s1 = _mm512_loadu_ps(s + 16);
+                const __m512 s2 = _mm512_loadu_ps(s + 32);
+                const __m512 s3 = _mm512_loadu_ps(s + 48);
+                __m512 wb = _mm512_set1_ps(w[k]);
+                a00 = _mm512_fmadd_ps(wb, s0, a00);
+                a01 = _mm512_fmadd_ps(wb, s1, a01);
+                a02 = _mm512_fmadd_ps(wb, s2, a02);
+                a03 = _mm512_fmadd_ps(wb, s3, a03);
+                if (ob > 1) {
+                    wb = _mm512_set1_ps(w[wstride + k]);
+                    a10 = _mm512_fmadd_ps(wb, s0, a10);
+                    a11 = _mm512_fmadd_ps(wb, s1, a11);
+                    a12 = _mm512_fmadd_ps(wb, s2, a12);
+                    a13 = _mm512_fmadd_ps(wb, s3, a13);
+                }
+                if (ob > 2) {
+                    wb = _mm512_set1_ps(w[2 * wstride + k]);
+                    a20 = _mm512_fmadd_ps(wb, s0, a20);
+                    a21 = _mm512_fmadd_ps(wb, s1, a21);
+                    a22 = _mm512_fmadd_ps(wb, s2, a22);
+                    a23 = _mm512_fmadd_ps(wb, s3, a23);
+                }
+            }
+        }
+        float* d = acc + t0;
+        _mm512_storeu_ps(d, a00);
+        _mm512_storeu_ps(d + 16, a01);
+        _mm512_storeu_ps(d + 32, a02);
+        _mm512_storeu_ps(d + 48, a03);
+        if (ob > 1) {
+            d = acc + acc_stride + t0;
+            _mm512_storeu_ps(d, a10);
+            _mm512_storeu_ps(d + 16, a11);
+            _mm512_storeu_ps(d + 32, a12);
+            _mm512_storeu_ps(d + 48, a13);
+        }
+        if (ob > 2) {
+            d = acc + 2 * acc_stride + t0;
+            _mm512_storeu_ps(d, a20);
+            _mm512_storeu_ps(d + 16, a21);
+            _mm512_storeu_ps(d + 32, a22);
+            _mm512_storeu_ps(d + 48, a23);
+        }
+        if (ob > 3) {
+            d = acc + 3 * acc_stride + t0;
+            _mm512_storeu_ps(d, a30);
+            _mm512_storeu_ps(d + 16, a31);
+            _mm512_storeu_ps(d + 32, a32);
+            _mm512_storeu_ps(d + 48, a33);
+        }
+    }
+    /* masked tail: lanes past R neither fault nor get stored */
+    if (t0 < R) {
+        const int64_t rem = R - t0;
+        __mmask16 mk[4];
+        for (int v = 0; v < 4; ++v) {
+            const int64_t r = rem - 16 * v;
+            mk[v] = r >= 16 ? (__mmask16)0xFFFF
+                            : (r > 0 ? (__mmask16)((1u << r) - 1u) : 0);
+        }
+        __m512 a[4][4];
+        for (int u = 0; u < 4; ++u)
+            for (int v = 0; v < 4; ++v)
+                a[u][v] = _mm512_setzero_ps();
+        for (int64_t k = 0; k < K; ++k) {
+            const float* s = base + offs[k] + t0;
+            __m512 sv[4];
+            for (int v = 0; v < 4; ++v)
+                sv[v] = _mm512_maskz_loadu_ps(mk[v], s + 16 * v);
+            for (int64_t u = 0; u < ob; ++u) {
+                const __m512 wb = _mm512_set1_ps(w[u * wstride + k]);
+                for (int v = 0; v < 4; ++v)
+                    a[u][v] = _mm512_fmadd_ps(wb, sv[v], a[u][v]);
+            }
+        }
+        for (int64_t u = 0; u < ob; ++u)
+            for (int v = 0; v < 4; ++v)
+                _mm512_mask_storeu_ps(acc + u * acc_stride + t0 + 16 * v,
+                                      mk[v], a[u][v]);
+    }
+}
+
+#else /* portable fallback: fused axpy passes, auto-vectorizable plain C */
+
+void conv_acc_block(const float* base, const int64_t* offs,
+                    const float* w, int64_t K, int64_t wstride, int64_t ob,
+                    float* acc, int64_t acc_stride, int64_t R)
+{
+    for (int64_t u = 0; u < ob; ++u) {
+        float* restrict a = acc + u * acc_stride;
+        const float* wu = w + u * wstride;
+        memset(a, 0, (size_t)R * 4);
+        int64_t q = 0;
+        while (q < K) {
+            const int64_t g = (K - q >= 4) ? 4 : 1;
+            if (g == 4) {
+                const float* restrict s0 = base + offs[q];
+                const float* restrict s1 = base + offs[q + 1];
+                const float* restrict s2 = base + offs[q + 2];
+                const float* restrict s3 = base + offs[q + 3];
+                const float w0 = wu[q], w1 = wu[q + 1];
+                const float w2 = wu[q + 2], w3 = wu[q + 3];
+                for (int64_t t = 0; t < R; ++t)
+                    a[t] += (w0 * s0[t] + w1 * s1[t]) + (w2 * s2[t] + w3 * s3[t]);
+            } else {
+                const float* restrict s0 = base + offs[q];
+                const float w0 = wu[q];
+                for (int64_t t = 0; t < R; ++t)
+                    a[t] += w0 * s0[t];
+            }
+            q += g;
+        }
+    }
+}
+#endif

@@ -1,0 +1,130 @@
+#include <stdint.h>
+
+void conv_acc_block(const float*, const int64_t*, const float*,
+                    int64_t, int64_t, int64_t,
+                    float*, int64_t, int64_t);
+void requant_rows(const float*, float*,
+                  int64_t, int64_t, int64_t,
+                  int64_t, int64_t, int64_t,
+                  int64_t, int64_t, int64_t,
+                  int64_t, int64_t,
+                  double, double, double, double);
+void residual_row(const float*, const float*, float*,
+                  int64_t, float, float, float);
+
+#define CK_MAX_TAPS 8192
+
+/* Fused integer conv + MulQuant over channel-major padded registers.
+ *
+ * Input register P is (C, N, Hp, Wp) with the conv's zero padding baked
+ * into the register border (in_off = register_pad - conv_pad positions in
+ * from the edge).  Output register Q is (O, N, Hq, Wq); valid outputs land
+ * in its center at out_off.  acc is caller-provided scratch of acc_len
+ * floats (>= 4 * Hp * Wp).
+ *
+ * Samples are processed in blocks sized so one block's input planes stay
+ * within L2; per block, each group of 4 output channels runs one
+ * register-blocked accumulation over the whole block followed by the exact
+ * requant epilogue.  The caller must reject convs with more than
+ * CK_MAX_TAPS taps (returned via conv_mq_taps_cap).
+ */
+int64_t conv_mq_taps_cap(void) { return CK_MAX_TAPS; }
+
+/* Standalone MulQuant over a channel-major register pair (identity
+ * shortcuts, fused LayerNorm tables).  Reads the (H, W) center of each
+ * input plane (border pad ps) and requantizes it into the center of the
+ * output register at out_off, via the same exact epilogue as the conv. */
+void mulquant_cm(const float* P, int64_t ps,
+                 const double* m, int64_t mlen,
+                 const double* b, int64_t blen, double lo, double hi,
+                 float* Q, int64_t C, int64_t N, int64_t Hp, int64_t Wp,
+                 int64_t Hq, int64_t Wq, int64_t out_off,
+                 int64_t H, int64_t W)
+{
+    for (int64_t c = 0; c < C; ++c) {
+        const double mo = m[mlen > 1 ? c : 0];
+        const double bo = b[blen > 1 ? c : 0];
+        for (int64_t n = 0; n < N; ++n)
+            requant_rows(P + ((c * N + n) * Hp + ps) * Wp + ps, Q,
+                         c, n, N, Hp, Wp, 1, Hq, Wq, out_off, H, W,
+                         mo, bo, lo, hi);
+    }
+}
+
+/* Residual merge over channel-major registers: per plane row, the float32
+ * add/divide/round/clip sequence of the interpreted datapath.  pa/psd/pq
+ * are the three registers' border pads. */
+void residual_cm(const float* A, int64_t pa, const float* S, int64_t psd,
+                 float* Q, int64_t pq, float rs, float lo, float hi,
+                 int64_t C, int64_t N, int64_t H, int64_t W)
+{
+    const int64_t Wa = W + 2 * pa, Ha = H + 2 * pa;
+    const int64_t Ws = W + 2 * psd, Hs = H + 2 * psd;
+    const int64_t Wq = W + 2 * pq, Hq = H + 2 * pq;
+    for (int64_t c = 0; c < C; ++c)
+        for (int64_t n = 0; n < N; ++n)
+            for (int64_t y = 0; y < H; ++y)
+                residual_row(A + ((c * N + n) * Ha + y + pa) * Wa + pa,
+                             S + ((c * N + n) * Hs + y + psd) * Ws + psd,
+                             Q + ((c * N + n) * Hq + y + pq) * Wq + pq,
+                             W, rs, lo, hi);
+}
+
+void conv_mq_cm(const float* P, const float* w, const double* m, int64_t mlen,
+                const double* b, int64_t blen, double lo, double hi,
+                float* Q, float* acc, int64_t acc_len,
+                int64_t C, int64_t N, int64_t Hp, int64_t Wp,
+                int64_t O, int64_t kh, int64_t kw, int64_t stride,
+                int64_t in_off, int64_t Hq, int64_t Wq, int64_t out_off,
+                int64_t OH, int64_t OW, int64_t groups)
+{
+    const int64_t splane = Hp * Wp;
+    const int64_t cg = C / groups;
+    const int64_t og = O / groups;
+    const int64_t K = cg * kh * kw;
+    const int64_t maxbase = (in_off + kh - 1) * Wp + in_off + kw - 1;
+    if (K > CK_MAX_TAPS)
+        return;
+    /* sample block: keep the block's input planes (cg channels) within L2 */
+    int64_t nb = 524288 / (cg * splane * 4);
+    if (nb < 1) nb = 1;
+    if (nb > N) nb = N;
+    {
+        const int64_t cap = acc_len / (4 * splane);
+        if (cap < 1) return;
+        if (nb > cap) nb = cap;
+    }
+    /* tap offsets relative to the block base, shared by every group */
+    int64_t offs[CK_MAX_TAPS];
+    {
+        int64_t cl = 0, ki = 0, kj = 0;
+        const int64_t cstep = N * splane;
+        for (int64_t k = 0; k < K; ++k) {
+            offs[k] = cl * cstep + ki * Wp + kj;
+            if (++kj == kw) { kj = 0; if (++ki == kh) { ki = 0; ++cl; } }
+        }
+    }
+    for (int64_t n0 = 0; n0 < N; n0 += nb) {
+        const int64_t nbk = (n0 + nb <= N) ? nb : N - n0;
+        const int64_t R = nbk * splane - maxbase;
+        for (int64_t o = 0; o < O; o += 4) {
+            int64_t ob = O - o < 4 ? O - o : 4;
+            const int64_t left_in_group = og - (o % og);
+            if (ob > left_in_group) ob = left_in_group;
+            const int64_t cbase = (o / og) * cg;
+            const float* base = P + (cbase * N + n0) * splane
+                                + in_off * Wp + in_off;
+            conv_acc_block(base, offs, w + o * K, K, K, ob,
+                           acc, nbk * splane, R);
+            for (int64_t u = 0; u < ob; ++u) {
+                const double mo = m[mlen > 1 ? o + u : 0];
+                const double bo = b[blen > 1 ? o + u : 0];
+                for (int64_t i = 0; i < nbk; ++i)
+                    requant_rows(acc + u * nbk * splane + i * splane, Q,
+                                 o + u, n0 + i, N, Hp, Wp, stride,
+                                 Hq, Wq, out_off, OH, OW, mo, bo, lo, hi);
+            }
+            o += ob - 4; /* group boundary may shorten the block */
+        }
+    }
+}

@@ -1,0 +1,74 @@
+#include <stdint.h>
+
+/* Requant epilogue: v = acc*m + b, round half away from zero, clip, cast.
+ *
+ * This translation unit MUST be compiled with -ffp-contract=off: the mul
+ * and add have to round separately, exactly like the interpreted float64
+ * numpy datapath (a fused multiply-add would round once and diverge by one
+ * ulp on some accumulators).  |v| stays far below 2^62 (the compiler
+ * certified the accumulator bound), so the int64 cast (= trunc) is defined
+ * and `(double)(int64_t)(v + copysign(0.5, v))` equals numpy's
+ * `sign(v) * floor(|v| + 0.5)` for every accumulator value.
+ *
+ * Reads the valid output positions of one sample plane from the full-grid
+ * accumulator (subsampling by `stride`) and writes them into the padded
+ * center of the destination register (`out_off`); the register border was
+ * zeroed at allocation and is never touched.
+ */
+/* Residual merge row: y = clip(round_half_away((a + s) / rs), lo, hi) in
+ * float32, replicating the interpreted elementwise sequence (sum, divide,
+ * round, clip — each rounding separately, hence -ffp-contract=off).  The
+ * int64 cast trick is the same exact rounding as in requant_rows, one type
+ * narrower. */
+void residual_row(const float* restrict a, const float* restrict s,
+                  float* restrict q, int64_t W, float rs, float lo, float hi)
+{
+    for (int64_t x = 0; x < W; ++x) {
+        const float v = (a[x] + s[x]) / rs;
+        const float h = v >= 0.0f ? 0.5f : -0.5f;
+        float r = (float)(int64_t)(v + h);
+        r = r < lo ? lo : r;
+        r = r > hi ? hi : r;
+        q[x] = r;
+    }
+}
+
+void requant_rows(const float* restrict acc, float* restrict Q,
+                  int64_t o, int64_t n, int64_t N,
+                  int64_t Hp, int64_t Wp, int64_t stride,
+                  int64_t Hq, int64_t Wq, int64_t out_off,
+                  int64_t OH, int64_t OW,
+                  double mo, double bo, double lo, double hi)
+{
+    double vb[512];
+    (void)Hp;
+    for (int64_t y = 0; y < OH; ++y) {
+        const float* restrict arow = acc + (y * stride) * Wp;
+        float* restrict qrow = Q + ((o * N + n) * Hq + y + out_off) * Wq + out_off;
+        for (int64_t x0 = 0; x0 < OW; x0 += 512) {
+            const int64_t nb = OW - x0 < 512 ? OW - x0 : 512;
+            /* three single-typed loops over a stack tile: each vectorizes */
+            if (stride == 1) {
+                const float* restrict ar = arow + x0;
+                for (int64_t x = 0; x < nb; ++x)
+                    vb[x] = (double)ar[x];
+            } else {
+                const float* restrict ar = arow + x0 * stride;
+                for (int64_t x = 0; x < nb; ++x)
+                    vb[x] = (double)ar[x * stride];
+            }
+            for (int64_t x = 0; x < nb; ++x) {
+                double v = vb[x] * mo;
+                v = v + bo;
+                const double h = v >= 0.0 ? 0.5 : -0.5;
+                double r = (double)(int64_t)(v + h);
+                r = r < lo ? lo : r;
+                r = r > hi ? hi : r;
+                vb[x] = r;
+            }
+            float* restrict qr = qrow + x0;
+            for (int64_t x = 0; x < nb; ++x)
+                qr[x] = (float)vb[x];
+        }
+    }
+}

@@ -1,0 +1,155 @@
+"""Plan: the executable compiled program.
+
+``Plan.compile(qnn)`` compiles once; ``plan(batch)`` executes the flat op
+list against a per-(batch-shape) binding — preallocated buffers, cached
+gather indices, pre-broadcast requant constants — created lazily on the
+first batch of each shape and reused for every subsequent one.
+
+Per-op wall time is accumulated always (it is two ``perf_counter`` reads);
+when the global telemetry switch is on, every op additionally opens a
+telemetry span (``plan.<kind>``) so the Chrome trace shows the per-op
+breakdown of every batch.
+"""
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.runtime.arena import Arena, plan_pads
+from repro.runtime.kernels import new_sig
+
+
+class _Binding:
+    """A plan bound to one concrete (batch size, input shape)."""
+
+    def __init__(self, plan: "Plan", in_shape: Tuple[int, ...]):
+        n, sample_shape = in_shape[0], tuple(in_shape[1:])
+        self.arena = Arena(n, plan.num_regs, layout=plan.layout)
+        self.arena.shapes[0] = sample_shape
+        for op in plan.ops:
+            self.arena.shapes[op.dst] = op.infer(self.arena.shapes)
+        if plan.layout == "channel":
+            self.arena.pads = plan_pads(plan.ops, self.arena.shapes)
+            self.arena.pads.pop(0, None)  # register 0 is the raw input
+        self.fns = [op.bind(self.arena) for op in plan.ops]
+
+
+class Plan:
+    """A compiled, bit-exact, batched executor for a re-packed deploy model."""
+
+    def __init__(self, ops: List, num_regs: int, output_reg: int,
+                 model_name: str, out_features: int, layout: str = "batch"):
+        self.ops = ops
+        self.num_regs = num_regs
+        self.output_reg = output_reg
+        self.model_name = model_name
+        self.out_features = out_features
+        self.layout = layout
+        self._bindings: Dict[Tuple[int, ...], _Binding] = {}
+        self._op_seconds = np.zeros(len(ops), dtype=np.float64)
+        self._op_calls = np.zeros(len(ops), dtype=np.int64)
+        self._batches = 0
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def compile(cls, qnn, layout: str = "auto") -> "Plan":
+        """Compile the deploy-ready model from ``T2C.nn2chip()``."""
+        from repro.runtime.compiler import compile_program
+
+        with telemetry.trace("plan.compile", model=type(qnn).__name__):
+            plan = compile_program(qnn, layout=layout)
+        telemetry.emit("plan_compile", model=plan.model_name,
+                       ops=len(plan.ops), registers=plan.num_regs,
+                       layout=plan.layout)
+        return plan
+
+    # ----------------------------------------------------------- execution
+    def __call__(self, batch) -> np.ndarray:
+        """Run one batch; returns the logits array, bit-exact vs. the tree."""
+        x = np.ascontiguousarray(
+            np.asarray(getattr(batch, "data", batch), dtype=np.float32))
+        binding = self._bindings.get(x.shape)
+        if binding is None:
+            with telemetry.trace("plan.bind", shape=str(x.shape)):
+                binding = _Binding(self, x.shape)
+            self._bindings[x.shape] = binding
+        regs = binding.arena.regs
+        regs[0] = x
+        seconds, calls = self._op_seconds, self._op_calls
+        if telemetry.enabled():
+            with telemetry.trace("plan.batch", model=self.model_name,
+                                 batch=x.shape[0]):
+                for i, (op, fn) in enumerate(zip(self.ops, binding.fns)):
+                    with telemetry.trace(f"plan.{op.kind}", op=op.name):
+                        t0 = time.perf_counter()
+                        fn()
+                        seconds[i] += time.perf_counter() - t0
+                        calls[i] += 1
+        else:
+            for i, fn in enumerate(binding.fns):
+                t0 = time.perf_counter()
+                fn()
+                seconds[i] += time.perf_counter() - t0
+                calls[i] += 1
+        self._batches += 1
+        return regs[self.output_reg].copy()
+
+    def serve(self, batches: Iterable, workers: int = 0) -> Iterator[np.ndarray]:
+        """Stream logits for an iterable of batches.
+
+        ``workers >= 2`` shards the stream across a ``multiprocessing`` pool
+        with shared-memory I/O buffers (see :mod:`repro.runtime.serve`);
+        otherwise batches run inline.  Results preserve input order.
+        """
+        from repro.runtime.serve import serve_batches
+
+        return serve_batches(self, batches, workers)
+
+    # ----------------------------------------------------------- reporting
+    def reset_op_stats(self) -> None:
+        """Zero the per-op timing accumulators (e.g. after warm-up)."""
+        self._op_seconds[:] = 0.0
+        self._op_calls[:] = 0
+        self._batches = 0
+
+    def op_report(self) -> List[Dict]:
+        """Per-op cumulative timing rows, hottest first."""
+        total = float(self._op_seconds.sum()) or 1.0
+        rows = []
+        for i, op in enumerate(self.ops):
+            rows.append({
+                "index": i,
+                "kind": op.kind,
+                "name": op.name,
+                "calls": int(self._op_calls[i]),
+                "seconds": float(self._op_seconds[i]),
+                "share": float(self._op_seconds[i]) / total,
+            })
+        return sorted(rows, key=lambda r: -r["seconds"])
+
+    def signature(self) -> str:
+        """Content hash of the full program (ops, wiring and parameters).
+
+        Two compiles of the same model produce identical signatures — the
+        determinism contract tested in ``tests/runtime``.
+        """
+        h = new_sig()
+        h.update(repr((self.model_name, self.num_regs, self.output_reg)).encode())
+        for op in self.ops:
+            op.sig_update(h)
+        return h.hexdigest()
+
+    def describe(self) -> str:
+        """Human-readable program listing."""
+        lines = [f"plan for {self.model_name}: {len(self.ops)} ops, "
+                 f"{self.num_regs} registers, output r{self.output_reg}"]
+        for i, op in enumerate(self.ops):
+            lines.append(f"  [{i:3d}] {op.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Plan(model={self.model_name}, ops={len(self.ops)}, "
+                f"regs={self.num_regs})")

@@ -1,0 +1,155 @@
+"""Numeric kernels for the compiled runtime — bit-exact by construction.
+
+Two exactness strategies, chosen per op at compile time:
+
+* **replication** — execute the very same numpy call sequence the interpreted
+  module runs (same dtypes, same views, same reduction order).  Identical
+  inputs through identical operations give identical bits; used for every op
+  whose cost is not dominated by the conv GEMM.
+* **proven reassociation** — the fused conv kernel reshapes the per-sample
+  GEMMs of the interpreted path into one large batch GEMM.  That changes
+  float32 summation order, which is only safe because the compiler proves a
+  bound first: with integer weights and integer activation codes, if the
+  largest per-output-channel value ``max_o sum_k |w_ok| * max|x|`` stays
+  below ``2**24``, every partial sum of every summation order is an integer
+  exactly representable in float32 — so *any* order (including FMA-based
+  BLAS blocking) produces the same exact integer.  Layers that exceed the
+  bound fall back to replication.
+
+The requantizer uses ``trunc(v + copysign(0.5, v))``, which is value-exact
+to the interpreted ``sign(v) * floor(|v| + 0.5)`` for every float (both
+halves round away from zero; negation and the 0.5 add are exact in IEEE
+arithmetic either way), but needs one fewer full-size temporary.
+"""
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: largest integer magnitude n for which every integer in [-n, n] is exactly
+#: representable in float32 — the reassociation-safety threshold.
+EXACT_F32_LIMIT = float(2 ** 24)
+
+
+def broadcast_scale(v: np.ndarray, ndim: int, channel_axis: int) -> np.ndarray:
+    """Broadcast-align a MulQuant scale/bias vector (mirrors MulQuant._broadcast)."""
+    if v.size == 1:
+        return v.reshape(())
+    if v.ndim > 1:
+        return v
+    shape = [1] * ndim
+    shape[channel_axis % ndim] = v.size
+    return v.reshape(shape)
+
+
+class MQParams:
+    """Frozen snapshot of one MulQuant's effective requantization constants."""
+
+    __slots__ = ("m", "b", "lo", "hi", "axis")
+
+    def __init__(self, m: np.ndarray, b: np.ndarray, lo: float, hi: float, axis: int):
+        self.m = np.asarray(m, dtype=np.float64)
+        self.b = np.asarray(b, dtype=np.float64)
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.axis = int(axis)
+
+    @classmethod
+    def of(cls, mq) -> "MQParams":
+        return cls(np.asarray(mq.effective_scale, dtype=np.float64),
+                   np.asarray(mq.effective_bias, dtype=np.float64),
+                   mq.out_lo, mq.out_hi, mq.channel_axis)
+
+    def sig_update(self, h) -> None:
+        h.update(self.m.tobytes())
+        h.update(self.b.tobytes())
+        h.update(repr((self.m.shape, self.b.shape, self.lo, self.hi, self.axis)).encode())
+
+
+def round_half_away(v: np.ndarray) -> np.ndarray:
+    """Round half away from zero — the interpreted datapath's formulation."""
+    return np.sign(v) * np.floor(np.abs(v) + 0.5)
+
+
+def requant(x: np.ndarray, p: MQParams) -> np.ndarray:
+    """Replicate ``MulQuant.forward`` on a plain array; returns float32."""
+    acc = x.astype(np.float64)
+    m = broadcast_scale(p.m, acc.ndim, p.axis)
+    b = broadcast_scale(p.b, acc.ndim, p.axis)
+    v = acc * m + b
+    r = round_half_away(v)
+    return np.clip(r, p.lo, p.hi).astype(np.float32)
+
+
+def requant_into(acc: np.ndarray, m, b, lo: float, hi: float,
+                 scratch: np.ndarray, dst: np.ndarray) -> None:
+    """In-place requantization of a float64 accumulator into a float32 view.
+
+    ``acc`` already holds the raw accumulator values (cast up from the GEMM
+    output); ``m``/``b`` are broadcast-ready float64 constants, ``scratch``
+    a float64 buffer of the same shape, ``dst`` any float32 view of ``acc``'s
+    shape (it may be strided — the final copy untransposes the layout).
+    All steps are elementwise, so the values match :func:`requant` exactly.
+    """
+    np.multiply(acc, m, out=acc)
+    np.add(acc, b, out=acc)
+    np.copysign(0.5, acc, out=scratch)
+    np.add(acc, scratch, out=acc)
+    np.trunc(acc, out=acc)
+    np.clip(acc, lo, hi, out=acc)
+    np.copyto(dst, acc, casting="unsafe")
+
+
+def conv_reassociation_bound(weight: np.ndarray,
+                             in_range: Tuple[float, float]) -> float:
+    """Worst-case accumulator magnitude of a conv over an integer input range.
+
+    ``weight`` is the (integer-valued) float kernel ``(O, Cg, kh, kw)``;
+    ``in_range`` the proven integer code range of the input register.  Any
+    partial sum of any summation order is bounded by this value.
+    """
+    amax = max(abs(in_range[0]), abs(in_range[1]))
+    per_channel = np.abs(weight.astype(np.float64).reshape(weight.shape[0], -1)).sum(axis=1)
+    return float(per_channel.max(initial=0.0) * amax)
+
+
+def lut_softmax(x: np.ndarray, table: np.ndarray, prob_bits: int) -> np.ndarray:
+    """Replicate ``LUTSoftmax.forward`` on a plain array."""
+    s = x.astype(np.int64)
+    d = s.max(axis=-1, keepdims=True) - s
+    d = np.minimum(d, len(table) - 1)
+    e = table[d]
+    denom = e.sum(axis=-1, keepdims=True)
+    probs = np.floor((e.astype(np.float64) * (1 << prob_bits) + denom // 2) / denom)
+    return probs.astype(np.float32)
+
+
+def lut_gelu(x: np.ndarray, table: np.ndarray, in_qlb: int, in_qub: int) -> np.ndarray:
+    """Replicate ``LUTGelu.forward`` on a plain array."""
+    idx = np.clip(x.astype(np.int64), in_qlb, in_qub) - in_qlb
+    return table[idx].astype(np.float32)
+
+
+def residual_merge(a: np.ndarray, s: np.ndarray, res_scale: float,
+                   lo: float, hi: float) -> np.ndarray:
+    """Replicate ``qmodels._residual_merge`` on plain arrays (float32 math)."""
+    v = (a + s) / res_scale
+    y = np.clip(np.sign(v) * np.floor(np.abs(v) + 0.5), lo, hi)
+    return y.astype(np.float32)
+
+
+def array_sig(h, *arrays: Optional[np.ndarray]) -> None:
+    """Feed array contents + shapes into a hash (program signatures)."""
+    for a in arrays:
+        if a is None:
+            h.update(b"<none>")
+        else:
+            a = np.ascontiguousarray(a)
+            h.update(repr((a.shape, a.dtype.str)).encode())
+            h.update(a.tobytes())
+
+
+def new_sig() -> "hashlib._Hash":
+    return hashlib.sha256()

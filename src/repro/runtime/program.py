@@ -1,0 +1,632 @@
+"""Op model of the compiled integer program.
+
+A program is a flat list of ops over a register file.  Each op carries:
+
+* ``kind`` / ``name`` — the op class and the resolved dotted module path of
+  the layer it was compiled from (telemetry spans and per-op timing report
+  under these names);
+* ``src`` / ``dst`` — register ids (each register is written exactly once
+  per execution, so skip connections just re-read an earlier register);
+* ``infer(shapes)`` — symbolic (batch-size-free) shape inference used to
+  size the activation arena;
+* ``bind(arena)`` — returns the steady-state closure executed per batch,
+  with buffers, layout views and broadcast constants resolved up front.
+
+In the ``channel`` arena layout the feature-map ops run over channel-major
+padded registers (the native conv kernel's layout); elementwise ops are
+layout-free and stay bit-exact by executing the identical per-element
+arithmetic on the transposed views.  In the ``batch`` layout every op
+replicates the interpreted module's numpy call sequence verbatim.
+
+Numeric contracts live in :mod:`repro.runtime.kernels`.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime import kernels
+from repro.runtime.arena import Arena
+from repro.tensor.im2col import conv_out_size, im2col
+
+Shape = Tuple[int, ...]
+
+
+def _cm_scale(v: np.ndarray):
+    """Broadcast a per-channel vector over (C, N, H, W) channel-major data."""
+    return v.reshape(()) if v.size == 1 else v.reshape(-1, 1, 1, 1)
+
+
+class Op:
+    """Base class for program ops."""
+
+    kind = "op"
+
+    def __init__(self, name: str, src, dst: int):
+        self.name = name
+        self.src = tuple(src)
+        self.dst = int(dst)
+
+    def infer(self, shapes: Dict[int, Shape]) -> Shape:
+        raise NotImplementedError
+
+    def bind(self, arena: Arena):
+        raise NotImplementedError
+
+    def sig_update(self, h) -> None:
+        h.update(repr((self.kind, self.name, self.src, self.dst)).encode())
+        self._sig_params(h)
+
+    def _sig_params(self, h) -> None:
+        pass
+
+    def describe(self) -> str:
+        srcs = ",".join(f"r{s}" for s in self.src)
+        return f"{self.kind:<12} {srcs} -> r{self.dst}  {self.name}"
+
+
+class InputQuantOp(Op):
+    """Model-input ADC quantizer: round + clamp onto the input integer grid."""
+
+    kind = "input_quant"
+
+    def __init__(self, name, src, dst, scale: float, qlb: int, qub: int):
+        super().__init__(name, src, dst)
+        self.scale = float(scale)
+        self.qlb = qlb
+        self.qub = qub
+
+    def infer(self, shapes):
+        return shapes[self.src[0]]
+
+    def bind(self, arena):
+        regs, s = arena.regs, self.src[0]
+        scale, qlb, qub, dst = self.scale, self.qlb, self.qub, self.dst
+        if arena.layout == "channel":
+            center = arena.cm_center(dst)
+
+            def fn():
+                r = np.round(regs[s] / scale)
+                q = np.clip(r, qlb, qub).astype(np.float32)
+                np.copyto(center, q.transpose(1, 0, 2, 3))
+            return fn
+
+        def fn():
+            r = np.round(regs[s] / scale)
+            regs[dst] = np.clip(r, qlb, qub).astype(np.float32)
+        return fn
+
+    def _sig_params(self, h):
+        h.update(repr((self.scale, self.qlb, self.qub)).encode())
+
+
+class ConvMQOp(Op):
+    """Fused integer conv + MulQuant requant + clamp.
+
+    In the ``channel`` layout, a conv whose accumulator bound the compiler
+    certified (``exact_reassoc``) runs on the native register-blocked kernel
+    directly over the padded channel-major registers; a conv exceeding the
+    bound (or the kernel's tap cap) transposes to batch layout and replicates
+    the interpreted sequence.  In the ``batch`` layout every conv replicates
+    the interpreted per-sample GEMM sequence verbatim.
+    """
+
+    kind = "conv_mq"
+
+    def __init__(self, name, src, dst, weight: np.ndarray, stride: int,
+                 padding: int, groups: int, mq: kernels.MQParams,
+                 exact_reassoc: bool, bound: float):
+        super().__init__(name, src, dst)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.groups = int(groups)
+        self.mq = mq
+        self.exact_reassoc = bool(exact_reassoc)
+        self.bound = float(bound)
+
+    def infer(self, shapes):
+        c, h, w = shapes[self.src[0]]
+        o, _, kh, kw = self.weight.shape
+        return (o, conv_out_size(h, kh, self.stride, self.padding),
+                conv_out_size(w, kw, self.stride, self.padding))
+
+    def bind(self, arena):
+        if arena.layout == "channel":
+            from repro.runtime import ckernel
+
+            ck = ckernel.load()
+            _, cg, kh, kw = self.weight.shape
+            if (ck is not None and self.exact_reassoc
+                    and cg * kh * kw <= ck.taps_cap):
+                return self._bind_kernel(arena, ck)
+            return self._bind_channel_reference(arena)
+        return self._bind_reference(arena)
+
+    def _bind_kernel(self, arena, ck):
+        n = arena.n
+        src, dst = self.src[0], self.dst
+        c, h, w = arena.shapes[src]
+        o, oh, ow = arena.shapes[dst]
+        _, cg, kh, kw = self.weight.shape
+        P = arena.cm_buffer(src)
+        Q = arena.cm_buffer(dst)
+        _, _, hp, wp = P.shape
+        _, _, hq, wq = Q.shape
+        in_off = arena.pads[src] - self.padding
+        out_off = arena.pads[dst]
+        splane = hp * wp
+        nb = min(n, max(1, 524288 // (cg * splane * 4)))
+        acc = np.empty(4 * nb * splane, dtype=np.float32)
+        wm = np.ascontiguousarray(self.weight.reshape(o, cg * kh * kw))
+        m = np.ascontiguousarray(self.mq.m.reshape(-1))
+        b = np.ascontiguousarray(self.mq.b.reshape(-1))
+        lo, hi = self.mq.lo, self.mq.hi
+        st, g = self.stride, self.groups
+
+        def fn():
+            ck.conv_mq_cm(P, wm, m, b, lo, hi, Q, acc,
+                          C=c, N=n, Hp=hp, Wp=wp, O=o, kh=kh, kw=kw,
+                          stride=st, in_off=in_off, Hq=hq, Wq=wq,
+                          out_off=out_off, OH=oh, OW=ow, groups=g)
+        return fn
+
+    def _bind_channel_reference(self, arena):
+        """Bound/cap fallback inside a channel plan: transpose, replicate."""
+        src_center = arena.cm_center(self.src[0])
+        dst_center = arena.cm_center(self.dst)
+        run = self._reference_fn(arena)
+
+        def fn():
+            x = np.ascontiguousarray(src_center.transpose(1, 0, 2, 3))
+            y = run(x)
+            np.copyto(dst_center, y.transpose(1, 0, 2, 3))
+        return fn
+
+    def _bind_reference(self, arena):
+        regs, s, dst = arena.regs, self.src[0], self.dst
+        run = self._reference_fn(arena)
+
+        def fn():
+            regs[dst] = run(regs[s])
+        return fn
+
+    def _reference_fn(self, arena):
+        """The interpreted conv+MulQuant numpy sequence, replicated verbatim."""
+        n = arena.n
+        o, oh, ow = arena.shapes[self.dst]
+        _, cg, kh, kw = self.weight.shape
+        g, st, p = self.groups, self.stride, self.padding
+        wm = self.weight.reshape(o, cg * kh * kw)
+        mq = self.mq
+
+        def run(x):
+            cols = im2col(x, kh, kw, st, p)
+            if g == 1:
+                out = np.matmul(wm, cols)
+            else:
+                cols_g = cols.reshape(n, g, cg * kh * kw, oh * ow)
+                wm_g = wm.reshape(g, o // g, cg * kh * kw)
+                out = np.matmul(wm_g[None], cols_g).reshape(n, o, oh * ow)
+            out = out.reshape(n, o, oh, ow).astype(np.float32)
+            return kernels.requant(out, mq)
+        return run
+
+    def _sig_params(self, h):
+        h.update(repr((self.stride, self.padding, self.groups,
+                       self.exact_reassoc)).encode())
+        kernels.array_sig(h, self.weight)
+        self.mq.sig_update(h)
+
+
+class LinearMQOp(Op):
+    """Fused integer linear + MulQuant requant."""
+
+    kind = "linear_mq"
+
+    def __init__(self, name, src, dst, weight: np.ndarray, mq: kernels.MQParams):
+        super().__init__(name, src, dst)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.mq = mq
+
+    def infer(self, shapes):
+        return shapes[self.src[0]][:-1] + (self.weight.shape[0],)
+
+    def bind(self, arena):
+        regs, s, dst = arena.regs, self.src[0], self.dst
+        wT = self.weight.T
+        mq = self.mq
+
+        def fn():
+            regs[dst] = kernels.requant(regs[s] @ wT, mq)
+        return fn
+
+    def _sig_params(self, h):
+        kernels.array_sig(h, self.weight)
+        self.mq.sig_update(h)
+
+
+class MulQuantOp(Op):
+    """Standalone requantizer (identity shortcuts, fused LayerNorm tables)."""
+
+    kind = "mulquant"
+
+    def __init__(self, name, src, dst, mq: kernels.MQParams):
+        super().__init__(name, src, dst)
+        self.mq = mq
+
+    def infer(self, shapes):
+        return shapes[self.src[0]]
+
+    def bind(self, arena):
+        regs, s, dst, mq = arena.regs, self.src[0], self.dst, self.mq
+        if arena.layout == "channel" and len(arena.shapes[s]) == 3:
+            from repro.runtime import ckernel
+
+            ck = ckernel.load()
+            if ck is not None:
+                return self._bind_channel_kernel(arena, ck)
+            src_center = arena.cm_center(s)
+            dst_center = arena.cm_center(dst)
+            # channel-major broadcast: the channel axis is axis 0
+            m = _cm_scale(mq.m)
+            b = _cm_scale(mq.b)
+            lo, hi = mq.lo, mq.hi
+
+            def fn():
+                v = src_center.astype(np.float64) * m + b
+                r = kernels.round_half_away(v)
+                np.copyto(dst_center, np.clip(r, lo, hi).astype(np.float32))
+            return fn
+
+        def fn():
+            regs[dst] = kernels.requant(regs[s], mq)
+        return fn
+
+    def _bind_channel_kernel(self, arena, ck):
+        """Native requant over the padded registers, same exact epilogue as
+        the fused conv (f64 multiply and add rounding separately)."""
+        s, dst = self.src[0], self.dst
+        c, h, w = arena.shapes[s]
+        n = arena.n
+        P = arena.cm_buffer(s)
+        Q = arena.cm_buffer(dst)
+        _, _, hp, wp = P.shape
+        _, _, hq, wq = Q.shape
+        ps = arena.pads.get(s, 0)
+        out_off = arena.pads.get(dst, 0)
+        m = np.ascontiguousarray(self.mq.m.reshape(-1))
+        b = np.ascontiguousarray(self.mq.b.reshape(-1))
+        lo, hi = self.mq.lo, self.mq.hi
+
+        def fn():
+            ck.mulquant_cm(P, ps, m, b, lo, hi, Q, C=c, N=n, Hp=hp, Wp=wp,
+                           Hq=hq, Wq=wq, out_off=out_off, H=h, W=w)
+        return fn
+
+    def _sig_params(self, h):
+        self.mq.sig_update(h)
+
+
+class ResidualOp(Op):
+    """Integer residual merge in the fine pre-add domain (float32 datapath)."""
+
+    kind = "residual"
+
+    def __init__(self, name, src, dst, res_scale: float, lo: float, hi: float):
+        super().__init__(name, src, dst)
+        self.res_scale = float(res_scale)
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def infer(self, shapes):
+        return shapes[self.src[0]]
+
+    def bind(self, arena):
+        regs, (a, s), dst = arena.regs, self.src, self.dst
+        rs, lo, hi = self.res_scale, self.lo, self.hi
+        if arena.layout == "channel" and len(arena.shapes[dst]) == 3:
+            from repro.runtime import ckernel
+
+            ck = ckernel.load()
+            if ck is not None:
+                c, h, w = arena.shapes[dst]
+                n = arena.n
+                A = arena.cm_buffer(a)
+                S = arena.cm_buffer(s)
+                Q = arena.cm_buffer(dst)
+                pa = arena.pads.get(a, 0)
+                psd = arena.pads.get(s, 0)
+                pq = arena.pads.get(dst, 0)
+
+                def fn():
+                    ck.residual_cm(A, pa, S, psd, Q, pq, rs, lo, hi,
+                                   C=c, N=n, H=h, W=w)
+                return fn
+            a_c = arena.cm_center(a)
+            s_c = arena.cm_center(s)
+            d_c = arena.cm_center(dst)
+
+            def fn():
+                np.copyto(d_c, kernels.residual_merge(a_c, s_c, rs, lo, hi))
+            return fn
+
+        def fn():
+            regs[dst] = kernels.residual_merge(regs[a], regs[s], rs, lo, hi)
+        return fn
+
+    def _sig_params(self, h):
+        h.update(repr((self.res_scale, self.lo, self.hi)).encode())
+
+
+class MaxPoolOp(Op):
+    """Window max over integer codes (order-independent, hence exact)."""
+
+    kind = "maxpool"
+
+    def __init__(self, name, src, dst, kernel: int, stride: int):
+        super().__init__(name, src, dst)
+        self.kernel = int(kernel)
+        self.stride = int(stride or kernel)
+
+    def infer(self, shapes):
+        c, h, w = shapes[self.src[0]]
+        return (c, conv_out_size(h, self.kernel, self.stride, 0),
+                conv_out_size(w, self.kernel, self.stride, 0))
+
+    def bind(self, arena):
+        regs, s, dst = arena.regs, self.src[0], self.dst
+        n = arena.n
+        c, oh, ow = arena.shapes[dst]
+        k, st = self.kernel, self.stride
+        if arena.layout == "channel":
+            x = arena.cm_center(s)
+            d_c = arena.cm_center(dst)
+            s0, s1, s2, s3 = x.strides
+            # window max is order-free, so the layout change is exact
+            win = np.lib.stride_tricks.as_strided(
+                x, (c, n, oh, ow, k, k), (s0, s1, s2 * st, s3 * st, s2, s3),
+                writeable=False)
+
+            def fn():
+                np.max(win, axis=(4, 5), out=d_c)
+            return fn
+        outbuf = arena.alloc((c, oh, ow))
+
+        def fn():
+            x = regs[s]
+            s0, s1, s2, s3 = x.strides
+            win = np.lib.stride_tricks.as_strided(
+                x, (n, c, oh, ow, k, k), (s0, s1, s2 * st, s3 * st, s2, s3),
+                writeable=False)
+            np.max(win, axis=(4, 5), out=outbuf)
+            regs[dst] = outbuf
+        return fn
+
+    def _sig_params(self, h):
+        h.update(repr((self.kernel, self.stride)).encode())
+
+
+class GapMQOp(Op):
+    """Global average pool + flatten + MulQuant into the classifier domain.
+
+    The mean is taken in float32 exactly like ``Tensor.mean`` (same pairwise
+    reduction), then requantized.
+    """
+
+    kind = "gap_mq"
+
+    def __init__(self, name, src, dst, mq: kernels.MQParams):
+        super().__init__(name, src, dst)
+        self.mq = mq
+
+    def infer(self, shapes):
+        return (shapes[self.src[0]][0],)
+
+    def bind(self, arena):
+        regs, s, dst, mq = arena.regs, self.src[0], self.dst, self.mq
+        if arena.layout == "channel":
+            center = arena.cm_center(s)
+            n = arena.n
+            c, h, w = arena.shapes[s]
+
+            def fn():
+                # The reshape through a transposed view copies into the same
+                # contiguous (n, c, h*w) element order the batch layout
+                # reduces over, so the pairwise float32 mean is bit-identical.
+                x = center.transpose(1, 0, 2, 3).reshape(n, c, h * w)
+                regs[dst] = kernels.requant(x.mean(axis=-1), mq)
+            return fn
+
+        def fn():
+            regs[dst] = kernels.requant(regs[s].mean(axis=(2, 3)), mq)
+        return fn
+
+    def _sig_params(self, h):
+        self.mq.sig_update(h)
+
+
+class TokensOp(Op):
+    """ViT embedding assembly: patch grid -> tokens, +cls, +pos, clamp."""
+
+    kind = "tokens"
+
+    def __init__(self, name, src, dst, cls_int: np.ndarray, pos_int: np.ndarray,
+                 qlb: int, qub: int):
+        super().__init__(name, src, dst)
+        self.cls_int = np.ascontiguousarray(cls_int, dtype=np.float32)
+        self.pos_int = np.ascontiguousarray(pos_int, dtype=np.float32)
+        self.qlb = qlb
+        self.qub = qub
+
+    def infer(self, shapes):
+        d, gh, gw = shapes[self.src[0]]
+        return (gh * gw + 1, d)
+
+    def bind(self, arena):
+        regs, s, dst = arena.regs, self.src[0], self.dst
+        n = arena.n
+        d = arena.shapes[s][0]
+        cls_int, pos_int, qlb, qub = self.cls_int, self.pos_int, self.qlb, self.qub
+
+        def fn():
+            out = regs[s]
+            tokens = out.reshape(n, d, -1).transpose(0, 2, 1)
+            cls = np.broadcast_to(cls_int, (n, 1, d)).copy()
+            tok = np.concatenate([cls, tokens], axis=1)
+            regs[dst] = np.clip(tok + pos_int, qlb, qub)
+        return fn
+
+    def _sig_params(self, h):
+        h.update(repr((self.qlb, self.qub)).encode())
+        kernels.array_sig(h, self.cls_int, self.pos_int)
+
+
+class AttentionOp(Op):
+    """Integer multi-head attention: QKV/score/context/proj requants + LUT softmax."""
+
+    kind = "attention"
+
+    def __init__(self, name, src, dst, qkv_w, proj_w, mq_qkv, mq_score, mq_ctx,
+                 mq_proj, softmax_table, prob_bits, num_heads, head_dim):
+        super().__init__(name, src, dst)
+        self.qkv_w = np.ascontiguousarray(qkv_w, dtype=np.float32)
+        self.proj_w = np.ascontiguousarray(proj_w, dtype=np.float32)
+        self.mq_qkv = mq_qkv
+        self.mq_score = mq_score
+        self.mq_ctx = mq_ctx
+        self.mq_proj = mq_proj
+        self.softmax_table = np.ascontiguousarray(softmax_table, dtype=np.int64)
+        self.prob_bits = int(prob_bits)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+
+    def infer(self, shapes):
+        return shapes[self.src[0]]
+
+    def bind(self, arena):
+        regs, s, dst = arena.regs, self.src[0], self.dst
+        n = arena.n
+        l, d = arena.shapes[s]
+        qkv_wT, proj_wT = self.qkv_w.T, self.proj_w.T
+        H, hd = self.num_heads, self.head_dim
+        table, pb = self.softmax_table, self.prob_bits
+        p_qkv, p_score, p_ctx, p_proj = self.mq_qkv, self.mq_score, self.mq_ctx, self.mq_proj
+
+        def fn():
+            x = regs[s]
+            t = kernels.requant(x @ qkv_wT, p_qkv)
+            qkv = t.reshape(n, l, 3, H, hd).transpose(2, 0, 3, 1, 4)
+            q, k, v = qkv[0], qkv[1], qkv[2]
+            s_int = kernels.requant(q @ np.swapaxes(k, -1, -2), p_score)
+            p_int = kernels.lut_softmax(s_int, table, pb)
+            c_int = kernels.requant(p_int @ v, p_ctx)
+            merged = c_int.transpose(0, 2, 1, 3).reshape(n, l, d)
+            regs[dst] = kernels.requant(merged @ proj_wT, p_proj)
+        return fn
+
+    def _sig_params(self, h):
+        h.update(repr((self.prob_bits, self.num_heads, self.head_dim)).encode())
+        kernels.array_sig(h, self.qkv_w, self.proj_w, self.softmax_table)
+        for p in (self.mq_qkv, self.mq_score, self.mq_ctx, self.mq_proj):
+            p.sig_update(h)
+
+
+class MLPOp(Op):
+    """Integer transformer MLP: fc1 + requant + LUT GELU + fc2 + requant."""
+
+    kind = "mlp"
+
+    def __init__(self, name, src, dst, fc1_w, fc2_w, mq_fc1, mq_fc2,
+                 gelu_table, gelu_qlb, gelu_qub):
+        super().__init__(name, src, dst)
+        self.fc1_w = np.ascontiguousarray(fc1_w, dtype=np.float32)
+        self.fc2_w = np.ascontiguousarray(fc2_w, dtype=np.float32)
+        self.mq_fc1 = mq_fc1
+        self.mq_fc2 = mq_fc2
+        self.gelu_table = np.ascontiguousarray(gelu_table, dtype=np.int64)
+        self.gelu_qlb = int(gelu_qlb)
+        self.gelu_qub = int(gelu_qub)
+
+    def infer(self, shapes):
+        return shapes[self.src[0]][:-1] + (self.fc2_w.shape[0],)
+
+    def bind(self, arena):
+        regs, s, dst = arena.regs, self.src[0], self.dst
+        fc1_wT, fc2_wT = self.fc1_w.T, self.fc2_w.T
+        p1, p2 = self.mq_fc1, self.mq_fc2
+        table, qlb, qub = self.gelu_table, self.gelu_qlb, self.gelu_qub
+
+        def fn():
+            g = kernels.lut_gelu(kernels.requant(regs[s] @ fc1_wT, p1), table, qlb, qub)
+            regs[dst] = kernels.requant(g @ fc2_wT, p2)
+        return fn
+
+    def _sig_params(self, h):
+        h.update(repr((self.gelu_qlb, self.gelu_qub)).encode())
+        kernels.array_sig(h, self.fc1_w, self.fc2_w, self.gelu_table)
+        self.mq_fc1.sig_update(h)
+        self.mq_fc2.sig_update(h)
+
+
+class HeadOp(Op):
+    """Classifier head on the CLS token: select token 0, linear, requant."""
+
+    kind = "head"
+
+    def __init__(self, name, src, dst, weight: np.ndarray, mq: kernels.MQParams):
+        super().__init__(name, src, dst)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.mq = mq
+
+    def infer(self, shapes):
+        return (self.weight.shape[0],)
+
+    def bind(self, arena):
+        regs, s, dst = arena.regs, self.src[0], self.dst
+        wT = self.weight.T
+        mq = self.mq
+
+        def fn():
+            regs[dst] = kernels.requant(regs[s][:, 0] @ wT, mq)
+        return fn
+
+    def _sig_params(self, h):
+        kernels.array_sig(h, self.weight)
+        self.mq.sig_update(h)
+
+
+class CallModuleOp(Op):
+    """Escape hatch: run an interpreted module for ops with no integer kernel.
+
+    Used for the instant-statistics LayerNorm, whose deploy semantics are a
+    float normalization by design (paper's latency/accuracy reference mode).
+    """
+
+    kind = "call_module"
+
+    def __init__(self, name, src, dst, module):
+        super().__init__(name, src, dst)
+        self.module = module
+
+    def infer(self, shapes):
+        return shapes[self.src[0]]
+
+    def bind(self, arena):
+        from repro.tensor import no_grad
+        from repro.tensor.tensor import Tensor
+
+        regs, s, dst, module = arena.regs, self.src[0], self.dst, self.module
+
+        def fn():
+            with no_grad():
+                regs[dst] = module(Tensor(regs[s])).data
+        return fn
+
+    def _sig_params(self, h):
+        state = getattr(self.module, "state_dict", None)
+        if state is not None:
+            for key, t in sorted(state().items()):
+                h.update(key.encode())
+                kernels.array_sig(h, np.asarray(t.data))

@@ -1,0 +1,169 @@
+"""Throughput mode: shard a batch stream across a worker pool.
+
+Workers are forked so they inherit the compiled plan (weights, buffers,
+cached indices) by copy-on-write — nothing is pickled.  Each in-flight batch
+occupies one shared-memory slot pair (input / output), so the only per-batch
+IPC is two small queue messages; the arrays themselves never cross the pipe.
+Results are re-ordered to input order before being yielded.
+
+Falls back to inline execution when ``workers < 2``, when the platform has
+no ``fork`` start method, or for oversized batches that do not fit the slots
+sized from the first batch.
+"""
+from __future__ import annotations
+
+import collections
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro import telemetry
+
+
+def _can_fork() -> bool:
+    import multiprocessing as mp
+
+    try:
+        return "fork" in mp.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def _worker_main(plan, tasks, done, in_names, out_names, slot_shape, out_features):
+    """Worker loop: map a shared-memory input slot to its output slot."""
+    from multiprocessing import shared_memory
+
+    # Workers are throughput engines; the parent keeps telemetry (a fork
+    # inherits the enabled flag, and per-op spans from N processes would
+    # interleave into one meaningless trace).
+    telemetry.disable()
+    in_shms = [shared_memory.SharedMemory(name=nm) for nm in in_names]
+    out_shms = [shared_memory.SharedMemory(name=nm) for nm in out_names]
+    max_n = slot_shape[0]
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                return
+            seq, slot, n = task
+            try:
+                x = np.ndarray(slot_shape, dtype=np.float32,
+                               buffer=in_shms[slot].buf)[:n]
+                y = plan(x)
+                out = np.ndarray((max_n, out_features), dtype=np.float32,
+                                 buffer=out_shms[slot].buf)
+                out[:n] = y
+                done.put((seq, slot, n, None))
+            except Exception as exc:  # surface, don't hang the parent
+                done.put((seq, slot, n, f"{type(exc).__name__}: {exc}"))
+    finally:
+        for shm in in_shms + out_shms:
+            shm.close()
+
+
+def serve_batches(plan, batches: Iterable, workers: int = 0) -> Iterator[np.ndarray]:
+    batches = iter(batches)
+    if workers < 2 or not _can_fork():
+        for b in batches:
+            yield plan(b)
+        return
+
+    try:
+        first = next(batches)
+    except StopIteration:
+        return
+    first = np.ascontiguousarray(np.asarray(
+        getattr(first, "data", first), dtype=np.float32))
+    yield from _serve_pool(plan, first, batches, workers)
+
+
+def _serve_pool(plan, first: np.ndarray, rest: Iterator,
+                workers: int) -> Iterator[np.ndarray]:
+    import multiprocessing as mp
+    from multiprocessing import shared_memory
+
+    ctx = mp.get_context("fork")
+    slot_shape = first.shape
+    max_n = slot_shape[0]
+    nslots = workers * 2
+    in_shms, out_shms = [], []
+    item = np.prod(slot_shape[1:], dtype=np.int64)
+    for _ in range(nslots):
+        in_shms.append(shared_memory.SharedMemory(
+            create=True, size=int(max_n * item * 4)))
+        out_shms.append(shared_memory.SharedMemory(
+            create=True, size=int(max_n * plan.out_features * 4)))
+
+    tasks = ctx.Queue()
+    done = ctx.Queue()
+    procs = [ctx.Process(
+        target=_worker_main,
+        args=(plan, tasks, done, [s.name for s in in_shms],
+              [s.name for s in out_shms], slot_shape, plan.out_features),
+        daemon=True) for _ in range(workers)]
+    for proc in procs:
+        proc.start()
+    telemetry.emit("plan_serve_start", workers=workers, slots=nslots,
+                   model=plan.model_name)
+
+    free = collections.deque(range(nslots))
+    pending = {}      # seq -> logits, completed out of order
+    inline = {}       # seq -> logits computed in the parent (oversized batch)
+    next_yield = 0
+    seq = 0
+    in_flight = 0
+    exhausted = False
+
+    def submit(batch) -> None:
+        nonlocal seq, in_flight
+        x = np.ascontiguousarray(np.asarray(
+            getattr(batch, "data", batch), dtype=np.float32))
+        if x.shape[0] > max_n or x.shape[1:] != slot_shape[1:]:
+            inline[seq] = plan(x)  # shape outgrew the slots: run it here
+            seq += 1
+            return
+        slot = free.popleft()
+        view = np.ndarray(slot_shape, dtype=np.float32,
+                          buffer=in_shms[slot].buf)
+        view[:x.shape[0]] = x
+        tasks.put((seq, slot, x.shape[0]))
+        seq += 1
+        in_flight += 1
+
+    try:
+        submit(first)
+        while True:
+            while not exhausted and free:
+                try:
+                    submit(next(rest))
+                except StopIteration:
+                    exhausted = True
+            while next_yield in pending or next_yield in inline:
+                store = pending if next_yield in pending else inline
+                yield store.pop(next_yield)
+                next_yield += 1
+            if in_flight == 0:
+                if exhausted:
+                    break
+                continue
+            got_seq, slot, n, err = done.get()
+            in_flight -= 1
+            if err is not None:
+                raise RuntimeError(f"plan worker failed on batch {got_seq}: {err}")
+            out = np.ndarray((max_n, plan.out_features), dtype=np.float32,
+                             buffer=out_shms[slot].buf)
+            pending[got_seq] = out[:n].copy()
+            free.append(slot)
+    finally:
+        for _ in procs:
+            tasks.put(None)
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+        for shm in in_shms + out_shms:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass

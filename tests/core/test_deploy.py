@@ -1,0 +1,183 @@
+"""DeploySpec / deploy() API and the legacy-kwarg deprecation shims."""
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import DeploySpec, T2C, deploy
+from repro.core.fixed_point import FixedPointFormat
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import build_model
+
+
+def _calibrated(seed=0, batches=1):
+    rng = np.random.default_rng(seed)
+    qm = quantize_model(build_model("resnet20", num_classes=10, width=8),
+                        QConfig(8, 8))
+    calibrate_model(qm, [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+                         for _ in range(batches)])
+    return qm
+
+
+class TestDeploySpec:
+    def test_defaults(self):
+        spec = DeploySpec()
+        assert spec.fusion == "channel" and not spec.float_scale
+        assert spec.fixed_point == FixedPointFormat(4, 12)
+        assert spec.export_dir is None and spec.formats == ("dec",)
+        assert spec.runtime == "auto" and spec.accum_bits == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeploySpec(fusion="magic")
+        with pytest.raises(ValueError):
+            DeploySpec(runtime="diagonal")
+
+    def test_from_args_maps_cli_flags(self):
+        args = argparse.Namespace(fusion="prefuse", float_scale=True,
+                                  accum_bits=24, out_dir="deploy/",
+                                  formats=["hex", "qint"], runtime="batch")
+        spec = DeploySpec.from_args(args)
+        assert spec.fusion == "prefuse" and spec.float_scale
+        assert spec.accum_bits == 24 and spec.export_dir == "deploy/"
+        assert spec.formats == ("hex", "qint") and spec.runtime == "batch"
+
+    def test_from_args_defaults_for_missing_attrs(self):
+        spec = DeploySpec.from_args(argparse.Namespace())
+        assert spec == DeploySpec()
+
+    def test_evolve_and_json(self):
+        spec = DeploySpec().evolve(fusion="prefuse")
+        assert spec.fusion == "prefuse"
+        js = spec.to_json()
+        assert js["fusion"] == "prefuse" and js["formats"] == ["dec"]
+
+
+class TestDeploy:
+    def test_one_call_deploy_compiles_exact_plan(self):
+        qm = _calibrated()
+        d = deploy(qm, DeploySpec(runtime="batch"))
+        x = np.random.default_rng(1).standard_normal((2, 3, 32, 32)).astype(np.float32)
+        from repro.tensor import no_grad
+        from repro.tensor.tensor import Tensor
+
+        with no_grad():
+            ref = d.qnn(Tensor(x)).data
+        assert np.array_equal(ref, d.plan(x))
+        assert np.array_equal(ref, d(x))
+
+    def test_lint_and_export_through_spec(self):
+        qm = _calibrated(seed=2)
+        with tempfile.TemporaryDirectory() as td:
+            d = deploy(qm, DeploySpec(lint=True, export_dir=td,
+                                      formats=("dec",), runtime="none"))
+            assert d.plan is None
+            assert d.lint_report is not None and d.lint_report.ok
+            assert d.manifest is not None
+            assert os.path.exists(os.path.join(td, "manifest.json"))
+
+    def test_overrides(self):
+        qm = _calibrated(seed=3)
+        d = deploy(qm, runtime="none")
+        assert d.plan is None and d.spec.runtime == "none"
+
+
+class TestDeprecationShims:
+    def test_t2c_legacy_kwargs_warn_and_work(self):
+        qm = _calibrated(seed=4)
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            t2c = T2C(qm, mode="prefuse", float_scale=False,
+                      fmt=FixedPointFormat(4, 12), lint_after_fuse=False)
+        msgs = [str(x.message) for x in w
+                if issubclass(x.category, DeprecationWarning)]
+        assert any("DeploySpec.fusion" in m for m in msgs)
+        assert any("DeploySpec.float_scale" in m for m in msgs)
+        assert any("DeploySpec.fixed_point" in m for m in msgs)
+        assert any("DeploySpec.lint" in m for m in msgs)
+        assert t2c.spec.fusion == "prefuse" and t2c.mode == "prefuse"
+
+    def test_t2c_spec_form_is_silent(self):
+        qm = _calibrated(seed=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            T2C(qm, spec=DeploySpec(fusion="prefuse")).nn2chip()
+
+    def test_nn2chip_legacy_kwargs_warn(self):
+        qm = _calibrated(seed=6)
+        t2c = T2C(qm)
+        with tempfile.TemporaryDirectory() as td:
+            with warnings.catch_warnings(record=True) as w:
+                warnings.simplefilter("always")
+                t2c.nn2chip(save_model=True, export_dir=td, formats=("dec",))
+            msgs = [str(x.message) for x in w
+                    if issubclass(x.category, DeprecationWarning)]
+            assert any("T2C.nn2chip(save_model=...)" in m for m in msgs)
+            assert any("DeploySpec.export_dir" in m for m in msgs)
+            assert any("DeploySpec.formats" in m for m in msgs)
+            assert os.path.exists(os.path.join(td, "manifest.json"))
+
+    def test_export_model_legacy_kwargs_warn(self):
+        qm = _calibrated(seed=7)
+        qnn = T2C(qm).nn2chip()
+        from repro.export.writer import export_model
+
+        with tempfile.TemporaryDirectory() as td:
+            with warnings.catch_warnings(record=True) as w:
+                warnings.simplefilter("always")
+                export_model(qnn, td, formats=("dec",))
+            msgs = [str(x.message) for x in w
+                    if issubclass(x.category, DeprecationWarning)]
+            assert any("DeploySpec.export_dir" in m for m in msgs)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                export_model(qnn, spec=DeploySpec(export_dir=td))
+
+
+class TestStaleCalibration:
+    def test_uncalibrated_quantizer_is_surfaced(self):
+        from repro.lint import lint_model
+        from repro.telemetry.report import EventLog, set_event_sink
+
+        qm = quantize_model(build_model("resnet20", num_classes=10, width=8),
+                            QConfig(8, 8))
+        log = EventLog()
+        prev = set_event_sink(log)
+        telemetry.enable()
+        try:
+            calibrate_model(qm, [])  # zero batches: every observer is stale
+        finally:
+            telemetry.disable()
+            set_event_sink(prev)
+        stale_events = [e for e in log.events
+                        if e["kind"] == "calibration_stale"]
+        assert stale_events and stale_events[0]["severity"] == "WARNING"
+        assert stale_events[0]["count"] == len(qm._stale_calibration) > 0
+
+        T2C(qm).fuse()
+        rep = lint_model(qm)
+        stale = [f for f in rep.findings
+                 if f.rule == "contract.stale-calibration"]
+        assert stale, "lint must surface never-calibrated quantizers"
+        assert all(f.severity == "WARN" for f in stale)
+        # fusion renames some modules, but the surviving quantizer paths
+        # still appear among the recorded stale names
+        assert {f.where for f in stale} & set(qm._stale_calibration)
+
+    def test_calibrated_model_has_no_stale_findings(self):
+        from repro.lint import lint_model
+
+        qm = _calibrated(seed=8)
+        assert qm._stale_calibration == []
+        T2C(qm).fuse()
+        rep = lint_model(qm)
+        assert not [f for f in rep.findings
+                    if f.rule == "contract.stale-calibration"]
