@@ -1,0 +1,66 @@
+"""Online-gateway throughput: Poisson open-loop load vs raw plan rate.
+
+The serving acceptance bar from the runtime design brief: offered load at
+80% of the raw compiled-plan throughput must be *sustained* — >= 70% of raw
+answered, p99 latency under the per-request deadline, zero failures, every
+answer bitwise identical to single-sample execution on the interpreted
+tree.  Results land in ``benchmarks/BENCH_server.json`` via the same
+``repro.cli serve-bench`` path a user would run, so the recorded numbers
+are exactly what the CLI reports (and directly comparable to
+``BENCH_runtime.json`` — shared percentile summary).
+
+Open-loop caveat: ``achieved_rate = ok / wall`` includes the tail drain
+after the last arrival, which dilutes the rate at small request counts; the
+run is sized (1000 requests) so that dilution stays well under the margin
+between the 80% offered and the 70% floor.
+"""
+from __future__ import annotations
+
+import json
+import os
+
+from repro import cli
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_server.json")
+
+REQUESTS = 1000
+RATE_FRACTION = 0.8
+SUSTAIN_FLOOR = 0.7
+DEADLINE_MS = 250.0
+
+
+def test_server_throughput():
+    rc = cli.main([
+        "serve-bench", "--model", "resnet20",
+        "--requests", str(REQUESTS),
+        "--rate-fraction", str(RATE_FRACTION),
+        "--deadline-ms", str(DEADLINE_MS),
+        "--out", OUT_PATH,
+    ])
+    assert rc == 0, "serve-bench reported failures or bitwise mismatches"
+
+    with open(OUT_PATH) as fh:
+        result = json.load(fh)
+    gw = result["gateway"]
+
+    print(f"\nraw plan {result['raw_imgs_per_sec']} imgs/s  offered "
+          f"{gw['offered_rate_hz']} req/s "
+          f"({result['rate_fraction_of_raw']:.0%} of raw)  answered "
+          f"{gw['achieved_rate_hz']} req/s "
+          f"({result['sustained_fraction_of_raw']:.0%} of raw)")
+    print(f"latency p50 {gw['latency_ms']['p50']}  p95 "
+          f"{gw['latency_ms']['p95']}  p99 {gw['latency_ms']['p99']} ms  "
+          f"deadline {gw['deadline_ms']:.0f} ms  mean batch "
+          f"{gw['mean_batch_size']}")
+
+    assert gw["bit_exact"] is True, (
+        f"{gw['mismatches']} responses diverged from single-sample tree")
+    assert gw["failed"] == 0, f"{gw['failed']} requests failed outright"
+    assert gw["requests"] == REQUESTS
+    assert gw["latency_ms"]["p99"] < DEADLINE_MS, (
+        f"p99 {gw['latency_ms']['p99']} ms blows the {DEADLINE_MS} ms "
+        f"deadline")
+    assert result["sustained_fraction_of_raw"] >= SUSTAIN_FLOOR, (
+        f"gateway sustained only {result['sustained_fraction_of_raw']:.0%} "
+        f"of raw at {result['rate_fraction_of_raw']:.0%} offered "
+        f"(shed={gw['shed']})")

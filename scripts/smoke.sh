@@ -31,6 +31,25 @@ python -m repro.cli bench --model resnet20 --train-size 256 --test-size 64 \
     --out "$TEL_DIR/BENCH_runtime.json"
 test -s "$TEL_DIR/BENCH_runtime.json" || { echo "missing BENCH_runtime.json"; exit 1; }
 
+echo "== online serving gateway (repro.server) =="
+python -m pytest tests/server -q -m server
+python -m repro.cli serve-bench --model resnet20 --train-size 256 \
+    --test-size 64 --requests 200 --max-batch 8 --deadline-ms 500 \
+    --out "$TEL_DIR/BENCH_server.json" --telemetry-out "$TEL_DIR/serve_tel"
+python - "$TEL_DIR" <<'EOF'
+import json, sys, os
+tel = sys.argv[1]
+gw = json.load(open(os.path.join(tel, "BENCH_server.json")))["gateway"]
+assert gw["bit_exact"] is True, "gateway responses diverged from tree"
+assert gw["shed"] == 0 and gw["failed"] == 0, (
+    f"dropped requests in smoke run: shed={gw['shed']} failed={gw['failed']}")
+warnings = [json.loads(l) for l in open(os.path.join(tel, "serve_tel", "events.jsonl"))
+            if '"level"' in l]
+warnings = [e for e in warnings if e.get("level") in ("warning", "error")]
+assert not warnings, f"telemetry warnings during smoke serve: {warnings}"
+print(f"serve smoke OK: {gw['ok']} ok, p99 {gw['latency_ms']['p99']} ms")
+EOF
+
 echo "== compile-check examples =="
 for f in examples/*.py; do
     python -m py_compile "$f"

@@ -11,6 +11,7 @@ Usage (module form)::
     python -m repro.cli lint    --model vgg8 --wbit 8 --abit 8      # static verification
     python -m repro.cli lint    --purity                            # AST pass only, no model
     python -m repro.cli bench   --model resnet20 --batch-size 64    # compiled runtime
+    python -m repro.cli serve-bench --model resnet20 --requests 300 # online gateway
 
 Everything runs on the synthetic datasets (``--dataset`` picks which); the
 CLI exists so a hardware designer can drive the whole flow without writing
@@ -19,10 +20,14 @@ Python.  ``inspect`` runs the full compress→fuse→export flow under a
 trace, the JSONL event log, the per-layer profile and the integer-datapath
 saturation audit to disk.
 
-``export``, ``lint``, ``inspect`` and ``bench`` all translate their flags
-into one :class:`~repro.core.DeploySpec` (``DeploySpec.from_args``) and
-share :func:`_build_deployed_model`, so the four subcommands exercise the
-identical deploy pipeline.
+``export``, ``lint``, ``inspect``, ``bench`` and ``serve-bench`` all
+translate their flags into one :class:`~repro.core.DeploySpec`
+(``DeploySpec.from_args``) and share :func:`_build_deployed_model`, so the
+subcommands exercise the identical deploy pipeline.  ``serve-bench`` stands
+up the online gateway (:mod:`repro.server`) on the deployed model and
+drives it with the open-loop Poisson load generator, writing
+``BENCH_server.json`` with numbers directly comparable to ``bench``'s
+``BENCH_runtime.json`` (same percentile summary).
 """
 from __future__ import annotations
 
@@ -329,6 +334,25 @@ def _run_bench(args) -> int:
             plan(batch)
     plan_s = (time.perf_counter() - t0) / args.batches
 
+    # Per-batch-size latency sweep (serial, so each sample is one batch's
+    # wall time): p50/p95/p99 land next to the throughput numbers so the
+    # gateway's BENCH_server.json is directly comparable to the raw plan.
+    latency_ms = {}
+    for bs_i in sorted(set([bs] + (args.batch_sizes or []))):
+        pool_i = pool
+        if pool_i.shape[0] < bs_i:
+            pool_i = np.concatenate([pool_i] * (-(-bs_i // pool_i.shape[0])))
+        batch_i = np.ascontiguousarray(pool_i[:bs_i], dtype=np.float32)
+        plan(batch_i)  # bind once, untimed
+        lats = []
+        for _ in range(max(args.batches, 5)):
+            t0 = time.perf_counter()
+            plan(batch_i)
+            lats.append((time.perf_counter() - t0) * 1e3)
+        latency_ms[str(bs_i)] = {
+            k: round(v, 3)
+            for k, v in telemetry.percentile_summary(lats).items()}
+
     t0 = time.perf_counter()
     for _ in range(args.tree_batches):
         with no_grad():
@@ -347,6 +371,7 @@ def _run_bench(args) -> int:
         "tree_ms_per_batch": tree_s * 1e3,
         "imgs_per_sec": bs / plan_s,
         "speedup": tree_s / plan_s,
+        "latency_ms": latency_ms,
         "per_op": per_op,
         "spec": spec.to_json(),
     }
@@ -360,8 +385,110 @@ def _run_bench(args) -> int:
           f"({result['imgs_per_sec']:.1f} imgs/sec)")
     print(f"tree           {tree_s * 1e3:8.1f} ms/batch  "
           f"-> speedup {result['speedup']:.2f}x")
+    for bs_key, pcts in latency_ms.items():
+        print(f"latency bs={bs_key:>4}  p50 {pcts['p50']:7.2f}  "
+              f"p95 {pcts['p95']:7.2f}  p99 {pcts['p99']:7.2f} ms")
     print(f"results -> {args.out}")
     return 0 if exact else 1
+
+
+def cmd_serve_bench(args) -> int:
+    """Online gateway benchmark: Poisson open-loop load over the Server."""
+    if args.telemetry_out:
+        with telemetry.TelemetrySession(out_dir=args.telemetry_out,
+                                        label=f"serve-bench-{args.model}"):
+            rc = _run_serve_bench(args)
+        print(f"telemetry -> {args.telemetry_out}/manifest.json")
+        return rc
+    return _run_serve_bench(args)
+
+
+def _run_serve_bench(args) -> int:
+    from repro.server import ModelRegistry, Server, run_poisson_load
+    from repro.tensor import no_grad
+    from repro.tensor.tensor import Tensor
+
+    seed_everything(args.seed)
+    spec = DeploySpec.from_args(args)
+    deployed, (_, test, _) = _build_deployed_model(args, spec)
+    plan, qnn = deployed.plan, deployed.qnn
+
+    # raw plan throughput at the gateway's batch size — the baseline the
+    # gateway's achieved rate is measured against
+    mb = args.max_batch
+    pool = test.images
+    if pool.shape[0] < mb:
+        pool = np.concatenate([pool] * (-(-mb // pool.shape[0])))
+    batch = np.ascontiguousarray(pool[:mb], dtype=np.float32)
+    plan(batch)  # bind + warm
+    raw_s = min(_timeit(plan, batch) for _ in range(max(args.raw_batches, 3)))
+    raw_rate = mb / raw_s
+
+    rate = args.rate if args.rate > 0 else args.rate_fraction * raw_rate
+    deadline_s = args.deadline_ms / 1e3
+
+    n_distinct = max(1, min(args.distinct_samples, test.images.shape[0]))
+    samples = [np.ascontiguousarray(test.images[i], dtype=np.float32)
+               for i in range(n_distinct)]
+    with no_grad():
+        refs = [qnn(Tensor(s[None])).data[0] for s in samples]
+
+    registry = ModelRegistry()
+    registry.register(args.model, "1", deployed)
+    server = Server(registry, max_batch=mb, max_queue=args.max_queue,
+                    workers=args.workers, default_deadline_s=deadline_s)
+    try:
+        report = run_poisson_load(
+            server, args.model, samples, rate_hz=rate,
+            n_requests=args.requests, deadline_s=deadline_s, refs=refs,
+            rng=np.random.default_rng(args.seed))
+        stats = server.stats().get(args.model, {})
+    finally:
+        server.close()
+
+    sustained = (report.achieved_rate_hz / raw_rate) if raw_rate else 0.0
+    result = {
+        "model": args.model,
+        "layout": plan.layout,
+        "workers": args.workers,
+        "max_batch": mb,
+        "max_queue": args.max_queue,
+        "raw_imgs_per_sec": round(raw_rate, 1),
+        "raw_ms_per_batch": round(raw_s * 1e3, 3),
+        "rate_fraction_of_raw": round(rate / raw_rate, 4) if raw_rate else 0,
+        "sustained_fraction_of_raw": round(sustained, 4),
+        "gateway": report.to_json(),
+        "server_stats": stats,
+        "spec": spec.to_json(),
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=1, default=str)
+    telemetry.emit("bench_server", model=args.model,
+                   offered_rate_hz=report.offered_rate_hz,
+                   achieved_rate_hz=report.achieved_rate_hz,
+                   sustained_fraction=sustained,
+                   p99_latency_ms=report.to_json()["latency_ms"]["p99"],
+                   shed=report.shed, failed=report.failed,
+                   bit_exact=report.bit_exact)
+    lat = report.to_json()["latency_ms"]
+    print(f"raw plan      {raw_rate:8.1f} imgs/sec (batch {mb})")
+    print(f"gateway       {report.achieved_rate_hz:8.1f} req/sec answered "
+          f"({report.offered_rate_hz:.1f} offered, "
+          f"{sustained:.0%} of raw)")
+    print(f"latency p50 {lat['p50']:.2f}  p95 {lat['p95']:.2f}  "
+          f"p99 {lat['p99']:.2f} ms  (deadline {args.deadline_ms:.0f} ms)")
+    print(f"ok {report.ok}  shed {report.shed}  failed {report.failed}  "
+          f"late {report.late}  mean batch "
+          f"{report.to_json()['mean_batch_size']}")
+    print(f"bit-exact vs single-sample tree: {report.bit_exact}")
+    print(f"results -> {args.out}")
+    return 0 if (report.bit_exact is not False and report.failed == 0) else 1
+
+
+def _timeit(fn, x) -> float:
+    t0 = time.perf_counter()
+    fn(x)
+    return time.perf_counter() - t0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -455,10 +582,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timed interpreted-baseline batches")
     p.add_argument("--workers", type=int, default=0,
                    help=">=2 shards batches across a shared-memory worker pool")
+    p.add_argument("--batch-sizes", type=int, nargs="+", default=None,
+                   metavar="N", help="extra batch sizes for the latency "
+                                     "percentile sweep (p50/p95/p99)")
     p.add_argument("--out", default="BENCH_runtime.json")
     p.add_argument("--telemetry-out", default=None, metavar="DIR",
                    help="capture per-op spans into a TelemetrySession in DIR")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("serve-bench", help="online gateway benchmark: Poisson "
+                                           "open-loop load, BENCH_server.json")
+    _common(p)
+    _deploy_flags(p, calib_batches=2, runtime="auto")
+    p.add_argument("--ckpt", default=None,
+                   help="optional Q-model checkpoint to serve")
+    p.add_argument("--runtime", choices=("auto", "channel", "batch"),
+                   default="auto", help="plan register layout")
+    p.add_argument("--requests", type=int, default=300,
+                   help="total Poisson arrivals to fire")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="arrival rate in req/s; 0 derives it from "
+                        "--rate-fraction of measured raw plan throughput")
+    p.add_argument("--rate-fraction", type=float, default=0.8,
+                   help="offered load as a fraction of raw plan throughput "
+                        "when --rate is 0")
+    p.add_argument("--deadline-ms", type=float, default=250.0,
+                   help="per-request deadline (batching slack + admission)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="gateway micro-batch size cap")
+    p.add_argument("--max-queue", type=int, default=512,
+                   help="bounded queue depth before load shedding")
+    p.add_argument("--workers", type=int, default=0,
+                   help=">=2 executes batches on a supervised worker pool")
+    p.add_argument("--distinct-samples", type=int, default=32,
+                   help="distinct inputs cycled through the request stream")
+    p.add_argument("--raw-batches", type=int, default=5,
+                   help="timed batches for the raw-throughput baseline")
+    p.add_argument("--out", default="BENCH_server.json")
+    p.add_argument("--telemetry-out", default=None, metavar="DIR",
+                   help="capture spans/events/metrics into a "
+                        "TelemetrySession in DIR")
+    p.set_defaults(func=cmd_serve_bench)
     return ap
 
 

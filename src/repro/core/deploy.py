@@ -155,3 +155,20 @@ def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
         plan = Plan.compile(qnn, layout=spec.runtime)
     return Deployed(qnn=qnn, fused=t2c.model, spec=spec, t2c=t2c, plan=plan,
                     lint_report=t2c.lint_report, manifest=manifest)
+
+
+def deploy_registry(models, spec: Optional[DeploySpec] = None,
+                    version: str = "1", **overrides):
+    """Deploy a ``{name: calibrated Q-model}`` mapping into a ModelRegistry.
+
+    The construction path for the online gateway: every entry goes through
+    the same :func:`deploy` pipeline (fuse → lint → re-pack → plan-compile)
+    under one shared spec, and lands in a
+    :class:`repro.server.ModelRegistry` as ``name@version``, activated.
+    """
+    from repro.server.registry import ModelRegistry
+
+    registry = ModelRegistry()
+    for name, model in models.items():
+        registry.register(name, version, deploy(model, spec, **overrides))
+    return registry

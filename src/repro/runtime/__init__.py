@@ -30,5 +30,6 @@ Entry points::
 """
 from repro.runtime.executor import Plan
 from repro.runtime.compiler import CompileError
+from repro.runtime.serve import BatchFailed, PlanPool, WorkerDied
 
-__all__ = ["Plan", "CompileError"]
+__all__ = ["Plan", "CompileError", "PlanPool", "WorkerDied", "BatchFailed"]

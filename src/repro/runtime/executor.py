@@ -97,16 +97,20 @@ class Plan:
         self._batches += 1
         return regs[self.output_reg].copy()
 
-    def serve(self, batches: Iterable, workers: int = 0) -> Iterator[np.ndarray]:
-        """Stream logits for an iterable of batches.
+    def serve(self, batches: Iterable, workers: int = 0,
+              pool_hook=None) -> Iterator[np.ndarray]:
+        """Stream logits for an iterable of batches (the *offline* batch API;
+        single-request traffic goes through :class:`repro.server.Server`).
 
         ``workers >= 2`` shards the stream across a ``multiprocessing`` pool
         with shared-memory I/O buffers (see :mod:`repro.runtime.serve`);
-        otherwise batches run inline.  Results preserve input order.
+        otherwise batches run inline.  Results preserve input order.  A dead
+        worker raises instead of hanging; ``pool_hook`` receives the live
+        :class:`~repro.runtime.serve.PlanPool` for supervision.
         """
         from repro.runtime.serve import serve_batches
 
-        return serve_batches(self, batches, workers)
+        return serve_batches(self, batches, workers, pool_hook=pool_hook)
 
     # ----------------------------------------------------------- reporting
     def reset_op_stats(self) -> None:

@@ -1,0 +1,50 @@
+"""Online serving gateway over the compiled integer runtime.
+
+`plan.serve()` (PR 3) is the *offline* batch API: it shards a pre-formed
+batch stream across a worker pool.  This package is the *online* layer the
+ROADMAP's "heavy traffic" north star needs — it accepts individual samples
+and turns them into well-packed batches without blowing latency:
+
+* :class:`Server` — the gateway: per-model lanes with a deadline-aware
+  dynamic micro-batcher, admission control with typed
+  :class:`~repro.server.types.Overloaded` load shedding, worker-pool
+  supervision (requeue-once + respawn on worker death), and atomic
+  drain-and-cutover hot swap of model versions;
+* :class:`ModelRegistry` — ``name@version``-keyed store of deployed models,
+  built through :class:`repro.core.DeploySpec` / :func:`repro.core.deploy`
+  (see :func:`repro.core.deploy_registry`);
+* :mod:`~repro.server.types` — the typed result records (:class:`Ok`,
+  :class:`Overloaded`, :class:`Failed`) behind
+  :class:`~repro.server.types.PendingRequest` futures;
+* :func:`run_poisson_load` — the open-loop Poisson load generator behind
+  ``repro.cli serve-bench`` and ``BENCH_server.json``.
+
+Quickstart::
+
+    from repro.core import deploy
+    from repro.server import ModelRegistry, Server
+
+    registry = ModelRegistry()
+    registry.register("resnet20", "1", deploy(calibrated_qmodel))
+    with Server(registry, max_batch=16) as srv:
+        resp = srv.submit("resnet20", sample, deadline_s=0.2).result()
+        if resp.ok:
+            logits = resp.logits
+"""
+from repro.server.loadgen import LoadReport, run_poisson_load
+from repro.server.registry import ModelEntry, ModelRegistry, split_key
+from repro.server.server import Server, ServerConfig
+from repro.server.types import (
+    Failed,
+    Ok,
+    Overloaded,
+    PendingRequest,
+    Response,
+)
+
+__all__ = [
+    "Server", "ServerConfig",
+    "ModelRegistry", "ModelEntry", "split_key",
+    "Response", "Ok", "Overloaded", "Failed", "PendingRequest",
+    "LoadReport", "run_poisson_load",
+]

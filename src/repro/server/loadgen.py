@@ -1,0 +1,136 @@
+"""Synthetic open-loop load generator (Poisson arrivals) for the gateway.
+
+Open-loop means arrival times are scheduled up front from the exponential
+inter-arrival distribution and requests fire at those instants regardless of
+how the server is keeping up — the generator never self-throttles, so
+overload actually shows up as shed requests and tail latency instead of
+being hidden by client backpressure.  :func:`run_poisson_load` drives a live
+:class:`~repro.server.Server` and returns a :class:`LoadReport`; the
+``repro.cli serve-bench`` subcommand wraps it and writes
+``BENCH_server.json``.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry.metrics import percentile_summary
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run (latencies in seconds)."""
+
+    model: str
+    requests: int
+    ok: int
+    shed: int
+    failed: int
+    retryable_failed: int
+    deadline_s: float
+    offered_rate_hz: float
+    duration_s: float
+    latencies_s: List[float] = field(default_factory=list, repr=False)
+    queue_waits_s: List[float] = field(default_factory=list, repr=False)
+    batch_sizes: List[int] = field(default_factory=list, repr=False)
+    bit_exact: Optional[bool] = None   #: None when no references were given
+    mismatches: int = 0
+    late: int = 0                      #: answered but past the deadline
+
+    @property
+    def achieved_rate_hz(self) -> float:
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        return (self.shed + self.failed) / max(self.requests, 1)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        return percentile_summary(self.latencies_s)
+
+    def to_json(self) -> Dict:
+        lat = self.latency_percentiles()
+        return {
+            "model": self.model,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "failed": self.failed,
+            "retryable_failed": self.retryable_failed,
+            "late": self.late,
+            "deadline_ms": self.deadline_s * 1e3,
+            "offered_rate_hz": round(self.offered_rate_hz, 2),
+            "achieved_rate_hz": round(self.achieved_rate_hz, 2),
+            "duration_s": round(self.duration_s, 4),
+            "drop_rate": round(self.drop_rate, 6),
+            "latency_ms": {k: round(v * 1e3, 3) for k, v in lat.items()},
+            "queue_wait_ms": {k: round(v * 1e3, 3) for k, v in
+                              percentile_summary(self.queue_waits_s).items()},
+            "mean_batch_size": (round(sum(self.batch_sizes)
+                                      / len(self.batch_sizes), 2)
+                                if self.batch_sizes else 0.0),
+            "bit_exact": self.bit_exact,
+            "mismatches": self.mismatches,
+        }
+
+
+def run_poisson_load(server, key: str, samples: Sequence[np.ndarray], *,
+                     rate_hz: float, n_requests: int,
+                     deadline_s: Optional[float] = None,
+                     refs: Optional[Sequence[np.ndarray]] = None,
+                     rng: Optional[np.random.Generator] = None,
+                     result_grace_s: float = 10.0) -> LoadReport:
+    """Fire ``n_requests`` Poisson arrivals at ``rate_hz`` and collect results.
+
+    ``samples[i % len(samples)]`` is request *i*'s input; when ``refs`` is
+    given (same indexing: the expected logits from *single-sample* execution
+    on the interpreted tree), every ``Ok`` response is checked bitwise and
+    the report carries ``bit_exact``/``mismatches``.
+    """
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    rng = rng or np.random.default_rng(0)
+    deadline = (deadline_s if deadline_s is not None
+                else server.config.default_deadline_s)
+    gaps = rng.exponential(1.0 / rate_hz, size=n_requests)
+    gaps[0] = 0.0
+
+    pendings = []
+    t0 = time.perf_counter()
+    arrival = t0
+    for i in range(n_requests):
+        arrival += gaps[i]
+        delay = arrival - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        pendings.append(
+            server.submit(key, samples[i % len(samples)], deadline_s=deadline))
+
+    report = LoadReport(model=key, requests=n_requests, ok=0, shed=0,
+                        failed=0, retryable_failed=0, deadline_s=deadline,
+                        offered_rate_hz=rate_hz, duration_s=0.0)
+    for i, pending in enumerate(pendings):
+        resp = pending.result(timeout=deadline + result_grace_s)
+        if resp.ok:
+            report.ok += 1
+            report.latencies_s.append(resp.latency_s)
+            report.queue_waits_s.append(resp.queue_wait_s)
+            report.batch_sizes.append(resp.batch_size)
+            if resp.latency_s > deadline:
+                report.late += 1
+            if refs is not None and not np.array_equal(
+                    resp.logits, refs[i % len(refs)]):
+                report.mismatches += 1
+        elif type(resp).__name__ == "Overloaded":
+            report.shed += 1
+        else:
+            report.failed += 1
+            if resp.retryable:
+                report.retryable_failed += 1
+    report.duration_s = time.perf_counter() - t0
+    if refs is not None:
+        report.bit_exact = report.mismatches == 0
+    return report

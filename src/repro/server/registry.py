@@ -1,0 +1,159 @@
+"""Multi-model registry keyed by ``name@version``.
+
+The registry is the gateway's source of truth for *what* can be served:
+each entry wraps a :class:`repro.core.deploy.Deployed` bundle (or any
+batch-callable, for tests), every name carries an *active* version, and
+activation flips are atomic under the registry lock.  The registry itself
+never drains traffic — :meth:`repro.server.Server.swap` layers
+drain-and-cutover on top so two plans never race on one arena.
+
+Construction paths::
+
+    reg = ModelRegistry()
+    reg.register("resnet20", "1", deployed)          # pre-built bundle
+    reg.build("vgg8", qmodel, spec, version="2")     # through deploy()
+    reg.get("resnet20")          # active version
+    reg.get("resnet20@2")        # exact version
+"""
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def split_key(key: str) -> Tuple[str, Optional[str]]:
+    """``"name@version"`` -> ``(name, version)``; bare names give ``None``."""
+    name, sep, version = key.partition("@")
+    if not name or (sep and not version):
+        raise ValueError(f"malformed model key {key!r}; expected "
+                         f"'name' or 'name@version'")
+    return name, (version if sep else None)
+
+
+@dataclass
+class ModelEntry:
+    """One servable (model, version): the runner plus its deploy artifacts."""
+
+    name: str
+    version: str
+    runner: Callable                 #: batch -> logits (Deployed, Plan, stub)
+    plan: object = None              #: compiled Plan when available (pool mode)
+    qnn: object = None               #: interpreted integer tree (exactness ref)
+    deployed: object = None          #: full Deployed bundle when built via deploy()
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        return self.runner(batch)
+
+
+class ModelRegistry:
+    """Thread-safe ``name@version`` -> :class:`ModelEntry` store."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries: Dict[str, Dict[str, ModelEntry]] = {}
+        self._active: Dict[str, str] = {}
+
+    # ----------------------------------------------------------- population
+    def register(self, name: str, version: str, deployed=None, *,
+                 runner: Optional[Callable] = None,
+                 activate: Optional[bool] = None, **meta) -> ModelEntry:
+        """Add one entry; the first version of a name auto-activates.
+
+        ``deployed`` is a :class:`~repro.core.deploy.Deployed` bundle (its
+        plan/qnn are unpacked); ``runner`` registers any bare batch-callable
+        instead (unit tests, external executors).
+        """
+        if "@" in name:
+            raise ValueError(f"model name {name!r} must not contain '@'")
+        if deployed is None and runner is None:
+            raise ValueError("register() needs a Deployed bundle or a runner")
+        entry = ModelEntry(
+            name=name, version=str(version),
+            runner=runner if runner is not None else deployed,
+            plan=getattr(deployed, "plan", None) if deployed is not None
+            else getattr(runner, "plan", None),
+            qnn=getattr(deployed, "qnn", None),
+            deployed=deployed, meta=meta)
+        with self._lock:
+            versions = self._entries.setdefault(name, {})
+            if entry.version in versions:
+                raise ValueError(f"{entry.key} already registered")
+            versions[entry.version] = entry
+            if activate or (activate is None and name not in self._active):
+                self._active[name] = entry.version
+        return entry
+
+    def build(self, name: str, model, spec=None, version: str = "1",
+              activate: Optional[bool] = None, **overrides) -> ModelEntry:
+        """Deploy ``model`` under ``spec`` and register the result."""
+        from repro.core import deploy
+
+        return self.register(name, version, deploy(model, spec, **overrides),
+                             activate=activate)
+
+    # -------------------------------------------------------------- lookups
+    def get(self, key: str) -> ModelEntry:
+        """Resolve ``"name"`` (active version) or ``"name@version"`` (exact)."""
+        name, version = split_key(key)
+        with self._lock:
+            versions = self._entries.get(name)
+            if not versions:
+                raise KeyError(f"model {name!r} not registered "
+                               f"(have: {sorted(self._entries) or 'none'})")
+            if version is None:
+                version = self._active[name]
+            entry = versions.get(version)
+            if entry is None:
+                raise KeyError(f"{name}@{version} not registered "
+                               f"(have versions: {sorted(versions)})")
+            return entry
+
+    def active_version(self, name: str) -> str:
+        with self._lock:
+            if name not in self._active:
+                raise KeyError(f"model {name!r} not registered")
+            return self._active[name]
+
+    def set_active(self, name: str, version: str) -> ModelEntry:
+        """Atomically flip the active version (must already be registered)."""
+        entry = self.get(f"{name}@{version}")
+        with self._lock:
+            self._active[name] = entry.version
+        return entry
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def versions(self, name: str) -> List[str]:
+        with self._lock:
+            return sorted(self._entries.get(name, {}))
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(e.key for vs in self._entries.values()
+                          for e in vs.values())
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            self.get(key)
+            return True
+        except KeyError:
+            return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(vs) for vs in self._entries.values())
+
+    def __repr__(self) -> str:
+        with self._lock:
+            active = {n: f"{n}@{v}" for n, v in self._active.items()}
+        return f"ModelRegistry({sorted(active.values())})"

@@ -1,0 +1,560 @@
+"""Online inference gateway: deadline-aware micro-batching over compiled plans.
+
+:class:`Server` turns single-sample requests into well-packed batches for
+the compiled runtime without blowing latency:
+
+* **dynamic micro-batcher** — requests land in a bounded per-model queue
+  with a deadline; the lane scheduler closes a batch when it reaches
+  ``max_batch`` *or* when the oldest request's slack says it must flush
+  (``deadline - estimated batch time``, additionally capped by
+  ``max_linger_s``) — deadline-aware, not a fixed timeout;
+* **admission control** — a full queue or a projected queue wait beyond the
+  request's deadline sheds immediately with a typed
+  :class:`~repro.server.types.Overloaded` result instead of accepting work
+  the gateway would miss the deadline on;
+* **supervised execution** — batches run inline on the lane thread
+  (``workers < 2``) or on a :class:`~repro.runtime.serve.PlanPool`; a dead
+  worker is detected (never a hang), its in-flight batches are requeued
+  exactly once onto a respawned pool, and a second death resolves the
+  affected requests as retryable :class:`~repro.server.types.Failed`;
+* **hot swap** — :meth:`Server.swap` drains the lane's in-flight batches,
+  atomically flips the registry's active version, rebuilds the pool, and
+  only then resumes dispatch, so two plans never race on one arena and no
+  in-flight request is lost;
+* **observability** — queue-wait / batch-size / latency histograms and
+  request counters in the process-global metrics registry, a
+  ``server.request`` span per request linked under its ``server.batch``
+  span, and structured events for sheds, swaps and worker deaths.
+
+All timestamps use ``time.perf_counter()`` (monotonic), matching the span
+clock so gateway spans align with the rest of a telemetry trace.
+"""
+from __future__ import annotations
+
+import collections
+import itertools
+import math
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.runtime.serve import BatchFailed, PlanPool, WorkerDied, _can_fork
+from repro.server.registry import ModelEntry, ModelRegistry
+from repro.server.types import Failed, Ok, Overloaded, PendingRequest
+
+#: tracer roots are appended from lane threads; the global tracer has no lock
+_TRACE_LOCK = threading.Lock()
+
+#: how long a pooled lane blocks on the pool between queue checks
+_POOL_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Gateway tuning knobs (per-model overrides via ``per_model``)."""
+
+    max_batch: int = 16              #: close a batch at this size
+    max_queue: int = 256             #: bounded queue; beyond this -> Overloaded
+    default_deadline_s: float = 0.25  #: per-request deadline when unspecified
+    max_linger_s: float = 0.010      #: cap on how long a non-full batch waits
+    shed_margin_s: float = 0.0       #: extra slack subtracted in admission
+    workers: int = 0                 #: >= 2 -> PlanPool per lane (fork)
+    max_inflight_batches: int = 2    #: per-model concurrency limit (pool mode)
+    exec_time_init_s: float = 0.005  #: EWMA seed for batch service time
+    ewma_alpha: float = 0.2          #: service-time EWMA weight
+    #: ``{model_name: {field: value}}`` overrides, e.g. per-model max_batch /
+    #: max_inflight_batches (the per-model concurrency limit)
+    per_model: Optional[Dict[str, Dict]] = None
+
+    def for_model(self, name: str) -> "ServerConfig":
+        over = (self.per_model or {}).get(name)
+        return replace(self, **over) if over else self
+
+
+class _Batch:
+    """One formed micro-batch on its way through execution."""
+
+    __slots__ = ("bid", "requests", "x", "entry", "formed_t", "submit_t",
+                 "retried")
+
+    def __init__(self, bid: int, requests: List[PendingRequest],
+                 x: np.ndarray, entry: ModelEntry, formed_t: float):
+        self.bid = bid
+        self.requests = requests
+        self.x = x
+        self.entry = entry
+        self.formed_t = formed_t
+        self.submit_t = formed_t
+        self.retried = False
+
+
+class _LaneStats:
+    """Always-on per-lane accounting (independent of the telemetry switch)."""
+
+    __slots__ = ("requests", "ok", "shed", "failed", "retried_requests",
+                 "batches", "latencies_s", "queue_waits_s", "batch_sizes",
+                 "worker_deaths", "swaps")
+
+    _CAP = 100_000  # keep percentile memory bounded under sustained load
+
+    def __init__(self):
+        self.requests = 0
+        self.ok = 0
+        self.shed = 0
+        self.failed = 0
+        self.retried_requests = 0
+        self.batches = 0
+        self.worker_deaths = 0
+        self.swaps = 0
+        self.latencies_s: List[float] = []
+        self.queue_waits_s: List[float] = []
+        self.batch_sizes: List[int] = []
+
+    def observe(self, latency_s: float, queue_wait_s: float) -> None:
+        if len(self.latencies_s) < self._CAP:
+            self.latencies_s.append(latency_s)
+            self.queue_waits_s.append(queue_wait_s)
+
+
+class _Lane:
+    """One model name's queue + scheduler thread + (optional) worker pool."""
+
+    def __init__(self, server: "Server", name: str):
+        self.server = server
+        self.name = name
+        self.cfg = server.config.for_model(name)
+        self.cond = threading.Condition()
+        self.queue: collections.deque = collections.deque()
+        self.closing = False
+        self.busy = False                 # inline batch executing right now
+        self.est_batch_s = self.cfg.exec_time_init_s
+        self.inflight: Dict[int, _Batch] = {}
+        self.pool: Optional[PlanPool] = None
+        self._pool_key: Optional[str] = None
+        self._seq = itertools.count()
+        self.swap_target: Optional[str] = None
+        self.swap_done = threading.Event()
+        self.stats = _LaneStats()
+        self.pooled = server.pooled
+        self.thread = threading.Thread(target=self._run, daemon=True,
+                                       name=f"repro-server-{name}")
+        self.thread.start()
+
+    # ----------------------------------------------------------- admission
+    def projected_wait_s(self) -> float:
+        """Estimated enqueue-to-answer time for one more request, now."""
+        batches_ahead = (math.ceil((len(self.queue) + 1) / self.cfg.max_batch)
+                         + len(self.inflight) + (1 if self.busy else 0))
+        return batches_ahead * self.est_batch_s
+
+    def admit(self, req: PendingRequest) -> Optional[Overloaded]:
+        """Append under the lane lock, or return the typed shed result."""
+        with self.cond:
+            if len(self.queue) >= self.cfg.max_queue:
+                return Overloaded(req.request_id, self.name,
+                                  reason="queue_full",
+                                  projected_wait_s=self.projected_wait_s(),
+                                  deadline_s=req.deadline_s)
+            projected = self.projected_wait_s()
+            if projected + self.cfg.shed_margin_s > req.deadline_s:
+                return Overloaded(req.request_id, self.name,
+                                  reason="deadline",
+                                  projected_wait_s=projected,
+                                  deadline_s=req.deadline_s)
+            self.queue.append(req)
+            self.server.metrics["queue_depth"].labels(
+                model=self.name).set(len(self.queue))
+            self.cond.notify()
+        return None
+
+    # ----------------------------------------------------------- scheduling
+    def _flush_at(self, oldest: PendingRequest) -> float:
+        """When the oldest queued request forces the batch closed: its
+        deadline minus the estimated service time (the deadline-aware part),
+        never later than the linger cap."""
+        return min(oldest.deadline_t - self.est_batch_s
+                   - self.cfg.shed_margin_s,
+                   oldest.enqueue_t + self.cfg.max_linger_s)
+
+    def _capacity(self) -> bool:
+        if self.swap_target is not None:      # draining for cutover
+            return False
+        if not self.pooled:
+            return True
+        return (len(self.inflight) < self.cfg.max_inflight_batches
+                and (self.pool is None or self.pool.free_slots > 0))
+
+    def _form_batch_locked(self) -> _Batch:
+        take = min(self.cfg.max_batch, len(self.queue))
+        requests = [self.queue.popleft() for _ in range(take)]
+        entry = self.server.registry.get(self.name)
+        x = np.ascontiguousarray(
+            np.stack([r.sample for r in requests]), dtype=np.float32)
+        self.server.metrics["queue_depth"].labels(
+            model=self.name).set(len(self.queue))
+        return _Batch(self.server.next_batch_id(), requests, x, entry,
+                      time.perf_counter())
+
+    def _run(self) -> None:
+        while True:
+            batch = None
+            poll = False
+            with self.cond:
+                while True:
+                    if (self.swap_target is not None and not self.inflight
+                            and not self.busy):
+                        self._cutover_locked()
+                    if self.queue and self._capacity():
+                        now = time.perf_counter()
+                        full = len(self.queue) >= self.cfg.max_batch
+                        flush_at = self._flush_at(self.queue[0])
+                        if full or self.closing or now >= flush_at:
+                            batch = self._form_batch_locked()
+                            if not self.pooled:
+                                self.busy = True
+                            break
+                        if self.inflight:
+                            poll = True
+                            break
+                        self.cond.wait(timeout=max(flush_at - now, 0.0005))
+                        continue
+                    if self.inflight:
+                        poll = True
+                        break
+                    if self.closing and not self.queue:
+                        self._shutdown_pool_locked()
+                        return
+                    self.cond.wait()
+            if batch is not None:
+                self._dispatch(batch)
+            if poll or self.inflight:
+                self._poll_pool()
+
+    # ------------------------------------------------------------ execution
+    def _dispatch(self, batch: _Batch) -> None:
+        if self.pooled and batch.entry.plan is not None:
+            self._submit_to_pool(batch)
+            return
+        t0 = time.perf_counter()
+        try:
+            y = batch.entry(batch.x)
+        except Exception as exc:
+            self._fail_batch(batch, f"{type(exc).__name__}: {exc}",
+                             retryable=False)
+        else:
+            self._complete(batch, np.asarray(y), t0, time.perf_counter())
+        finally:
+            with self.cond:
+                self.busy = False
+                self.cond.notify()
+
+    def _ensure_pool(self, batch: _Batch) -> None:
+        if self.pool is not None and self._pool_key == batch.entry.key:
+            return
+        if self.pool is not None:       # stale pool from a previous version
+            self.pool.close()
+        slot_shape = (self.cfg.max_batch,) + tuple(batch.x.shape[1:])
+        self.pool = PlanPool(batch.entry.plan, slot_shape,
+                             self.server.config.workers,
+                             slots=max(2, self.cfg.max_inflight_batches))
+        self._pool_key = batch.entry.key
+        telemetry.emit("server_pool_start", model=batch.entry.key,
+                       workers=self.server.config.workers,
+                       slots=self.pool.nslots)
+
+    def _submit_to_pool(self, batch: _Batch) -> None:
+        try:
+            self._ensure_pool(batch)
+            seq = next(self._seq)
+            batch.submit_t = time.perf_counter()
+            self.pool.submit(seq, batch.x)
+        except Exception as exc:
+            self._fail_batch(batch, f"pool submit failed: {exc}",
+                             retryable=True)
+            return
+        self.inflight[seq] = batch
+
+    def _poll_pool(self) -> None:
+        if self.pool is None or not self.inflight:
+            return
+        try:
+            seq, y = self.pool.wait_one(timeout=_POOL_POLL_S)
+        except TimeoutError:
+            return
+        except WorkerDied:
+            self._supervise()
+        except BatchFailed as exc:
+            batch = self.inflight.pop(exc.seq, None)
+            if batch is not None:
+                self._fail_batch(batch, str(exc), retryable=False)
+        else:
+            batch = self.inflight.pop(seq, None)
+            if batch is not None:
+                self._complete(batch, y, batch.submit_t, time.perf_counter())
+
+    def _supervise(self) -> None:
+        """A pool worker died: requeue each in-flight batch once, respawn."""
+        died = list(self.inflight.values())
+        self.inflight.clear()
+        self.stats.worker_deaths += 1
+        exitcodes = [p.exitcode for p in self.pool.procs if not p.is_alive()]
+        telemetry.emit("server_worker_died", level="warning", model=self.name,
+                       in_flight_batches=len(died), exitcodes=exitcodes)
+        self.pool.respawn()
+        retry, give_up = [], []
+        for batch in died:
+            (give_up if batch.retried else retry).append(batch)
+        for batch in give_up:
+            self._fail_batch(
+                batch, "worker pool died twice while executing this batch",
+                retryable=True)
+        for batch in retry:
+            batch.retried = True
+            self.stats.retried_requests += len(batch.requests)
+            self.server.metrics["retries"].labels(model=self.name).inc(
+                len(batch.requests))
+            self._submit_to_pool(batch)
+
+    # ------------------------------------------------------------ hot swap
+    def request_swap(self, version: str) -> None:
+        with self.cond:
+            self.swap_target = version
+            self.swap_done.clear()
+            self.cond.notify()
+
+    def _cutover_locked(self) -> None:
+        version = self.swap_target
+        entry = self.server.registry.set_active(self.name, version)
+        if self.pool is not None:   # drained: safe to drop the old plan's pool
+            self.pool.close()
+            self.pool = None
+            self._pool_key = None
+        self.swap_target = None
+        self.stats.swaps += 1
+        telemetry.emit("server_swap", model=self.name, active=entry.key)
+        self.swap_done.set()
+
+    # ------------------------------------------------------------ resolution
+    def _observe_exec(self, dt: float) -> None:
+        a = self.cfg.ewma_alpha
+        self.est_batch_s = (1 - a) * self.est_batch_s + a * dt
+
+    def _complete(self, batch: _Batch, y: np.ndarray, t0: float,
+                  t1: float) -> None:
+        self._observe_exec(t1 - t0)
+        self.stats.batches += 1
+        if len(self.stats.batch_sizes) < _LaneStats._CAP:
+            self.stats.batch_sizes.append(len(batch.requests))
+        m = self.server.metrics
+        m["batch_size"].labels(model=self.name).observe(len(batch.requests))
+        spans = []
+        for i, req in enumerate(batch.requests):
+            queue_wait = batch.formed_t - req.enqueue_t
+            latency = t1 - req.enqueue_t
+            req._resolve(Ok(req.request_id, batch.entry.key,
+                            logits=y[i].copy(), queue_wait_s=queue_wait,
+                            latency_s=latency,
+                            batch_size=len(batch.requests),
+                            batch_id=batch.bid))
+            self.stats.ok += 1
+            self.stats.observe(latency, queue_wait)
+            m["requests"].labels(model=self.name, status="ok").inc()
+            m["queue_wait"].labels(model=self.name).observe(queue_wait)
+            m["latency"].labels(model=self.name).observe(latency)
+            if telemetry.enabled():
+                from repro.telemetry.tracing import Span
+
+                s = Span("server.request",
+                         {"request_id": req.request_id, "batch": batch.bid,
+                          "queue_wait_ms": round(queue_wait * 1e3, 3)})
+                s.t_start, s.t_end = req.enqueue_t, t1
+                spans.append(s)
+        if telemetry.enabled():
+            from repro.telemetry.tracing import Span
+
+            bspan = Span("server.batch",
+                         {"model": batch.entry.key, "batch": batch.bid,
+                          "size": len(batch.requests),
+                          "retried": batch.retried})
+            bspan.t_start, bspan.t_end = t0, t1
+            bspan.children = spans       # request spans link to their batch
+            with _TRACE_LOCK:
+                telemetry.get_tracer().roots.append(bspan)
+
+    def _fail_batch(self, batch: _Batch, error: str, retryable: bool) -> None:
+        telemetry.emit("server_batch_failed", level="error", model=self.name,
+                       batch=batch.bid, error=error, retryable=retryable)
+        for req in batch.requests:
+            req._resolve(Failed(req.request_id, batch.entry.key, error=error,
+                                retryable=retryable))
+            self.stats.failed += 1
+            self.server.metrics["requests"].labels(
+                model=self.name, status="failed").inc()
+
+    # ------------------------------------------------------------- shutdown
+    def _shutdown_pool_locked(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+        if self.swap_target is not None:   # unblock a swap raced with close
+            self.swap_target = None
+            self.swap_done.set()
+
+    def close(self) -> None:
+        with self.cond:
+            self.closing = True
+            self.cond.notify()
+
+
+class Server:
+    """The gateway front-end: ``submit() -> PendingRequest -> Response``.
+
+    ::
+
+        registry = ModelRegistry()
+        registry.register("resnet20", "1", deploy(qmodel))
+        with Server(registry, max_batch=16) as srv:
+            pending = srv.submit("resnet20", sample, deadline_s=0.2)
+            response = pending.result()
+            if response.ok:
+                logits = response.logits
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 config: Optional[ServerConfig] = None, **overrides):
+        self.registry = registry
+        self.config = replace(config or ServerConfig(), **overrides) \
+            if overrides else (config or ServerConfig())
+        self.pooled = self.config.workers >= 2 and _can_fork()
+        self._lanes: Dict[str, _Lane] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
+        self.closing = False
+        reg = telemetry.get_registry()
+        self.metrics = {
+            "requests": reg.counter(
+                "server_requests_total",
+                "requests by final status", labels=("model", "status")),
+            "queue_wait": reg.histogram(
+                "server_queue_wait_seconds",
+                "enqueue to batch close", labels=("model",)),
+            "latency": reg.histogram(
+                "server_request_latency_seconds",
+                "enqueue to response", labels=("model",)),
+            "batch_size": reg.histogram(
+                "server_batch_size", "formed micro-batch sizes",
+                labels=("model",), buckets=(1, 2, 4, 8, 16, 32, 64, 128)),
+            "retries": reg.counter(
+                "server_retries_total",
+                "requests requeued after a worker death", labels=("model",)),
+            "queue_depth": reg.gauge(
+                "server_queue_depth", "queued requests", labels=("model",)),
+        }
+
+    # -------------------------------------------------------------- intake
+    def _lane(self, name: str) -> _Lane:
+        lane = self._lanes.get(name)
+        if lane is None:
+            with self._lock:
+                lane = self._lanes.get(name)
+                if lane is None:
+                    lane = _Lane(self, name)
+                    self._lanes[name] = lane
+        return lane
+
+    def next_batch_id(self) -> int:
+        return next(self._batch_ids)
+
+    def submit(self, key: str, sample, deadline_s: Optional[float] = None
+               ) -> PendingRequest:
+        """Enqueue one *unbatched* sample for ``key`` (``name`` or
+        ``name@version``); routing is by name, the active version serves.
+
+        Always returns a handle: a shed request comes back as an already
+        resolved :class:`Overloaded`.  Raises ``KeyError`` for unknown
+        models and ``RuntimeError`` after :meth:`close`.
+        """
+        if self.closing:
+            raise RuntimeError("server is closed")
+        entry = self.registry.get(key)      # KeyError for unknown models
+        x = np.ascontiguousarray(np.asarray(
+            getattr(sample, "data", sample), dtype=np.float32))
+        deadline = (self.config.for_model(entry.name).default_deadline_s
+                    if deadline_s is None else float(deadline_s))
+        req = PendingRequest(next(self._ids), entry.name, x,
+                             time.perf_counter(), deadline)
+        shed = self._lane(entry.name).admit(req)
+        if shed is not None:
+            lane = self._lanes[entry.name]
+            lane.stats.shed += 1
+            self.metrics["requests"].labels(
+                model=entry.name, status="shed").inc()
+            telemetry.emit("server_shed", model=entry.name,
+                           request=req.request_id, reason=shed.reason,
+                           projected_wait_s=shed.projected_wait_s)
+            req._resolve(shed)
+        else:
+            lane = self._lanes[entry.name]
+            lane.stats.requests += 1
+        return req
+
+    # ------------------------------------------------------------- control
+    def swap(self, name: str, version: str, timeout: float = 30.0) -> None:
+        """Drain-and-cutover to ``name@version``: in-flight batches finish on
+        the old plan, the active pointer flips atomically, the pool is
+        rebuilt, then dispatch resumes.  Queued requests are never dropped.
+        """
+        self.registry.get(f"{name}@{version}")   # validate before draining
+        lane = self._lane(name)
+        lane.request_swap(version)
+        if not lane.swap_done.wait(timeout):
+            raise TimeoutError(f"swap to {name}@{version} did not cut over "
+                               f"within {timeout}s")
+
+    def stats(self) -> Dict[str, Dict]:
+        """Per-model accounting incl. p50/p95/p99 latency and queue wait."""
+        from repro.telemetry.metrics import percentile_summary
+
+        out = {}
+        for name, lane in sorted(self._lanes.items()):
+            s = lane.stats
+            out[name] = {
+                "requests": s.requests,
+                "ok": s.ok,
+                "shed": s.shed,
+                "failed": s.failed,
+                "retried_requests": s.retried_requests,
+                "batches": s.batches,
+                "worker_deaths": s.worker_deaths,
+                "swaps": s.swaps,
+                "mean_batch_size": (sum(s.batch_sizes) / len(s.batch_sizes)
+                                    if s.batch_sizes else 0.0),
+                "est_batch_ms": lane.est_batch_s * 1e3,
+                "latency_ms": {k: v * 1e3 for k, v in
+                               percentile_summary(s.latencies_s).items()},
+                "queue_wait_ms": {k: v * 1e3 for k, v in
+                                  percentile_summary(s.queue_waits_s).items()},
+            }
+        return out
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop intake, drain every lane, shut down pools and threads."""
+        self.closing = True
+        with self._lock:
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            lane.close()
+        deadline = time.monotonic() + timeout
+        for lane in lanes:
+            lane.thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

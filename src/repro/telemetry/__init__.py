@@ -29,13 +29,14 @@ Typical use::
 Hot paths guard on :func:`enabled`, so leaving telemetry off (the default)
 keeps training and inference at seed speed.
 """
-from repro.telemetry.state import disable, enable, enabled, set_enabled
+from repro.telemetry.state import disable, enable, enabled, set_enabled, suppressed
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
+    percentile_summary,
 )
 from repro.telemetry.tracing import NULL_SPAN, Span, Tracer, get_tracer
 from repro.telemetry.hooks import (
@@ -56,8 +57,9 @@ from repro.telemetry.report import (
 )
 
 __all__ = [
-    "enable", "disable", "enabled", "set_enabled",
+    "enable", "disable", "enabled", "set_enabled", "suppressed",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
+    "percentile_summary",
     "Span", "Tracer", "NULL_SPAN", "get_tracer", "trace",
     "ForwardPatchSet", "Instrumentation", "attach_names", "instrument",
     "patch_forward", "telemetry_name",

@@ -18,6 +18,23 @@ from repro.telemetry import state
 LabelKey = Tuple[str, ...]
 
 
+def percentile_summary(samples: Sequence[float],
+                       pcts: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over raw samples.
+
+    The shared tail-latency summary used by both benchmark writers
+    (``BENCH_runtime.json`` and ``BENCH_server.json``) so raw-plan and
+    gateway numbers stay directly comparable.  Empty input yields zeros.
+    """
+    import numpy as np
+
+    keys = [f"p{int(p) if float(p).is_integer() else p}" for p in pcts]
+    if not len(samples):
+        return {k: 0.0 for k in keys}
+    values = np.percentile(np.asarray(samples, dtype=np.float64), list(pcts))
+    return {k: float(v) for k, v in zip(keys, values)}
+
+
 def _label_key(label_names: Sequence[str], labels: Dict[str, str]) -> LabelKey:
     if set(labels) != set(label_names):
         raise ValueError(f"expected labels {tuple(label_names)}, got {tuple(labels)}")

@@ -1,0 +1,210 @@
+"""Gateway scheduling semantics: batching, deadlines, admission, typing.
+
+These run on stub runners so they test the *scheduler*, not model math —
+bit-exactness against real plans lives in ``test_bitexact.py``.
+"""
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.server import (
+    Failed,
+    ModelRegistry,
+    Ok,
+    Overloaded,
+    Server,
+    ServerConfig,
+)
+from tests.server.conftest import StubPlan, stub_sample
+
+
+def _stub_server(**overrides):
+    reg = ModelRegistry()
+    reg.register("stub", "1", runner=StubPlan())
+    defaults = dict(max_batch=4, default_deadline_s=2.0)
+    defaults.update(overrides)
+    return reg, Server(reg, **defaults)
+
+
+def test_requests_are_packed_into_micro_batches():
+    _, srv = _stub_server(max_batch=4, max_linger_s=0.05)
+    with srv:
+        pendings = [srv.submit("stub", stub_sample(i)) for i in range(12)]
+        responses = [p.result(timeout=5) for p in pendings]
+    assert all(isinstance(r, Ok) for r in responses)
+    for i, r in enumerate(responses):
+        assert np.array_equal(r.logits, np.full(4, 2.0 * i, dtype=np.float32))
+        assert 1 <= r.batch_size <= 4
+        assert r.queue_wait_s <= r.latency_s
+    stats = srv.stats()["stub"]
+    assert stats["ok"] == 12
+    assert stats["batches"] >= 3, "max_batch=4 cannot carry 12 in fewer"
+    assert stats["mean_batch_size"] > 1.0, "nothing got packed"
+
+
+def test_lone_request_flushes_on_linger_not_deadline():
+    """Deadline-aware != wait-until-deadline: an unaccompanied request is
+    flushed once the linger cap expires, far before its 5 s deadline."""
+    _, srv = _stub_server(max_linger_s=0.02)
+    with srv:
+        t0 = time.perf_counter()
+        r = srv.submit("stub", stub_sample(1.0), deadline_s=5.0).result(timeout=5)
+        elapsed = time.perf_counter() - t0
+    assert r.ok and elapsed < 1.0, f"lone request lingered {elapsed:.3f}s"
+
+
+def test_tight_deadline_forces_early_flush():
+    """A request whose slack is about to run out flushes the batch before
+    the linger cap would."""
+    _, srv = _stub_server(max_linger_s=10.0, exec_time_init_s=0.001)
+    with srv:
+        t0 = time.perf_counter()
+        r = srv.submit("stub", stub_sample(1.0), deadline_s=0.15).result(timeout=5)
+        elapsed = time.perf_counter() - t0
+    assert r.ok, r
+    assert elapsed < 1.0, (
+        f"deadline-aware flush missing: waited {elapsed:.3f}s with a "
+        f"0.15s deadline and a 10s linger cap")
+
+
+def test_overloaded_when_projected_wait_exceeds_deadline():
+    reg = ModelRegistry()
+    reg.register("slow", "1", runner=StubPlan(delay_s=0.2))
+    with Server(reg, max_batch=1, default_deadline_s=2.0,
+                exec_time_init_s=0.2) as srv:
+        pendings = [srv.submit("slow", stub_sample(i), deadline_s=0.45)
+                    for i in range(8)]
+        responses = [p.result(timeout=10) for p in pendings]
+    shed = [r for r in responses if isinstance(r, Overloaded)]
+    served = [r for r in responses if r.ok]
+    assert shed, "projected-wait admission never shed under 8x overload"
+    assert served, "admission shed everything including feasible work"
+    for r in shed:
+        assert r.retryable and r.reason in ("deadline", "queue_full")
+        assert r.projected_wait_s > 0
+    stats = srv.stats()["slow"]
+    assert stats["shed"] == len(shed) and stats["ok"] == len(served)
+
+
+def test_overloaded_when_queue_full():
+    reg = ModelRegistry()
+    reg.register("slow", "1", runner=StubPlan(delay_s=0.3))
+    with Server(reg, max_batch=1, max_queue=2,
+                default_deadline_s=60.0) as srv:
+        pendings = [srv.submit("slow", stub_sample(i)) for i in range(12)]
+        responses = [p.result(timeout=30) for p in pendings]
+    full = [r for r in responses if isinstance(r, Overloaded)
+            and r.reason == "queue_full"]
+    assert full, "bounded queue never rejected despite max_queue=2"
+    assert all(r.ok or isinstance(r, Overloaded) for r in responses)
+
+
+def test_runner_exception_becomes_typed_failed():
+    class Exploding:
+        def __call__(self, x):
+            raise ValueError("boom")
+
+    reg = ModelRegistry()
+    reg.register("bad", "1", runner=Exploding())
+    with Server(reg, max_batch=2) as srv:
+        r = srv.submit("bad", stub_sample(1.0)).result(timeout=5)
+    assert isinstance(r, Failed)
+    assert "boom" in r.error and not r.retryable, (
+        "a deterministic plan error must not be marked retryable")
+
+
+def test_unknown_model_and_closed_server():
+    reg, srv = _stub_server()
+    with pytest.raises(KeyError):
+        srv.submit("ghost", stub_sample(0.0))
+    srv.close()
+    with pytest.raises(RuntimeError):
+        srv.submit("stub", stub_sample(0.0))
+
+
+def test_per_model_config_overrides():
+    reg = ModelRegistry()
+    reg.register("a", "1", runner=StubPlan())
+    reg.register("b", "1", runner=StubPlan())
+    cfg = ServerConfig(max_batch=8, per_model={"b": {"max_batch": 2}})
+    with Server(reg, cfg) as srv:
+        for i in range(6):
+            srv.submit("a", stub_sample(i))
+            srv.submit("b", stub_sample(i))
+        time.sleep(0.3)
+        pa = srv.submit("a", stub_sample(9.0)).result(timeout=5)
+        pb = srv.submit("b", stub_sample(9.0)).result(timeout=5)
+    assert pa.ok and pb.ok
+    assert max(srv.stats()["b"]["mean_batch_size"], pb.batch_size) <= 2 + 1e-9
+
+
+def test_stats_report_latency_percentiles():
+    _, srv = _stub_server()
+    with srv:
+        for i in range(10):
+            srv.submit("stub", stub_sample(i)).result(timeout=5)
+    s = srv.stats()["stub"]
+    for block in ("latency_ms", "queue_wait_ms"):
+        assert set(s[block]) == {"p50", "p95", "p99"}
+        assert s[block]["p50"] <= s[block]["p95"] <= s[block]["p99"]
+    assert s["requests"] == 10 and s["ok"] == 10
+
+
+def test_concurrent_submitters_all_answered():
+    _, srv = _stub_server(max_batch=8)
+    results = {}
+
+    def client(cid):
+        pendings = [(i, srv.submit("stub", stub_sample(cid * 100 + i)))
+                    for i in range(20)]
+        results[cid] = [(i, p.result(timeout=10)) for i, p in pendings]
+
+    with srv:
+        threads = [threading.Thread(target=client, args=(c,)) for c in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert set(results) == {0, 1, 2, 3}
+    for cid, rs in results.items():
+        for i, r in rs:
+            assert r.ok, (cid, i, r)
+            assert np.array_equal(
+                r.logits, np.full(4, 2.0 * (cid * 100 + i), dtype=np.float32))
+
+
+def test_telemetry_metrics_and_linked_spans():
+    """Queue-wait/batch/latency metrics fill and every request span hangs
+    off its batch span when telemetry is on."""
+    prev = telemetry.set_enabled(True)
+    tracer = telemetry.get_tracer()
+    n_roots = len(tracer.roots)
+    try:
+        _, srv = _stub_server()
+        with srv:
+            for i in range(5):
+                assert srv.submit("stub", stub_sample(i)).result(timeout=5).ok
+        reg = telemetry.get_registry()
+        req_samples = reg.get("server_requests_total").samples()
+        ok_row = [s for s in req_samples
+                  if s["labels"] == {"model": "stub", "status": "ok"}]
+        assert ok_row and ok_row[0]["value"] >= 5
+        assert reg.get("server_request_latency_seconds") is not None
+        batch_spans = [s for s in tracer.roots[n_roots:]
+                       if s.name == "server.batch"]
+        assert batch_spans, "no server.batch spans recorded"
+        children = [c for b in batch_spans for c in b.children]
+        assert len(children) >= 5
+        assert all(c.name == "server.request" for c in children)
+        assert all("request_id" in c.attrs for c in children)
+        for b in batch_spans:
+            for c in b.children:
+                assert c.attrs["batch"] == b.attrs["batch"], (
+                    "request span not linked to its batch span")
+    finally:
+        telemetry.set_enabled(prev)

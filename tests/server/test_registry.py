@@ -1,0 +1,109 @@
+"""ModelRegistry: keys, versions, activation, construction via deploy()."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server import ModelRegistry, split_key
+from tests.server.conftest import StubPlan
+
+
+def test_split_key():
+    assert split_key("resnet20") == ("resnet20", None)
+    assert split_key("resnet20@2") == ("resnet20", "2")
+    with pytest.raises(ValueError):
+        split_key("resnet20@")
+    with pytest.raises(ValueError):
+        split_key("@2")
+
+
+def test_register_and_lookup_by_name_and_version():
+    reg = ModelRegistry()
+    e1 = reg.register("m", "1", runner=StubPlan(gain=1))
+    e2 = reg.register("m", "2", runner=StubPlan(gain=2))
+    assert e1.key == "m@1" and e2.key == "m@2"
+    assert reg.get("m") is e1, "first version auto-activates"
+    assert reg.get("m@2") is e2
+    assert reg.versions("m") == ["1", "2"]
+    assert reg.keys() == ["m@1", "m@2"]
+    assert "m@2" in reg and "m@3" not in reg and len(reg) == 2
+
+
+def test_activation_flip_is_explicit_and_atomic():
+    reg = ModelRegistry()
+    reg.register("m", "1", runner=StubPlan(gain=1))
+    reg.register("m", "2", runner=StubPlan(gain=2))
+    assert reg.active_version("m") == "1"
+    reg.set_active("m", "2")
+    assert reg.active_version("m") == "2" and reg.get("m").version == "2"
+    with pytest.raises(KeyError):
+        reg.set_active("m", "9")
+    reg.register("m", "3", runner=StubPlan(gain=3), activate=True)
+    assert reg.active_version("m") == "3"
+
+
+def test_register_rejects_duplicates_and_bad_names():
+    reg = ModelRegistry()
+    reg.register("m", "1", runner=StubPlan())
+    with pytest.raises(ValueError):
+        reg.register("m", "1", runner=StubPlan())
+    with pytest.raises(ValueError):
+        reg.register("m@1", "2", runner=StubPlan())
+    with pytest.raises(ValueError):
+        reg.register("n", "1")  # neither deployed nor runner
+    with pytest.raises(KeyError):
+        reg.get("ghost")
+
+
+def test_register_unpacks_deployed_bundle(served_factory):
+    d, samples, refs = served_factory("resnet20")
+    reg = ModelRegistry()
+    entry = reg.register("resnet20", "1", d)
+    assert entry.plan is d.plan and entry.qnn is d.qnn
+    assert entry.deployed is d
+    out = entry(np.stack(samples[:2]))
+    assert np.array_equal(out[0], refs[0]) and np.array_equal(out[1], refs[1])
+
+
+def test_build_goes_through_deploy_pipeline():
+    from repro.core import DeploySpec
+    from repro.core.qconfig import QConfig
+    from repro.core.qmodels import quantize_model
+    from repro.core.t2c import calibrate_model
+    from repro.models import build_model
+
+    rng = np.random.default_rng(0)
+    qm = quantize_model(build_model("vgg8", num_classes=10, width_mult=0.5),
+                        QConfig(8, 8))
+    calibrate_model(qm, [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)])
+    reg = ModelRegistry()
+    entry = reg.build("vgg8", qm, DeploySpec(runtime="batch"))
+    assert entry.key == "vgg8@1" and entry.plan is not None
+    assert entry.plan.layout == "batch"
+    x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+    from repro.tensor import no_grad
+    from repro.tensor.tensor import Tensor
+
+    with no_grad():
+        ref = entry.qnn(Tensor(x)).data
+    assert np.array_equal(entry(x), ref)
+
+
+def test_deploy_registry_helper():
+    from repro.core import DeploySpec, deploy_registry
+    from repro.core.qconfig import QConfig
+    from repro.core.qmodels import quantize_model
+    from repro.core.t2c import calibrate_model
+    from repro.models import build_model
+
+    rng = np.random.default_rng(1)
+    models = {}
+    for name in ("resnet20",):
+        qm = quantize_model(build_model(name, num_classes=10, width=8),
+                            QConfig(8, 8))
+        calibrate_model(qm, [rng.standard_normal((4, 3, 32, 32))
+                             .astype(np.float32)])
+        models[name] = qm
+    reg = deploy_registry(models, DeploySpec(runtime="auto"), version="7")
+    assert reg.keys() == ["resnet20@7"]
+    assert reg.get("resnet20").plan is not None
