@@ -92,6 +92,10 @@ def run_poisson_load(server, key: str, samples: Sequence[np.ndarray], *,
     """
     if rate_hz <= 0:
         raise ValueError("rate_hz must be positive")
+    if n_requests <= 0:
+        raise ValueError("n_requests must be positive")
+    if len(samples) == 0:
+        raise ValueError("samples must be non-empty")
     rng = rng or np.random.default_rng(0)
     deadline = (deadline_s if deadline_s is not None
                 else server.config.default_deadline_s)

@@ -109,7 +109,12 @@ class ModelRegistry:
                 raise KeyError(f"model {name!r} not registered "
                                f"(have: {sorted(self._entries) or 'none'})")
             if version is None:
-                version = self._active[name]
+                version = self._active.get(name)
+                if version is None:
+                    raise KeyError(
+                        f"model {name!r} has no active version (registered "
+                        f"versions: {sorted(versions)}); activate one with "
+                        f"set_active()")
             entry = versions.get(version)
             if entry is None:
                 raise KeyError(f"{name}@{version} not registered "
@@ -119,6 +124,10 @@ class ModelRegistry:
     def active_version(self, name: str) -> str:
         with self._lock:
             if name not in self._active:
+                if name in self._entries:
+                    raise KeyError(f"model {name!r} has no active version "
+                                   f"(registered versions: "
+                                   f"{sorted(self._entries[name])})")
                 raise KeyError(f"model {name!r} not registered")
             return self._active[name]
 

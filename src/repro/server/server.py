@@ -11,7 +11,11 @@ the compiled runtime without blowing latency:
 * **admission control** — a full queue or a projected queue wait beyond the
   request's deadline sheds immediately with a typed
   :class:`~repro.server.types.Overloaded` result instead of accepting work
-  the gateway would miss the deadline on;
+  the gateway would miss the deadline on; a sample whose shape disagrees
+  with the model's expected input shape (declared via
+  ``register(..., input_shape=...)`` or learned from the first request) is
+  rejected with a typed :class:`~repro.server.types.Failed` at submit time,
+  so one malformed request can never poison a batch;
 * **supervised execution** — batches run inline on the lane thread
   (``workers < 2``) or on a :class:`~repro.runtime.serve.PlanPool`; a dead
   worker is detected (never a hang), its in-flight batches are requeued
@@ -44,7 +48,8 @@ import numpy as np
 from repro import telemetry
 from repro.runtime.serve import BatchFailed, PlanPool, WorkerDied, _can_fork
 from repro.server.registry import ModelEntry, ModelRegistry
-from repro.server.types import Failed, Ok, Overloaded, PendingRequest
+from repro.server.types import (Failed, Ok, Overloaded, PendingRequest,
+                                Response)
 
 #: tracer roots are appended from lane threads; the global tracer has no lock
 _TRACE_LOCK = threading.Lock()
@@ -130,6 +135,7 @@ class _Lane:
         self.cond = threading.Condition()
         self.queue: collections.deque = collections.deque()
         self.closing = False
+        self.dead = False                 # scheduler thread crashed and exited
         self.busy = False                 # inline batch executing right now
         self.est_batch_s = self.cfg.exec_time_init_s
         self.inflight: Dict[int, _Batch] = {}
@@ -139,21 +145,51 @@ class _Lane:
         self.swap_target: Optional[str] = None
         self.swap_done = threading.Event()
         self.stats = _LaneStats()
-        self.pooled = server.pooled
+        self.pooled = self.cfg.workers >= 2 and _can_fork()
+        self.expected_shape = self._declared_shape()
         self.thread = threading.Thread(target=self._run, daemon=True,
                                        name=f"repro-server-{name}")
         self.thread.start()
 
     # ----------------------------------------------------------- admission
+    def _declared_shape(self) -> Optional[tuple]:
+        """The active entry's declared sample shape (``meta['input_shape']``
+        at register time), if any; otherwise learned from the first request."""
+        try:
+            shape = self.server.registry.get(self.name).meta.get("input_shape")
+        except KeyError:
+            return None
+        return tuple(shape) if shape is not None else None
+
     def projected_wait_s(self) -> float:
         """Estimated enqueue-to-answer time for one more request, now."""
         batches_ahead = (math.ceil((len(self.queue) + 1) / self.cfg.max_batch)
                          + len(self.inflight) + (1 if self.busy else 0))
         return batches_ahead * self.est_batch_s
 
-    def admit(self, req: PendingRequest) -> Optional[Overloaded]:
-        """Append under the lane lock, or return the typed shed result."""
+    def admit(self, req: PendingRequest) -> Optional[Response]:
+        """Append under the lane lock, or return the typed rejection.
+
+        A closed or dead lane rejects with a retryable :class:`Failed`
+        instead of enqueueing onto a scheduler that will never drain the
+        queue; a sample whose shape disagrees with the lane's expected
+        input shape rejects with a non-retryable :class:`Failed` (it could
+        never be stacked into a batch with its peers).
+        """
         with self.cond:
+            if self.closing or self.dead:
+                return Failed(req.request_id, self.name,
+                              error="gateway lane is closed" if self.closing
+                              else "gateway lane crashed", retryable=True)
+            shape = tuple(req.sample.shape)
+            if self.expected_shape is None:
+                self.expected_shape = shape
+            elif shape != self.expected_shape:
+                return Failed(
+                    req.request_id, self.name,
+                    error=f"sample shape {shape} does not match this model's "
+                          f"expected input shape {self.expected_shape}",
+                    retryable=False)
             if len(self.queue) >= self.cfg.max_queue:
                 return Overloaded(req.request_id, self.name,
                                   reason="queue_full",
@@ -200,6 +236,46 @@ class _Lane:
                       time.perf_counter())
 
     def _run(self) -> None:
+        try:
+            self._run_loop()
+        except BaseException as exc:  # pragma: no cover - defensive backstop
+            # The scheduler must never die silently: a crash here would
+            # strand every queued and in-flight request in result() forever.
+            self._abort(f"lane scheduler crashed: "
+                        f"{type(exc).__name__}: {exc}")
+
+    def _abort(self, error: str) -> None:
+        """Resolve everything this lane holds as retryable Failed, mark the
+        lane dead (admit rejects from now on), release pool and swap waiters."""
+        with self.cond:
+            self.dead = True
+            queued = list(self.queue)
+            self.queue.clear()
+            inflight = list(self.inflight.values())
+            self.inflight.clear()
+            if self.swap_target is not None:
+                self.swap_target = None
+                self.swap_done.set()
+            pool, self.pool = self.pool, None
+            self._pool_key = None
+        telemetry.emit("server_lane_crashed", level="error", model=self.name,
+                       error=error, queued=len(queued),
+                       in_flight_batches=len(inflight))
+        for req in queued:
+            req._resolve(Failed(req.request_id, self.name, error=error,
+                                retryable=True))
+            self.stats.failed += 1
+            self.server.metrics["requests"].labels(
+                model=self.name, status="failed").inc()
+        for batch in inflight:
+            self._fail_batch(batch, error, retryable=True)
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:
+                pass
+
+    def _run_loop(self) -> None:
         while True:
             batch = None
             poll = False
@@ -259,11 +335,11 @@ class _Lane:
             self.pool.close()
         slot_shape = (self.cfg.max_batch,) + tuple(batch.x.shape[1:])
         self.pool = PlanPool(batch.entry.plan, slot_shape,
-                             self.server.config.workers,
+                             self.cfg.workers,
                              slots=max(2, self.cfg.max_inflight_batches))
         self._pool_key = batch.entry.key
         telemetry.emit("server_pool_start", model=batch.entry.key,
-                       workers=self.server.config.workers,
+                       workers=self.cfg.workers,
                        slots=self.pool.nslots)
 
     def _submit_to_pool(self, batch: _Batch) -> None:
@@ -304,7 +380,23 @@ class _Lane:
         exitcodes = [p.exitcode for p in self.pool.procs if not p.is_alive()]
         telemetry.emit("server_worker_died", level="warning", model=self.name,
                        in_flight_batches=len(died), exitcodes=exitcodes)
-        self.pool.respawn()
+        try:
+            self.pool.respawn()
+        except Exception as exc:
+            # Respawn itself failed: fail everything that was in flight as
+            # retryable, drop the pool, and let the next batch rebuild it.
+            telemetry.emit("server_pool_respawn_failed", level="error",
+                           model=self.name, error=str(exc))
+            for batch in died:
+                self._fail_batch(batch, f"pool respawn failed: {exc}",
+                                 retryable=True)
+            try:
+                self.pool.close()
+            except Exception:
+                pass
+            self.pool = None
+            self._pool_key = None
+            return
         retry, give_up = [], []
         for batch in died:
             (give_up if batch.retried else retry).append(batch)
@@ -322,6 +414,10 @@ class _Lane:
     # ------------------------------------------------------------ hot swap
     def request_swap(self, version: str) -> None:
         with self.cond:
+            if self.closing or self.dead:
+                raise RuntimeError(
+                    f"cannot swap model {self.name!r}: lane is "
+                    + ("closed" if self.closing else "dead"))
             self.swap_target = version
             self.swap_done.clear()
             self.cond.notify()
@@ -334,6 +430,9 @@ class _Lane:
             self.pool = None
             self._pool_key = None
         self.swap_target = None
+        declared = entry.meta.get("input_shape")
+        if declared is not None:     # new version may take a different shape
+            self.expected_shape = tuple(declared)
         self.stats.swaps += 1
         telemetry.emit("server_swap", model=self.name, active=entry.key)
         self.swap_done.set()
@@ -476,8 +575,11 @@ class Server:
         ``name@version``); routing is by name, the active version serves.
 
         Always returns a handle: a shed request comes back as an already
-        resolved :class:`Overloaded`.  Raises ``KeyError`` for unknown
-        models and ``RuntimeError`` after :meth:`close`.
+        resolved :class:`Overloaded`, a sample whose shape disagrees with
+        the model's expected input shape (or a submit that raced with
+        :meth:`close`) as an already resolved :class:`Failed`.  Raises
+        ``KeyError`` for unknown models and ``RuntimeError`` after
+        :meth:`close`.
         """
         if self.closing:
             raise RuntimeError("server is closed")
@@ -488,19 +590,25 @@ class Server:
                     if deadline_s is None else float(deadline_s))
         req = PendingRequest(next(self._ids), entry.name, x,
                              time.perf_counter(), deadline)
-        shed = self._lane(entry.name).admit(req)
-        if shed is not None:
-            lane = self._lanes[entry.name]
+        lane = self._lane(entry.name)
+        rejection = lane.admit(req)
+        if rejection is None:
+            lane.stats.requests += 1
+        elif isinstance(rejection, Overloaded):
             lane.stats.shed += 1
             self.metrics["requests"].labels(
                 model=entry.name, status="shed").inc()
             telemetry.emit("server_shed", model=entry.name,
-                           request=req.request_id, reason=shed.reason,
-                           projected_wait_s=shed.projected_wait_s)
-            req._resolve(shed)
-        else:
-            lane = self._lanes[entry.name]
-            lane.stats.requests += 1
+                           request=req.request_id, reason=rejection.reason,
+                           projected_wait_s=rejection.projected_wait_s)
+            req._resolve(rejection)
+        else:                               # Failed: bad shape / closed lane
+            lane.stats.failed += 1
+            self.metrics["requests"].labels(
+                model=entry.name, status="failed").inc()
+            telemetry.emit("server_rejected", model=entry.name,
+                           request=req.request_id, error=rejection.error)
+            req._resolve(rejection)
         return req
 
     # ------------------------------------------------------------- control
@@ -508,7 +616,11 @@ class Server:
         """Drain-and-cutover to ``name@version``: in-flight batches finish on
         the old plan, the active pointer flips atomically, the pool is
         rebuilt, then dispatch resumes.  Queued requests are never dropped.
+        Raises ``RuntimeError`` when the server (or the model's lane) is
+        already closed instead of waiting out the timeout.
         """
+        if self.closing:
+            raise RuntimeError("server is closed")
         self.registry.get(f"{name}@{version}")   # validate before draining
         lane = self._lane(name)
         lane.request_swap(version)

@@ -178,6 +178,85 @@ def test_concurrent_submitters_all_answered():
                 r.logits, np.full(4, 2.0 * (cid * 100 + i), dtype=np.float32))
 
 
+def test_shape_mismatch_rejected_without_poisoning_the_lane():
+    """A sample whose shape disagrees with the lane's expected input shape
+    resolves as a typed non-retryable Failed at submit time — and the lane
+    keeps serving well-shaped requests (no scheduler crash, no hang)."""
+    _, srv = _stub_server()
+    with srv:
+        good = srv.submit("stub", stub_sample(1.0))           # learns (2, 4)
+        bad = srv.submit("stub", stub_sample(2.0, shape=(3, 5)))
+        r_bad = bad.result(timeout=5)
+        assert isinstance(r_bad, Failed) and not r_bad.retryable
+        assert "shape" in r_bad.error
+        assert good.result(timeout=5).ok
+        after = srv.submit("stub", stub_sample(3.0)).result(timeout=5)
+        assert after.ok, "lane stopped serving after a malformed request"
+    stats = srv.stats()["stub"]
+    assert stats["failed"] == 1 and stats["ok"] == 2
+
+
+def test_declared_input_shape_rejects_even_the_first_request():
+    reg = ModelRegistry()
+    reg.register("stub", "1", runner=StubPlan(), input_shape=(2, 4))
+    with Server(reg, max_batch=4, default_deadline_s=2.0) as srv:
+        bad = srv.submit("stub", stub_sample(1.0, shape=(8,))).result(timeout=5)
+        assert isinstance(bad, Failed) and not bad.retryable
+        assert srv.submit("stub", stub_sample(1.0)).result(timeout=5).ok
+
+
+def test_late_admit_on_closed_lane_resolves_not_hangs():
+    """A request that races past Server.submit's closing check must still
+    resolve: a closed lane's admit answers with a retryable Failed instead
+    of enqueueing onto a scheduler thread that has already exited."""
+    from repro.server.types import PendingRequest
+
+    _, srv = _stub_server()
+    with srv:
+        assert srv.submit("stub", stub_sample(1.0)).result(timeout=5).ok
+        lane = srv._lanes["stub"]
+    lane.thread.join(timeout=5)
+    assert not lane.thread.is_alive()
+    req = PendingRequest(999, "stub", stub_sample(2.0), time.perf_counter(), 1.0)
+    rejection = lane.admit(req)
+    assert isinstance(rejection, Failed) and rejection.retryable
+
+
+def test_swap_on_closed_server_fails_fast():
+    reg = ModelRegistry()
+    reg.register("stub", "1", runner=StubPlan())
+    reg.register("stub", "2", runner=StubPlan(gain=3.0))
+    srv = Server(reg)
+    assert srv.submit("stub", stub_sample(1.0)).result(timeout=5).ok
+    srv.close()
+    t0 = time.perf_counter()
+    with pytest.raises(RuntimeError):
+        srv.swap("stub", "2", timeout=30)
+    assert time.perf_counter() - t0 < 5.0, (
+        "swap on a closed server burned the drain timeout instead of "
+        "failing fast")
+
+
+def test_lane_crash_resolves_everything_and_marks_lane_dead(monkeypatch):
+    """If the scheduler loop itself dies, every queued request resolves as
+    retryable Failed (no result() hang) and later submits are rejected with
+    a typed result instead of being enqueued onto the dead lane."""
+    from repro.server.server import _Lane
+
+    def explode(self):
+        raise RuntimeError("synthetic scheduler crash")
+
+    monkeypatch.setattr(_Lane, "_form_batch_locked", explode)
+    _, srv = _stub_server()
+    pendings = [srv.submit("stub", stub_sample(i)) for i in range(5)]
+    responses = [p.result(timeout=10) for p in pendings]
+    assert all(isinstance(r, Failed) and r.retryable for r in responses)
+    assert srv._lanes["stub"].dead
+    late = srv.submit("stub", stub_sample(9.0)).result(timeout=5)
+    assert isinstance(late, Failed) and late.retryable
+    srv.close(timeout=5)
+
+
 def test_telemetry_metrics_and_linked_spans():
     """Queue-wait/batch/latency metrics fill and every request span hangs
     off its batch span when telemetry is on."""

@@ -1,0 +1,40 @@
+"""Open-loop Poisson load generator: argument validation + report shape."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server import ModelRegistry, Server, run_poisson_load
+from tests.server.conftest import StubPlan, stub_sample
+
+
+def _stub_server():
+    reg = ModelRegistry()
+    reg.register("stub", "1", runner=StubPlan())
+    return Server(reg, max_batch=4, default_deadline_s=5.0)
+
+
+def test_rejects_degenerate_arguments():
+    srv = _stub_server()
+    samples = [stub_sample(1.0)]
+    with srv:
+        with pytest.raises(ValueError, match="n_requests"):
+            run_poisson_load(srv, "stub", samples, rate_hz=100.0, n_requests=0)
+        with pytest.raises(ValueError, match="rate_hz"):
+            run_poisson_load(srv, "stub", samples, rate_hz=0.0, n_requests=5)
+        with pytest.raises(ValueError, match="samples"):
+            run_poisson_load(srv, "stub", [], rate_hz=100.0, n_requests=5)
+
+
+def test_report_counts_and_bit_exactness():
+    srv = _stub_server()
+    samples = [stub_sample(i) for i in range(4)]
+    refs = [np.full(4, 2.0 * i, dtype=np.float32) for i in range(4)]
+    with srv:
+        report = run_poisson_load(srv, "stub", samples, rate_hz=500.0,
+                                  n_requests=20, refs=refs)
+    assert report.requests == 20
+    assert report.ok + report.shed + report.failed == 20
+    assert report.bit_exact is True and report.mismatches == 0
+    j = report.to_json()
+    assert j["requests"] == 20 and "latency_ms" in j

@@ -55,6 +55,16 @@ def test_register_rejects_duplicates_and_bad_names():
         reg.get("ghost")
 
 
+def test_bare_name_lookup_without_active_version_is_descriptive():
+    reg = ModelRegistry()
+    reg.register("m", "1", runner=StubPlan(), activate=False)
+    with pytest.raises(KeyError, match="no active version"):
+        reg.get("m")
+    assert reg.get("m@1").key == "m@1", "exact-version lookup still works"
+    reg.set_active("m", "1")
+    assert reg.get("m").key == "m@1"
+
+
 def test_register_unpacks_deployed_bundle(served_factory):
     d, samples, refs = served_factory("resnet20")
     reg = ModelRegistry()

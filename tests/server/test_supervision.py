@@ -167,6 +167,38 @@ def test_hot_swap_pooled_rebuilds_pool(served_factory):
     assert stats["ok"] == 24 and stats["failed"] == 0 and stats["swaps"] == 1
 
 
+def test_per_model_workers_override_controls_pooling():
+    """`per_model={'stub': {'workers': 2}}` pools that lane (with 2 workers)
+    even though the global config is inline, and vice versa — the override
+    is not silently ignored."""
+    from repro.server import ServerConfig
+
+    reg = ModelRegistry()
+    reg.register("stub", "1", runner=StubPlan())
+    cfg = ServerConfig(max_batch=2, default_deadline_s=30.0,
+                       max_linger_s=0.002, workers=0,
+                       per_model={"stub": {"workers": 2}})
+    with Server(reg, cfg) as srv:
+        pendings = [srv.submit("stub", stub_sample(i)) for i in range(6)]
+        lane = _wait_for_pool(srv, "stub")
+        assert lane.pooled and lane.cfg.workers == 2
+        assert len(lane.pool.procs) == 2, (
+            "pool sized from the global workers=0, not the per-model override")
+        for i, p in enumerate(pendings):
+            r = p.result(timeout=60)
+            assert r.ok and np.array_equal(
+                r.logits, np.full(4, 2.0 * i, dtype=np.float32))
+
+    reg2 = ModelRegistry()
+    reg2.register("stub", "1", runner=StubPlan())
+    cfg2 = ServerConfig(workers=2, per_model={"stub": {"workers": 0}})
+    with Server(reg2, cfg2) as srv2:
+        assert srv2.submit("stub", stub_sample(1.0)).result(timeout=10).ok
+        lane2 = srv2._lanes["stub"]
+        assert not lane2.pooled and lane2.pool is None, (
+            "per-model workers=0 should force the inline path")
+
+
 def test_swap_unknown_version_rejected_without_drain():
     reg = ModelRegistry()
     reg.register("stub", "1", runner=StubPlan())
