@@ -50,6 +50,38 @@ assert not warnings, f"telemetry warnings during smoke serve: {warnings}"
 print(f"serve smoke OK: {gw['ok']} ok, p99 {gw['latency_ms']['p99']} ms")
 EOF
 
+echo "== artifact integrity + chaos harness (repro.export / repro.chaos) =="
+python -m pytest tests/chaos -q -m chaos
+python - "$TEL_DIR" <<'EOF'
+# fresh all-formats export through the deploy pipeline (verified on write)
+import sys, os, numpy as np
+from repro.core import DeploySpec, deploy
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import build_model
+rng = np.random.default_rng(0)
+qm = quantize_model(build_model("resnet20", num_classes=10, width=8),
+                    QConfig(8, 8))
+calibrate_model(qm, [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)])
+d = deploy(qm, DeploySpec(export_dir=os.path.join(sys.argv[1], "artifacts"),
+                          formats=("dec", "hex", "bin", "qint"),
+                          runtime="none"))
+assert d.integrity is not None and d.integrity.ok
+EOF
+python -m repro.cli verify-artifacts "$TEL_DIR/artifacts"
+python -m repro.cli chaos --dir "$TEL_DIR/artifacts" --seed 2024 --json \
+    > "$TEL_DIR/chaos.json"
+python - "$TEL_DIR" <<'EOF'
+import json, sys, os
+rep = json.load(open(os.path.join(sys.argv[1], "chaos.json")))
+s = rep["summary"]
+assert s["missed"] == 0, f"undetected faults in chaos run: {rep}"
+assert s["detected"] == s["injected"] >= 4
+print(f"chaos smoke OK: {s['injected']} injected, {s['detected']} detected, "
+      f"0 missed")
+EOF
+
 echo "== compile-check examples =="
 for f in examples/*.py; do
     python -m py_compile "$f"

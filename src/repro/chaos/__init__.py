@@ -1,0 +1,38 @@
+"""Deterministic fault-injection harness for the deploy/serve pipeline.
+
+The integrity store (:mod:`repro.export.integrity`) promises that corrupted
+or half-written artifacts are *detected, never served*.  This package is the
+adversary that keeps the promise honest: seeded injectors damage artifact
+directories and perturb a running gateway, and :class:`ChaosPlan` scores
+whether every fault was detected by the defence layers and whether service
+recovered on known-good state.
+
+* :mod:`~repro.chaos.injectors` — the fault catalog: ``flip_bits``,
+  ``truncate_file``, ``corrupt_header``, ``stale_manifest`` (artifact side)
+  and ``kill_worker``, ``stall_worker``, ``delay_clock`` (server side), all
+  deterministic functions of an explicit ``numpy.random.Generator``;
+* :class:`ChaosPlan` — a seeded schedule of faults; fault ``i`` draws from
+  ``np.random.default_rng([seed, i])`` so runs replay exactly;
+* :class:`ChaosReport` — injected / detected / recovered / missed
+  scorecard, rendered by ``repro.cli chaos``.
+
+Quickstart::
+
+    from repro.chaos import ChaosPlan
+
+    report = ChaosPlan.artifact_default(seed=7).run_artifacts(export_dir)
+    assert report.ok            # zero missed faults
+"""
+from repro.chaos.injectors import (ARTIFACT_INJECTORS, INJECTORS,
+                                   SERVER_INJECTORS, corrupt_header,
+                                   delay_clock, flip_bits, kill_worker,
+                                   stale_manifest, stall_worker,
+                                   truncate_file)
+from repro.chaos.plan import ChaosPlan, ChaosReport, FaultRecord
+
+__all__ = [
+    "ChaosPlan", "ChaosReport", "FaultRecord",
+    "ARTIFACT_INJECTORS", "SERVER_INJECTORS", "INJECTORS",
+    "flip_bits", "truncate_file", "corrupt_header", "stale_manifest",
+    "kill_worker", "stall_worker", "delay_clock",
+]

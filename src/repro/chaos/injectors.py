@@ -1,0 +1,249 @@
+"""Deterministic, seeded fault injectors.
+
+Every injector is a pure function of its target and an explicit
+``numpy.random.Generator`` — same seed, same fault, byte for byte — so a
+chaos run is a *reproducible experiment*, not a fuzzer.  Two families:
+
+* **artifact injectors** mutate an exported artifact directory in place
+  (``flip_bits``, ``truncate_file``, ``corrupt_header``, ``stale_manifest``)
+  and return a details dict naming exactly what was damaged;
+* **server injectors** perturb a running :class:`repro.server.Server`
+  (``kill_worker``, ``stall_worker``, ``delay_clock``) and return details
+  plus, where needed, an ``undo`` callable.
+
+``corrupt_header`` is deliberately the nastiest case: it rewrites a qint
+JSON header *and* patches the file's manifest checksum *and* re-signs the
+manifest digest, so every byte-level check passes and only the semantic
+header-vs-payload validation in :func:`repro.export.qint.load_qint` can
+catch it.
+"""
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+# ---------------------------------------------------------------- utilities
+def _artifact_files(export_dir: str, suffix: Optional[str] = None) -> List[str]:
+    """Sorted data files (manifest excluded) — the corruption targets."""
+    names = [n for n in sorted(os.listdir(export_dir))
+             if n != "manifest.json"
+             and os.path.isfile(os.path.join(export_dir, n))]
+    if suffix is not None:
+        names = [n for n in names if n.endswith(suffix)]
+    return names
+
+
+def _pick(rng: np.random.Generator, items: List):
+    if not items:
+        raise ValueError("chaos injector has nothing to target")
+    return items[int(rng.integers(len(items)))]
+
+
+def _read_manifest(export_dir: str) -> Dict:
+    with open(os.path.join(export_dir, "manifest.json")) as f:
+        return json.load(f)
+
+
+def _write_manifest(export_dir: str, manifest: Dict) -> None:
+    with open(os.path.join(export_dir, "manifest.json"), "w") as f:
+        json.dump(manifest, f, indent=2)
+
+
+# --------------------------------------------------------- artifact faults
+def flip_bits(export_dir: str, rng: np.random.Generator,
+              n_bits: int = 8) -> Dict:
+    """Flip ``n_bits`` distinct bits of one seeded-chosen artifact file."""
+    fname = _pick(rng, _artifact_files(export_dir))
+    path = os.path.join(export_dir, fname)
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
+    if not data:
+        raise ValueError(f"cannot flip bits of empty file {fname}")
+    n = min(n_bits, len(data) * 8)
+    positions = rng.choice(len(data) * 8, size=n, replace=False)
+    for pos in positions:
+        data[int(pos) // 8] ^= 1 << (int(pos) % 8)
+    with open(path, "wb") as f:
+        f.write(bytes(data))
+    return {"file": fname, "bits_flipped": sorted(int(p) for p in positions)}
+
+
+def truncate_file(export_dir: str, rng: np.random.Generator,
+                  keep_fraction: float = 0.5) -> Dict:
+    """Cut one seeded-chosen artifact file short (crash-mid-write shape)."""
+    fname = _pick(rng, _artifact_files(export_dir))
+    path = os.path.join(export_dir, fname)
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    if keep >= size:
+        keep = max(0, size - 1)
+    with open(path, "r+b") as f:
+        f.truncate(keep)
+    return {"file": fname, "bytes_before": size, "bytes_after": keep}
+
+
+#: header mutations corrupt_header draws from (name -> header edit)
+_HEADER_MUTATIONS = (
+    ("grow_shape", lambda h: h.__setitem__(
+        "shape", [int(h["shape"][0]) + 1] + [int(s) for s in h["shape"][1:]]
+        if h["shape"] else [2])),
+    ("shrink_container", lambda h: h.__setitem__("stored_bits", 12)),
+    ("narrow_bits", lambda h: h.__setitem__("bits", 1)),
+    ("byteorder", lambda h: h.__setitem__("byteorder", "big")),
+    ("drop_shape", lambda h: h.pop("shape")),
+)
+
+
+def corrupt_header(export_dir: str, rng: np.random.Generator) -> Dict:
+    """Rewrite a qint header to contradict its payload — with the
+    bookkeeping (file checksum, manifest digest) patched to match, so only
+    semantic header validation can reject it."""
+    from repro.export.integrity import manifest_digest, sha256_file
+
+    headers = _artifact_files(export_dir, suffix=".qint.json")
+    if not headers:
+        raise ValueError("corrupt_header needs a qint export "
+                         "(no *.qint.json in the artifact dir)")
+    fname = _pick(rng, headers)
+    path = os.path.join(export_dir, fname)
+    with open(path) as f:
+        header = json.load(f)
+    mutation, apply = _HEADER_MUTATIONS[
+        int(rng.integers(len(_HEADER_MUTATIONS)))]
+    apply(header)
+    with open(path, "w") as f:
+        json.dump(header, f, indent=2)
+    manifest = _read_manifest(export_dir)
+    sums = manifest.get("checksums", {})
+    if fname in sums:
+        sums[fname] = {"sha256": sha256_file(path),
+                       "bytes": os.path.getsize(path)}
+    manifest["digest"] = manifest_digest(manifest)
+    _write_manifest(export_dir, manifest)
+    return {"file": fname, "mutation": mutation}
+
+
+#: manifest mutations stale_manifest draws from (digest NOT re-signed)
+def _mut_bits(m, rng):
+    name = _pick(rng, [n for n, e in m["tensors"].items() if e.get("integer")]
+                 or list(m["tensors"]))
+    m["tensors"][name]["bits"] = int(m["tensors"][name].get("bits", 8)) + 4
+    return {"tensor": name, "edit": "bits"}
+
+
+def _mut_checksum(m, rng):
+    fname = _pick(rng, sorted(m.get("checksums", {})))
+    sha = m["checksums"][fname]["sha256"]
+    m["checksums"][fname]["sha256"] = ("0" if sha[0] != "0" else "1") + sha[1:]
+    return {"file": fname, "edit": "checksum"}
+
+
+def _mut_drop_digest(m, rng):
+    m.pop("digest", None)
+    return {"edit": "drop_digest"}
+
+
+def _mut_schema(m, rng):
+    m["schema"] = 1
+    return {"edit": "schema_downgrade"}
+
+
+_MANIFEST_MUTATIONS = (_mut_bits, _mut_checksum, _mut_drop_digest, _mut_schema)
+
+
+def stale_manifest(export_dir: str, rng: np.random.Generator) -> Dict:
+    """Edit the manifest after the fact without re-signing its digest —
+    the tampered/stale-bookkeeping failure mode."""
+    manifest = _read_manifest(export_dir)
+    mut = _MANIFEST_MUTATIONS[int(rng.integers(len(_MANIFEST_MUTATIONS)))]
+    details = mut(manifest, rng)
+    _write_manifest(export_dir, manifest)
+    return details
+
+
+#: name -> callable, the artifact-fault catalog ChaosPlan schedules from
+ARTIFACT_INJECTORS = {
+    "flip_bits": flip_bits,
+    "truncate_file": truncate_file,
+    "corrupt_header": corrupt_header,
+    "stale_manifest": stale_manifest,
+}
+
+
+# ----------------------------------------------------------- server faults
+def _lane_procs(server, model: str):
+    lane = server._lanes.get(model)
+    pool = getattr(lane, "pool", None) if lane is not None else None
+    procs = [p for p in getattr(pool, "procs", []) if p.is_alive()]
+    return lane, procs
+
+
+def kill_worker(server, model: str, rng: np.random.Generator) -> Dict:
+    """SIGKILL one seeded-chosen pool worker of ``model``'s lane."""
+    lane, procs = _lane_procs(server, model)
+    if not procs:
+        raise ValueError(f"kill_worker: no live pool workers for {model!r} "
+                         f"(server must run with workers >= 2)")
+    proc = _pick(rng, procs)
+    os.kill(proc.pid, signal.SIGKILL)
+    return {"pid": proc.pid, "signal": "SIGKILL"}
+
+
+def stall_worker(server, model: str, rng: np.random.Generator,
+                 stall_s: float = 0.3) -> Dict:
+    """SIGSTOP one seeded-chosen worker, SIGCONT it after ``stall_s``."""
+    lane, procs = _lane_procs(server, model)
+    if not procs:
+        raise ValueError(f"stall_worker: no live pool workers for {model!r}")
+    proc = _pick(rng, procs)
+    os.kill(proc.pid, signal.SIGSTOP)
+
+    def resume():
+        try:
+            os.kill(proc.pid, signal.SIGCONT)
+        except ProcessLookupError:
+            pass
+
+    timer = threading.Timer(stall_s, resume)
+    timer.daemon = True
+    timer.start()
+    return {"pid": proc.pid, "signal": "SIGSTOP", "stall_s": stall_s,
+            "undo": resume}
+
+
+def delay_clock(server, model: str, rng: np.random.Generator,
+                skew_s: float = 0.5) -> Dict:
+    """Skew the lane's service-time clock: inflate the EWMA batch-time
+    estimate by ``skew_s`` as if every batch suddenly took that much longer.
+    Deadline-aware admission must respond by *shedding* (typed
+    :class:`~repro.server.types.Overloaded`) requests whose deadline the
+    skewed projection can no longer meet — never by silently missing
+    deadlines.  Returns an ``undo`` that restores the estimate."""
+    lane = server._lanes.get(model)
+    if lane is None:
+        raise ValueError(f"delay_clock: lane for {model!r} not started yet "
+                         f"(submit one request first)")
+    with lane.cond:
+        original = lane.est_batch_s
+        lane.est_batch_s = original + skew_s
+
+    def undo():
+        with lane.cond:
+            lane.est_batch_s = original
+
+    return {"skew_s": skew_s, "undo": undo}
+
+
+SERVER_INJECTORS = {
+    "kill_worker": kill_worker,
+    "stall_worker": stall_worker,
+    "delay_clock": delay_clock,
+}
+
+INJECTORS = {**ARTIFACT_INJECTORS, **SERVER_INJECTORS}

@@ -1,0 +1,347 @@
+"""ChaosPlan: a seeded fault schedule plus the detection scorecard.
+
+A plan is a list of ``(injector, params)`` steps.  Fault ``i`` draws its
+randomness from ``np.random.default_rng([seed, i])`` — each step has an
+independent, reproducible stream, so reordering or extending the schedule
+never changes what an existing step does.
+
+Running a plan produces a :class:`ChaosReport` scoring every fault on two
+axes:
+
+* **detected** — the defence layers noticed the fault.  For artifact faults
+  that means *all three* consumers reject the damaged directory
+  (:func:`~repro.export.integrity.verify_artifacts` reports errors,
+  :func:`~repro.export.integrity.load_state_dict` raises a typed
+  :class:`~repro.export.errors.ArtifactError`, and
+  :class:`~repro.server.ModelRegistry` refuses to admit it) — one silent
+  acceptance anywhere marks the fault *missed*.  For server faults it means
+  the gateway reacted with its typed degradation contract (supervised
+  respawn, liveness under a stall, :class:`~repro.server.types.Overloaded`
+  shedding under clock skew) instead of hanging or lying.
+* **recovered** — service continued on known-good state afterwards: the
+  registry still serves the previous active version / a post-fault probe
+  request returns :class:`~repro.server.types.Ok`.
+
+Every injected/detected/missed fault also lands in telemetry as
+``chaos_inject`` / ``chaos_detected`` / ``chaos_missed`` events.
+"""
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.chaos.injectors import (ARTIFACT_INJECTORS, INJECTORS,
+                                   SERVER_INJECTORS)
+from repro.export.errors import ArtifactError
+
+#: how long server-fault detection probes the gateway before giving up
+_PROBE_TIMEOUT_S = 10.0
+
+
+@dataclass
+class FaultRecord:
+    """Scorecard line for one injected fault."""
+
+    index: int
+    injector: str
+    params: Dict
+    details: Dict = field(default_factory=dict)
+    detected: bool = False
+    recovered: bool = False
+    layers: Dict[str, bool] = field(default_factory=dict)
+    note: str = ""
+
+    @property
+    def missed(self) -> bool:
+        return not self.detected
+
+    def to_json(self) -> Dict:
+        return {"index": self.index, "injector": self.injector,
+                "params": self.params, "details": self.details,
+                "detected": self.detected, "recovered": self.recovered,
+                "layers": self.layers, "note": self.note}
+
+
+class ChaosReport:
+    """Aggregated outcome of one chaos run (or several, via :meth:`extend`)."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.records: List[FaultRecord] = []
+
+    def add(self, record: FaultRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, other: "ChaosReport") -> "ChaosReport":
+        self.records.extend(other.records)
+        return self
+
+    @property
+    def injected(self) -> int:
+        return len(self.records)
+
+    @property
+    def detected(self) -> int:
+        return sum(r.detected for r in self.records)
+
+    @property
+    def recovered(self) -> int:
+        return sum(r.recovered for r in self.records)
+
+    @property
+    def missed(self) -> int:
+        return sum(r.missed for r in self.records)
+
+    @property
+    def ok(self) -> bool:
+        """Zero missed faults — every injected fault was detected."""
+        return self.missed == 0
+
+    def to_json(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "summary": {"injected": self.injected, "detected": self.detected,
+                        "recovered": self.recovered, "missed": self.missed,
+                        "ok": self.ok},
+            "faults": [r.to_json() for r in self.records],
+        }
+
+    def render(self) -> str:
+        lines = [f"chaos report (seed={self.seed}): "
+                 f"{self.injected} injected, {self.detected} detected, "
+                 f"{self.recovered} recovered, {self.missed} MISSED"]
+        for r in self.records:
+            status = "detected" if r.detected else "MISSED"
+            rec = "recovered" if r.recovered else "not recovered"
+            layers = "".join(
+                f" {k}={'y' if v else 'N'}" for k, v in sorted(r.layers.items()))
+            note = f" — {r.note}" if r.note else ""
+            lines.append(f"  [{r.index:02d}] {r.injector:<16} {status:<8} "
+                         f"{rec}{layers}{note}")
+        return "\n".join(lines)
+
+
+class ChaosPlan:
+    """A seeded, ordered schedule of fault injections."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.schedule: List[Tuple[str, Dict]] = []
+
+    def add(self, injector: str, **params) -> "ChaosPlan":
+        if injector not in INJECTORS:
+            raise ValueError(f"unknown injector {injector!r}; have "
+                             f"{sorted(INJECTORS)}")
+        self.schedule.append((injector, params))
+        return self
+
+    def rng_for(self, index: int) -> np.random.Generator:
+        """Independent deterministic stream for fault ``index``."""
+        return np.random.default_rng([self.seed, index])
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def artifact_default(cls, seed: int = 0, rounds: int = 1) -> "ChaosPlan":
+        """One pass (or ``rounds``) over every artifact-fault class."""
+        plan = cls(seed)
+        for _ in range(rounds):
+            for name in ARTIFACT_INJECTORS:
+                plan.add(name)
+        return plan
+
+    @classmethod
+    def server_default(cls, seed: int = 0) -> "ChaosPlan":
+        """One pass over every server-fault class."""
+        plan = cls(seed)
+        for name in SERVER_INJECTORS:
+            plan.add(name)
+        return plan
+
+    # -------------------------------------------------------- artifact runs
+    def run_artifacts(self, export_dir: str,
+                      workdir: Optional[str] = None) -> ChaosReport:
+        """Inject each scheduled artifact fault into a *copy* of
+        ``export_dir`` and score detection across all three consumer layers
+        (verify / load / registry).  ``export_dir`` itself is never touched.
+        """
+        report = ChaosReport(self.seed)
+        own_workdir = workdir is None
+        if own_workdir:
+            workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+        try:
+            for i, (name, params) in enumerate(self.schedule):
+                if name not in ARTIFACT_INJECTORS:
+                    raise ValueError(
+                        f"run_artifacts() cannot run server injector {name!r}")
+                copy = os.path.join(workdir, f"fault-{i:02d}-{name}")
+                shutil.copytree(export_dir, copy)
+                rec = FaultRecord(index=i, injector=name, params=dict(params))
+                rec.details = ARTIFACT_INJECTORS[name](
+                    copy, self.rng_for(i), **params)
+                telemetry.emit("chaos_inject", injector=name, index=i,
+                               target=copy, **rec.details)
+                self._score_artifact_fault(rec, export_dir, copy)
+                self._emit_outcome(rec)
+                report.add(rec)
+        finally:
+            if own_workdir:
+                shutil.rmtree(workdir, ignore_errors=True)
+        return report
+
+    @staticmethod
+    def _score_artifact_fault(rec: FaultRecord, clean_dir: str,
+                              damaged_dir: str) -> None:
+        from repro.export.integrity import load_state_dict, verify_artifacts
+        from repro.server.registry import ModelRegistry
+
+        audit = verify_artifacts(damaged_dir)
+        rec.layers["verify"] = not audit.ok
+        try:
+            load_state_dict(damaged_dir)
+            rec.layers["load"] = False
+        except ArtifactError:
+            rec.layers["load"] = True
+
+        registry = ModelRegistry()
+        registry.register("chaos", "good", runner=lambda x: x,
+                          artifacts=clean_dir)
+        try:
+            registry.register("chaos", "bad", runner=lambda x: x,
+                              artifacts=damaged_dir, activate=True)
+            rec.layers["registry"] = False
+        except ArtifactError:
+            rec.layers["registry"] = True
+        rec.recovered = registry.active_version("chaos") == "good"
+        rec.detected = all(rec.layers.values())
+        if audit.findings:
+            rec.note = ", ".join(sorted({f.rule for f in audit.findings}))
+
+    # ---------------------------------------------------------- server runs
+    def run_server(self, server, model: str, sample,
+                   probe_deadline_s: float = 2.0) -> ChaosReport:
+        """Inject each scheduled server fault into a *running* gateway and
+        score whether its degradation contract held."""
+        report = ChaosReport(self.seed)
+        # warm the lane: injectors target live workers / the EWMA estimate
+        resp = server.submit(model, sample,
+                             deadline_s=probe_deadline_s).result(
+                                 timeout=_PROBE_TIMEOUT_S)
+        if not resp.ok:
+            raise RuntimeError(f"chaos warm-up probe failed: {resp}")
+        for i, (name, params) in enumerate(self.schedule):
+            if name not in SERVER_INJECTORS:
+                raise ValueError(
+                    f"run_server() cannot run artifact injector {name!r}")
+            rec = FaultRecord(index=i, injector=name, params=dict(params))
+            lane = server._lanes.get(model)
+            deaths_before = lane.stats.worker_deaths if lane else 0
+            details = SERVER_INJECTORS[name](server, model,
+                                             self.rng_for(i), **params)
+            undo = details.pop("undo", None)
+            rec.details = details
+            telemetry.emit("chaos_inject", injector=name, index=i,
+                           model=model, **details)
+            try:
+                if name == "kill_worker":
+                    self._score_kill(rec, server, model, sample,
+                                     probe_deadline_s, deaths_before)
+                elif name == "stall_worker":
+                    self._score_stall(rec, server, model, sample,
+                                      details.get("stall_s", 0.3))
+                elif name == "delay_clock":
+                    self._score_delay(rec, server, model, sample,
+                                      details.get("skew_s", 0.5))
+            finally:
+                if undo is not None:
+                    undo()
+            if not rec.recovered:
+                rec.recovered = self._probe_ok(server, model, sample,
+                                               probe_deadline_s)
+            self._emit_outcome(rec)
+            report.add(rec)
+        return report
+
+    @staticmethod
+    def _emit_outcome(rec: FaultRecord) -> None:
+        if rec.detected:
+            telemetry.emit("chaos_detected", injector=rec.injector,
+                           index=rec.index, recovered=rec.recovered,
+                           layers=rec.layers)
+        else:
+            telemetry.emit("chaos_missed", level="error",
+                           injector=rec.injector, index=rec.index,
+                           recovered=rec.recovered, layers=rec.layers)
+
+    @staticmethod
+    def _probe_ok(server, model: str, sample,
+                  deadline_s: float = 2.0) -> bool:
+        try:
+            resp = server.submit(model, sample, deadline_s=deadline_s).result(
+                timeout=_PROBE_TIMEOUT_S)
+        except TimeoutError:
+            return False
+        return bool(resp.ok)
+
+    def _score_kill(self, rec: FaultRecord, server, model: str, sample,
+                    probe_deadline_s: float, deaths_before: int) -> None:
+        """Detected = the lane's supervisor counted the death (WorkerDied,
+        never a hang); recovered = a probe request is served afterwards."""
+        lane = server._lanes[model]
+        deadline = time.monotonic() + _PROBE_TIMEOUT_S
+        probe_ok = False
+        while time.monotonic() < deadline:
+            # drive traffic so the lane polls its pool and trips WorkerDied
+            probe_ok = self._probe_ok(server, model, sample, probe_deadline_s)
+            if lane.stats.worker_deaths > deaths_before:
+                rec.detected = True
+                break
+            time.sleep(0.02)
+        rec.layers["supervisor"] = rec.detected
+        rec.recovered = rec.detected and (
+            probe_ok or self._probe_ok(server, model, sample,
+                                       probe_deadline_s))
+        rec.note = (f"worker_deaths {deaths_before} -> "
+                    f"{lane.stats.worker_deaths}")
+
+    def _score_stall(self, rec: FaultRecord, server, model: str, sample,
+                     stall_s: float) -> None:
+        """Detected = the gateway stays live through the stall: a request
+        submitted while one worker is frozen still resolves to a typed
+        response (served by a peer worker, or after SIGCONT) instead of
+        hanging past the stall window."""
+        t0 = time.monotonic()
+        try:
+            resp = server.submit(model, sample,
+                                 deadline_s=stall_s + 5.0).result(
+                                     timeout=stall_s + _PROBE_TIMEOUT_S)
+        except TimeoutError:
+            rec.layers["liveness"] = False
+            rec.note = "request hung through the stall"
+            return
+        rec.layers["liveness"] = True
+        rec.detected = True
+        rec.recovered = bool(resp.ok)
+        rec.note = f"resolved {type(resp).__name__} in " \
+                   f"{time.monotonic() - t0:.3f}s (stall {stall_s}s)"
+
+    def _score_delay(self, rec: FaultRecord, server, model: str, sample,
+                     skew_s: float) -> None:
+        """Detected = admission control sheds (typed Overloaded) a request
+        whose deadline the skewed service-clock projection cannot meet."""
+        from repro.server.types import Overloaded
+
+        resp = server.submit(model, sample,
+                             deadline_s=skew_s / 4).result(
+                                 timeout=_PROBE_TIMEOUT_S)
+        rec.layers["admission"] = isinstance(resp, Overloaded)
+        rec.detected = rec.layers["admission"]
+        rec.note = (f"short-deadline probe -> {type(resp).__name__}"
+                    + (f" ({resp.reason})" if isinstance(resp, Overloaded)
+                       else ""))

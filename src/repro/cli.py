@@ -491,6 +491,85 @@ def _timeit(fn, x) -> float:
     return time.perf_counter() - t0
 
 
+def cmd_verify_artifacts(args) -> int:
+    """Audit an exported artifact directory; exit 2 on any ERROR finding.
+
+    Same contract as ``lint``: human-readable report by default,
+    ``--json`` for machine-readable findings, so CI can gate on it.
+    """
+    from repro.export.integrity import verify_artifacts
+
+    report = verify_artifacts(args.dir, deep=not args.shallow)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        print(report.render())
+    return 0 if report.ok else 2
+
+
+def cmd_chaos(args) -> int:
+    """Seeded fault-injection run; exit 2 when any fault goes undetected.
+
+    Artifact faults always run (against copies of the target directory —
+    the original is never modified); ``--server`` additionally stands up
+    the online gateway on a freshly deployed model and runs the
+    server-fault schedule against it.
+    """
+    import shutil
+    import tempfile
+
+    from repro.chaos import ChaosPlan
+
+    seed_everything(args.seed)
+    tmp = None
+    deployed = sample = None
+    export_dir = args.dir
+    try:
+        if export_dir is None or args.server:
+            spec = DeploySpec.from_args(args)
+            if export_dir is None:
+                tmp = tempfile.mkdtemp(prefix="repro-chaos-")
+                export_dir = os.path.join(tmp, "artifacts")
+                spec = spec.evolve(export_dir=export_dir,
+                                   formats=("dec", "hex", "bin", "qint"))
+            deployed, (_, test, _) = _build_deployed_model(args, spec)
+            sample = np.ascontiguousarray(test.images[0], dtype=np.float32)
+
+        plan = ChaosPlan.artifact_default(args.seed, rounds=args.rounds)
+        if not any(f.endswith(".qint.json") for f in os.listdir(export_dir)):
+            plan = ChaosPlan(args.seed)
+            for _ in range(args.rounds):
+                for name in ("flip_bits", "truncate_file", "stale_manifest"):
+                    plan.add(name)
+            print("note: no qint artifacts in target; skipping corrupt_header")
+        report = plan.run_artifacts(export_dir)
+
+        if args.server:
+            from repro.runtime.serve import _can_fork
+            from repro.server import ModelRegistry, Server
+
+            registry = ModelRegistry()
+            registry.register(args.model, "1", deployed)
+            pooled = args.workers >= 2 and _can_fork()
+            splan = (ChaosPlan.server_default(args.seed) if pooled
+                     else ChaosPlan(args.seed).add("delay_clock"))
+            if not pooled:
+                print("note: fork unavailable or --workers < 2; server "
+                      "schedule reduced to delay_clock")
+            with Server(registry, max_batch=8, workers=args.workers,
+                        default_deadline_s=2.0) as srv:
+                report.extend(splan.run_server(srv, args.model, sample))
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        print(report.render())
+    return 0 if report.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro.cli", description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -623,6 +702,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture spans/events/metrics into a "
                         "TelemetrySession in DIR")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser("verify-artifacts",
+                       help="audit an exported artifact directory: manifest "
+                            "digest, per-file checksums, header/payload "
+                            "consistency (exit 2 on failure)")
+    p.add_argument("dir", help="artifact directory (contains manifest.json)")
+    p.add_argument("--shallow", action="store_true",
+                   help="checksums + manifest only; skip per-tensor decode")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings on stdout")
+    p.set_defaults(func=cmd_verify_artifacts)
+
+    p = sub.add_parser("chaos", help="seeded fault-injection run against the "
+                                     "export/serve pipeline (exit 2 on any "
+                                     "undetected fault)")
+    _common(p)
+    _deploy_flags(p, calib_batches=2, runtime="auto")
+    p.add_argument("--dir", default=None,
+                   help="existing artifact directory to attack (faults hit "
+                        "copies; the directory is never modified); default "
+                        "builds and exports a fresh model")
+    p.add_argument("--rounds", type=int, default=1,
+                   help="passes over the artifact-fault catalog")
+    p.add_argument("--server", action="store_true",
+                   help="also run the server-fault schedule (kill/stall "
+                        "worker, clock skew) against a live gateway")
+    p.add_argument("--workers", type=int, default=2,
+                   help="gateway pool size for --server faults")
+    p.add_argument("--ckpt", default=None,
+                   help="optional Q-model checkpoint for the built model")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.set_defaults(func=cmd_chaos)
     return ap
 
 

@@ -54,6 +54,11 @@ class DeploySpec:
     runtime:
         Plan layout for the compiled runtime: ``"auto"``, ``"channel"``,
         ``"batch"``, or ``"none"`` to skip plan compilation.
+    verify_artifacts:
+        Audit exported artifacts (checksums, header/payload consistency)
+        whenever they are written or loaded from disk; on by default so a
+        half-written or corrupted directory raises a typed
+        :class:`~repro.export.errors.ArtifactError` instead of being served.
     """
 
     fusion: str = "channel"
@@ -65,6 +70,7 @@ class DeploySpec:
     export_dir: Optional[str] = None
     formats: Tuple[str, ...] = ("dec",)
     runtime: str = "auto"
+    verify_artifacts: bool = True
 
     def __post_init__(self):
         if self.fusion not in ("channel", "prefuse"):
@@ -85,7 +91,8 @@ class DeploySpec:
         kw = {}
         for fld, attr in (("fusion", "fusion"), ("float_scale", "float_scale"),
                           ("lint", "lint"), ("accum_bits", "accum_bits"),
-                          ("export_dir", "out_dir"), ("runtime", "runtime")):
+                          ("export_dir", "out_dir"), ("runtime", "runtime"),
+                          ("verify_artifacts", "verify_artifacts")):
             v = getattr(args, attr, None)
             if v is not None:
                 kw[fld] = v
@@ -117,6 +124,7 @@ class Deployed:
     plan: object = None              #: compiled runtime Plan (spec.runtime)
     lint_report: object = None
     manifest: Optional[dict] = None  #: export manifest when spec.export_dir
+    integrity: object = None         #: IntegrityReport when artifacts verified
 
     def __call__(self, batch):
         """Run a batch through the fastest available executor."""
@@ -148,13 +156,21 @@ def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
         t2c.lint(accum_bits=spec.accum_bits)
     qnn = t2c.nn2chip()
     manifest = t2c.last_manifest
+    integrity = None
+    if spec.export_dir is not None and spec.verify_artifacts:
+        # read the published directory back end to end: the write-side
+        # round-trip already ran, this proves what a *consumer* will see
+        from repro.export.integrity import verify_artifacts
+
+        integrity = verify_artifacts(spec.export_dir).raise_if_failed()
     plan = None
     if spec.runtime != "none":
         from repro.runtime import Plan
 
         plan = Plan.compile(qnn, layout=spec.runtime)
     return Deployed(qnn=qnn, fused=t2c.model, spec=spec, t2c=t2c, plan=plan,
-                    lint_report=t2c.lint_report, manifest=manifest)
+                    lint_report=t2c.lint_report, manifest=manifest,
+                    integrity=integrity)
 
 
 def deploy_registry(models, spec: Optional[DeploySpec] = None,

@@ -20,6 +20,22 @@ from repro.export.formats import (
     load_tensor,
 )
 from repro.export.qint import pack_qint, unpack_qint, save_qint, load_qint
+from repro.export.errors import (
+    ArtifactError,
+    ChecksumMismatch,
+    HeaderMismatch,
+    StaleManifest,
+    TruncatedArtifact,
+)
+from repro.export.integrity import (
+    IntegrityReport,
+    MANIFEST_SCHEMA,
+    load_state_dict,
+    manifest_digest,
+    read_manifest,
+    sha256_file,
+    verify_artifacts,
+)
 from repro.export.writer import export_model, export_state_dict
 from repro.export.report import model_size_mb, compression_report
 from repro.export.unroll import PEArraySpec, unroll_matrix, unroll_conv_weight, write_banks, reassemble
@@ -29,6 +45,10 @@ __all__ = [
     "format_hex", "format_bin", "parse_hex", "parse_bin",
     "save_tensor", "load_tensor",
     "pack_qint", "unpack_qint", "save_qint", "load_qint",
+    "ArtifactError", "TruncatedArtifact", "ChecksumMismatch",
+    "HeaderMismatch", "StaleManifest",
+    "IntegrityReport", "MANIFEST_SCHEMA", "verify_artifacts",
+    "load_state_dict", "read_manifest", "manifest_digest", "sha256_file",
     "export_model", "export_state_dict",
     "model_size_mb", "compression_report",
     "PEArraySpec", "unroll_matrix", "unroll_conv_weight", "write_banks", "reassemble",

@@ -1,0 +1,361 @@
+"""Artifact integrity: checksummed manifests and the verified load path.
+
+The export writer stamps every artifact directory with a SHA-256 digest per
+file plus a digest over the manifest's own canonical content (schema v2).
+This module is the *read side* of that contract:
+
+* :func:`verify_artifacts` — audit a directory end to end (manifest schema
+  and digest, per-file checksums, payload-vs-header consistency for every
+  format, cross-format agreement) and report typed ``integrity.*`` findings
+  through the same :class:`~repro.lint.findings.Finding` model the static
+  verifier uses;
+* :func:`load_state_dict` — read the tensors back, verifying first by
+  default, raising a typed :class:`~repro.export.errors.ArtifactError`
+  instead of silently accepting corrupted bytes;
+* the digest/checksum helpers shared with the writer.
+
+A silently corrupted or half-written artifact defeats the "bit-exact from
+training to chip" hand-off, so everything downstream — ``deploy()``,
+:class:`~repro.server.ModelRegistry`, ``repro.cli verify-artifacts`` —
+routes through :func:`verify_artifacts` before trusting a directory.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.export.errors import (ArtifactError, HeaderMismatch,
+                                 StaleManifest, TruncatedArtifact,
+                                 error_for_rule)
+from repro.lint.findings import (Finding, findings_summary, findings_to_json,
+                                 has_errors, make_finding, render_findings,
+                                 sort_findings)
+
+#: current manifest schema; v1 manifests (pre-checksum) fail verification
+MANIFEST_SCHEMA = 2
+
+#: order in which load_state_dict picks a source format for a tensor
+_PREFERRED_FORMATS = ("qint", "dec", "hex", "bin")
+
+
+# --------------------------------------------------------------- primitives
+def sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str, chunk: int = 1 << 20) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def file_checksums(out_dir: str) -> Dict[str, Dict]:
+    """``{filename: {"sha256": ..., "bytes": ...}}`` for every regular file
+    in ``out_dir`` except the manifest itself (which carries the digest)."""
+    sums: Dict[str, Dict] = {}
+    for name in sorted(os.listdir(out_dir)):
+        path = os.path.join(out_dir, name)
+        if name == "manifest.json" or not os.path.isfile(path):
+            continue
+        sums[name] = {"sha256": sha256_file(path),
+                      "bytes": os.path.getsize(path)}
+    return sums
+
+
+def manifest_digest(manifest: Dict) -> str:
+    """Digest over the canonical manifest content, excluding the digest
+    field itself — the writer's sign-off that the manifest is complete."""
+    body = {k: v for k, v in manifest.items() if k != "digest"}
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                       default=str)
+    return sha256_bytes(canon.encode())
+
+
+# ------------------------------------------------------------------- report
+@dataclass
+class IntegrityReport:
+    """Outcome of one :func:`verify_artifacts` audit."""
+
+    out_dir: str
+    findings: List[Finding] = field(default_factory=list)
+    tensors_checked: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not has_errors(self.findings)
+
+    def to_json(self) -> Dict:
+        return {
+            "out_dir": self.out_dir,
+            "ok": self.ok,
+            "tensors_checked": self.tensors_checked,
+            "files_checked": self.files_checked,
+            "summary": findings_summary(self.findings),
+            "findings": findings_to_json(self.findings),
+        }
+
+    def render(self) -> str:
+        head = (f"artifact verification: {self.out_dir} — "
+                f"{'OK' if self.ok else 'FAILED'} "
+                f"({self.tensors_checked} tensors, "
+                f"{self.files_checked} files)")
+        return head + "\n" + render_findings(self.findings)
+
+    def raise_if_failed(self) -> "IntegrityReport":
+        """Raise the typed :class:`ArtifactError` for the worst finding."""
+        for f in sort_findings(self.findings):
+            if f.severity == "ERROR":
+                raise error_for_rule(f.rule)(
+                    f.message, path=os.path.join(self.out_dir, f.where)
+                    if os.sep not in f.where else f.where)
+        return self
+
+
+# ----------------------------------------------------------------- manifest
+def read_manifest(out_dir: str) -> Dict:
+    """Load + structurally validate ``manifest.json``; typed raises only."""
+    path = os.path.join(out_dir, "manifest.json")
+    if not os.path.isdir(out_dir):
+        raise TruncatedArtifact("artifact directory missing", path=out_dir)
+    if not os.path.exists(path):
+        raise TruncatedArtifact(
+            "manifest.json missing — export incomplete or not an artifact "
+            "directory", path=path)
+    try:
+        with open(path) as f:
+            manifest = json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StaleManifest(f"manifest.json is not valid JSON: {exc}",
+                            path=path)
+    if not isinstance(manifest, dict) or "tensors" not in manifest:
+        raise StaleManifest("manifest.json has no tensor table", path=path)
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise StaleManifest(
+            f"manifest schema {schema!r} is not the checksummed schema "
+            f"{MANIFEST_SCHEMA}; re-export the artifacts", path=path)
+    recorded = manifest.get("digest")
+    if not recorded:
+        raise StaleManifest("manifest carries no digest sign-off", path=path)
+    actual = manifest_digest(manifest)
+    if actual != recorded:
+        raise StaleManifest(
+            f"manifest content hashes to {actual[:12]}… but records "
+            f"{recorded[:12]}… — edited after export or torn write",
+            path=path)
+    return manifest
+
+
+# ------------------------------------------------------------- verification
+def verify_artifacts(out_dir: str, deep: bool = True) -> IntegrityReport:
+    """Audit an export directory; never raises for content problems.
+
+    Checks, in order: manifest presence/schema/digest; per-file existence,
+    size and SHA-256 against the recorded checksums; (with ``deep``) every
+    tensor decoded from every format — element count vs declared shape,
+    values within the declared bit-width, qint header consistency — and
+    cross-format agreement.  Returns an :class:`IntegrityReport` whose
+    findings use stable ``integrity.*`` rule ids;
+    ``report.raise_if_failed()`` converts the worst one into its typed
+    :class:`~repro.export.errors.ArtifactError`.
+    """
+    report = IntegrityReport(out_dir=out_dir)
+    try:
+        manifest = read_manifest(out_dir)
+    except ArtifactError as exc:
+        report.findings.append(
+            make_finding(exc.rule, "manifest.json", str(exc)))
+        return report
+
+    checksums = manifest.get("checksums", {})
+    damaged = set()
+    for fname, meta in checksums.items():
+        report.files_checked += 1
+        path = os.path.join(out_dir, fname)
+        if not os.path.isfile(path):
+            report.findings.append(make_finding(
+                "integrity.missing-file", fname,
+                "file listed in the manifest is missing on disk"))
+            damaged.add(fname)
+            continue
+        size = os.path.getsize(path)
+        if size != meta.get("bytes"):
+            rule = ("integrity.truncated" if size < meta.get("bytes", 0)
+                    else "integrity.checksum-mismatch")
+            report.findings.append(make_finding(
+                rule, fname,
+                f"file holds {size} bytes, manifest records "
+                f"{meta.get('bytes')}"))
+            damaged.add(fname)
+            continue
+        actual = sha256_file(path)
+        if actual != meta.get("sha256"):
+            report.findings.append(make_finding(
+                "integrity.checksum-mismatch", fname,
+                f"file hashes to {actual[:12]}…, manifest records "
+                f"{str(meta.get('sha256'))[:12]}…"))
+            damaged.add(fname)
+
+    listed = set(checksums) | {"manifest.json"}
+    for fname in sorted(os.listdir(out_dir)):
+        if fname not in listed and os.path.isfile(os.path.join(out_dir, fname)):
+            report.findings.append(make_finding(
+                "integrity.unlisted-file", fname,
+                "file present on disk but not covered by the manifest"))
+
+    if deep:
+        for name, entry in manifest.get("tensors", {}).items():
+            report.tensors_checked += 1
+            report.findings.extend(
+                _verify_tensor(out_dir, name, entry, damaged))
+    else:
+        report.tensors_checked = len(manifest.get("tensors", {}))
+    report.findings = sort_findings(report.findings)
+    return report
+
+
+def _decode_one(out_dir: str, fmt: str, fname: str, bits: int
+                ) -> Tuple[Optional[np.ndarray], Optional[Finding]]:
+    """Decode one artifact file (unreshaped); returns (flat array, finding)."""
+    from repro.export.formats import load_tensor
+    from repro.export.qint import load_qint
+
+    path = os.path.join(out_dir, fname)
+    try:
+        if fmt == "qint":
+            arr, header = load_qint(path[:-len(".bin")])
+            if int(header.get("bits", bits)) != bits:
+                return None, make_finding(
+                    "integrity.header-mismatch", fname,
+                    f"qint header declares {header.get('bits')} bits, "
+                    f"manifest declares {bits}")
+            return arr.reshape(-1), None
+        return load_tensor(path, fmt, bits), None
+    except ArtifactError as exc:
+        return None, make_finding(exc.rule, fname, str(exc))
+    except FileNotFoundError:
+        return None, make_finding("integrity.missing-file", fname,
+                                  "artifact file missing on disk")
+    except (ValueError, OSError) as exc:
+        return None, make_finding("integrity.header-mismatch", fname,
+                                  f"{fmt} artifact failed to decode: {exc}")
+
+
+def _verify_tensor(out_dir: str, name: str, entry: Dict,
+                   damaged: set) -> List[Finding]:
+    """Semantic checks for one tensor across all of its exported formats."""
+    findings: List[Finding] = []
+    shape = tuple(int(s) for s in entry.get("shape", []))
+    count = int(math.prod(shape)) if shape else 1
+    if not entry.get("integer", False):
+        fname = entry.get("files", {}).get("float")
+        if fname and fname not in damaged:
+            try:
+                arr = np.loadtxt(os.path.join(out_dir, fname), ndmin=1)
+            except (ValueError, OSError) as exc:
+                findings.append(make_finding(
+                    "integrity.header-mismatch", fname,
+                    f"float artifact failed to parse: {exc}"))
+            else:
+                if arr.size != count:
+                    findings.append(make_finding(
+                        "integrity.header-mismatch", fname,
+                        f"float artifact holds {arr.size} values, manifest "
+                        f"shape {list(shape)} needs {count}"))
+        return findings
+
+    bits = int(entry.get("bits", 32))
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    decoded: Dict[str, np.ndarray] = {}
+    for fmt, fname in entry.get("files", {}).items():
+        if fname in damaged:
+            continue        # byte-level finding already recorded
+        arr, finding = _decode_one(out_dir, fmt, fname, bits)
+        if finding is not None:
+            findings.append(finding)
+            continue
+        if arr.size != count:
+            findings.append(make_finding(
+                "integrity.header-mismatch", fname,
+                f"{fmt} artifact holds {arr.size} values, manifest shape "
+                f"{list(shape)} needs {count}"))
+            continue
+        if arr.size and (int(arr.min()) < lo or int(arr.max()) > hi):
+            findings.append(make_finding(
+                "integrity.header-mismatch", fname,
+                f"{fmt} values span [{int(arr.min())}, {int(arr.max())}], "
+                f"outside the declared {bits}-bit range"))
+            continue
+        decoded[fmt] = arr
+    if len(decoded) > 1:
+        ref_fmt = next(iter(decoded))
+        ref = decoded[ref_fmt]
+        for fmt, arr in decoded.items():
+            if fmt != ref_fmt and not np.array_equal(arr, ref):
+                findings.append(make_finding(
+                    "integrity.format-divergence", name,
+                    f"{fmt} and {ref_fmt} artifacts decode to different "
+                    f"values"))
+    return findings
+
+
+# -------------------------------------------------------------- load path
+def load_state_dict(out_dir: str, verify: bool = True,
+                    prefer: Sequence[str] = _PREFERRED_FORMATS
+                    ) -> Dict[str, np.ndarray]:
+    """Read an exported artifact directory back into ``{name: array}``.
+
+    With ``verify`` (default), the directory is audited first and the worst
+    finding raised as its typed :class:`ArtifactError` — a corrupted tensor
+    can never be silently loaded.  Integer tensors come back as ``int64``
+    in the first available format from ``prefer``; float tensors as
+    ``float32``.
+    """
+    if verify:
+        verify_artifacts(out_dir).raise_if_failed()
+    manifest = read_manifest(out_dir)
+    checksums = manifest.get("checksums", {})
+    state: Dict[str, np.ndarray] = {}
+    for name, entry in manifest["tensors"].items():
+        shape = tuple(int(s) for s in entry["shape"])
+        files = entry.get("files", {})
+        if not entry.get("integer", False):
+            arr = np.loadtxt(os.path.join(out_dir, files["float"]), ndmin=1)
+            state[name] = arr.reshape(shape).astype(np.float32)
+            continue
+        fmt = next((f for f in prefer if f in files), None)
+        if fmt is None:
+            raise TruncatedArtifact(
+                f"tensor {name!r} has no loadable format (have "
+                f"{sorted(files)})", path=out_dir)
+        fname = files[fmt]
+        if fmt == "qint":
+            from repro.export.qint import load_qint
+
+            sha = checksums.get(fname, {}).get("sha256")
+            arr, _ = load_qint(os.path.join(out_dir, fname)[:-len(".bin")],
+                               payload_sha256=sha if verify else None)
+        else:
+            from repro.export.formats import load_tensor
+
+            arr = load_tensor(os.path.join(out_dir, fname), fmt,
+                              int(entry["bits"]))
+        if arr.size != int(math.prod(shape) if shape else 1):
+            raise HeaderMismatch(
+                f"tensor {name!r} decodes to {arr.size} values, manifest "
+                f"shape {list(shape)} needs {math.prod(shape)}",
+                path=os.path.join(out_dir, fname))
+        state[name] = arr.reshape(shape).astype(np.int64)
+    return state

@@ -3,13 +3,26 @@
 Integer tensors are stored as little-endian ``int8``/``int16``/``int32``
 payloads with a JSON header carrying shape, dtype and scale metadata; a model
 is a single ``.qint.npz``-style directory with one payload per tensor.
+
+The load path is *hardened*: before any reshape, the header is validated
+against the payload (element count, container dtype, declared bit range) and
+every inconsistency raises a typed :class:`~repro.export.errors.ArtifactError`
+subclass — :class:`HeaderMismatch` for metadata that disagrees with the
+bytes, :class:`TruncatedArtifact` for missing/short files,
+:class:`ChecksumMismatch` when an expected digest is supplied — never a
+bare numpy ``ValueError`` from a blind reshape.
 """
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Dict, Tuple
+import math
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.export.errors import (ChecksumMismatch, HeaderMismatch,
+                                 TruncatedArtifact)
 
 _DTYPES = {8: np.int8, 16: np.int16, 32: np.int32}
 
@@ -39,10 +52,53 @@ def pack_qint(x: np.ndarray, bits: int, scale: float = 1.0) -> Tuple[bytes, Dict
     return payload, header
 
 
+def validate_header(header: Dict, payload_len: Optional[int] = None) -> Tuple:
+    """Check a qint header for internal consistency (and, when given, against
+    the payload length).  Returns ``(shape, bits, stored_bits, dtype)``;
+    raises :class:`HeaderMismatch` / :class:`TruncatedArtifact`.
+    """
+    try:
+        shape = tuple(int(s) for s in header["shape"])
+        bits = int(header["bits"])
+        stored_bits = int(header["stored_bits"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise HeaderMismatch(f"qint header missing or non-numeric field: {exc}")
+    if any(s < 0 for s in shape):
+        raise HeaderMismatch(f"qint header declares negative dimension in "
+                             f"shape {list(shape)}")
+    if stored_bits not in _DTYPES:
+        raise HeaderMismatch(f"qint header declares unknown container width "
+                             f"{stored_bits} (want one of {sorted(_DTYPES)})")
+    if not 2 <= bits <= stored_bits:
+        raise HeaderMismatch(f"declared {bits}-bit values do not fit the "
+                             f"{stored_bits}-bit container")
+    if header.get("byteorder", "little") != "little":
+        raise HeaderMismatch(f"unsupported byteorder "
+                             f"{header.get('byteorder')!r}")
+    dtype = _DTYPES[stored_bits]
+    if payload_len is not None:
+        expected = int(math.prod(shape)) * np.dtype(dtype).itemsize
+        if payload_len < expected:
+            raise TruncatedArtifact(
+                f"qint payload holds {payload_len} bytes but the header "
+                f"shape {list(shape)} needs {expected}")
+        if payload_len > expected:
+            raise HeaderMismatch(
+                f"qint payload holds {payload_len} bytes, more than the "
+                f"{expected} its header shape {list(shape)} declares")
+    return shape, bits, stored_bits, dtype
+
+
 def unpack_qint(payload: bytes, header: Dict) -> np.ndarray:
-    dtype = _DTYPES[header["stored_bits"]]
+    """Decode a payload; validates the header before touching numpy."""
+    shape, bits, _, dtype = validate_header(header, payload_len=len(payload))
     arr = np.frombuffer(payload, dtype=dtype).astype(np.int64)
-    return arr.reshape(header["shape"])
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if arr.size and (int(arr.min()) < lo or int(arr.max()) > hi):
+        raise HeaderMismatch(
+            f"payload values span [{int(arr.min())}, {int(arr.max())}], "
+            f"outside the declared {bits}-bit range [{lo}, {hi}]")
+    return arr.reshape(shape)
 
 
 def save_qint(path: str, x: np.ndarray, bits: int, scale: float = 1.0) -> None:
@@ -54,12 +110,46 @@ def save_qint(path: str, x: np.ndarray, bits: int, scale: float = 1.0) -> None:
         json.dump(header, f, indent=2)
 
 
-def load_qint(path: str) -> Tuple[np.ndarray, Dict]:
-    with open(path + ".json") as f:
-        header = json.load(f)
-    with open(path + ".bin", "rb") as f:
-        payload = f.read()
-    return unpack_qint(payload, header), header
+def load_qint(path: str,
+              payload_sha256: Optional[str] = None) -> Tuple[np.ndarray, Dict]:
+    """Load and validate ``<path>.bin`` + ``<path>.json``.
+
+    ``payload_sha256`` (when given, e.g. from a manifest) is checked against
+    the payload bytes before decoding; every failure mode raises a typed
+    :class:`~repro.export.errors.ArtifactError` subclass.
+    """
+    try:
+        with open(path + ".json") as f:
+            raw = f.read()
+    except FileNotFoundError:
+        raise TruncatedArtifact("qint header file missing",
+                                path=path + ".json")
+    try:
+        header = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise HeaderMismatch(f"qint header is not valid JSON: {exc}",
+                             path=path + ".json")
+    if not isinstance(header, dict):
+        raise HeaderMismatch("qint header is not a JSON object",
+                             path=path + ".json")
+    try:
+        with open(path + ".bin", "rb") as f:
+            payload = f.read()
+    except FileNotFoundError:
+        raise TruncatedArtifact("qint payload file missing",
+                                path=path + ".bin")
+    if payload_sha256 is not None:
+        got = hashlib.sha256(payload).hexdigest()
+        if got != payload_sha256:
+            raise ChecksumMismatch(
+                f"qint payload hashes to {got[:12]}…, manifest records "
+                f"{payload_sha256[:12]}…", path=path + ".bin")
+    try:
+        return unpack_qint(payload, header), header
+    except (HeaderMismatch, TruncatedArtifact) as exc:
+        if exc.path is None:
+            exc.path = path + ".bin"
+        raise
 
 
 def dequantize(x: np.ndarray, header: Dict) -> np.ndarray:

@@ -69,6 +69,21 @@ RULES: Dict[str, tuple] = {
         WARN, "tensor values need more bits than the declared word width"),
     "export.roundtrip-mismatch": (
         ERROR, "exported artifact does not decode back to the source tensor"),
+    # -- artifact integrity (integrity.*) --------------------------------
+    "integrity.missing-file": (
+        ERROR, "file listed in the artifact manifest is missing on disk"),
+    "integrity.truncated": (
+        ERROR, "artifact file is shorter than its recorded/declared size"),
+    "integrity.checksum-mismatch": (
+        ERROR, "artifact bytes no longer hash to the manifest's SHA-256"),
+    "integrity.header-mismatch": (
+        ERROR, "artifact header (shape/dtype/bits) disagrees with its payload"),
+    "integrity.stale-manifest": (
+        ERROR, "manifest unreadable, unknown schema, or digest sign-off broken"),
+    "integrity.format-divergence": (
+        ERROR, "two formats of the same tensor decode to different values"),
+    "integrity.unlisted-file": (
+        WARN, "file present in the artifact directory but not in the manifest"),
     # -- engine bookkeeping (lint.*) -------------------------------------
     "lint.unhandled-module": (
         WARN, "no interval handler for this module type; assumed range-preserving"),

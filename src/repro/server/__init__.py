@@ -32,7 +32,12 @@ Quickstart::
             logits = resp.logits
 """
 from repro.server.loadgen import LoadReport, run_poisson_load
-from repro.server.registry import ModelEntry, ModelRegistry, split_key
+from repro.server.registry import (
+    DuplicateVersionError,
+    ModelEntry,
+    ModelRegistry,
+    split_key,
+)
 from repro.server.server import Server, ServerConfig
 from repro.server.types import (
     Failed,
@@ -44,7 +49,7 @@ from repro.server.types import (
 
 __all__ = [
     "Server", "ServerConfig",
-    "ModelRegistry", "ModelEntry", "split_key",
+    "ModelRegistry", "ModelEntry", "split_key", "DuplicateVersionError",
     "Response", "Ok", "Overloaded", "Failed", "PendingRequest",
     "LoadReport", "run_poisson_load",
 ]

@@ -7,6 +7,16 @@ activation flips are atomic under the registry lock.  The registry itself
 never drains traffic — :meth:`repro.server.Server.swap` layers
 drain-and-cutover on top so two plans never race on one arena.
 
+Entries backed by on-disk artifacts (a bundle exported via
+``DeploySpec.export_dir``, or an explicit ``artifacts=`` directory) are
+*integrity-gated*: :meth:`ModelRegistry.register` and
+:meth:`ModelRegistry.set_active` run
+:func:`repro.export.integrity.verify_artifacts` first and refuse — with the
+typed :class:`~repro.export.errors.ArtifactError` — to admit or activate a
+version whose artifacts fail verification; the previous active version keeps
+serving.  Re-registering an existing ``name@version`` with a different
+callable raises :class:`DuplicateVersionError` unless ``replace=True``.
+
 Construction paths::
 
     reg = ModelRegistry()
@@ -22,6 +32,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro import telemetry
+
+
+class DuplicateVersionError(ValueError):
+    """``name@version`` is already registered with a different callable."""
 
 
 def split_key(key: str) -> Tuple[str, Optional[str]]:
@@ -43,6 +59,7 @@ class ModelEntry:
     plan: object = None              #: compiled Plan when available (pool mode)
     qnn: object = None               #: interpreted integer tree (exactness ref)
     deployed: object = None          #: full Deployed bundle when built via deploy()
+    artifacts: Optional[str] = None  #: on-disk artifact dir backing this version
     meta: Dict = field(default_factory=dict)
 
     @property
@@ -64,32 +81,88 @@ class ModelRegistry:
     # ----------------------------------------------------------- population
     def register(self, name: str, version: str, deployed=None, *,
                  runner: Optional[Callable] = None,
-                 activate: Optional[bool] = None, **meta) -> ModelEntry:
+                 activate: Optional[bool] = None,
+                 artifacts: Optional[str] = None,
+                 replace: bool = False, **meta) -> ModelEntry:
         """Add one entry; the first version of a name auto-activates.
 
         ``deployed`` is a :class:`~repro.core.deploy.Deployed` bundle (its
         plan/qnn are unpacked); ``runner`` registers any bare batch-callable
-        instead (unit tests, external executors).
+        instead (unit tests, external executors).  ``artifacts`` names the
+        on-disk export directory backing this version — explicitly, or
+        derived from the bundle's ``spec.export_dir`` when it wrote one —
+        and is *verified* before the entry is admitted: a directory that
+        fails :func:`~repro.export.integrity.verify_artifacts` raises the
+        typed :class:`~repro.export.errors.ArtifactError` and the registry
+        is left untouched.  Re-registering an existing ``name@version``
+        returns the existing entry when the callable is identical, raises
+        :class:`DuplicateVersionError` when it differs, and overwrites only
+        under ``replace=True``.
         """
         if "@" in name:
             raise ValueError(f"model name {name!r} must not contain '@'")
         if deployed is None and runner is None:
             raise ValueError("register() needs a Deployed bundle or a runner")
+        if artifacts is None and deployed is not None \
+                and getattr(deployed, "manifest", None) is not None:
+            artifacts = getattr(getattr(deployed, "spec", None),
+                                "export_dir", None)
         entry = ModelEntry(
             name=name, version=str(version),
             runner=runner if runner is not None else deployed,
             plan=getattr(deployed, "plan", None) if deployed is not None
             else getattr(runner, "plan", None),
             qnn=getattr(deployed, "qnn", None),
-            deployed=deployed, meta=meta)
+            deployed=deployed, artifacts=artifacts, meta=meta)
+        self._verify_entry(entry, action="register")
         with self._lock:
             versions = self._entries.setdefault(name, {})
-            if entry.version in versions:
-                raise ValueError(f"{entry.key} already registered")
+            existing = versions.get(entry.version)
+            if existing is not None and not replace:
+                if existing.runner is entry.runner:
+                    return existing     # idempotent re-register
+                raise DuplicateVersionError(
+                    f"{entry.key} already registered with a different "
+                    f"callable; pass replace=True to overwrite")
             versions[entry.version] = entry
             if activate or (activate is None and name not in self._active):
                 self._active[name] = entry.version
         return entry
+
+    def _verify_entry(self, entry: ModelEntry, action: str) -> None:
+        """Integrity-gate an artifact-backed entry; typed raise on failure.
+
+        Skipped when the entry has no on-disk artifacts, or when its deploy
+        spec explicitly opted out (``DeploySpec.verify_artifacts=False``).
+        """
+        if entry.artifacts is None:
+            return
+        spec = getattr(entry.deployed, "spec", None)
+        if spec is not None and not getattr(spec, "verify_artifacts", True):
+            return
+        from repro.export.integrity import verify_artifacts
+
+        report = verify_artifacts(entry.artifacts)
+        if not report.ok:
+            telemetry.emit("registry_rejected", level="error",
+                           model=entry.key, action=action,
+                           artifacts=entry.artifacts,
+                           errors=report.to_json()["summary"]["errors"])
+            report.raise_if_failed()
+
+    def verify(self, key: str):
+        """Run artifact verification for ``key`` now.
+
+        Returns the :class:`~repro.export.integrity.IntegrityReport`, or
+        ``None`` for entries with no on-disk artifacts.  Never raises for
+        content problems — callers decide (``report.raise_if_failed()``).
+        """
+        entry = self.get(key)
+        if entry.artifacts is None:
+            return None
+        from repro.export.integrity import verify_artifacts
+
+        return verify_artifacts(entry.artifacts)
 
     def build(self, name: str, model, spec=None, version: str = "1",
               activate: Optional[bool] = None, **overrides) -> ModelEntry:
@@ -132,8 +205,15 @@ class ModelRegistry:
             return self._active[name]
 
     def set_active(self, name: str, version: str) -> ModelEntry:
-        """Atomically flip the active version (must already be registered)."""
+        """Atomically flip the active version (must already be registered).
+
+        An artifact-backed version is re-verified first; a directory that
+        rotted since registration raises the typed
+        :class:`~repro.export.errors.ArtifactError` and the previous active
+        version keeps serving.
+        """
         entry = self.get(f"{name}@{version}")
+        self._verify_entry(entry, action="set_active")
         with self._lock:
             self._active[name] = entry.version
         return entry

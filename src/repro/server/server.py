@@ -622,6 +622,14 @@ class Server:
         if self.closing:
             raise RuntimeError("server is closed")
         self.registry.get(f"{name}@{version}")   # validate before draining
+        report = self.registry.verify(f"{name}@{version}")
+        if report is not None and not report.ok:
+            # refuse before draining a healthy lane: the old version keeps
+            # serving and the corrupted one never becomes active
+            telemetry.emit("server_swap_rejected", level="error", model=name,
+                           version=version,
+                           errors=report.to_json()["summary"]["errors"])
+            report.raise_if_failed()
         lane = self._lane(name)
         lane.request_swap(version)
         if not lane.swap_done.wait(timeout):

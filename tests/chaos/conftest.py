@@ -1,0 +1,31 @@
+"""Shared fixtures for the fault-injection suite.
+
+Everything here carries the ``chaos`` marker so the suite can be selected
+(``-m chaos``) or excluded in isolation.  The exported artifact directory is
+built once per session — injectors always work on copies.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.export.writer import export_state_dict
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.chaos)
+
+
+@pytest.fixture(scope="session")
+def clean_export(tmp_path_factory):
+    """One clean all-formats export; tests must never mutate it."""
+    rng = np.random.default_rng(42)
+    out = str(tmp_path_factory.mktemp("chaos") / "artifacts")
+    state = {"a_weight": rng.integers(-8, 8, (4, 4)).astype(np.float32),
+             "b_weight": rng.integers(-60, 60, (3, 5)).astype(np.float32),
+             "c_bias": rng.integers(-4, 4, 6).astype(np.float32),
+             "s_scale": np.linspace(0.05, 0.95, 4).astype(np.float32)}
+    export_state_dict(state, out, formats=("dec", "hex", "bin", "qint"),
+                      bits_map={"a_weight": 5})
+    return out

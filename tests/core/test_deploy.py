@@ -89,6 +89,29 @@ class TestDeploy:
         d = deploy(qm, runtime="none")
         assert d.plan is None and d.spec.runtime == "none"
 
+    def test_export_is_verified_by_default(self):
+        qm = _calibrated(seed=9)
+        with tempfile.TemporaryDirectory() as td:
+            out = os.path.join(td, "art")
+            d = deploy(qm, DeploySpec(export_dir=out, formats=("dec", "qint"),
+                                      runtime="none"))
+            assert d.spec.verify_artifacts is True
+            assert d.integrity is not None and d.integrity.ok
+            assert d.integrity.tensors_checked == len(d.manifest["tensors"])
+
+    def test_verify_opt_out_skips_audit(self):
+        qm = _calibrated(seed=10)
+        with tempfile.TemporaryDirectory() as td:
+            out = os.path.join(td, "art")
+            d = deploy(qm, DeploySpec(export_dir=out, formats=("dec",),
+                                      runtime="none", verify_artifacts=False))
+            assert d.integrity is None
+
+    def test_from_args_maps_verify_flag(self):
+        spec = DeploySpec.from_args(argparse.Namespace(verify_artifacts=False))
+        assert spec.verify_artifacts is False
+        assert DeploySpec.from_args(argparse.Namespace()).verify_artifacts
+
 
 class TestDeprecationShims:
     def test_t2c_legacy_kwargs_warn_and_work(self):

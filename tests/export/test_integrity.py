@@ -1,0 +1,247 @@
+"""Checksummed artifact store: verified round-trips, corruption detection,
+atomic publication (crash mid-export leaves no partially-visible dir)."""
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.export import (ChecksumMismatch, HeaderMismatch, StaleManifest,
+                          TruncatedArtifact, load_state_dict, manifest_digest,
+                          read_manifest, verify_artifacts)
+from repro.export.writer import export_state_dict
+
+ALL_FORMATS = ("dec", "hex", "bin", "qint")
+
+
+def _export(tmp_path, rng, formats=ALL_FORMATS, name="art"):
+    state = {"a_weight": rng.integers(-8, 8, (3, 4)).astype(np.float32),
+             "b_bias": rng.integers(-100, 100, 7).astype(np.float32),
+             "s_scale": np.linspace(0.1, 0.9, 5).astype(np.float32)}
+    out = str(tmp_path / name)
+    manifest = export_state_dict(state, out, formats=formats,
+                                 bits_map={"a_weight": 5})
+    return out, state, manifest
+
+
+def _rules(report):
+    return sorted({f.rule for f in report.findings})
+
+
+class TestCleanRoundtrip:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_each_format_verifies_and_loads(self, tmp_path, rng, fmt):
+        out, state, _ = _export(tmp_path, rng, formats=(fmt,))
+        report = verify_artifacts(out)
+        assert report.ok and report.findings == []
+        assert report.tensors_checked == 3 and report.files_checked >= 3
+        back = load_state_dict(out)
+        np.testing.assert_array_equal(back["a_weight"],
+                                      state["a_weight"].astype(np.int64))
+        np.testing.assert_array_equal(back["b_bias"],
+                                      state["b_bias"].astype(np.int64))
+        np.testing.assert_allclose(back["s_scale"], state["s_scale"],
+                                   rtol=1e-5)
+
+    def test_all_formats_together(self, tmp_path, rng):
+        out, state, _ = _export(tmp_path, rng)
+        assert verify_artifacts(out).ok
+        for fmt in ALL_FORMATS:
+            back = load_state_dict(out, prefer=(fmt,))
+            np.testing.assert_array_equal(
+                back["a_weight"], state["a_weight"].astype(np.int64))
+
+    def test_manifest_is_schema2_and_signed(self, tmp_path, rng):
+        out, _, manifest = _export(tmp_path, rng)
+        assert manifest["schema"] == 2
+        assert manifest["digest"] == manifest_digest(manifest)
+        on_disk = read_manifest(out)
+        assert on_disk["digest"] == manifest["digest"]
+        assert set(manifest["checksums"]) == {
+            f for f in os.listdir(out) if f != "manifest.json"}
+
+
+class TestCorruptionDetection:
+    def test_flipped_byte_is_checksum_mismatch(self, tmp_path, rng):
+        out, _, _ = _export(tmp_path, rng)
+        path = os.path.join(out, "a_weight.qint.bin")
+        data = bytearray(open(path, "rb").read())
+        data[0] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        assert "integrity.checksum-mismatch" in _rules(verify_artifacts(out))
+        with pytest.raises(ChecksumMismatch):
+            load_state_dict(out)
+
+    def test_truncated_file_is_truncated(self, tmp_path, rng):
+        out, _, _ = _export(tmp_path, rng)
+        path = os.path.join(out, "b_bias.dec")
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) // 2)
+        assert "integrity.truncated" in _rules(verify_artifacts(out))
+        with pytest.raises(TruncatedArtifact):
+            load_state_dict(out)
+
+    def test_missing_file_is_detected(self, tmp_path, rng):
+        out, _, _ = _export(tmp_path, rng)
+        os.remove(os.path.join(out, "a_weight.hex"))
+        assert "integrity.missing-file" in _rules(verify_artifacts(out))
+        with pytest.raises(TruncatedArtifact):
+            load_state_dict(out)
+
+    def test_edited_manifest_is_stale(self, tmp_path, rng):
+        out, _, _ = _export(tmp_path, rng)
+        mpath = os.path.join(out, "manifest.json")
+        manifest = json.load(open(mpath))
+        manifest["tensors"]["a_weight"]["bits"] = 13   # not re-signed
+        json.dump(manifest, open(mpath, "w"))
+        assert _rules(verify_artifacts(out)) == ["integrity.stale-manifest"]
+        with pytest.raises(StaleManifest):
+            load_state_dict(out)
+
+    def test_schema_v1_manifest_is_stale(self, tmp_path, rng):
+        out, _, _ = _export(tmp_path, rng)
+        mpath = os.path.join(out, "manifest.json")
+        manifest = json.load(open(mpath))
+        manifest["schema"] = 1
+        manifest["digest"] = manifest_digest(manifest)  # even re-signed
+        json.dump(manifest, open(mpath, "w"))
+        with pytest.raises(StaleManifest):
+            read_manifest(out)
+
+    def test_resigned_header_tamper_caught_semantically(self, tmp_path, rng):
+        """The nastiest case: header + checksum + digest all patched to be
+        self-consistent; only header-vs-payload validation can object."""
+        from repro.export.integrity import sha256_file
+
+        out, _, _ = _export(tmp_path, rng)
+        hpath = os.path.join(out, "a_weight.qint.json")
+        header = json.load(open(hpath))
+        header["shape"] = [int(header["shape"][0]) + 1, header["shape"][1]]
+        json.dump(header, open(hpath, "w"))
+        mpath = os.path.join(out, "manifest.json")
+        manifest = json.load(open(mpath))
+        manifest["checksums"]["a_weight.qint.json"] = {
+            "sha256": sha256_file(hpath), "bytes": os.path.getsize(hpath)}
+        manifest["digest"] = manifest_digest(manifest)
+        json.dump(manifest, open(mpath, "w"))
+        assert not verify_artifacts(out).ok
+        with pytest.raises((TruncatedArtifact, HeaderMismatch)):
+            load_state_dict(out)
+
+    def test_unlisted_file_is_warning_only(self, tmp_path, rng):
+        out, _, _ = _export(tmp_path, rng)
+        open(os.path.join(out, "stray.txt"), "w").write("not an artifact")
+        report = verify_artifacts(out)
+        assert report.ok
+        assert _rules(report) == ["integrity.unlisted-file"]
+
+    def test_missing_directory_and_manifest(self, tmp_path):
+        report = verify_artifacts(str(tmp_path / "nope"))
+        assert not report.ok
+        with pytest.raises(TruncatedArtifact):
+            read_manifest(str(tmp_path / "nope"))
+        os.makedirs(tmp_path / "empty")
+        with pytest.raises(TruncatedArtifact):
+            read_manifest(str(tmp_path / "empty"))
+
+
+class TestAtomicPublication:
+    def test_no_staging_dir_left_after_success(self, tmp_path, rng):
+        _export(tmp_path, rng)
+        assert [n for n in os.listdir(tmp_path)] == ["art"]
+
+    def test_failed_export_cleans_staging_and_leaves_no_target(
+            self, tmp_path, rng, monkeypatch):
+        import repro.export.writer as writer
+
+        def boom(*a, **k):
+            raise RuntimeError("disk on fire")
+        monkeypatch.setattr(writer, "save_tensor", boom)
+        with pytest.raises(RuntimeError):
+            export_state_dict({"w": rng.integers(-8, 8, 4).astype(np.float32)},
+                              str(tmp_path / "art"), formats=("dec",))
+        assert os.listdir(tmp_path) == []
+
+    def test_reexport_replaces_previous_atomically(self, tmp_path, rng):
+        out, _, _ = _export(tmp_path, rng)
+        state2 = {"only_weight": rng.integers(-4, 4, (2, 2)).astype(np.float32)}
+        export_state_dict(state2, out, formats=("dec",))
+        report = verify_artifacts(out)
+        assert report.ok and report.tensors_checked == 1
+        assert sorted(load_state_dict(out)) == ["only_weight"]
+
+    @pytest.mark.parametrize("die_on_call", [1, 3])
+    def test_sigkill_mid_export_leaves_target_absent_or_valid(
+            self, tmp_path, rng, die_on_call):
+        """Hard-kill (os._exit, no unwinding, no cleanup) partway through
+        writing tensor files: the target directory must be either absent or
+        a fully valid artifact set — never partial."""
+        import repro.export.writer as writer
+
+        out = str(tmp_path / "art")
+        state = {f"t{i}_weight": rng.integers(-8, 8, (8, 8)).astype(np.float32)
+                 for i in range(6)}
+        pid = os.fork()
+        if pid == 0:  # child — must never return into pytest
+            try:
+                orig = writer.save_tensor
+                calls = {"n": 0}
+
+                def dying_save(*a, **k):
+                    calls["n"] += 1
+                    if calls["n"] >= die_on_call:
+                        os._exit(9)
+                    return orig(*a, **k)
+
+                writer.save_tensor = dying_save
+                writer.export_state_dict(state, out, formats=("dec",))
+            except BaseException:
+                pass
+            os._exit(7)   # export survived the sabotage: wrong path
+        _, status = os.waitpid(pid, 0)
+        assert os.WEXITSTATUS(status) == 9, "child was supposed to die mid-export"
+        assert not os.path.exists(out), \
+            "crash before publish must leave no visible target dir"
+
+    def test_sigkill_mid_reexport_keeps_previous_version_valid(
+            self, tmp_path, rng):
+        import repro.export.writer as writer
+
+        out, state, _ = _export(tmp_path, rng)
+        before = load_state_dict(out)
+        pid = os.fork()
+        if pid == 0:
+            try:
+                writer.save_tensor = lambda *a, **k: os._exit(9)
+                writer.export_state_dict(
+                    {"new_weight": np.arange(4, dtype=np.float32)},
+                    out, formats=("dec",))
+            except BaseException:
+                pass
+            os._exit(7)
+        _, status = os.waitpid(pid, 0)
+        assert os.WEXITSTATUS(status) == 9
+        report = verify_artifacts(out)
+        assert report.ok, "previous artifact set must stay fully valid"
+        after = load_state_dict(out)
+        assert sorted(after) == sorted(before)
+        np.testing.assert_array_equal(after["a_weight"], before["a_weight"])
+
+
+class TestWidthOverflowTelemetry:
+    def test_widened_export_notes_manifest_and_emits_warning(self, tmp_path,
+                                                             rng):
+        from repro import telemetry
+
+        x = rng.integers(-100, 100, (4, 4)).astype(np.float32)
+        x[0, 0] = 100  # needs 8 bits, declared 4
+        with telemetry.TelemetrySession(out_dir=None) as session:
+            manifest = export_state_dict({"w": x}, str(tmp_path / "art"),
+                                         formats=("dec",), bits_map={"w": 4})
+        assert manifest["tensors"]["w"]["widened_from"] == 4
+        events = [e for e in session.events.events
+                  if e["kind"] == "export_width_overflow"]
+        assert len(events) == 1
+        assert events[0]["level"] == "warning"
+        assert events[0]["declared_bits"] == 4
+        assert events[0]["widened_to"] >= 8

@@ -1,9 +1,14 @@
 """Packed qint container."""
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.export.qint import dequantize, load_qint, pack_qint, save_qint, unpack_qint
+from repro.export.errors import (ChecksumMismatch, HeaderMismatch,
+                                 TruncatedArtifact)
+from repro.export.qint import (dequantize, load_qint, pack_qint, save_qint,
+                               unpack_qint, validate_header)
 
 
 class TestPack:
@@ -43,6 +48,107 @@ class TestFiles:
         back, header = load_qint(str(tmp_path / "w"))
         np.testing.assert_array_equal(back, x)
         assert header["scale"] == pytest.approx(0.1)
+
+
+class TestMangledHeaders:
+    """Regression: load_qint used to reshape() blindly off the header, so a
+    mangled header surfaced as a numpy ValueError (or worse, silently decoded
+    garbage).  Every inconsistency must now raise a typed ArtifactError."""
+
+    def _saved(self, tmp_path, rng, bits=8):
+        x = rng.integers(-100, 100, (4, 6))
+        save_qint(str(tmp_path / "w"), x, bits=bits)
+        return str(tmp_path / "w"), x
+
+    def _mangle(self, base, **edits):
+        with open(base + ".json") as f:
+            header = json.load(f)
+        for k, v in edits.items():
+            if v is None:
+                header.pop(k, None)
+            else:
+                header[k] = v
+        with open(base + ".json", "w") as f:
+            json.dump(header, f)
+
+    def test_wrong_element_count_is_header_mismatch(self, tmp_path, rng):
+        base, _ = self._saved(tmp_path, rng)
+        self._mangle(base, shape=[4, 7])        # payload holds 24, header says 28
+        with pytest.raises(TruncatedArtifact):
+            load_qint(base)
+        self._mangle(base, shape=[2, 6])        # payload longer than declared
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+
+    def test_missing_and_nonnumeric_fields(self, tmp_path, rng):
+        base, _ = self._saved(tmp_path, rng)
+        self._mangle(base, shape=None)
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+        self._mangle(base, shape=[4, "six"])
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+
+    def test_bits_out_of_container_range(self, tmp_path, rng):
+        base, _ = self._saved(tmp_path, rng)
+        self._mangle(base, bits=1)              # below the minimum of 2
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+        self._mangle(base, bits=12)             # wider than the 8-bit container
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+
+    def test_unknown_container_and_byteorder(self, tmp_path, rng):
+        base, _ = self._saved(tmp_path, rng)
+        self._mangle(base, stored_bits=12)
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+        self._mangle(base, stored_bits=8, byteorder="big")
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+
+    def test_values_outside_declared_bits(self, tmp_path, rng):
+        base, _ = self._saved(tmp_path, rng, bits=8)
+        self._mangle(base, bits=4)  # payload holds values beyond 4-bit range
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+
+    def test_truncated_payload(self, tmp_path, rng):
+        base, _ = self._saved(tmp_path, rng)
+        import os
+        with open(base + ".bin", "r+b") as f:
+            f.truncate(os.path.getsize(base + ".bin") - 5)
+        with pytest.raises(TruncatedArtifact):
+            load_qint(base)
+
+    def test_header_not_json(self, tmp_path, rng):
+        base, _ = self._saved(tmp_path, rng)
+        with open(base + ".json", "w") as f:
+            f.write("{ not json")
+        with pytest.raises(HeaderMismatch):
+            load_qint(base)
+
+    def test_missing_files_are_truncated(self, tmp_path):
+        with pytest.raises(TruncatedArtifact):
+            load_qint(str(tmp_path / "ghost"))
+
+    def test_payload_checksum_enforced_when_given(self, tmp_path, rng):
+        base, x = self._saved(tmp_path, rng)
+        from repro.export.integrity import sha256_file
+
+        good = sha256_file(base + ".bin")
+        back, _ = load_qint(base, payload_sha256=good)
+        np.testing.assert_array_equal(back, x)
+        with pytest.raises(ChecksumMismatch):
+            load_qint(base, payload_sha256="0" * 64)
+
+    def test_validate_header_accepts_clean(self, tmp_path, rng):
+        base, x = self._saved(tmp_path, rng)
+        with open(base + ".json") as f:
+            header = json.load(f)
+        shape, bits, stored_bits, dtype = validate_header(
+            header, payload_len=x.size)
+        assert shape == (4, 6) and stored_bits == 8
 
 
 @settings(max_examples=40, deadline=None)

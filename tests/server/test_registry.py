@@ -55,6 +55,81 @@ def test_register_rejects_duplicates_and_bad_names():
         reg.get("ghost")
 
 
+def test_duplicate_version_is_typed_and_replace_opts_in():
+    from repro.server import DuplicateVersionError
+
+    reg = ModelRegistry()
+    first = StubPlan(gain=1.0)
+    reg.register("m", "1", runner=first)
+    # same callable: idempotent, returns the existing entry
+    assert reg.register("m", "1", runner=first).runner is first
+    # different callable: typed refusal, registry unchanged
+    with pytest.raises(DuplicateVersionError, match="replace=True"):
+        reg.register("m", "1", runner=StubPlan(gain=2.0))
+    assert reg.get("m@1").runner is first
+    # explicit replace overwrites
+    second = StubPlan(gain=2.0)
+    entry = reg.register("m", "1", runner=second, replace=True)
+    assert entry.runner is second and reg.get("m@1").runner is second
+
+
+def test_register_and_activate_verify_artifacts(tmp_path):
+    import numpy as np
+
+    from repro.export.errors import ArtifactError
+    from repro.export.writer import export_state_dict
+
+    good = str(tmp_path / "good")
+    export_state_dict({"w": np.arange(-4, 4).astype(np.float32)}, good,
+                      formats=("dec", "qint"))
+    bad = str(tmp_path / "bad")
+    export_state_dict({"w": np.arange(-4, 4).astype(np.float32)}, bad,
+                      formats=("dec", "qint"))
+    with open(f"{bad}/w.dec", "ab") as f:
+        f.write(b"corruption")
+
+    reg = ModelRegistry()
+    reg.register("m", "1", runner=StubPlan(), artifacts=good)
+    with pytest.raises(ArtifactError):
+        reg.register("m", "2", runner=StubPlan(), artifacts=bad,
+                     activate=True)
+    assert reg.active_version("m") == "1" and reg.versions("m") == ["1"]
+
+
+def test_version_that_rots_after_registration_cannot_activate(tmp_path):
+    import numpy as np
+
+    from repro.export.errors import ArtifactError
+    from repro.export.writer import export_state_dict
+
+    art = str(tmp_path / "art")
+    export_state_dict({"w": np.arange(-4, 4).astype(np.float32)}, art,
+                      formats=("dec",))
+    reg = ModelRegistry()
+    reg.register("m", "1", runner=StubPlan())
+    reg.register("m", "2", runner=StubPlan(), artifacts=art)
+    with open(f"{art}/w.dec", "ab") as f:
+        f.write(b"bitrot")
+    with pytest.raises(ArtifactError):
+        reg.set_active("m", "2")
+    assert reg.active_version("m") == "1"
+
+
+def test_registry_verify_reports(tmp_path):
+    import numpy as np
+
+    from repro.export.writer import export_state_dict
+
+    art = str(tmp_path / "art")
+    export_state_dict({"w": np.arange(4).astype(np.float32)}, art,
+                      formats=("dec",))
+    reg = ModelRegistry()
+    reg.register("m", "1", runner=StubPlan(), artifacts=art)
+    reg.register("m", "2", runner=StubPlan())
+    assert reg.verify("m@1").ok
+    assert reg.verify("m@2") is None, "no artifacts -> nothing to verify"
+
+
 def test_bare_name_lookup_without_active_version_is_descriptive():
     reg = ModelRegistry()
     reg.register("m", "1", runner=StubPlan(), activate=False)

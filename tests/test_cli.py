@@ -91,6 +91,43 @@ class TestTelemetryCLI:
         assert sat  # deploy-path evaluation recorded clamp sites
 
 
+class TestIntegrityCLI:
+    def _export_dir(self, tmp_path, rng=None):
+        from repro.export.writer import export_state_dict
+
+        rng = rng or np.random.default_rng(0)
+        out = str(tmp_path / "art")
+        export_state_dict(
+            {"w": rng.integers(-8, 8, (3, 3)).astype(np.float32)},
+            out, formats=("dec", "qint"))
+        return out
+
+    def test_verify_artifacts_clean_exits_zero(self, tmp_path, capsys):
+        out = self._export_dir(tmp_path)
+        assert main(["verify-artifacts", out]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_artifacts_corrupt_exits_two_with_json(self, tmp_path,
+                                                          capsys):
+        out = self._export_dir(tmp_path)
+        with open(os.path.join(out, "w.dec"), "ab") as f:
+            f.write(b"junk")
+        assert main(["verify-artifacts", out, "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"].startswith("integrity.")
+
+    def test_chaos_on_existing_dir_detects_everything(self, tmp_path,
+                                                      capsys):
+        out = self._export_dir(tmp_path)
+        assert main(["chaos", "--dir", out, "--seed", "11", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["injected"] == 4
+        assert payload["summary"]["missed"] == 0
+        # the attacked directory itself is untouched
+        assert main(["verify-artifacts", out]) == 0
+
+
 class TestCheckpoint:
     def test_roundtrip_with_metadata(self, tmp_path):
         from repro.models import build_model
