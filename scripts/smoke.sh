@@ -35,7 +35,8 @@ echo "== online serving gateway (repro.server) =="
 python -m pytest tests/server -q -m server
 python -m repro.cli serve-bench --model resnet20 --train-size 256 \
     --test-size 64 --requests 200 --max-batch 8 --deadline-ms 500 \
-    --out "$TEL_DIR/BENCH_server.json" --telemetry-out "$TEL_DIR/serve_tel"
+    --out "$TEL_DIR/BENCH_server.json" --telemetry-out "$TEL_DIR/serve_tel" \
+    --obs-dir "$TEL_DIR/obs"
 python - "$TEL_DIR" <<'EOF'
 import json, sys, os
 tel = sys.argv[1]
@@ -48,6 +49,67 @@ warnings = [json.loads(l) for l in open(os.path.join(tel, "serve_tel", "events.j
 warnings = [e for e in warnings if e.get("level") in ("warning", "error")]
 assert not warnings, f"telemetry warnings during smoke serve: {warnings}"
 print(f"serve smoke OK: {gw['ok']} ok, p99 {gw['latency_ms']['p99']} ms")
+EOF
+
+echo "== live observability (tracing / SLO surface / flight recorder) =="
+python - "$TEL_DIR" <<'EOF'
+# the --obs-dir run above left the full observability surface on disk:
+# status snapshot, Prometheus exposition, span records, profile report.
+import json, sys, os
+from repro.telemetry import live, obs
+d = os.path.join(sys.argv[1], "obs")
+status = json.load(open(os.path.join(d, "status.json")))
+m = status["models"]["resnet20"]
+assert status["tracing"] is True
+assert m["cumulative"]["ok"] == 200, m["cumulative"]
+assert m["window"]["slo"]["target"] == 0.99
+parsed = obs.parse_prometheus(open(os.path.join(d, "metrics.prom")).read())
+ok = {lab["model"]: v for lab, v in parsed["server_window_ok"]}
+assert ok.get("resnet20", 0.0) > 0, parsed.keys()
+records = live.load_jsonl(os.path.join(d, "traces.jsonl"))
+assert records, "no span records from traced serve run"
+tid = records[0]["trace_id"]
+roots, orphans = live.build_tree([r for r in records
+                                  if r["trace_id"] == tid])
+assert len(roots) == 1 and not orphans, "span tree disconnected"
+prof = json.load(open(os.path.join(d, "profile.json")))
+assert prof["sampled_batches"] > 0
+assert prof["attributed_fraction"] >= 0.90, prof["attributed_fraction"]
+print(f"obs surface OK: {len(records)} spans, trace {tid} connected, "
+      f"profile attributes {prof['attributed_fraction']:.1%} of plan wall")
+EOF
+python -m repro.cli top "$TEL_DIR/obs" --once > /dev/null
+TRACE_ID="$(python -c "
+import json,sys
+print(json.loads(open('$TEL_DIR/obs/traces.jsonl').readline())['trace_id'])")"
+python -m repro.cli trace "$TRACE_ID" --traces "$TEL_DIR/obs/traces.jsonl" \
+    > /dev/null
+python - "$TEL_DIR" <<'EOF'
+# a forced deadline miss must auto-dump the flight recorder
+import os, sys, time
+import numpy as np
+from repro.server import ModelRegistry, Server
+
+class SlowPlan:
+    out_features = 4
+    def __call__(self, x):
+        time.sleep(0.05)
+        return np.zeros((x.shape[0], 4), dtype=np.float32)
+
+dump_dir = os.path.join(sys.argv[1], "flight")
+reg = ModelRegistry()
+reg.register("slow", "1", runner=SlowPlan())
+srv = Server(reg, max_batch=4, workers=0, default_deadline_s=0.01,
+             max_linger_s=0.0, exec_time_init_s=0.0001, tracing=True,
+             dump_dir=dump_dir)
+with srv:
+    for p in [srv.submit("slow", np.zeros((8,), dtype=np.float32))
+              for _ in range(4)]:
+        p.result(timeout=30)
+last = srv._lanes["slow"].flight.last_dump   # post-close: lane quiesced
+assert last is not None and last["reason"] == "deadline_miss", last
+assert os.path.exists(last["path"]), last
+print(f"flight recorder OK: deadline miss auto-dumped to {last['path']}")
 EOF
 
 echo "== artifact integrity + chaos harness (repro.export / repro.chaos) =="

@@ -304,6 +304,13 @@ class ChaosPlan:
                 break
             time.sleep(0.02)
         rec.layers["supervisor"] = rec.detected
+        # a detected death must also leave a post-mortem: the lane's flight
+        # recorder auto-dumps on worker_death (chaos kills become forensics,
+        # not bare counters)
+        last = lane.flight.last_dump
+        rec.layers["flight_recorder"] = bool(
+            last is not None and last.get("reason") == "worker_death")
+        rec.detected = rec.detected and rec.layers["flight_recorder"]
         rec.recovered = rec.detected and (
             probe_ok or self._probe_ok(server, model, sample,
                                        probe_deadline_s))

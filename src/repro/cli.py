@@ -435,14 +435,34 @@ def _run_serve_bench(args) -> int:
 
     registry = ModelRegistry()
     registry.register(args.model, "1", deployed)
+    obs_dir = getattr(args, "obs_dir", None)
+    extra_cfg = {}
+    if obs_dir:
+        # full observability stack for this run: request tracing, sampled
+        # per-op profiling, flight-recorder dumps and the live status files
+        extra_cfg = dict(tracing=True,
+                         profile_every=args.profile_every or 4,
+                         dump_dir=obs_dir)
+    elif args.profile_every:
+        extra_cfg = dict(profile_every=args.profile_every)
     server = Server(registry, max_batch=mb, max_queue=args.max_queue,
-                    workers=args.workers, default_deadline_s=deadline_s)
+                    workers=args.workers, default_deadline_s=deadline_s,
+                    **extra_cfg)
     try:
+        if obs_dir:
+            server.start_status_export(obs_dir, interval_s=0.5)
         report = run_poisson_load(
             server, args.model, samples, rate_hz=rate,
             n_requests=args.requests, deadline_s=deadline_s, refs=refs,
             rng=np.random.default_rng(args.seed))
         stats = server.stats().get(args.model, {})
+        status = server.status()
+        if obs_dir:
+            server.dump_traces(os.path.join(obs_dir, "traces.jsonl"))
+            server.dump_flight_recorder(
+                path=os.path.join(obs_dir, "flight_recorder.json"))
+            with open(os.path.join(obs_dir, "profile.json"), "w") as f:
+                json.dump(server.profile_report(args.model), f, indent=1)
     finally:
         server.close()
 
@@ -459,6 +479,7 @@ def _run_serve_bench(args) -> int:
         "sustained_fraction_of_raw": round(sustained, 4),
         "gateway": report.to_json(),
         "server_stats": stats,
+        "status": status,    # operational snapshot: rolling window, SLO burn
         "spec": spec.to_json(),
     }
     with open(args.out, "w") as f:
@@ -481,6 +502,15 @@ def _run_serve_bench(args) -> int:
           f"late {report.late}  mean batch "
           f"{report.to_json()['mean_batch_size']}")
     print(f"bit-exact vs single-sample tree: {report.bit_exact}")
+    w = status["models"].get(args.model, {}).get("window", {})
+    if w.get("slo"):
+        print(f"slo window    burn {w['slo']['error_budget_burn']:.2f} "
+              f"(target {w['slo']['target']:.2%}, "
+              f"miss {w['deadline_miss']}, shed {w['shed']})")
+    if obs_dir:
+        print(f"observability -> {obs_dir}/ "
+              f"(status.json, metrics.prom, traces.jsonl, "
+              f"flight_recorder.json, profile.json)")
     print(f"results -> {args.out}")
     return 0 if (report.bit_exact is not False and report.failed == 0) else 1
 
@@ -489,6 +519,96 @@ def _timeit(fn, x) -> float:
     t0 = time.perf_counter()
     fn(x)
     return time.perf_counter() - t0
+
+
+def _render_top(status: dict) -> str:
+    """One frame of the live gateway view from a status.json snapshot."""
+    lines = [f"repro gateway  up {status.get('uptime_s', 0):.0f}s  "
+             f"tracing={'on' if status.get('tracing') else 'off'}  "
+             f"traces={status.get('traces_held', 0)}"]
+    header = (f"{'model':<16} {'rps':>7} {'p50ms':>7} {'p99ms':>7} "
+              f"{'queue':>5} {'shed':>5} {'miss':>5} {'burn':>6} {'workers':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, m in sorted(status.get("models", {}).items()):
+        w = m.get("window", {})
+        slo = w.get("slo", {})
+        lines.append(
+            f"{name:<16} {w.get('throughput_hz', 0):>7.1f} "
+            f"{w.get('latency_ms', {}).get('p50', 0):>7.2f} "
+            f"{w.get('latency_ms', {}).get('p99', 0):>7.2f} "
+            f"{m.get('queue_depth', 0):>5d} {w.get('shed', 0):>5d} "
+            f"{w.get('deadline_miss', 0):>5d} "
+            f"{slo.get('error_budget_burn', 0):>6.2f} "
+            f"{m.get('workers_alive', 0):>7d}")
+        fr = m.get("flight_recorder", {})
+        if fr.get("last_dump"):
+            lines.append(f"  last flight dump: {fr['last_dump'].get('reason')}"
+                         f" ({fr['last_dump'].get('num_events')} events)")
+        prof = m.get("profile")
+        if prof:
+            hot = ", ".join(f"{r['kind']}:{r['share']:.0%}"
+                            for r in prof.get("per_kind", [])[:3])
+            lines.append(f"  profile: {prof['attributed_fraction']:.0%} "
+                         f"attributed over {prof['sampled_batches']} sampled "
+                         f"batches  [{hot}]")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Live terminal view of a gateway's exported status directory.
+
+    Tails the ``status.json`` written by ``Server.start_status_export``
+    (or by ``serve-bench --obs-dir``) — the file-based stand-in for an
+    HTTP status endpoint.
+    """
+    path = os.path.join(args.dir, "status.json")
+    frames = 1 if args.once else args.iterations
+    i = 0
+    while frames <= 0 or i < frames:
+        i += 1
+        try:
+            with open(path) as f:
+                status = json.load(f)
+        except FileNotFoundError:
+            print(f"waiting for {path} ...")
+            status = None
+        except json.JSONDecodeError:
+            status = None      # mid-write of a non-atomic producer; retry
+        if status is not None:
+            frame = _render_top(status)
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame)
+            if status.get("closing") and not args.once:
+                print("(gateway closing; exiting)")
+                return 0
+        if args.once or (frames > 0 and i >= frames):
+            break
+        time.sleep(args.interval)
+    return 0 if status is not None else 1
+
+
+def cmd_trace(args) -> int:
+    """Extract one request's span tree from a traces.jsonl dump."""
+    from repro.telemetry import live
+
+    records = live.load_jsonl(args.traces, trace_id=args.request_id)
+    if not records:
+        print(f"no spans for request {args.request_id} in {args.traces}")
+        return 1
+    roots, orphans = live.build_tree(records)
+    print(f"request {args.request_id}: {len(records)} spans, "
+          f"{len(roots)} root(s), {len(orphans)} orphan(s)")
+    print(live.format_tree(roots))
+    if orphans:
+        for r in orphans:
+            print(f"orphan: {r['name']} (parent {r['parent_id']} missing)")
+    if args.chrome:
+        with open(args.chrome, "w") as f:
+            json.dump(live.to_chrome_trace(records), f, indent=1)
+        print(f"chrome trace -> {args.chrome}")
+    return 0
 
 
 def cmd_verify_artifacts(args) -> int:
@@ -701,7 +821,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry-out", default=None, metavar="DIR",
                    help="capture spans/events/metrics into a "
                         "TelemetrySession in DIR")
+    p.add_argument("--obs-dir", default=None, metavar="DIR",
+                   help="enable the full observability stack (tracing, "
+                        "per-op profiling, flight recorder, live status "
+                        "export) and write status.json / metrics.prom / "
+                        "traces.jsonl / flight_recorder.json / profile.json "
+                        "to DIR (watch live with `repro.cli top DIR`)")
+    p.add_argument("--profile-every", type=int, default=0,
+                   help="sample every Nth batch for per-op profiling "
+                        "(0 = off; --obs-dir defaults it to 4)")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser("top", help="live terminal view of a gateway status "
+                                   "directory (see serve-bench --obs-dir / "
+                                   "Server.start_status_export)")
+    p.add_argument("dir", help="directory containing status.json")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (no screen clearing)")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after N frames (0 = until gateway closes)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("trace", help="extract one request's span tree from "
+                                     "a traces.jsonl dump")
+    p.add_argument("request_id", type=int, help="request (= trace) id")
+    p.add_argument("--traces", default="traces.jsonl",
+                   help="span JSONL written by serve-bench --obs-dir or "
+                        "Server.dump_traces")
+    p.add_argument("--chrome", default=None, metavar="OUT",
+                   help="also write the request as Chrome trace JSON")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("verify-artifacts",
                        help="audit an exported artifact directory: manifest "

@@ -13,13 +13,56 @@ breakdown of every batch.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro import telemetry
 from repro.runtime.arena import Arena, plan_pads
 from repro.runtime.kernels import new_sig
+
+
+class OpProfiler:
+    """Opt-in, sampled per-op profiling attached to one :class:`Plan`.
+
+    The plan already pays two ``perf_counter`` reads per op to keep
+    ``_op_seconds`` current, so the profiler adds *no timing calls to the
+    hot path*: on every ``sample_every``-th batch it copies the accumulator
+    before the op loop and diffs it after, folding the per-op deltas into a
+    :class:`~repro.telemetry.obs.ProfileAggregator`.  ``pop_last`` hands the
+    most recent sampled batch's raw rows to pool workers so they can ship
+    them to the gateway instead of aggregating in a forked copy nobody reads.
+    """
+
+    def __init__(self, plan: "Plan", sample_every: int = 16):
+        from repro.telemetry.obs import ProfileAggregator
+
+        self.plan = plan
+        self.sample_every = max(1, int(sample_every))
+        self.aggregator = ProfileAggregator()
+        self._tick = 0
+        self._last = None
+
+    def tick(self) -> bool:
+        """Advance the batch counter; True when this batch is sampled."""
+        self._tick += 1
+        return self._tick % self.sample_every == 0
+
+    def record(self, delta, wall_s: float) -> None:
+        """Fold one sampled batch's per-op second deltas into the report."""
+        ops = self.plan.ops
+        rows = [(ops[i].kind, ops[i].name, float(dt))
+                for i, dt in enumerate(delta) if dt > 0.0]
+        self._last = (rows, float(wall_s))
+        self.aggregator.add(rows, wall_s)
+
+    def pop_last(self):
+        """``(rows, wall_s)`` of the newest sampled batch, once; else None."""
+        last, self._last = self._last, None
+        return last
+
+    def report(self, top=None) -> Dict:
+        return self.aggregator.report(top=top)
 
 
 class _Binding:
@@ -52,6 +95,7 @@ class Plan:
         self._op_seconds = np.zeros(len(ops), dtype=np.float64)
         self._op_calls = np.zeros(len(ops), dtype=np.int64)
         self._batches = 0
+        self._profiler: Optional[OpProfiler] = None
 
     # ------------------------------------------------------------- factory
     @classmethod
@@ -79,6 +123,11 @@ class Plan:
         regs = binding.arena.regs
         regs[0] = x
         seconds, calls = self._op_seconds, self._op_calls
+        prof = self._profiler
+        sampling = prof is not None and prof.tick()
+        if sampling:
+            before = seconds.copy()
+            w0 = time.perf_counter()
         if telemetry.enabled():
             with telemetry.trace("plan.batch", model=self.model_name,
                                  batch=x.shape[0]):
@@ -94,6 +143,8 @@ class Plan:
                 fn()
                 seconds[i] += time.perf_counter() - t0
                 calls[i] += 1
+        if sampling:
+            prof.record(seconds - before, time.perf_counter() - w0)
         self._batches += 1
         return regs[self.output_reg].copy()
 
@@ -111,6 +162,19 @@ class Plan:
         from repro.runtime.serve import serve_batches
 
         return serve_batches(self, batches, workers, pool_hook=pool_hook)
+
+    # ----------------------------------------------------------- profiling
+    def enable_profiling(self, sample_every: int = 16) -> OpProfiler:
+        """Attach (or replace) the sampled per-op profiler; returns it."""
+        self._profiler = OpProfiler(self, sample_every=sample_every)
+        return self._profiler
+
+    def disable_profiling(self) -> None:
+        self._profiler = None
+
+    def profile_report(self, top=None) -> Optional[Dict]:
+        """The sampled profile breakdown, or ``None`` when never enabled."""
+        return None if self._profiler is None else self._profiler.report(top)
 
     # ----------------------------------------------------------- reporting
     def reset_op_stats(self) -> None:

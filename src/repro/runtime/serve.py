@@ -72,9 +72,23 @@ class BatchFailed(RuntimeError):
         self.seq = seq
 
 
-def _worker_main(plan, tasks, done, in_names, out_names, slot_shape, out_features):
-    """Worker loop: map a shared-memory input slot to its output slot."""
+def _worker_main(plan, tasks, done, in_names, out_names, slot_shape,
+                 out_features, profile_every=0):
+    """Worker loop: map a shared-memory input slot to its output slot.
+
+    Tasks are ``(seq, slot, n, trace)`` where ``trace`` is ``None`` (the
+    zero-overhead common case) or a list of ``(trace_id, parent_span_id)``
+    wire tuples — one per request in the batch.  Completions are
+    ``(seq, slot, n, err, extra)``; ``extra`` is ``None`` unless the batch
+    was traced and/or profile-sampled, in which case it carries the
+    worker-minted span records and/or the per-op timing rows back to the
+    gateway.  Span timestamps are ``perf_counter`` (CLOCK_MONOTONIC), so
+    they join the parent's gateway spans on one clock.
+    """
+    import os
     from multiprocessing import shared_memory
+
+    from repro.telemetry import live as _live
 
     # Workers are throughput engines; the parent keeps telemetry (a fork
     # inherits the enabled flag, and per-op spans from N processes would
@@ -84,23 +98,46 @@ def _worker_main(plan, tasks, done, in_names, out_names, slot_shape, out_feature
     in_shms = [shared_memory.SharedMemory(name=nm) for nm in in_names]
     out_shms = [shared_memory.SharedMemory(name=nm) for nm in out_names]
     max_n = slot_shape[0]
+    span_prefix = f"w{os.getpid()}"
+    prof = None
+    if profile_every and hasattr(plan, "enable_profiling"):
+        prof = plan.enable_profiling(sample_every=profile_every)
     try:
         with _tstate.suppressed():
             while True:
                 task = tasks.get()
                 if task is None:
                     return
-                seq, slot, n = task
+                seq, slot, n, trace = task
                 try:
                     x = np.ndarray(slot_shape, dtype=np.float32,
                                    buffer=in_shms[slot].buf)[:n]
+                    t0 = time.perf_counter()
                     y = plan(x)
+                    t1 = time.perf_counter()
                     out = np.ndarray((max_n, out_features), dtype=np.float32,
                                      buffer=out_shms[slot].buf)
                     out[:n] = y
-                    done.put((seq, slot, n, None))
+                    extra = None
+                    if trace:
+                        extra = {"spans": [
+                            _live.span_record(
+                                trace_id, "worker.exec", t0, t1,
+                                parent_id=parent_id,
+                                span_id=_live.new_span_id(span_prefix),
+                                proc="worker", attrs={"n": n, "seq": seq})
+                            for trace_id, parent_id in trace]}
+                    if prof is not None:
+                        sampled = prof.pop_last()
+                        if sampled is not None:
+                            rows, wall_s = sampled
+                            extra = extra or {}
+                            extra["profile"] = {"rows": rows,
+                                                "wall_s": wall_s}
+                    done.put((seq, slot, n, None, extra))
                 except Exception as exc:  # surface, don't hang the parent
-                    done.put((seq, slot, n, f"{type(exc).__name__}: {exc}"))
+                    done.put((seq, slot, n,
+                              f"{type(exc).__name__}: {exc}", None))
     finally:
         for shm in in_shms + out_shms:
             shm.close()
@@ -122,7 +159,7 @@ class PlanPool:
     """
 
     def __init__(self, plan, slot_shape: Tuple[int, ...], workers: int,
-                 slots: Optional[int] = None):
+                 slots: Optional[int] = None, profile_every: int = 0):
         if workers < 2:
             raise ValueError("PlanPool needs workers >= 2")
         if not _can_fork():
@@ -134,6 +171,7 @@ class PlanPool:
         self.slot_shape = tuple(int(s) for s in slot_shape)
         self.max_n = self.slot_shape[0]
         self.workers = workers
+        self.profile_every = int(profile_every)
         self.nslots = int(slots) if slots else workers * 2
         self._ctx = mp.get_context("fork")
         item = np.prod(self.slot_shape[1:], dtype=np.int64)
@@ -161,7 +199,8 @@ class PlanPool:
             args=(self.plan, self._tasks, self._done,
                   [s.name for s in self._in_shms],
                   [s.name for s in self._out_shms],
-                  self.slot_shape, self.plan.out_features),
+                  self.slot_shape, self.plan.out_features,
+                  self.profile_every),
             daemon=True) for _ in range(self.workers)]
         for proc in self.procs:
             proc.start()
@@ -231,8 +270,13 @@ class PlanPool:
         return (x.shape[0] <= self.max_n
                 and tuple(x.shape[1:]) == self.slot_shape[1:])
 
-    def submit(self, seq: int, x: np.ndarray) -> None:
-        """Copy ``x`` into a free slot and enqueue it for the workers."""
+    def submit(self, seq: int, x: np.ndarray, trace=None) -> None:
+        """Copy ``x`` into a free slot and enqueue it for the workers.
+
+        ``trace`` (optional) is a list of ``(trace_id, parent_span_id)``
+        wire tuples, one per request in the batch; the worker answers with
+        a ``worker.exec`` span record under each parent.
+        """
         if not self._free:
             raise RuntimeError("PlanPool.submit with no free slot")
         if not self.fits(x):
@@ -243,7 +287,7 @@ class PlanPool:
                           buffer=self._in_shms[slot].buf)
         view[:x.shape[0]] = x
         self.in_flight[seq] = (slot, x.shape[0])
-        self._tasks.put((seq, slot, x.shape[0]))
+        self._tasks.put((seq, slot, x.shape[0], trace))
 
     def _check_alive(self) -> None:
         dead = [p for p in self.procs if not p.is_alive()]
@@ -263,6 +307,14 @@ class PlanPool:
         :class:`BatchFailed` when the plan raised for a batch, and
         ``TimeoutError`` when ``timeout`` elapses with all workers healthy.
         """
+        seq, out, _extra = self.wait_one_ex(timeout)
+        return seq, out
+
+    def wait_one_ex(self, timeout: Optional[float] = None
+                    ) -> Tuple[int, np.ndarray, Optional[Dict]]:
+        """Like :meth:`wait_one` but also returns the worker's observability
+        payload: ``None``, or a dict with ``spans`` (worker span records for
+        a traced batch) and/or ``profile`` (sampled per-op timing rows)."""
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             self._check_alive()
@@ -272,7 +324,7 @@ class PlanPool:
                 if wait <= 0:
                     raise TimeoutError("no completion within timeout")
             try:
-                seq, slot, n, err = self._done.get(timeout=wait)
+                seq, slot, n, err, extra = self._done.get(timeout=wait)
             except _qmod.Empty:
                 continue
             self.in_flight.pop(seq, None)
@@ -281,7 +333,7 @@ class PlanPool:
                 raise BatchFailed(seq, f"plan worker failed on batch {seq}: {err}")
             out = np.ndarray((self.max_n, self.plan.out_features),
                              dtype=np.float32, buffer=self._out_shms[slot].buf)
-            return seq, out[:n].copy()
+            return seq, out[:n].copy(), extra
 
 
 def serve_batches(plan, batches: Iterable, workers: int = 0,

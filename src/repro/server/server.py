@@ -37,7 +37,9 @@ from __future__ import annotations
 
 import collections
 import itertools
+import json
 import math
+import os
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -50,6 +52,8 @@ from repro.runtime.serve import BatchFailed, PlanPool, WorkerDied, _can_fork
 from repro.server.registry import ModelEntry, ModelRegistry
 from repro.server.types import (Failed, Ok, Overloaded, PendingRequest,
                                 Response)
+from repro.telemetry import live as _live
+from repro.telemetry import obs as _obs
 
 #: tracer roots are appended from lane threads; the global tracer has no lock
 _TRACE_LOCK = threading.Lock()
@@ -71,6 +75,19 @@ class ServerConfig:
     max_inflight_batches: int = 2    #: per-model concurrency limit (pool mode)
     exec_time_init_s: float = 0.005  #: EWMA seed for batch service time
     ewma_alpha: float = 0.2          #: service-time EWMA weight
+    # ------------------------------------------------------- observability
+    #: request-scoped tracing: True/False, or None to follow the global
+    #: telemetry switch
+    tracing: Optional[bool] = None
+    #: sample every N-th batch for per-op profiling (0 = off)
+    profile_every: int = 0
+    slo_target: float = 0.99         #: good-request ratio target
+    obs_window_s: float = 60.0       #: rolling SLO/latency window
+    flight_recorder_size: int = 512  #: per-lane post-mortem ring capacity
+    #: directory for automatic flight-recorder dumps (None = in-memory only)
+    dump_dir: Optional[str] = None
+    dump_min_interval_s: float = 1.0  #: auto-dump cooldown (storm guard)
+    trace_capacity: int = 2048       #: most-recent request trees kept
     #: ``{model_name: {field: value}}`` overrides, e.g. per-model max_batch /
     #: max_inflight_batches (the per-model concurrency limit)
     per_model: Optional[Dict[str, Dict]] = None
@@ -84,7 +101,7 @@ class _Batch:
     """One formed micro-batch on its way through execution."""
 
     __slots__ = ("bid", "requests", "x", "entry", "formed_t", "submit_t",
-                 "retried")
+                 "retried", "trace")
 
     def __init__(self, bid: int, requests: List[PendingRequest],
                  x: np.ndarray, entry: ModelEntry, formed_t: float):
@@ -95,6 +112,9 @@ class _Batch:
         self.formed_t = formed_t
         self.submit_t = formed_t
         self.retried = False
+        #: per-request pre-minted "batch" span ids (None when untraced);
+        #: minted at batch formation so the worker can parent under them
+        self.trace: Optional[List[Optional[str]]] = None
 
 
 class _LaneStats:
@@ -102,7 +122,7 @@ class _LaneStats:
 
     __slots__ = ("requests", "ok", "shed", "failed", "retried_requests",
                  "batches", "latencies_s", "queue_waits_s", "batch_sizes",
-                 "worker_deaths", "swaps")
+                 "worker_deaths", "swaps", "deadline_miss")
 
     _CAP = 100_000  # keep percentile memory bounded under sustained load
 
@@ -115,6 +135,7 @@ class _LaneStats:
         self.batches = 0
         self.worker_deaths = 0
         self.swaps = 0
+        self.deadline_miss = 0
         self.latencies_s: List[float] = []
         self.queue_waits_s: List[float] = []
         self.batch_sizes: List[int] = []
@@ -145,6 +166,16 @@ class _Lane:
         self.swap_target: Optional[str] = None
         self.swap_done = threading.Event()
         self.stats = _LaneStats()
+        # always-on observability (independent of the telemetry switch,
+        # like _LaneStats): rolling SLO window, flight-recorder ring, and
+        # the per-op profile fold point for worker-shipped samples
+        self.window = _obs.RollingWindow(window_s=self.cfg.obs_window_s)
+        self.flight = _obs.FlightRecorder(
+            capacity=self.cfg.flight_recorder_size)
+        self.profile = _obs.ProfileAggregator()
+        self._last_dump_t = -math.inf
+        self._dump_n = 0
+        self._prof_key: Optional[str] = None
         self.pooled = self.cfg.workers >= 2 and _can_fork()
         self.expected_shape = self._declared_shape()
         self.thread = threading.Thread(target=self._run, daemon=True,
@@ -207,6 +238,37 @@ class _Lane:
             self.cond.notify()
         return None
 
+    # -------------------------------------------------------- observability
+    def auto_dump(self, reason: str, force: bool = False,
+                  **context) -> Optional[Dict]:
+        """Freeze the flight-recorder ring for a post-mortem, rate-limited.
+
+        Called on every anomaly (deadline miss, shed, worker death, lane
+        abort); the ``dump_min_interval_s`` cooldown keeps an overload storm
+        from turning into a dump storm.  ``force`` bypasses the cooldown for
+        rare, high-signal events (worker death, lane abort) that must never
+        be shadowed by a recent shed dump.  With ``dump_dir`` set the dump
+        is also written as JSON; either way ``flight.last_dump`` records it.
+        """
+        now = time.monotonic()
+        if not force and now - self._last_dump_t < self.cfg.dump_min_interval_s:
+            return None
+        self._last_dump_t = now
+        path = None
+        if self.cfg.dump_dir:
+            os.makedirs(self.cfg.dump_dir, exist_ok=True)
+            self._dump_n += 1
+            path = os.path.join(
+                self.cfg.dump_dir,
+                f"flight_{self.name}_{self._dump_n:03d}_{reason}.json")
+        dump = self.flight.dump(reason, path=path, model=self.name)
+        telemetry.emit("server_flight_dump", model=self.name, reason=reason,
+                       events=len(dump["events"]), path=path)
+        return dump
+
+    def _record_spans(self, records: List[Dict]) -> None:
+        self.server.trace_store.add_many(records)
+
     # ----------------------------------------------------------- scheduling
     def _flush_at(self, oldest: PendingRequest) -> float:
         """When the oldest queued request forces the batch closed: its
@@ -232,8 +294,16 @@ class _Lane:
             np.stack([r.sample for r in requests]), dtype=np.float32)
         self.server.metrics["queue_depth"].labels(
             model=self.name).set(len(self.queue))
-        return _Batch(self.server.next_batch_id(), requests, x, entry,
-                      time.perf_counter())
+        batch = _Batch(self.server.next_batch_id(), requests, x, entry,
+                       time.perf_counter())
+        if any(r.ctx is not None for r in requests):
+            # pre-mint each request's "batch" span id so workers can parent
+            # their exec spans under it across the process boundary
+            batch.trace = [_live.new_span_id() if r.ctx is not None else None
+                           for r in requests]
+        self.flight.record("batch_formed", bid=batch.bid, size=take,
+                           queued=len(self.queue))
+        return batch
 
     def _run(self) -> None:
         try:
@@ -261,10 +331,14 @@ class _Lane:
         telemetry.emit("server_lane_crashed", level="error", model=self.name,
                        error=error, queued=len(queued),
                        in_flight_batches=len(inflight))
+        self.flight.record("lane_abort", error=error, queued=len(queued),
+                           in_flight_batches=len(inflight))
+        self.auto_dump("lane_abort", force=True, error=error)
         for req in queued:
             req._resolve(Failed(req.request_id, self.name, error=error,
                                 retryable=True))
             self.stats.failed += 1
+            self.window.observe_failed()
             self.server.metrics["requests"].labels(
                 model=self.name, status="failed").inc()
         for batch in inflight:
@@ -315,6 +389,12 @@ class _Lane:
         if self.pooled and batch.entry.plan is not None:
             self._submit_to_pool(batch)
             return
+        plan = batch.entry.plan
+        if (self.cfg.profile_every and plan is not None
+                and self._prof_key != batch.entry.key
+                and hasattr(plan, "enable_profiling")):
+            plan.enable_profiling(sample_every=self.cfg.profile_every)
+            self._prof_key = batch.entry.key
         t0 = time.perf_counter()
         try:
             y = batch.entry(batch.x)
@@ -322,7 +402,19 @@ class _Lane:
             self._fail_batch(batch, f"{type(exc).__name__}: {exc}",
                              retryable=False)
         else:
-            self._complete(batch, np.asarray(y), t0, time.perf_counter())
+            t1 = time.perf_counter()
+            if plan is not None and getattr(plan, "_profiler", None) is not None:
+                sampled = plan._profiler.pop_last()
+                if sampled is not None:
+                    self.profile.add(*sampled)
+            if batch.trace is not None:
+                self._record_spans([
+                    _live.span_record(req.ctx.trace_id, "exec", t0, t1,
+                                      parent_id=batch.trace[i],
+                                      attrs={"n": len(batch.requests)})
+                    for i, req in enumerate(batch.requests)
+                    if req.ctx is not None])
+            self._complete(batch, np.asarray(y), t0, t1)
         finally:
             with self.cond:
                 self.busy = False
@@ -336,7 +428,8 @@ class _Lane:
         slot_shape = (self.cfg.max_batch,) + tuple(batch.x.shape[1:])
         self.pool = PlanPool(batch.entry.plan, slot_shape,
                              self.cfg.workers,
-                             slots=max(2, self.cfg.max_inflight_batches))
+                             slots=max(2, self.cfg.max_inflight_batches),
+                             profile_every=self.cfg.profile_every)
         self._pool_key = batch.entry.key
         telemetry.emit("server_pool_start", model=batch.entry.key,
                        workers=self.cfg.workers,
@@ -347,7 +440,12 @@ class _Lane:
             self._ensure_pool(batch)
             seq = next(self._seq)
             batch.submit_t = time.perf_counter()
-            self.pool.submit(seq, batch.x)
+            wire = None
+            if batch.trace is not None:
+                wire = [(req.ctx.trace_id, batch.trace[i])
+                        for i, req in enumerate(batch.requests)
+                        if req.ctx is not None]
+            self.pool.submit(seq, batch.x, trace=wire)
         except Exception as exc:
             self._fail_batch(batch, f"pool submit failed: {exc}",
                              retryable=True)
@@ -358,7 +456,7 @@ class _Lane:
         if self.pool is None or not self.inflight:
             return
         try:
-            seq, y = self.pool.wait_one(timeout=_POOL_POLL_S)
+            seq, y, extra = self.pool.wait_one_ex(timeout=_POOL_POLL_S)
         except TimeoutError:
             return
         except WorkerDied:
@@ -368,6 +466,14 @@ class _Lane:
             if batch is not None:
                 self._fail_batch(batch, str(exc), retryable=False)
         else:
+            if extra:
+                spans = extra.get("spans")
+                if spans:
+                    self._record_spans(spans)
+                profile = extra.get("profile")
+                if profile:
+                    self.profile.add([tuple(r) for r in profile["rows"]],
+                                     profile["wall_s"])
             batch = self.inflight.pop(seq, None)
             if batch is not None:
                 self._complete(batch, y, batch.submit_t, time.perf_counter())
@@ -380,6 +486,9 @@ class _Lane:
         exitcodes = [p.exitcode for p in self.pool.procs if not p.is_alive()]
         telemetry.emit("server_worker_died", level="warning", model=self.name,
                        in_flight_batches=len(died), exitcodes=exitcodes)
+        self.flight.record("worker_death", exitcodes=exitcodes,
+                           in_flight_batches=[b.bid for b in died])
+        self.auto_dump("worker_death", force=True, exitcodes=exitcodes)
         try:
             self.pool.respawn()
         except Exception as exc:
@@ -409,6 +518,17 @@ class _Lane:
             self.stats.retried_requests += len(batch.requests)
             self.server.metrics["retries"].labels(model=self.name).inc(
                 len(batch.requests))
+            self.flight.record("batch_retried", bid=batch.bid,
+                               size=len(batch.requests))
+            if batch.trace is not None:
+                now = time.perf_counter()
+                # instant marker under each request root: the tree records
+                # that this request survived a worker death and was requeued
+                self._record_spans([
+                    _live.span_record(req.ctx.trace_id, "retry", now, now,
+                                      parent_id=req.ctx.span_id,
+                                      attrs={"bid": batch.bid})
+                    for req in batch.requests if req.ctx is not None])
             self._submit_to_pool(batch)
 
     # ------------------------------------------------------------ hot swap
@@ -450,20 +570,49 @@ class _Lane:
             self.stats.batch_sizes.append(len(batch.requests))
         m = self.server.metrics
         m["batch_size"].labels(model=self.name).observe(len(batch.requests))
+        missed = 0
+        records: List[Dict] = []
         spans = []
+        # bookkeeping first, _resolve() last: once a caller's result()
+        # returns, the window/flight-recorder/trace state already reflects
+        # that request (tests and pollers rely on this ordering).
+        responses = []
         for i, req in enumerate(batch.requests):
             queue_wait = batch.formed_t - req.enqueue_t
             latency = t1 - req.enqueue_t
-            req._resolve(Ok(req.request_id, batch.entry.key,
-                            logits=y[i].copy(), queue_wait_s=queue_wait,
-                            latency_s=latency,
-                            batch_size=len(batch.requests),
-                            batch_id=batch.bid))
+            miss = latency > req.deadline_s
+            responses.append(Ok(req.request_id, batch.entry.key,
+                               logits=y[i].copy(), queue_wait_s=queue_wait,
+                               latency_s=latency,
+                               batch_size=len(batch.requests),
+                               batch_id=batch.bid))
             self.stats.ok += 1
             self.stats.observe(latency, queue_wait)
+            self.window.observe_ok(latency, queue_wait, deadline_miss=miss)
+            if miss:
+                missed += 1
+                self.stats.deadline_miss += 1
+                m["deadline_miss"].labels(model=self.name).inc()
             m["requests"].labels(model=self.name, status="ok").inc()
             m["queue_wait"].labels(model=self.name).observe(queue_wait)
             m["latency"].labels(model=self.name).observe(latency)
+            ctx = req.ctx
+            if ctx is not None and batch.trace is not None:
+                root = ctx.span_id
+                records.append(_live.span_record(
+                    ctx.trace_id, "queue.wait", req.enqueue_t, batch.formed_t,
+                    parent_id=root))
+                records.append(_live.span_record(
+                    ctx.trace_id, "batch", batch.formed_t, t1,
+                    parent_id=root, span_id=batch.trace[i],
+                    attrs={"bid": batch.bid, "size": len(batch.requests),
+                           "retried": batch.retried}))
+                records.append(_live.span_record(
+                    ctx.trace_id, "request", req.enqueue_t, t1, span_id=root,
+                    attrs={"request_id": req.request_id,
+                           "model": batch.entry.key, "status": "ok",
+                           "deadline_miss": miss,
+                           "latency_ms": round(latency * 1e3, 3)}))
             if telemetry.enabled():
                 from repro.telemetry.tracing import Span
 
@@ -483,16 +632,40 @@ class _Lane:
             bspan.children = spans       # request spans link to their batch
             with _TRACE_LOCK:
                 telemetry.get_tracer().roots.append(bspan)
+        if records:
+            self._record_spans(records)
+        self.flight.record("batch_complete", bid=batch.bid,
+                           size=len(batch.requests),
+                           exec_ms=round((t1 - t0) * 1e3, 3),
+                           deadline_miss=missed, retried=batch.retried)
+        if missed:
+            self.auto_dump("deadline_miss", bid=batch.bid, missed=missed)
+        for req, resp in zip(batch.requests, responses):
+            req._resolve(resp)
 
     def _fail_batch(self, batch: _Batch, error: str, retryable: bool) -> None:
         telemetry.emit("server_batch_failed", level="error", model=self.name,
                        batch=batch.bid, error=error, retryable=retryable)
+        self.flight.record("batch_failed", bid=batch.bid, error=error,
+                           retryable=retryable, size=len(batch.requests))
+        now = time.perf_counter()
+        records: List[Dict] = []
         for req in batch.requests:
             req._resolve(Failed(req.request_id, batch.entry.key, error=error,
                                 retryable=retryable))
             self.stats.failed += 1
+            self.window.observe_failed()
             self.server.metrics["requests"].labels(
                 model=self.name, status="failed").inc()
+            if req.ctx is not None:
+                records.append(_live.span_record(
+                    req.ctx.trace_id, "request", req.enqueue_t, now,
+                    span_id=req.ctx.span_id,
+                    attrs={"request_id": req.request_id,
+                           "model": batch.entry.key, "status": "failed",
+                           "error": error}))
+        if records:
+            self._record_spans(records)
 
     # ------------------------------------------------------------- shutdown
     def _shutdown_pool_locked(self) -> None:
@@ -534,6 +707,11 @@ class Server:
         self._ids = itertools.count(1)
         self._batch_ids = itertools.count(1)
         self.closing = False
+        self._t0 = time.time()
+        self.trace_store = _live.TraceStore(
+            capacity=self.config.trace_capacity)
+        self._exporter: Optional[threading.Thread] = None
+        self._exporter_stop = threading.Event()
         reg = telemetry.get_registry()
         self.metrics = {
             "requests": reg.counter(
@@ -553,7 +731,16 @@ class Server:
                 "requests requeued after a worker death", labels=("model",)),
             "queue_depth": reg.gauge(
                 "server_queue_depth", "queued requests", labels=("model",)),
+            "deadline_miss": reg.counter(
+                "server_deadline_miss_total",
+                "answered after the request's deadline", labels=("model",)),
         }
+
+    def tracing_active(self) -> bool:
+        """Request tracing on? ``config.tracing`` pins it; ``None`` follows
+        the global telemetry switch."""
+        cfg = self.config.tracing
+        return telemetry.enabled() if cfg is None else bool(cfg)
 
     # -------------------------------------------------------------- intake
     def _lane(self, name: str) -> _Lane:
@@ -590,24 +777,48 @@ class Server:
                     if deadline_s is None else float(deadline_s))
         req = PendingRequest(next(self._ids), entry.name, x,
                              time.perf_counter(), deadline)
+        if self.tracing_active():
+            # trace_id == request_id: one id to correlate logs/spans/results
+            req.ctx = _live.TraceContext.mint(req.request_id,
+                                              model=entry.name)
         lane = self._lane(entry.name)
         rejection = lane.admit(req)
         if rejection is None:
             lane.stats.requests += 1
         elif isinstance(rejection, Overloaded):
             lane.stats.shed += 1
+            lane.window.observe_shed()
             self.metrics["requests"].labels(
                 model=entry.name, status="shed").inc()
             telemetry.emit("server_shed", model=entry.name,
                            request=req.request_id, reason=rejection.reason,
                            projected_wait_s=rejection.projected_wait_s)
+            lane.flight.record("shed", request=req.request_id,
+                               reason=rejection.reason,
+                               projected_wait_s=rejection.projected_wait_s)
+            lane.auto_dump("shed", shed_reason=rejection.reason)
+            if req.ctx is not None:
+                self.trace_store.add(_live.span_record(
+                    req.ctx.trace_id, "request", req.enqueue_t,
+                    time.perf_counter(), span_id=req.ctx.span_id,
+                    attrs={"request_id": req.request_id, "model": entry.name,
+                           "status": "shed", "reason": rejection.reason}))
             req._resolve(rejection)
         else:                               # Failed: bad shape / closed lane
             lane.stats.failed += 1
+            lane.window.observe_failed()
             self.metrics["requests"].labels(
                 model=entry.name, status="failed").inc()
             telemetry.emit("server_rejected", model=entry.name,
                            request=req.request_id, error=rejection.error)
+            lane.flight.record("rejected", request=req.request_id,
+                               error=rejection.error)
+            if req.ctx is not None:
+                self.trace_store.add(_live.span_record(
+                    req.ctx.trace_id, "request", req.enqueue_t,
+                    time.perf_counter(), span_id=req.ctx.span_id,
+                    attrs={"request_id": req.request_id, "model": entry.name,
+                           "status": "rejected", "error": rejection.error}))
             req._resolve(rejection)
         return req
 
@@ -648,6 +859,7 @@ class Server:
                 "ok": s.ok,
                 "shed": s.shed,
                 "failed": s.failed,
+                "deadline_miss": s.deadline_miss,
                 "retried_requests": s.retried_requests,
                 "batches": s.batches,
                 "worker_deaths": s.worker_deaths,
@@ -662,6 +874,146 @@ class Server:
             }
         return out
 
+    # ------------------------------------------------------- observability
+    def status(self) -> Dict:
+        """One structured operational snapshot: per-model rolling SLO window
+        (current p50/p95/p99, shed/miss rates, error-budget burn), cumulative
+        counters, flight-recorder state, sampled per-op profile and trace
+        store occupancy.  Always-on — works with telemetry off."""
+        cumulative = self.stats()
+        models: Dict[str, Dict] = {}
+        with self._lock:
+            lanes = dict(self._lanes)
+        for name, lane in sorted(lanes.items()):
+            prof = lane.profile.report(top=5)
+            models[name] = {
+                "window": lane.window.summary(
+                    slo_target=lane.cfg.slo_target),
+                "cumulative": cumulative.get(name, {}),
+                "queue_depth": len(lane.queue),
+                "inflight_batches": len(lane.inflight),
+                "pooled": lane.pooled,
+                "workers_alive": (sum(p.is_alive() for p in lane.pool.procs)
+                                  if lane.pool is not None else 0),
+                "flight_recorder": {
+                    "events": len(lane.flight),
+                    "dropped_events": lane.flight.dropped_events,
+                    "last_dump": lane.flight.last_dump,
+                },
+                "profile": prof if prof["sampled_batches"] else None,
+            }
+        return {
+            "ts": time.time(),
+            "uptime_s": round(time.time() - self._t0, 3),
+            "closing": self.closing,
+            "tracing": self.tracing_active(),
+            "traces_held": len(self.trace_store),
+            "traces_evicted": self.trace_store.evicted,
+            "models": models,
+        }
+
+    def _obs_samples(self) -> List[Dict]:
+        """Synthesized exposition samples from the always-on lane windows
+        (registry metrics stay silent when telemetry is off; these do not)."""
+        samples: List[Dict] = []
+        with self._lock:
+            lanes = dict(self._lanes)
+        for name, lane in sorted(lanes.items()):
+            w = lane.window.summary(slo_target=lane.cfg.slo_target)
+            lab = {"model": name}
+            for metric, value in (
+                    ("server_window_requests", w["requests"]),
+                    ("server_window_ok", w["ok"]),
+                    ("server_window_shed", w["shed"]),
+                    ("server_window_failed", w["failed"]),
+                    ("server_window_deadline_miss", w["deadline_miss"]),
+                    ("server_window_throughput_hz", w["throughput_hz"]),
+                    ("server_window_latency_p50_ms", w["latency_ms"]["p50"]),
+                    ("server_window_latency_p99_ms", w["latency_ms"]["p99"]),
+                    ("server_slo_error_budget_burn",
+                     w["slo"]["error_budget_burn"]),
+                    ("server_queue_depth_now", len(lane.queue))):
+                samples.append({"name": metric, "kind": "gauge",
+                                "labels": lab, "value": value})
+        return samples
+
+    def render_exposition(self) -> str:
+        """Prometheus text exposition: the process registry plus the
+        always-on per-lane window gauges."""
+        return _obs.exposition(telemetry.get_registry(),
+                               extra_samples=self._obs_samples())
+
+    def trace_tree(self, request_id: int):
+        """``(roots, orphans)`` span tree for one traced request."""
+        return self.trace_store.tree(int(request_id))
+
+    def dump_traces(self, path: str) -> int:
+        """Write every held span record as JSONL; returns spans written."""
+        return self.trace_store.dump_jsonl(path)
+
+    def dump_flight_recorder(self, model: Optional[str] = None,
+                             path: Optional[str] = None) -> Dict:
+        """On-demand post-mortem: freeze each lane's ring (or one model's).
+
+        Returns ``{model: dump}``; with ``path`` the combined dict is also
+        written as JSON."""
+        with self._lock:
+            lanes = dict(self._lanes)
+        if model is not None:
+            lanes = {model: lanes[model]}   # KeyError for unknown models
+        dumps = {name: lane.flight.dump("manual", model=name)
+                 for name, lane in sorted(lanes.items())}
+        if path is not None:
+            with open(path, "w") as f:
+                json.dump(dumps, f, indent=1, default=str)
+        return dumps
+
+    def profile_report(self, model: str, top: Optional[int] = None) -> Dict:
+        """The sampled per-op breakdown folded from workers/inline exec."""
+        return self._lane(model).profile.report(top=top)
+
+    def start_status_export(self, out_dir: str,
+                            interval_s: float = 1.0) -> None:
+        """Periodically write ``status.json`` + ``metrics.prom`` to a
+        directory (atomic tmp+rename), the file-based stand-in for an HTTP
+        endpoint that ``repro.cli top`` tails.  Stopped by :meth:`close`."""
+        if self._exporter is not None:
+            raise RuntimeError("status export already running")
+        os.makedirs(out_dir, exist_ok=True)
+        self._exporter_stop.clear()
+
+        def _write() -> None:
+            for fname, payload in (
+                    ("status.json", json.dumps(self.status(), indent=1,
+                                               default=str)),
+                    ("metrics.prom", self.render_exposition())):
+                tmp = os.path.join(out_dir, "." + fname + ".tmp")
+                with open(tmp, "w") as f:
+                    f.write(payload)
+                os.replace(tmp, os.path.join(out_dir, fname))
+
+        def _loop() -> None:
+            while not self._exporter_stop.wait(interval_s):
+                try:
+                    _write()
+                except Exception:   # an export glitch must not kill serving
+                    pass
+            try:
+                _write()            # final snapshot on shutdown
+            except Exception:
+                pass
+
+        self._exporter = threading.Thread(
+            target=_loop, daemon=True, name="repro-server-status-export")
+        self._exporter.start()
+
+    def stop_status_export(self, timeout: float = 5.0) -> None:
+        if self._exporter is None:
+            return
+        self._exporter_stop.set()
+        self._exporter.join(timeout=timeout)
+        self._exporter = None
+
     def close(self, timeout: float = 30.0) -> None:
         """Stop intake, drain every lane, shut down pools and threads."""
         self.closing = True
@@ -672,6 +1024,7 @@ class Server:
         deadline = time.monotonic() + timeout
         for lane in lanes:
             lane.thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        self.stop_status_export()
 
     def __enter__(self) -> "Server":
         return self

@@ -79,7 +79,7 @@ class PendingRequest:
     """
 
     __slots__ = ("request_id", "model", "sample", "enqueue_t", "deadline_t",
-                 "deadline_s", "_event", "_response")
+                 "deadline_s", "ctx", "_event", "_response")
 
     def __init__(self, request_id: int, model: str, sample: np.ndarray,
                  enqueue_t: float, deadline_s: float):
@@ -89,6 +89,8 @@ class PendingRequest:
         self.enqueue_t = enqueue_t
         self.deadline_s = deadline_s
         self.deadline_t = enqueue_t + deadline_s
+        #: live-tracing context (set by the server when tracing is on)
+        self.ctx = None
         self._event = threading.Event()
         self._response: Optional[Response] = None
 

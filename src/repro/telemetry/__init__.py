@@ -55,6 +55,24 @@ from repro.telemetry.report import (
     emit_event,
     set_event_sink,
 )
+from repro.telemetry.live import (
+    TraceContext,
+    TraceStore,
+    build_tree,
+    format_tree,
+    load_jsonl,
+    new_span_id,
+    span_record,
+    to_chrome_trace,
+)
+from repro.telemetry.obs import (
+    FlightRecorder,
+    ProfileAggregator,
+    RollingWindow,
+    exposition,
+    parse_prometheus,
+    render_prometheus,
+)
 
 __all__ = [
     "enable", "disable", "enabled", "set_enabled", "suppressed",
@@ -65,6 +83,10 @@ __all__ = [
     "patch_forward", "telemetry_name",
     "record_saturation", "saturation_report",
     "EventLog", "TelemetrySession", "emit_event", "set_event_sink", "emit",
+    "TraceContext", "TraceStore", "build_tree", "format_tree", "load_jsonl",
+    "new_span_id", "span_record", "to_chrome_trace",
+    "FlightRecorder", "ProfileAggregator", "RollingWindow",
+    "exposition", "parse_prometheus", "render_prometheus",
 ]
 
 

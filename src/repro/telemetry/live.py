@@ -1,0 +1,233 @@
+"""Request-scoped live tracing for the serving stack.
+
+The PR-1 :class:`~repro.telemetry.tracing.Tracer` assumes one thread and one
+process: spans nest through a stack and the whole tree lives in the session.
+A gateway request is the opposite shape — it crosses the submitter thread,
+the lane scheduler thread and (in pool mode) a forked worker process, and
+thousands of requests are in flight at once.  This module provides the
+distributed-tracing primitives that shape needs:
+
+* :class:`TraceContext` — the identity minted at ``Server.submit``:
+  a ``trace_id`` (the request id), the current parent ``span_id``, and a
+  small ``baggage`` dict.  ``wire()`` flattens it to a picklable tuple that
+  crosses the worker process boundary; the worker mints its own span ids
+  under the received parent, so the finished tree is genuinely distributed.
+* **span records** — flat dicts (``trace_id``/``span_id``/``parent_id``/
+  ``name``/``t0``/``t1``/``proc``/``pid``/``attrs``) created *complete*
+  (both timestamps known) rather than via enter/exit, because the code that
+  knows a span ended (the lane scheduler) is rarely the code that opened it.
+  All timestamps are ``time.perf_counter()`` — ``CLOCK_MONOTONIC`` on
+  Linux, so gateway and worker clocks are directly comparable.
+* :class:`TraceStore` — a bounded, thread-safe collector keyed by trace id
+  with tree assembly (:func:`build_tree`), per-request Chrome trace export
+  and JSONL dump/load for the ``repro.cli trace`` workflow.
+"""
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_SPAN_IDS = itertools.count(1)
+
+
+def new_span_id(prefix: str = "g") -> str:
+    """Process-unique span id; workers prefix their pid (``w1234-7``)."""
+    return f"{prefix}-{next(_SPAN_IDS)}"
+
+
+def span_record(trace_id: int, name: str, t0: float, t1: float,
+                parent_id: Optional[str] = None,
+                span_id: Optional[str] = None, proc: str = "gateway",
+                attrs: Optional[Dict] = None) -> Dict:
+    """A completed span as a flat, JSON-able record."""
+    return {
+        "trace_id": int(trace_id),
+        "span_id": span_id if span_id is not None else new_span_id(),
+        "parent_id": parent_id,
+        "name": name,
+        "t0": float(t0),
+        "t1": float(t1),
+        "proc": proc,
+        "pid": os.getpid(),
+        "attrs": dict(attrs or {}),
+    }
+
+
+@dataclass
+class TraceContext:
+    """Identity of one traced request, carried on the request/batch.
+
+    ``span_id`` is the *current parent*: spans created under this context
+    become its children.  ``child()`` derives a context one level deeper.
+    """
+
+    trace_id: int
+    span_id: str
+    baggage: Dict = field(default_factory=dict)
+
+    @classmethod
+    def mint(cls, trace_id: int, **baggage) -> "TraceContext":
+        return cls(trace_id=int(trace_id), span_id=new_span_id(),
+                   baggage=dict(baggage))
+
+    def child(self, span_id: Optional[str] = None) -> "TraceContext":
+        return TraceContext(self.trace_id,
+                            span_id if span_id is not None else new_span_id(),
+                            dict(self.baggage))
+
+    def wire(self) -> Tuple[int, str]:
+        """The minimal picklable form that crosses the process boundary."""
+        return (self.trace_id, self.span_id)
+
+    @classmethod
+    def from_wire(cls, wire: Tuple[int, str]) -> "TraceContext":
+        trace_id, span_id = wire
+        return cls(int(trace_id), str(span_id))
+
+
+def build_tree(records: Iterable[Dict]) -> Tuple[List[Dict], List[Dict]]:
+    """Assemble flat span records into ``(roots, orphans)``.
+
+    Each node is ``{"span": record, "children": [...]}``; children are
+    ordered by start time.  A record whose ``parent_id`` names no span in
+    the input lands in ``orphans`` — an empty orphan list is the
+    "single connected span tree" contract the serving tests assert.
+    """
+    records = sorted(records, key=lambda r: (r["t0"], r["span_id"]))
+    nodes = {r["span_id"]: {"span": r, "children": []} for r in records}
+    roots: List[Dict] = []
+    orphans: List[Dict] = []
+    for r in records:
+        node = nodes[r["span_id"]]
+        parent = r.get("parent_id")
+        if parent is None:
+            roots.append(node)
+        elif parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            orphans.append(r)
+    return roots, orphans
+
+
+def format_tree(roots: List[Dict]) -> str:
+    """Aligned text rendering of an assembled span tree."""
+    rows = []
+
+    def rec(node, depth):
+        span = node["span"]
+        attrs = " ".join(f"{k}={v}" for k, v in span["attrs"].items())
+        label = ("  " * depth + span["name"]
+                 + (f" [{attrs}]" if attrs else "")
+                 + (f" <{span['proc']}:{span['pid']}>"
+                    if span["proc"] != "gateway" else ""))
+        rows.append((label, f"{(span['t1'] - span['t0']) * 1e3:10.3f} ms"))
+        for child in node["children"]:
+            rec(child, depth + 1)
+
+    for root in roots:
+        rec(root, 0)
+    if not rows:
+        return "(no spans)"
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label.ljust(width)}  {dur}" for label, dur in rows)
+
+
+def to_chrome_trace(records: Iterable[Dict]) -> Dict:
+    """Chrome ``trace_event`` JSON for a set of span records.
+
+    ``pid``/``tid`` come from the records, so gateway and worker spans land
+    on separate tracks in Perfetto, aligned on the shared monotonic clock.
+    """
+    records = list(records)
+    t0 = min((r["t0"] for r in records), default=0.0)
+    events = []
+    for r in records:
+        events.append({
+            "name": r["name"],
+            "ph": "X",
+            "ts": round((r["t0"] - t0) * 1e6, 3),
+            "dur": round((r["t1"] - r["t0"]) * 1e6, 3),
+            "pid": r.get("pid", 0),
+            "tid": 0 if r.get("proc") == "gateway" else 1,
+            "args": {"trace_id": r["trace_id"], "span_id": r["span_id"],
+                     **r["attrs"]},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class TraceStore:
+    """Bounded, thread-safe collection of span records keyed by trace id.
+
+    Eviction is by trace insertion order (oldest whole trace first), so a
+    long-running server holds the most recent ``capacity`` request trees.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = int(capacity)
+        self._traces: "OrderedDict[int, List[Dict]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evicted = 0
+
+    def add(self, record: Dict) -> None:
+        tid = record["trace_id"]
+        with self._lock:
+            spans = self._traces.get(tid)
+            if spans is None:
+                while len(self._traces) >= self.capacity:
+                    self._traces.popitem(last=False)
+                    self.evicted += 1
+                spans = self._traces[tid] = []
+            spans.append(record)
+
+    def add_many(self, records: Iterable[Dict]) -> None:
+        for r in records:
+            self.add(r)
+
+    def get(self, trace_id: int) -> List[Dict]:
+        with self._lock:
+            return list(self._traces.get(int(trace_id), ()))
+
+    def trace_ids(self) -> List[int]:
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def tree(self, trace_id: int) -> Tuple[List[Dict], List[Dict]]:
+        return build_tree(self.get(trace_id))
+
+    def chrome(self, trace_id: int) -> Dict:
+        return to_chrome_trace(self.get(trace_id))
+
+    def dump_jsonl(self, path: str) -> int:
+        """One span record per line; returns the number of spans written."""
+        n = 0
+        with self._lock:
+            spans = [r for recs in self._traces.values() for r in recs]
+        with open(path, "w") as f:
+            for r in spans:
+                f.write(json.dumps(r, default=str) + "\n")
+                n += 1
+        return n
+
+
+def load_jsonl(path: str, trace_id: Optional[int] = None) -> List[Dict]:
+    """Read span records back from a :meth:`TraceStore.dump_jsonl` file."""
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            r = json.loads(line)
+            if trace_id is None or int(r["trace_id"]) == int(trace_id):
+                out.append(r)
+    return out

@@ -11,6 +11,7 @@ telemetry switch in :mod:`repro.telemetry.state`.
 """
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.telemetry import state
@@ -53,6 +54,10 @@ class Metric:
         self.label_names = tuple(label_names)
         self._registry = registry
         self._children: Dict[LabelKey, "Metric"] = {}
+        # mutation is read-modify-write (`self.sum += v`) and callers span
+        # lane threads, the status exporter and the main thread — every
+        # mutator and the child factory serialize on this per-metric lock
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
@@ -65,9 +70,13 @@ class Metric:
         key = _label_key(self.label_names, labels)
         child = self._children.get(key)
         if child is None:
-            child = type(self)(self.name, self.help, registry=self._registry,
-                               **self._child_kwargs())
-            self._children[key] = child
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = type(self)(self.name, self.help,
+                                       registry=self._registry,
+                                       **self._child_kwargs())
+                    self._children[key] = child
         return child
 
     def _child_kwargs(self) -> Dict:
@@ -107,7 +116,8 @@ class Counter(Metric):
             return
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def _value_dict(self) -> Dict:
         return {"value": self.value}
@@ -129,11 +139,13 @@ class Gauge(Metric):
 
     def set(self, value: float) -> None:
         if self.enabled:
-            self.value = float(value)
+            with self._lock:
+                self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         if self.enabled:
-            self.value += amount
+            with self._lock:
+                self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
@@ -172,13 +184,14 @@ class Histogram(Metric):
         if not self.enabled:
             return
         value = float(value)
-        self.sum += value
-        self.count += 1
-        for i, ub in enumerate(self.buckets):
-            if value <= ub:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, ub in enumerate(self.buckets):
+                if value <= ub:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def _value_dict(self) -> Dict:
         return {"sum": self.sum, "count": self.count,
@@ -208,6 +221,7 @@ class MetricsRegistry:
     def __init__(self, enabled: Optional[bool] = None):
         self._enabled = enabled
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
@@ -218,9 +232,13 @@ class MetricsRegistry:
                        **kwargs) -> Metric:
         m = self._metrics.get(name)
         if m is None:
-            m = cls(name, help, label_names=labels, registry=self, **kwargs)
-            self._metrics[name] = m
-        elif not isinstance(m, cls) or m.label_names != tuple(labels):
+            with self._lock:
+                m = self._metrics.get(name)
+                if m is None:
+                    m = cls(name, help, label_names=labels, registry=self,
+                            **kwargs)
+                    self._metrics[name] = m
+        if not isinstance(m, cls) or m.label_names != tuple(labels):
             raise ValueError(
                 f"metric {name!r} already registered as {m.kind} with labels "
                 f"{m.label_names}")

@@ -15,8 +15,10 @@ manifest directory on exit::
 """
 from __future__ import annotations
 
+import collections
 import json
 import os
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -34,31 +36,54 @@ def _jsonable(value):
 
 
 class EventLog:
-    """Append-only structured event buffer, optionally streamed as JSONL."""
+    """Append-only structured event buffer, optionally streamed as JSONL.
 
-    def __init__(self, path: Optional[str] = None, append: bool = False):
-        self.events: List[Dict] = []
+    ``max_events`` bounds the in-memory buffer for long-running servers: a
+    full ring drops the *oldest* event (counted in ``dropped_events``) so
+    the log always holds the most recent history.  ``None`` keeps the
+    buffer unbounded — the right choice for finite sessions whose events
+    are snapshotted to disk.  ``emit`` is thread-safe: concurrent lane
+    threads can never interleave partial JSONL lines in the stream.
+    """
+
+    #: generous default ring — hours of gateway events, bounded memory
+    DEFAULT_MAX_EVENTS = 100_000
+
+    def __init__(self, path: Optional[str] = None, append: bool = False,
+                 max_events: Optional[int] = DEFAULT_MAX_EVENTS):
+        self.max_events = max_events
+        self.events: collections.deque = collections.deque(maxlen=max_events)
+        self.dropped_events = 0
+        self._lock = threading.Lock()
         self._path = path
         self._fh = open(path, "a" if append else "w") if path else None
 
     def emit(self, kind: str, **fields) -> Dict:
         event = {"ts": time.time(), "kind": kind}
         event.update({k: _jsonable(v) for k, v in fields.items()})
-        self.events.append(event)
-        if self._fh is not None:
-            self._fh.write(json.dumps(event, default=str) + "\n")
-            self._fh.flush()
+        line = json.dumps(event, default=str) + "\n"
+        with self._lock:
+            if (self.max_events is not None
+                    and len(self.events) == self.max_events):
+                self.dropped_events += 1
+            self.events.append(event)
+            if self._fh is not None:
+                self._fh.write(line)
+                self._fh.flush()
         return event
 
     def save(self, path: str) -> None:
+        with self._lock:
+            events = list(self.events)
         with open(path, "w") as f:
-            for event in self.events:
+            for event in events:
                 f.write(json.dumps(event, default=str) + "\n")
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,328 @@
+"""Live observability through a real gateway: trace propagation across the
+worker process boundary, flight-recorder auto-dumps, SLO windows, the status
+surface, per-op profiling attribution and the CLI top/trace workflow.
+"""
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.server import ModelRegistry, Server
+from repro.telemetry import live
+from tests.server.conftest import StubPlan, stub_sample
+
+pytestmark = pytest.mark.obs
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pool tests need fork")
+
+
+def _stub_server(**overrides) -> Server:
+    reg = ModelRegistry()
+    reg.register("stub", "1", runner=StubPlan())
+    defaults = dict(max_batch=4, default_deadline_s=5.0, max_linger_s=0.002,
+                    tracing=True)
+    defaults.update(overrides)
+    return Server(reg, **defaults)
+
+
+def _span_names(roots):
+    names = []
+
+    def walk(node):
+        names.append(node["span"]["name"])
+        for c in node["children"]:
+            walk(c)
+
+    for r in roots:
+        walk(r)
+    return names
+
+
+def _wait_inflight(server, name, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        lane = server._lanes.get(name)
+        if lane is not None and lane.pool is not None and lane.inflight:
+            return lane
+        time.sleep(0.002)
+    raise AssertionError(f"lane {name} never got a batch in flight")
+
+
+class TestTracePropagation:
+    @needs_fork
+    def test_pool_request_yields_one_connected_tree(self):
+        """The acceptance criterion: a traced request through a real
+        PlanPool worker process produces a single connected span tree —
+        admit -> queue -> batch -> worker execution -> reply — with no
+        orphans, and the worker span genuinely comes from another pid."""
+        with _stub_server(workers=2) as srv:
+            pendings = [srv.submit("stub", stub_sample(float(i)))
+                        for i in range(8)]
+            for p in pendings:
+                assert p.result(timeout=60).ok
+            # worker spans ride the *next* done-queue poll; give the lane a
+            # beat to drain them before asserting
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if all("worker.exec" in _span_names(
+                        srv.trace_tree(p.request_id)[0]) for p in pendings):
+                    break
+                time.sleep(0.01)
+            for p in pendings:
+                roots, orphans = srv.trace_tree(p.request_id)
+                assert orphans == [], f"request {p.request_id}: orphan spans"
+                assert len(roots) == 1, f"request {p.request_id}: {roots}"
+                root = roots[0]["span"]
+                assert root["name"] == "request"
+                assert root["attrs"]["status"] == "ok"
+                names = _span_names(roots)
+                assert "queue.wait" in names
+                assert "batch" in names
+                assert "worker.exec" in names
+                worker = [n for n in _flatten(roots)
+                          if n["span"]["name"] == "worker.exec"]
+                assert worker[0]["span"]["proc"] == "worker"
+                assert worker[0]["span"]["pid"] != os.getpid()
+                # the worker span nests under the request's batch span
+                batch = [n for n in _flatten(roots)
+                         if n["span"]["name"] == "batch"][0]
+                assert worker[0]["span"]["parent_id"] == \
+                    batch["span"]["span_id"]
+
+    def test_inline_request_tree_connected(self):
+        with _stub_server(workers=0) as srv:
+            p = srv.submit("stub", stub_sample(1.0))
+            assert p.result(timeout=30).ok
+            roots, orphans = srv.trace_tree(p.request_id)
+        assert orphans == [] and len(roots) == 1
+        names = _span_names(roots)
+        assert names[0] == "request"
+        assert "queue.wait" in names and "batch" in names and "exec" in names
+
+    def test_tracing_off_stores_nothing(self):
+        with _stub_server(workers=0, tracing=False) as srv:
+            p = srv.submit("stub", stub_sample(1.0))
+            assert p.result(timeout=30).ok
+            assert len(srv.trace_store) == 0
+            assert p.ctx is None
+
+    @needs_fork
+    def test_requeue_after_worker_death_keeps_tree_and_records_retry(self):
+        """Kill every pool worker while a traced batch is in flight: the
+        batch is requeued onto the respawned pool, the request resolves Ok,
+        and its span tree survives — connected, with an explicit `retry`
+        marker under the root."""
+        reg = ModelRegistry()
+        reg.register("slowstub", "1", runner=StubPlan(delay_s=0.4))
+        with Server(reg, max_batch=4, workers=2, tracing=True,
+                    default_deadline_s=60.0, max_linger_s=0.002) as srv:
+            pendings = [srv.submit("slowstub", stub_sample(float(i)))
+                        for i in range(4)]
+            lane = _wait_inflight(srv, "slowstub")
+            for proc in lane.pool.procs:
+                os.kill(proc.pid, signal.SIGKILL)
+            results = [p.result(timeout=120) for p in pendings]
+            assert all(r.ok for r in results), results
+            retried = 0
+            for p in pendings:
+                roots, orphans = srv.trace_tree(p.request_id)
+                assert orphans == []
+                assert len(roots) == 1
+                names = _span_names(roots)
+                assert "batch" in names
+                if "retry" in names:
+                    retried += 1
+            # at least the batch in flight at kill time was requeued and
+            # carries the retry marker in its span tree
+            assert retried >= 1
+            assert lane.stats.worker_deaths >= 1
+            assert lane.flight.last_dump is not None
+            assert lane.flight.last_dump["reason"] == "worker_death"
+
+
+def _flatten(roots):
+    out = []
+
+    def walk(node):
+        out.append(node)
+        for c in node["children"]:
+            walk(c)
+
+    for r in roots:
+        walk(r)
+    return out
+
+
+class TestFlightRecorder:
+    def test_forced_deadline_miss_auto_dumps(self, tmp_path):
+        """A request answered after its deadline must leave a post-mortem:
+        the lane flight recorder auto-dumps with reason deadline_miss (and
+        writes it to dump_dir)."""
+        reg = ModelRegistry()
+        reg.register("slow", "1", runner=StubPlan(delay_s=0.08))
+        with Server(reg, max_batch=4, workers=0, max_linger_s=0.0,
+                    default_deadline_s=0.02, exec_time_init_s=0.0001,
+                    dump_dir=str(tmp_path)) as srv:
+            p = srv.submit("slow", stub_sample(1.0))
+            r = p.result(timeout=30)
+            assert r.ok and r.latency_s > 0.02
+            lane = srv._lanes["slow"]
+            assert lane.stats.deadline_miss >= 1
+            assert lane.flight.last_dump is not None
+            assert lane.flight.last_dump["reason"] == "deadline_miss"
+            dumps = [f for f in os.listdir(tmp_path)
+                     if f.startswith("flight_slow") and "deadline_miss" in f]
+            assert dumps, os.listdir(tmp_path)
+            with open(tmp_path / dumps[0]) as f:
+                dump = json.load(f)
+            assert dump["reason"] == "deadline_miss"
+            kinds = [e["kind"] for e in dump["events"]]
+            assert "batch_complete" in kinds
+
+    def test_shed_recorded_and_window_counts(self):
+        with _stub_server(workers=0, max_queue=1,
+                          default_deadline_s=0.000001) as srv:
+            # an impossible deadline: admission sheds immediately
+            p = srv.submit("stub", stub_sample(1.0))
+            r = p.result(timeout=5)
+            assert not r.ok
+            lane = srv._lanes["stub"]
+            assert lane.window.summary()["shed"] >= 1
+            assert lane.flight.last_dump["reason"] == "shed"
+            # the shed request still left a (single-span) trace
+            roots, orphans = srv.trace_tree(p.request_id)
+            assert len(roots) == 1 and orphans == []
+            assert roots[0]["span"]["attrs"]["status"] == "shed"
+
+    def test_manual_dump_all_lanes(self, tmp_path):
+        with _stub_server(workers=0) as srv:
+            assert srv.submit("stub", stub_sample(1.0)).result(30).ok
+            path = str(tmp_path / "fr.json")
+            dumps = srv.dump_flight_recorder(path=path)
+            assert "stub" in dumps
+            assert any(e["kind"] == "batch_complete"
+                       for e in dumps["stub"]["events"])
+            with open(path) as f:
+                assert "stub" in json.load(f)
+
+
+class TestStatusSurface:
+    def test_status_and_exposition_coherent(self):
+        with _stub_server(workers=0, slo_target=0.95) as srv:
+            for i in range(20):
+                assert srv.submit("stub", stub_sample(float(i))).result(30).ok
+            status = srv.status()
+            m = status["models"]["stub"]
+            assert m["window"]["ok"] == 20
+            assert m["window"]["slo"]["target"] == 0.95
+            assert m["window"]["slo"]["error_budget_burn"] == 0.0
+            assert m["cumulative"]["ok"] == 20
+            assert status["tracing"] is True
+            assert status["traces_held"] == 20
+            from repro.telemetry.obs import parse_prometheus
+
+            parsed = parse_prometheus(srv.render_exposition())
+            by_model = dict((lab["model"], v) for lab, v in
+                            parsed["server_window_ok"])
+            assert by_model["stub"] == 20.0
+            assert "server_slo_error_budget_burn" in parsed
+
+    def test_status_export_files_and_cli_top(self, tmp_path, capsys):
+        out = str(tmp_path / "obs")
+        with _stub_server(workers=0) as srv:
+            srv.start_status_export(out, interval_s=0.05)
+            for i in range(8):
+                assert srv.submit("stub", stub_sample(float(i))).result(30).ok
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and not os.path.exists(
+                    os.path.join(out, "metrics.prom")):
+                time.sleep(0.01)
+        # close() stops the exporter after a final write
+        with open(os.path.join(out, "status.json")) as f:
+            status = json.load(f)
+        assert status["models"]["stub"]["window"]["requests"] >= 8
+        from repro.telemetry.obs import parse_prometheus
+
+        with open(os.path.join(out, "metrics.prom")) as f:
+            assert "server_window_ok" in parse_prometheus(f.read())
+        assert cli.main(["top", out, "--once"]) == 0
+        frame = capsys.readouterr().out
+        assert "stub" in frame and "burn" in frame
+
+    def test_cli_trace_round_trip(self, tmp_path, capsys):
+        with _stub_server(workers=0) as srv:
+            p = srv.submit("stub", stub_sample(1.0))
+            assert p.result(30).ok
+            traces = str(tmp_path / "traces.jsonl")
+            assert srv.dump_traces(traces) >= 3
+        chrome = str(tmp_path / "chrome.json")
+        assert cli.main(["trace", str(p.request_id), "--traces", traces,
+                         "--chrome", chrome]) == 0
+        text = capsys.readouterr().out
+        assert "request" in text and "0 orphan(s)" in text
+        with open(chrome) as f:
+            events = json.load(f)["traceEvents"]
+        assert {e["args"]["trace_id"] for e in events} == {p.request_id}
+        assert cli.main(["trace", "999999", "--traces", traces]) == 1
+
+
+class TestProfiling:
+    def test_inline_profiling_attributes_wall_time(self, served_factory):
+        """>= 90% of sampled plan wall time must land on named ops."""
+        d, samples, _refs = served_factory("resnet20")
+        reg = ModelRegistry()
+        reg.register("resnet20", "1", d)
+        with Server(reg, max_batch=4, workers=0, default_deadline_s=30.0,
+                    profile_every=1, tracing=False) as srv:
+            for i in range(8):
+                assert srv.submit(
+                    "resnet20", samples[i % len(samples)]).result(60).ok
+            rep = srv.profile_report("resnet20")
+        assert rep["sampled_batches"] >= 1
+        assert rep["attributed_fraction"] >= 0.90, rep
+        assert rep["per_op"][0]["seconds"] > 0
+        kinds = {r["kind"] for r in rep["per_kind"]}
+        assert kinds, "no op kinds attributed"
+
+    @needs_fork
+    def test_pool_profiling_ships_rows_to_gateway(self, served_factory):
+        d, samples, _refs = served_factory("resnet20")
+        reg = ModelRegistry()
+        reg.register("resnet20", "1", d)
+        with Server(reg, max_batch=4, workers=2, default_deadline_s=60.0,
+                    profile_every=1, tracing=True) as srv:
+            pendings = [srv.submit("resnet20", samples[i % len(samples)])
+                        for i in range(8)]
+            for p in pendings:
+                assert p.result(timeout=120).ok
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if srv._lanes["resnet20"].profile.report()[
+                        "sampled_batches"] >= 1:
+                    break
+                time.sleep(0.01)
+            rep = srv.profile_report("resnet20")
+        assert rep["sampled_batches"] >= 1, \
+            "worker profile rows never reached the gateway"
+        assert rep["attributed_fraction"] >= 0.90, rep
+
+    def test_plan_profiler_unit(self, served_factory):
+        d, samples, _refs = served_factory("resnet20")
+        plan = d.plan
+        plan.enable_profiling(sample_every=2)
+        try:
+            x = np.stack(samples[:2])
+            for _ in range(4):
+                plan(x)
+            rep = plan.profile_report()
+        finally:
+            plan.disable_profiling()
+        assert rep["sampled_batches"] == 2   # every 2nd of 4 batches
+        assert rep["attributed_fraction"] >= 0.90
