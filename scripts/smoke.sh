@@ -24,6 +24,37 @@ python -m repro.cli lint --purity
 python -m repro.cli lint --model vgg8 --train-size 256 --test-size 64 \
     --calib-batches 1
 
+echo "== plan-IR verification (liveness / aliasing / overflow proofs) =="
+python -m repro.cli lint --model resnet20 --plan --repacked \
+    --train-size 256 --test-size 64 --calib-batches 1
+python - <<'EOF'
+# every model in the registry must compile to a plan that proves clean:
+# dataflow liveness, no-alias, overflow safety, shift certificates
+import numpy as np
+from repro.core import DeploySpec, deploy
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import MODELS, build_model
+
+KWARGS = {"resnet20": dict(width=8), "resnet18": dict(width=8),
+          "resnet50": dict(width=8), "mobilenet-v1": dict(width_mult=0.5),
+          "vgg8": dict(width_mult=0.5), "vit-7": dict(embed_dim=64)}
+for name in MODELS:
+    rng = np.random.default_rng(0)
+    qm = quantize_model(build_model(name, num_classes=10, **KWARGS[name]),
+                        QConfig(8, 8))
+    calibrate_model(qm, [rng.standard_normal((4, 3, 32, 32))
+                         .astype(np.float32) for _ in range(2)])
+    d = deploy(qm, DeploySpec(runtime="auto"))
+    rep = d.plan.verify(input_shape=(3, 32, 32))
+    assert rep.ok, f"{name}: plan verification failed\n{rep.render()}"
+    print(f"plan verify OK: {name:<12} {rep.num_ops:>3} ops, "
+          f"{len(rep.rows):>2} accumulator rows, "
+          f"max {rep.min_accum_bits() and max(rep.min_accum_bits().values())}"
+          f"-bit accumulators")
+EOF
+
 echo "== compiled runtime (plan vs interpreted tree) =="
 python -m pytest tests/runtime -q -m runtime
 python -m repro.cli bench --model resnet20 --train-size 256 --test-size 64 \
@@ -142,6 +173,22 @@ assert s["missed"] == 0, f"undetected faults in chaos run: {rep}"
 assert s["detected"] == s["injected"] >= 4
 print(f"chaos smoke OK: {s['injected']} injected, {s['detected']} detected, "
       f"0 missed")
+EOF
+python -m repro.cli chaos --model resnet20 --train-size 256 --test-size 64 \
+    --calib-batches 1 --seed 7 --json > "$TEL_DIR/chaos_plan.json"
+python - "$TEL_DIR" <<'EOF'
+# the fresh-build run also mutates the compiled plan; the static verifier
+# and registry gate must refuse every mutant
+import json, sys, os
+rep = json.load(open(os.path.join(sys.argv[1], "chaos_plan.json")))
+assert rep["summary"]["missed"] == 0, rep["summary"]
+plan_faults = [f for f in rep["faults"]
+               if f["injector"] in ("swap_register", "widen_scale", "drop_op")]
+assert len(plan_faults) == 3, [f["injector"] for f in rep["faults"]]
+assert all(f["layers"].get("verifier") and f["layers"].get("registry")
+           for f in plan_faults), plan_faults
+print(f"plan chaos OK: {len(plan_faults)} IR mutations injected, "
+      f"all refused by verifier and registry")
 EOF
 
 echo "== compile-check examples =="

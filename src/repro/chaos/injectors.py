@@ -9,7 +9,11 @@ chaos run is a *reproducible experiment*, not a fuzzer.  Two families:
   and return a details dict naming exactly what was damaged;
 * **server injectors** perturb a running :class:`repro.server.Server`
   (``kill_worker``, ``stall_worker``, ``delay_clock``) and return details
-  plus, where needed, an ``undo`` callable.
+  plus, where needed, an ``undo`` callable;
+* **plan injectors** corrupt a compiled :class:`repro.runtime.executor.Plan`
+  in place (``swap_register``, ``widen_scale``, ``drop_op``) — each is
+  constructed to violate an invariant the plan verifier *proves*, so a
+  silent miss means the static verifier has a hole.
 
 ``corrupt_header`` is deliberately the nastiest case: it rewrites a qint
 JSON header *and* patches the file's manifest checksum *and* re-signs the
@@ -246,4 +250,79 @@ SERVER_INJECTORS = {
     "delay_clock": delay_clock,
 }
 
-INJECTORS = {**ARTIFACT_INJECTORS, **SERVER_INJECTORS}
+
+# ------------------------------------------------------------- plan faults
+def _invalidate(plan) -> None:
+    """Drop caches a mutation makes stale (bindings, verification report)."""
+    plan._bindings = {}
+    plan._verification = None
+
+
+def swap_register(plan, rng: np.random.Generator) -> Dict:
+    """Rewire one op's source to a register defined *later* in the program.
+
+    A miswired fusion/buffer-sharing pass in its most detectable form: the
+    read observes garbage (or a stale slot) at run time, and statically it
+    is a use-before-def the dataflow pass must flag as ``plan.dead-read``.
+    """
+    candidates = [(i, op) for i, op in enumerate(plan.ops) if op.src]
+    i, op = _pick(rng, candidates)
+    later = [o.dst for o in plan.ops[i:]]  # >= i: op's own dst qualifies too
+    slot = int(rng.integers(len(op.src)))
+    old = op.src[slot]
+    new = _pick(rng, [d for d in later if d != old] or later)
+    src = list(op.src)
+    src[slot] = int(new)
+    op.src = tuple(src)
+    _invalidate(plan)
+    return {"op": i, "name": op.name, "slot": slot,
+            "old_reg": int(old), "new_reg": int(new)}
+
+
+def widen_scale(plan, rng: np.random.Generator,) -> Dict:
+    """Multiply one requant's scale (and clamp grid) by 16-128x.
+
+    Models a post-compile parameter patch that silently widens an
+    activation range: every downstream accumulator bound the compiler
+    certified is now stale, which the verifier's interval re-propagation
+    must catch as ``plan.accum-overflow``.
+    """
+    fed = {op.src[0] for op in plan.ops
+           if op.kind == "conv_mq" and op.src}
+    convs = [(i, op) for i, op in enumerate(plan.ops)
+             if op.kind == "conv_mq" and op.dst in fed]
+    if not convs:  # no conv->conv edge (e.g. tiny test plans): any mq op
+        convs = [(i, op) for i, op in enumerate(plan.ops)
+                 if getattr(op, "mq", None) is not None]
+    i, op = _pick(rng, convs)
+    factor = float(2 ** int(rng.integers(4, 8)))
+    op.mq.m = op.mq.m * factor
+    op.mq.lo = op.mq.lo * factor
+    op.mq.hi = op.mq.hi * factor
+    _invalidate(plan)
+    return {"op": i, "name": op.name, "factor": factor}
+
+
+def drop_op(plan, rng: np.random.Generator) -> Dict:
+    """Delete one op whose result is still consumed downstream.
+
+    The over-eager dead-code-elimination failure: a later op (or the
+    program output) reads a register that is now never written —
+    ``plan.dead-read`` by construction.
+    """
+    consumed = {s for op in plan.ops for s in op.src} | {plan.output_reg}
+    candidates = [i for i, op in enumerate(plan.ops) if op.dst in consumed]
+    i = _pick(rng, candidates)
+    op = plan.ops.pop(i)
+    _invalidate(plan)
+    return {"op": i, "name": op.name, "op_kind": op.kind, "dst": int(op.dst)}
+
+
+#: compiled-plan fault catalog — every entry must be *caught* by verify()
+PLAN_INJECTORS = {
+    "swap_register": swap_register,
+    "widen_scale": widen_scale,
+    "drop_op": drop_op,
+}
+
+INJECTORS = {**ARTIFACT_INJECTORS, **SERVER_INJECTORS, **PLAN_INJECTORS}

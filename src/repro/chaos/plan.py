@@ -17,7 +17,9 @@ axes:
   acceptance anywhere marks the fault *missed*.  For server faults it means
   the gateway reacted with its typed degradation contract (supervised
   respawn, liveness under a stall, :class:`~repro.server.types.Overloaded`
-  shedding under clock skew) instead of hanging or lying.
+  shedding under clock skew) instead of hanging or lying.  For compiled-plan
+  faults it means the static verifier (:meth:`Plan.verify`) reports errors
+  *and* the registry gate refuses to admit the mutant.
 * **recovered** — service continued on known-good state afterwards: the
   registry still serves the previous active version / a post-fault probe
   request returns :class:`~repro.server.types.Ok`.
@@ -38,11 +40,25 @@ import numpy as np
 
 from repro import telemetry
 from repro.chaos.injectors import (ARTIFACT_INJECTORS, INJECTORS,
-                                   SERVER_INJECTORS)
+                                   PLAN_INJECTORS, SERVER_INJECTORS)
 from repro.export.errors import ArtifactError
 
 #: how long server-fault detection probes the gateway before giving up
 _PROBE_TIMEOUT_S = 10.0
+
+
+class _PlanRunner:
+    """Minimal registry-compatible runner wrapping a compiled plan.
+
+    Exposes ``.plan`` so :meth:`~repro.server.ModelRegistry.register` picks
+    it up and its verification gate applies — the path under test.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+
+    def __call__(self, batch):
+        return self.plan(batch)
 
 
 @dataclass
@@ -164,6 +180,15 @@ class ChaosPlan:
             plan.add(name)
         return plan
 
+    @classmethod
+    def plan_default(cls, seed: int = 0, rounds: int = 1) -> "ChaosPlan":
+        """One pass (or ``rounds``) over every compiled-plan fault class."""
+        plan = cls(seed)
+        for _ in range(rounds):
+            for name in PLAN_INJECTORS:
+                plan.add(name)
+        return plan
+
     # -------------------------------------------------------- artifact runs
     def run_artifacts(self, export_dir: str,
                       workdir: Optional[str] = None) -> ChaosReport:
@@ -222,6 +247,58 @@ class ChaosPlan:
         rec.detected = all(rec.layers.values())
         if audit.findings:
             rec.note = ", ".join(sorted({f.rule for f in audit.findings}))
+
+    # ------------------------------------------------------------ plan runs
+    def run_plan(self, plan, input_shape=None, module_bits=None) -> ChaosReport:
+        """Inject each scheduled plan fault into a *deep copy* of a compiled
+        :class:`~repro.runtime.executor.Plan` and score whether the static
+        verifier (and the registry gate built on it) refuses the mutant.
+        The original plan is never touched and must still verify clean
+        afterwards (the *recovered* axis)."""
+        import copy as _copy
+
+        report = ChaosReport(self.seed)
+        for i, (name, params) in enumerate(self.schedule):
+            if name not in PLAN_INJECTORS:
+                raise ValueError(
+                    f"run_plan() cannot run non-plan injector {name!r}")
+            mutant = _copy.deepcopy(plan)
+            mutant._bindings = {}
+            mutant._verification = None
+            rec = FaultRecord(index=i, injector=name, params=dict(params))
+            rec.details = PLAN_INJECTORS[name](mutant, self.rng_for(i),
+                                               **params)
+            telemetry.emit("chaos_inject", injector=name, index=i,
+                           model=plan.model_name, **rec.details)
+            self._score_plan_fault(rec, plan, mutant, input_shape, module_bits)
+            self._emit_outcome(rec)
+            report.add(rec)
+        return report
+
+    @staticmethod
+    def _score_plan_fault(rec: FaultRecord, clean, mutant,
+                          input_shape, module_bits) -> None:
+        from repro.lint.plan import PlanVerificationError
+        from repro.server.registry import ModelRegistry
+
+        vreport = mutant.verify(input_shape=input_shape,
+                                module_bits=module_bits, refresh=True)
+        rec.layers["verifier"] = not vreport.ok
+
+        registry = ModelRegistry()
+        registry.register("chaos", "good", runner=_PlanRunner(clean))
+        try:
+            registry.register("chaos", "bad", runner=_PlanRunner(mutant),
+                              activate=True)
+            rec.layers["registry"] = False
+        except PlanVerificationError:
+            rec.layers["registry"] = True
+        rec.recovered = (registry.active_version("chaos") == "good"
+                         and clean.verify(refresh=True).ok)
+        rec.detected = all(rec.layers.values())
+        if vreport.findings:
+            rec.note = ", ".join(sorted({f.rule for f in vreport.findings
+                                         if f.severity == "ERROR"}))
 
     # ---------------------------------------------------------- server runs
     def run_server(self, server, model: str, sample,

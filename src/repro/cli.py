@@ -273,23 +273,45 @@ def _write_inspect_report(out_dir, profile_rows, layer_rows, weight_rows,
 def cmd_lint(args) -> int:
     """Static verification: interval engine + contracts (or --purity only).
 
-    Exit code 2 when any ERROR-level finding survives, so CI can gate on it.
+    ``--plan`` additionally compiles the deploy model and runs the plan-IR
+    verifier (dataflow/no-alias/overflow/shift proofs) over the program.
+    Exit code 2 when any finding reaches the ``--fail-on`` threshold
+    (default: ERROR), so CI can gate on it.
     """
     from repro.lint import lint_model, lint_sources
 
+    plan_rep = None
     if args.purity:
         rep = lint_sources()
     else:
         seed_everything(args.seed)
         spec = DeploySpec.from_args(args)
+        if getattr(args, "plan", False):
+            # the CLI reports violations instead of raising mid-build, and
+            # needs a compiled plan even when the runtime was off
+            spec = spec.evolve(verify_plan=False)
+            if spec.runtime == "none":
+                spec = spec.evolve(runtime="auto")
         deployed, _ = _build_deployed_model(args, spec)
         target = deployed.qnn if args.repacked else deployed.fused
         rep = lint_model(target, accum_bits=args.accum_bits)
+        if getattr(args, "plan", False):
+            plan_rep = deployed.plan.verify(accum_bits=args.accum_bits,
+                                            module_bits=rep.min_accum_bits())
+    fail_on = getattr(args, "fail_on", "error")
     if args.json:
-        print(json.dumps(rep.to_json(), indent=1))
+        out = rep.to_json()
+        if plan_rep is not None:
+            out["plan"] = plan_rep.to_json()
+        print(json.dumps(out, indent=1))
     else:
         print(rep.render())
-    return 0 if rep.ok else 2
+        if plan_rep is not None:
+            print()
+            print(plan_rep.render())
+    failed = rep.exceeds(fail_on) or (
+        plan_rep is not None and plan_rep.exceeds(fail_on))
+    return 2 if failed else 0
 
 
 def cmd_bench(args) -> int:
@@ -631,8 +653,10 @@ def cmd_chaos(args) -> int:
     """Seeded fault-injection run; exit 2 when any fault goes undetected.
 
     Artifact faults always run (against copies of the target directory —
-    the original is never modified); ``--server`` additionally stands up
-    the online gateway on a freshly deployed model and runs the
+    the original is never modified); when a freshly deployed model is in
+    play (no ``--dir``, or ``--server``), its compiled plan also gets the
+    plan-mutation schedule — the static verifier must refuse every mutant;
+    ``--server`` additionally stands up the online gateway and runs the
     server-fault schedule against it.
     """
     import shutil
@@ -663,6 +687,16 @@ def cmd_chaos(args) -> int:
                     plan.add(name)
             print("note: no qint artifacts in target; skipping corrupt_header")
         report = plan.run_artifacts(export_dir)
+
+        if deployed is not None and deployed.plan is not None:
+            module_bits = (deployed.lint_report.min_accum_bits()
+                           if deployed.lint_report is not None else None)
+            report.extend(
+                ChaosPlan.plan_default(args.seed, rounds=args.rounds)
+                .run_plan(deployed.plan, module_bits=module_bits))
+        else:
+            print("note: no freshly compiled plan (ran against --dir); "
+                  "skipping plan-mutation schedule", file=sys.stderr)
 
         if args.server:
             from repro.runtime.serve import _can_fork
@@ -746,6 +780,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "fused Q-model")
     p.add_argument("--accum-bits", type=int, default=32,
                    help="accumulator register width to verify against")
+    p.add_argument("--plan", action="store_true",
+                   help="also compile the deploy model and run the plan-IR "
+                        "verifier (dataflow/no-alias/overflow/shift proofs)")
+    p.add_argument("--fail-on", choices=("error", "warning"), default="error",
+                   help="exit-2 threshold: 'warning' makes WARN findings "
+                        "fail too (strict CI mode)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable findings on stdout")
     p.set_defaults(func=cmd_lint)

@@ -59,6 +59,13 @@ class DeploySpec:
         whenever they are written or loaded from disk; on by default so a
         half-written or corrupted directory raises a typed
         :class:`~repro.export.errors.ArtifactError` instead of being served.
+    verify_plan:
+        Statically verify the compiled plan (register dataflow, no-alias,
+        accumulator overflow proofs — see :mod:`repro.lint.plan`); on by
+        default so :func:`deploy` raises
+        :class:`~repro.lint.plan.PlanVerificationError` rather than hand
+        over an unverified program.  The report lands on
+        ``Deployed.plan_verification`` and in the export manifest.
     """
 
     fusion: str = "channel"
@@ -71,6 +78,7 @@ class DeploySpec:
     formats: Tuple[str, ...] = ("dec",)
     runtime: str = "auto"
     verify_artifacts: bool = True
+    verify_plan: bool = True
 
     def __post_init__(self):
         if self.fusion not in ("channel", "prefuse"):
@@ -92,7 +100,8 @@ class DeploySpec:
         for fld, attr in (("fusion", "fusion"), ("float_scale", "float_scale"),
                           ("lint", "lint"), ("accum_bits", "accum_bits"),
                           ("export_dir", "out_dir"), ("runtime", "runtime"),
-                          ("verify_artifacts", "verify_artifacts")):
+                          ("verify_artifacts", "verify_artifacts"),
+                          ("verify_plan", "verify_plan")):
             v = getattr(args, attr, None)
             if v is not None:
                 kw[fld] = v
@@ -125,6 +134,7 @@ class Deployed:
     lint_report: object = None
     manifest: Optional[dict] = None  #: export manifest when spec.export_dir
     integrity: object = None         #: IntegrityReport when artifacts verified
+    plan_verification: object = None  #: PlanVerificationReport when verified
 
     def __call__(self, batch):
         """Run a batch through the fastest available executor."""
@@ -156,6 +166,31 @@ def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
         t2c.lint(accum_bits=spec.accum_bits)
     qnn = t2c.nn2chip()
     manifest = t2c.last_manifest
+    plan = None
+    plan_report = None
+    if spec.runtime != "none":
+        from repro.runtime import Plan
+
+        plan = Plan.compile(qnn, layout=spec.runtime)
+        if spec.verify_plan:
+            from repro.lint.plan import PlanVerificationError
+
+            module_bits = (t2c.lint_report.min_accum_bits()
+                           if t2c.lint_report is not None else None)
+            plan_report = plan.verify(accum_bits=spec.accum_bits,
+                                      module_bits=module_bits)
+            if spec.accum_bits == 32:
+                # seed the default-config cache so the registry/server
+                # gates reuse this proof instead of re-deriving it
+                plan._verification = plan_report
+            if not plan_report.ok:
+                raise PlanVerificationError(plan_report)
+            if spec.export_dir is not None:
+                from repro.export.writer import amend_manifest
+
+                manifest = amend_manifest(
+                    spec.export_dir,
+                    {"plan_verification": plan_report.to_json()})
     integrity = None
     if spec.export_dir is not None and spec.verify_artifacts:
         # read the published directory back end to end: the write-side
@@ -163,14 +198,9 @@ def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
         from repro.export.integrity import verify_artifacts
 
         integrity = verify_artifacts(spec.export_dir).raise_if_failed()
-    plan = None
-    if spec.runtime != "none":
-        from repro.runtime import Plan
-
-        plan = Plan.compile(qnn, layout=spec.runtime)
     return Deployed(qnn=qnn, fused=t2c.model, spec=spec, t2c=t2c, plan=plan,
                     lint_report=t2c.lint_report, manifest=manifest,
-                    integrity=integrity)
+                    integrity=integrity, plan_verification=plan_report)
 
 
 def deploy_registry(models, spec: Optional[DeploySpec] = None,

@@ -118,6 +118,28 @@ def export_state_dict(
     return manifest
 
 
+def amend_manifest(out_dir: str, updates: Dict) -> Dict:
+    """Merge ``updates`` into a published manifest and re-sign its digest.
+
+    Used to embed post-export reports (e.g. the plan verification proof)
+    without re-writing tensors.  The manifest is re-written atomically
+    (tmp file + fsync + rename), so a crash leaves the old signed manifest.
+    """
+    path = os.path.join(os.path.normpath(out_dir), "manifest.json")
+    with open(path) as f:
+        manifest = json.load(f)
+    manifest.update(updates)
+    manifest["digest"] = manifest_digest(manifest)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as f:
+        json.dump(manifest, f, indent=2)
+        f.flush()
+        os.fsync(f.fileno())
+    os.rename(tmp, path)
+    _fsync_dir(os.path.dirname(path))
+    return manifest
+
+
 def _write_tensors(state: Dict[str, np.ndarray], out_dir: str,
                    formats: Sequence[str], bits_map: Optional[Dict[str, int]],
                    validate: bool) -> Dict:

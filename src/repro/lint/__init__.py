@@ -7,7 +7,11 @@ Three passes, no input data required:
 * :mod:`repro.lint.contracts` — structural deploy contracts (fusion
   completeness, fixed-point faithfulness, integer-only state);
 * :mod:`repro.lint.purity` — AST lint holding the deploy-path *sources* to
-  the integer-only invariant (runs with no model at all).
+  the integer-only invariant (runs with no model at all);
+* :mod:`repro.lint.plan` — plan-IR verifier over compiled
+  :class:`~repro.runtime.executor.Plan` programs: register dataflow /
+  liveness, arena no-alias soundness, accumulator overflow proofs and
+  power-of-two shift certificates.
 
 Findings share the stable rule catalog in :mod:`repro.lint.findings`.
 """
@@ -23,20 +27,30 @@ from repro.lint.findings import (
     findings_to_json,
     has_errors,
     make_finding,
+    reaches_severity,
     render_findings,
     sort_findings,
 )
 from repro.lint.intervals import Interval, accum_bounds, min_signed_bits
+from repro.lint.plan import (
+    PlanLiveness,
+    PlanVerificationError,
+    PlanVerificationReport,
+    plan_liveness,
+    verify_plan,
+)
 from repro.lint.purity import lint_purity
 from repro.lint.runner import LintReport, lint_model, lint_sources
 
 __all__ = [
     "ERROR", "WARN", "INFO", "RULES", "Finding",
-    "make_finding", "sort_findings", "has_errors",
+    "make_finding", "sort_findings", "has_errors", "reaches_severity",
     "findings_summary", "findings_to_json", "render_findings",
     "Interval", "accum_bounds", "min_signed_bits",
     "IntervalEngine", "IntervalReport", "lint_intervals",
     "check_contracts", "model_kind",
     "lint_purity",
     "LintReport", "lint_model", "lint_sources",
+    "PlanLiveness", "PlanVerificationError", "PlanVerificationReport",
+    "plan_liveness", "verify_plan",
 ]

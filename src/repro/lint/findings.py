@@ -84,6 +84,17 @@ RULES: Dict[str, tuple] = {
         ERROR, "two formats of the same tensor decode to different values"),
     "integrity.unlisted-file": (
         WARN, "file present in the artifact directory but not in the manifest"),
+    # -- plan IR verifier (plan.*) ---------------------------------------
+    "plan.alias": (
+        ERROR, "a register (or shared arena slot) is rewritten while an earlier value is still live"),
+    "plan.dead-read": (
+        ERROR, "an op reads a register that is never written, or before its defining op"),
+    "plan.accum-overflow": (
+        ERROR, "plan-level interval proof exceeds the accumulator width, the op's certified bound, or the module-level proof"),
+    "plan.shift-inexact": (
+        ERROR, "requant scale is not an exact power of two (po2 deploy-mode precondition)"),
+    "plan.shape-mismatch": (
+        ERROR, "op wiring inconsistent: register ids, shapes or operand dimensions disagree"),
     # -- engine bookkeeping (lint.*) -------------------------------------
     "lint.unhandled-module": (
         WARN, "no interval handler for this module type; assumed range-preserving"),
@@ -123,6 +134,20 @@ def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
 
 def has_errors(findings: Iterable[Finding]) -> bool:
     return any(f.severity == ERROR for f in findings)
+
+
+def reaches_severity(findings: Iterable[Finding], fail_on: str = "error") -> bool:
+    """True when any finding is at or above the ``fail_on`` threshold.
+
+    ``fail_on`` is ``"error"`` (the default exit-2 gate) or ``"warning"``
+    (strict CI mode: WARN findings fail too).  INFO never gates.
+    """
+    thresholds = {"error": ERROR, "warning": WARN}
+    if fail_on not in thresholds:
+        raise ValueError(f"unknown fail-on threshold {fail_on!r}; "
+                         f"expected 'error' or 'warning'")
+    rank = _SEVERITY_RANK[thresholds[fail_on]]
+    return any(_SEVERITY_RANK[f.severity] <= rank for f in findings)
 
 
 def findings_summary(findings: Iterable[Finding]) -> Dict:

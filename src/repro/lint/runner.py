@@ -19,6 +19,7 @@ from repro.lint.findings import (
     findings_summary,
     findings_to_json,
     has_errors,
+    reaches_severity,
     render_findings,
     sort_findings,
 )
@@ -37,6 +38,10 @@ class LintReport:
     @property
     def ok(self) -> bool:
         return not has_errors(self.findings)
+
+    def exceeds(self, fail_on: str = "error") -> bool:
+        """True when the report trips the ``--fail-on`` threshold."""
+        return reaches_severity(self.findings, fail_on)
 
     def min_accum_bits(self) -> Dict[str, int]:
         return {r["layer"]: r["min_accum_bits"] for r in self.rows}

@@ -91,11 +91,13 @@ class Plan:
         self.model_name = model_name
         self.out_features = out_features
         self.layout = layout
+        self.slots: Optional[Dict[int, int]] = None  # reg -> arena slot map
         self._bindings: Dict[Tuple[int, ...], _Binding] = {}
         self._op_seconds = np.zeros(len(ops), dtype=np.float64)
         self._op_calls = np.zeros(len(ops), dtype=np.int64)
         self._batches = 0
         self._profiler: Optional[OpProfiler] = None
+        self._verification = None  # cached default-config verify() report
 
     # ------------------------------------------------------------- factory
     @classmethod
@@ -109,6 +111,31 @@ class Plan:
                        ops=len(plan.ops), registers=plan.num_regs,
                        layout=plan.layout)
         return plan
+
+    # -------------------------------------------------------- verification
+    def verify(self, accum_bits: int = 32, input_shape=None,
+               module_bits=None, require_po2: bool = False,
+               refresh: bool = False):
+        """Statically verify this program (see :func:`repro.lint.plan.verify_plan`).
+
+        The default-configuration report is cached on the plan — the
+        registry and server gates re-check swaps for free.  Pass
+        ``refresh=True`` after mutating the op list (tests, chaos harness)
+        to force a re-proof.
+        """
+        from repro.lint.plan import verify_plan
+
+        default = (accum_bits == 32 and input_shape is None
+                   and module_bits is None and not require_po2)
+        if default and not refresh and self._verification is not None:
+            return self._verification
+        report = verify_plan(self, accum_bits=accum_bits,
+                             input_shape=input_shape,
+                             module_bits=module_bits,
+                             require_po2=require_po2)
+        if default:
+            self._verification = report
+        return report
 
     # ----------------------------------------------------------- execution
     def __call__(self, batch) -> np.ndarray:

@@ -130,25 +130,37 @@ class ModelRegistry:
         return entry
 
     def _verify_entry(self, entry: ModelEntry, action: str) -> None:
-        """Integrity-gate an artifact-backed entry; typed raise on failure.
+        """Integrity-gate an entry; typed raise on failure.
 
-        Skipped when the entry has no on-disk artifacts, or when its deploy
-        spec explicitly opted out (``DeploySpec.verify_artifacts=False``).
+        Two gates: artifact integrity (skipped when the entry has no on-disk
+        artifacts, or its deploy spec set ``verify_artifacts=False``) and
+        plan verification (skipped when the entry carries no compiled plan,
+        or its spec set ``verify_plan=False``).  A plan whose verification
+        report has errors never enters the registry — and never activates.
         """
-        if entry.artifacts is None:
-            return
         spec = getattr(entry.deployed, "spec", None)
-        if spec is not None and not getattr(spec, "verify_artifacts", True):
-            return
-        from repro.export.integrity import verify_artifacts
+        if entry.artifacts is not None and (
+                spec is None or getattr(spec, "verify_artifacts", True)):
+            from repro.export.integrity import verify_artifacts
 
-        report = verify_artifacts(entry.artifacts)
-        if not report.ok:
-            telemetry.emit("registry_rejected", level="error",
-                           model=entry.key, action=action,
-                           artifacts=entry.artifacts,
-                           errors=report.to_json()["summary"]["errors"])
-            report.raise_if_failed()
+            report = verify_artifacts(entry.artifacts)
+            if not report.ok:
+                telemetry.emit("registry_rejected", level="error",
+                               model=entry.key, action=action,
+                               artifacts=entry.artifacts,
+                               errors=report.to_json()["summary"]["errors"])
+                report.raise_if_failed()
+        plan = entry.plan
+        if plan is not None and hasattr(plan, "verify") and (
+                spec is None or getattr(spec, "verify_plan", True)):
+            from repro.lint.plan import PlanVerificationError
+
+            vreport = plan.verify()
+            if not vreport.ok:
+                telemetry.emit("registry_rejected", level="error",
+                               model=entry.key, action=action, reason="plan",
+                               errors=vreport.to_json()["summary"]["errors"])
+                raise PlanVerificationError(vreport)
 
     def verify(self, key: str):
         """Run artifact verification for ``key`` now.

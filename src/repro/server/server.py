@@ -832,7 +832,7 @@ class Server:
         """
         if self.closing:
             raise RuntimeError("server is closed")
-        self.registry.get(f"{name}@{version}")   # validate before draining
+        entry = self.registry.get(f"{name}@{version}")  # validate before draining
         report = self.registry.verify(f"{name}@{version}")
         if report is not None and not report.ok:
             # refuse before draining a healthy lane: the old version keeps
@@ -841,6 +841,18 @@ class Server:
                            version=version,
                            errors=report.to_json()["summary"]["errors"])
             report.raise_if_failed()
+        plan = entry.plan
+        if plan is not None and hasattr(plan, "verify"):
+            vreport = plan.verify()
+            if not vreport.ok:
+                # same refusal for a plan that fails static verification:
+                # no unverified program ever takes over a lane
+                from repro.lint.plan import PlanVerificationError
+
+                telemetry.emit("server_swap_rejected", level="error",
+                               model=name, version=version, reason="plan",
+                               errors=vreport.to_json()["summary"]["errors"])
+                raise PlanVerificationError(vreport)
         lane = self._lane(name)
         lane.request_swap(version)
         if not lane.swap_done.wait(timeout):

@@ -45,3 +45,63 @@ class TestModelLint:
         assert main(["lint", "--model", "vgg8", "--repacked", *FAST]) == 0
         doc_out = capsys.readouterr().out
         assert "error(s)" in doc_out
+
+
+class TestPlanFlag:
+    def test_plan_verification_clean(self, capsys):
+        assert main(["lint", "--model", "vgg8", "--plan", "--json",
+                     *FAST]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["plan"]["ok"] is True
+        assert doc["plan"]["accumulators"]
+        assert doc["plan"]["shift"]["total"] > 0
+        assert doc["plan"]["liveness"]["max_live"] >= 2
+
+    def test_plan_violation_exits_two(self, capsys, monkeypatch):
+        from repro.runtime.executor import Plan
+
+        orig = Plan.verify
+
+        def verify_mutant(self, *a, **kw):
+            mutant = __import__("copy").deepcopy(self)
+            mutant.ops[-1].src = (mutant.ops[-1].dst,)
+            return orig(mutant, refresh=True)
+
+        monkeypatch.setattr(Plan, "verify", verify_mutant)
+        rc = main(["lint", "--model", "vgg8", "--plan", "--json", *FAST])
+        assert rc == 2
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["plan"]["ok"] is False
+        assert "plan.dead-read" in doc["plan"]["summary"]["by_rule"]
+
+
+class TestFailOn:
+    @staticmethod
+    def _warn_report():
+        from repro.lint.findings import make_finding
+        from repro.lint.runner import LintReport
+
+        return LintReport(findings=[make_finding(
+            "purity.float-cast", "fake.py:1", "synthetic warning")])
+
+    def test_warning_threshold_gates(self, capsys, monkeypatch):
+        import repro.lint
+
+        monkeypatch.setattr(repro.lint, "lint_sources",
+                            lambda *a, **kw: self._warn_report())
+        assert main(["lint", "--purity"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--purity", "--fail-on", "warning"]) == 2
+
+    def test_error_threshold_ignores_warnings(self, monkeypatch, capsys):
+        import repro.lint
+
+        monkeypatch.setattr(repro.lint, "lint_sources",
+                            lambda *a, **kw: self._warn_report())
+        assert main(["lint", "--purity", "--fail-on", "error"]) == 0
+
+    def test_report_exceeds_api(self):
+        rep = self._warn_report()
+        assert rep.ok
+        assert not rep.exceeds("error")
+        assert rep.exceeds("warning")

@@ -1,0 +1,55 @@
+"""docs/lint.md's rule catalog must exactly mirror repro.lint.findings.RULES.
+
+The table is hand-rendered (so the doc can be read without running code) but
+this test pins every row to the catalog: a rule added, removed, re-severitied
+or re-worded in findings.py without a matching doc edit fails CI.
+"""
+import os
+import re
+
+from repro.lint.findings import RULES
+
+DOC = os.path.join(os.path.dirname(__file__), "..", "..", "docs", "lint.md")
+
+ROW = re.compile(r"^\| `(?P<rule>[a-z.-]+)` \| (?P<sev>ERROR|WARN|INFO) \| "
+                 r"(?P<desc>.+?) \|$")
+
+
+def _doc_rows():
+    rows = {}
+    with open(DOC) as f:
+        for line in f:
+            m = ROW.match(line.strip())
+            if m:
+                rows[m.group("rule")] = (m.group("sev"), m.group("desc"))
+    return rows
+
+
+def _normalize(text):
+    return " ".join(text.split())
+
+
+def test_docs_table_matches_rules_catalog():
+    rows = _doc_rows()
+    assert rows, "no catalog table found in docs/lint.md"
+    documented = set(rows)
+    actual = set(RULES)
+    assert documented == actual, (
+        f"docs/lint.md drifted from RULES: "
+        f"missing={sorted(actual - documented)} "
+        f"stale={sorted(documented - actual)}")
+    for rule, (sev, desc) in RULES.items():
+        doc_sev, doc_desc = rows[rule]
+        assert doc_sev == sev, f"{rule}: doc says {doc_sev}, catalog {sev}"
+        assert _normalize(doc_desc) == _normalize(desc), (
+            f"{rule}: doc description drifted\n"
+            f"  doc:     {doc_desc!r}\n  catalog: {desc!r}")
+
+
+def test_plan_rules_documented_in_prose():
+    """The tentpole rules get explanatory prose, not only a table row."""
+    with open(DOC) as f:
+        text = f.read()
+    for rule in ("plan.alias", "plan.dead-read", "plan.accum-overflow",
+                 "plan.shift-inexact"):
+        assert text.count(rule) >= 2, f"{rule} only appears in the table"
