@@ -59,8 +59,43 @@ echo "== compiled runtime (plan vs interpreted tree) =="
 python -m pytest tests/runtime -q -m runtime
 python -m repro.cli bench --model resnet20 --train-size 256 --test-size 64 \
     --batch-size 16 --warmup 1 --batches 2 --tree-batches 1 \
+    --fusion-level full --threads 4 \
     --out "$TEL_DIR/BENCH_runtime.json"
 test -s "$TEL_DIR/BENCH_runtime.json" || { echo "missing BENCH_runtime.json"; exit 1; }
+
+echo "== plan fusion (fused multi-thread vs unfused single-thread) =="
+python - <<'EOF'
+# every registry model: the full-fusion 4-thread plan must be bitwise the
+# unfused single-thread plan, and must still prove clean in the verifier
+import numpy as np
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import MODELS, build_model
+from repro.runtime import CompileSpec, Plan
+
+KWARGS = {"resnet20": dict(width=8), "resnet18": dict(width=8),
+          "resnet50": dict(width=8), "mobilenet-v1": dict(width_mult=0.5),
+          "vgg8": dict(width_mult=0.5), "vit-7": dict(embed_dim=64)}
+for name in MODELS:
+    rng = np.random.default_rng(0)
+    qm = quantize_model(build_model(name, num_classes=10, **KWARGS[name]),
+                        QConfig(8, 8))
+    calibrate_model(qm, [rng.standard_normal((4, 3, 32, 32))
+                         .astype(np.float32) for _ in range(2)])
+    from repro.core import DeploySpec, deploy
+    d = deploy(qm, DeploySpec(runtime="none"))
+    x = rng.standard_normal((3, 3, 32, 32)).astype(np.float32)
+    fused = Plan.compile(d.qnn, CompileSpec(fusion="full", threads=4))
+    unfused = Plan.compile(d.qnn, CompileSpec(fusion="requant", threads=1))
+    assert np.array_equal(fused(x), unfused(x)), (
+        f"{name}: fused 4-thread plan diverges from unfused single-thread")
+    rep = fused.verify(input_shape=(3, 32, 32))
+    assert rep.ok, f"{name}: fused plan verification failed\n{rep.render()}"
+    print(f"fusion OK: {name:<12} {fused.fusion_stats['fused']:>2} chain(s) "
+          f"fused ({fused.fusion_stats['folded_smq']} shortcut requants "
+          f"folded), bit-exact at 4 threads, verify clean")
+EOF
 
 echo "== online serving gateway (repro.server) =="
 python -m pytest tests/server -q -m server
@@ -183,8 +218,9 @@ import json, sys, os
 rep = json.load(open(os.path.join(sys.argv[1], "chaos_plan.json")))
 assert rep["summary"]["missed"] == 0, rep["summary"]
 plan_faults = [f for f in rep["faults"]
-               if f["injector"] in ("swap_register", "widen_scale", "drop_op")]
-assert len(plan_faults) == 3, [f["injector"] for f in rep["faults"]]
+               if f["injector"] in ("swap_register", "widen_scale", "drop_op",
+                                    "fuse_illegal")]
+assert len(plan_faults) == 4, [f["injector"] for f in rep["faults"]]
 assert all(f["layers"].get("verifier") and f["layers"].get("registry")
            for f in plan_faults), plan_faults
 print(f"plan chaos OK: {len(plan_faults)} IR mutations injected, "

@@ -318,11 +318,41 @@ def drop_op(plan, rng: np.random.Generator) -> Dict:
     return {"op": i, "name": op.name, "op_kind": op.kind, "dst": int(op.dst)}
 
 
+def fuse_illegal(plan, rng: np.random.Generator) -> Dict:
+    """Replace one conv with a fused conv+residual whose shortcut operand is
+    a register defined *after* the op — the broken-fusion-pass failure mode.
+
+    A legal fusion only ever merges a residual whose operands already exist
+    at the fusion site; an illegal one (wrong legality oracle, off-by-one in
+    the liveness query) manifests exactly like this: the fused op reads a
+    forward register.  Structurally a use-before-def, so the dataflow pass
+    must flag it as ``plan.dead-read`` — with no input shape needed.
+    """
+    from repro.runtime.program import ConvMQOp, ConvMQResOp
+
+    convs = [(i, op) for i, op in enumerate(plan.ops)
+             if isinstance(op, ConvMQOp)]
+    if not convs:
+        raise ValueError("fuse_illegal needs a conv_mq op in the plan")
+    i, conv = _pick(rng, convs)
+    shortcut = int(plan.ops[-1].dst)  # defined at the end — always forward
+    fused = ConvMQResOp(
+        conv.name, (conv.src[0], shortcut), conv.dst, conv.weight,
+        conv.stride, conv.padding, conv.groups, conv.mq,
+        conv.exact_reassoc, conv.bound, res_scale=1.0,
+        res_lo=conv.mq.lo, res_hi=conv.mq.hi,
+        res_name=f"{conv.name}.illegal_residual")
+    plan.ops[i] = fused
+    _invalidate(plan)
+    return {"op": i, "name": conv.name, "shortcut_reg": shortcut}
+
+
 #: compiled-plan fault catalog — every entry must be *caught* by verify()
 PLAN_INJECTORS = {
     "swap_register": swap_register,
     "widen_scale": widen_scale,
     "drop_op": drop_op,
+    "fuse_illegal": fuse_illegal,
 }
 
 INJECTORS = {**ARTIFACT_INJECTORS, **SERVER_INJECTORS, **PLAN_INJECTORS}

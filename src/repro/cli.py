@@ -80,6 +80,20 @@ def _deploy_flags(parser: argparse.ArgumentParser, calib_batches: int = 4,
                         default="channel")
     parser.add_argument("--float-scale", action="store_true")
     parser.set_defaults(runtime=runtime)
+    # plan-compile knobs -> CompileSpec.from_args (DeploySpec.compile)
+    parser.add_argument("--fusion-level", choices=("none", "requant", "full"),
+                        default=None,
+                        help="plan operator-fusion level (CompileSpec.fusion; "
+                             "default full)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="conv kernel thread count (0 = one per core)")
+    parser.add_argument("--tile-kc", type=int, default=None, metavar="KIB",
+                        help="conv sample-tile cache budget in KiB (0 = auto)")
+    parser.add_argument("--tile-oc", type=int, choices=(0, 4, 8), default=None,
+                        help="output-channel register blocking (0 = auto)")
+    parser.add_argument("--no-im2col-cache", dest="im2col_cache",
+                        action="store_false", default=None,
+                        help="disable im2col buffer reuse in the batch layout")
 
 
 def _data(args):
@@ -325,6 +339,24 @@ def cmd_bench(args) -> int:
     return _run_bench(args)
 
 
+def _bench_trajectory(path: str) -> list:
+    """Prior BENCH rows to preserve; wraps a pre-trajectory flat file."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as f:
+            old = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if isinstance(old.get("trajectory"), list):
+        return old["trajectory"]
+    if "imgs_per_sec" in old:  # flat single-result layout from earlier runs
+        keep = ("model", "layout", "imgs_per_sec", "plan_ms_per_batch",
+                "speedup", "compile")
+        return [{k: old[k] for k in keep if k in old}]
+    return []
+
+
 def _run_bench(args) -> int:
     from repro.tensor import no_grad
     from repro.tensor.tensor import Tensor
@@ -381,6 +413,19 @@ def _run_bench(args) -> int:
             qnn(Tensor(batch))
     tree_s = (time.perf_counter() - t0) / max(1, args.tree_batches)
 
+    # unfused single-thread baseline under the same layout: the fused-vs-
+    # unfused comparison every bench run re-records (and re-checks bitwise)
+    from repro.runtime import Plan
+
+    base_spec = plan.spec.evolve(fusion="requant", threads=1)
+    base_plan = Plan.compile(qnn, base_spec)
+    fused_matches = bool(np.array_equal(base_plan(batch), plan(batch)))
+    base_plan(batch)
+    t0 = time.perf_counter()
+    for _ in range(args.batches):
+        base_plan(batch)
+    base_s = (time.perf_counter() - t0) / args.batches
+
     per_op = [r for r in plan.op_report() if r["calls"]]
     result = {
         "model": args.model,
@@ -396,15 +441,43 @@ def _run_bench(args) -> int:
         "latency_ms": latency_ms,
         "per_op": per_op,
         "spec": spec.to_json(),
+        "compile": plan.spec.to_json(),
+        "fusion_stats": plan.fusion_stats,
+    }
+    baseline = {
+        "plan_ms_per_batch": base_s * 1e3,
+        "imgs_per_sec": bs / base_s,
+        "compile": base_spec.to_json(),
+        "matches_fused_bitwise": fused_matches,
+    }
+    doc = {
+        "model": args.model,
+        "current": result,
+        "baseline_unfused": baseline,
+        "fused_speedup_vs_unfused": base_s / plan_s,
+        "trajectory": _bench_trajectory(args.out) + [{
+            "model": args.model,
+            "layout": plan.layout,
+            "imgs_per_sec": round(bs / plan_s, 1),
+            "plan_ms_per_batch": round(plan_s * 1e3, 3),
+            "speedup_vs_tree": round(tree_s / plan_s, 2),
+            "compile": plan.spec.to_json(),
+        }],
     }
     with open(args.out, "w") as f:
-        json.dump(result, f, indent=1)
+        json.dump(doc, f, indent=1)
     telemetry.emit("bench_runtime", model=args.model, layout=plan.layout,
                    imgs_per_sec=result["imgs_per_sec"],
-                   speedup=result["speedup"], bit_exact=exact)
-    print(f"bit-exact vs tree: {exact}")
+                   speedup=result["speedup"], bit_exact=exact,
+                   fusion=plan.spec.fusion,
+                   fused_speedup=base_s / plan_s)
+    print(f"bit-exact vs tree: {exact}   fused == unfused: {fused_matches}")
     print(f"plan[{plan.layout}] {plan_s * 1e3:8.1f} ms/batch "
-          f"({result['imgs_per_sec']:.1f} imgs/sec)")
+          f"({result['imgs_per_sec']:.1f} imgs/sec)  "
+          f"[fusion={plan.spec.fusion}, "
+          f"{plan.fusion_stats['fused']} chain(s) fused]")
+    print(f"unfused 1-thread {base_s * 1e3:6.1f} ms/batch  "
+          f"-> fused speedup {base_s / plan_s:.2f}x")
     print(f"tree           {tree_s * 1e3:8.1f} ms/batch  "
           f"-> speedup {result['speedup']:.2f}x")
     for bs_key, pcts in latency_ms.items():

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Optional, Tuple
 
 from repro.core.fixed_point import FixedPointFormat
+from repro.runtime.spec import CompileSpec
 
 #: sentinel distinguishing "kwarg not passed" from an explicit value, so the
 #: deprecation shims only fire for call sites that actually use the old name
@@ -52,8 +53,13 @@ class DeploySpec:
     formats:
         Data formats to export (``dec``/``hex``/``bin``/``qint``).
     runtime:
-        Plan layout for the compiled runtime: ``"auto"``, ``"channel"``,
-        ``"batch"``, or ``"none"`` to skip plan compilation.
+        ``"auto"`` compiles the runtime plan, ``"none"`` skips it.  The
+        legacy layout values ``"channel"``/``"batch"`` still work but are
+        deprecated — the layout (and every other compile knob) lives in
+        ``compile``.
+    compile:
+        The :class:`repro.runtime.CompileSpec` the plan is compiled under —
+        fusion level, register layout, tiling and thread count.
     verify_artifacts:
         Audit exported artifacts (checksums, header/payload consistency)
         whenever they are written or loaded from disk; on by default so a
@@ -77,6 +83,7 @@ class DeploySpec:
     export_dir: Optional[str] = None
     formats: Tuple[str, ...] = ("dec",)
     runtime: str = "auto"
+    compile: CompileSpec = field(default_factory=CompileSpec)
     verify_artifacts: bool = True
     verify_plan: bool = True
 
@@ -87,6 +94,9 @@ class DeploySpec:
         if self.runtime not in ("auto", "channel", "batch", "none"):
             raise ValueError(f"unknown runtime layout {self.runtime!r}; "
                              "expected 'auto', 'channel', 'batch' or 'none'")
+        if not isinstance(self.compile, CompileSpec):
+            raise ValueError("DeploySpec.compile must be a CompileSpec, got "
+                             f"{type(self.compile).__name__}")
 
     @classmethod
     def from_args(cls, args) -> "DeploySpec":
@@ -108,6 +118,12 @@ class DeploySpec:
         fmts = getattr(args, "formats", None)
         if fmts is not None:
             kw["formats"] = tuple(fmts)
+        # compile knobs (--fusion-level/--threads/--tile-*) share one
+        # translation too; a legacy `--runtime channel|batch` folds into
+        # CompileSpec.layout there, so no deprecation shim fires for it
+        kw["compile"] = CompileSpec.from_args(args)
+        if kw.get("runtime") in ("channel", "batch"):
+            kw["runtime"] = "auto"
         return cls(**kw)
 
     def evolve(self, **changes) -> "DeploySpec":
@@ -117,8 +133,13 @@ class DeploySpec:
         out = {}
         for f in fields(self):
             v = getattr(self, f.name)
-            out[f.name] = str(v) if isinstance(v, FixedPointFormat) else (
-                list(v) if isinstance(v, tuple) else v)
+            if isinstance(v, FixedPointFormat):
+                v = str(v)
+            elif isinstance(v, CompileSpec):
+                v = v.to_json()
+            elif isinstance(v, tuple):
+                v = list(v)
+            out[f.name] = v
         return out
 
 
@@ -171,7 +192,12 @@ def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
     if spec.runtime != "none":
         from repro.runtime import Plan
 
-        plan = Plan.compile(qnn, layout=spec.runtime)
+        cspec = spec.compile
+        if spec.runtime in ("channel", "batch"):
+            warn_deprecated_kwarg("DeploySpec", "runtime", "compile.layout")
+            if cspec.layout == "auto":
+                cspec = cspec.evolve(layout=spec.runtime)
+        plan = Plan.compile(qnn, spec=cspec)
         if spec.verify_plan:
             from repro.lint.plan import PlanVerificationError
 

@@ -153,6 +153,9 @@ class PlanVerificationReport:
     shift_certificates: List[Dict] = field(default_factory=list)
     liveness: Optional[PlanLiveness] = None
     checked_module_rows: int = 0
+    #: the CompileSpec the plan was built under (fusion level, layout,
+    #: tiling, threads) — embedded so manifests record the compile config
+    compile_spec: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -180,6 +183,7 @@ class PlanVerificationReport:
             "liveness": (self.liveness.to_json()
                          if self.liveness is not None else None),
             "checked_module_rows": self.checked_module_rows,
+            "compile_spec": self.compile_spec,
         }
 
     def render(self) -> str:
@@ -333,6 +337,30 @@ class _PlanVerifier:
                          f"({op.groups} group(s) of {cg}); register r"
                          f"{op.src[0]} carries {c}")
         self._check_mq_size(i, op, op.mq, o, "mq")
+
+    def _shape_conv_raw(self, i, op) -> None:
+        shape = self.shapes.get(op.src[0])
+        if shape is None or len(shape) != 3:
+            raise ValueError(f"conv input r{op.src[0]} is not (C, H, W): "
+                             f"{shape}")
+        c = shape[0]
+        _, cg, _, _ = op.weight.shape
+        if cg * op.groups != c:
+            self.finding("plan.shape-mismatch", self._site(i, op),
+                         f"weight expects {cg * op.groups} input channels "
+                         f"({op.groups} group(s) of {cg}); register r"
+                         f"{op.src[0]} carries {c}")
+
+    def _shape_conv_mq_res(self, i, op) -> None:
+        self._shape_conv_mq(i, op)
+        conv_out = op.infer(self.shapes)
+        short = self.shapes.get(op.src[1])
+        if short is not None and short != conv_out:
+            self.finding("plan.shape-mismatch", self._site(i, op),
+                         f"fused residual shortcut r{op.src[1]} is {short} "
+                         f"but the conv produces {conv_out}")
+        if op.smq is not None:
+            self._check_mq_size(i, op, op.smq, op.weight.shape[0], "smq")
 
     def _shape_linear_mq(self, i, op) -> None:
         shape = self.shapes.get(op.src[0])
@@ -507,6 +535,37 @@ class _PlanVerifier:
                          f"re-derives {derived:.0f} — the plan no longer "
                          f"matches what the compiler proved")
 
+    def _h_conv_raw(self, i, op) -> Interval:
+        x = self._input(i, op).scalar()
+        if op.padding:
+            x = x.hull_zero()
+        w2d = op.weight.reshape(op.weight.shape[0], -1)
+        acc = accum_bounds(w2d, x)
+        self.record_accum(op.name, "conv_raw", acc)
+        self._check_conv_certificate(i, op, x)
+        return acc  # the standalone mulquant that follows narrows it
+
+    def _h_conv_mq_res(self, i, op) -> Interval:
+        """Fused conv+requant+residual: the proof decomposes exactly like
+        the unfused chain — conv accumulator row under the conv's name,
+        residual accumulator row under the original residual op's name — so
+        fusion changes no row the report (or the module cross-check) sees."""
+        x = self._input(i, op, 0).scalar()
+        if op.padding:
+            x = x.hull_zero()
+        w2d = op.weight.reshape(op.weight.shape[0], -1)
+        acc = accum_bounds(w2d, x)
+        self.record_accum(op.name, "conv_mq", acc)
+        self._check_conv_certificate(i, op, x)
+        a = self._requant(acc, op.mq).scalar()
+        s = self._input(i, op, 1).scalar()
+        if op.smq is not None:
+            s = self._requant(s, op.smq).scalar()
+        merged = a + s
+        self.record_accum(op.res_name, "residual", merged)
+        return (merged.divide(op.res_scale).round_half_away()
+                .clamp(op.res_lo, op.res_hi))
+
     def _h_linear_mq(self, i, op) -> Interval:
         x = self._input(i, op).scalar()
         w2d = op.weight.reshape(op.weight.shape[0], -1)
@@ -623,7 +682,8 @@ class _PlanVerifier:
 
     @staticmethod
     def _mq_params(op) -> List[Tuple[str, object]]:
-        named = [("mq", "mq"), ("mq_qkv", "mq_qkv"), ("mq_score", "mq_score"),
+        named = [("mq", "mq"), ("smq", "smq"),
+                 ("mq_qkv", "mq_qkv"), ("mq_score", "mq_score"),
                  ("mq_ctx", "mq_ctx"), ("mq_proj", "mq_proj"),
                  ("mq_fc1", "mq_fc1"), ("mq_fc2", "mq_fc2")]
         return [(label, getattr(op, attr))
@@ -673,6 +733,9 @@ class _PlanVerifier:
             shift_certificates=self.certs,
             liveness=live,
             checked_module_rows=self.checked_module_rows,
+            compile_spec=(spec.to_json()
+                          if (spec := getattr(self.plan, "spec", None))
+                          is not None else None),
         )
 
 

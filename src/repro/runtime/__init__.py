@@ -24,12 +24,15 @@ interpreted op sequence verbatim (see ``tests/runtime/``).
 
 Entry points::
 
-    plan = Plan.compile(qnn)          # qnn = T2C(...).nn2chip()
+    spec = CompileSpec(fusion="full", threads=4)   # the one compile config
+    plan = Plan.compile(qnn, spec)    # qnn = T2C(...).nn2chip()
     logits = plan(batch)              # == qnn(Tensor(batch)).data, bitwise
     for logits in plan.serve(batches, workers=4): ...
 """
 from repro.runtime.executor import Plan
 from repro.runtime.compiler import CompileError
 from repro.runtime.serve import BatchFailed, PlanPool, WorkerDied
+from repro.runtime.spec import CompileSpec
 
-__all__ = ["Plan", "CompileError", "PlanPool", "WorkerDied", "BatchFailed"]
+__all__ = ["Plan", "CompileSpec", "CompileError", "PlanPool", "WorkerDied",
+           "BatchFailed"]

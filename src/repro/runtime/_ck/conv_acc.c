@@ -148,6 +148,119 @@ void conv_acc_block(const float* base, const int64_t* offs,
     }
 }
 
+/* 8-output-channel variant: 32-lane grid tiles x 8 channels keep the same
+ * 16 live accumulators but read each activation lane once per 8 channels
+ * instead of once per 4, halving activation streaming for convs with wide
+ * enough groups.  Exactness is untouched — every partial sum is a <2^24
+ * integer, so any register blocking produces identical bits. */
+void conv_acc_block8(const float* base, const int64_t* offs,
+                     const float* w, int64_t K, int64_t wstride, int64_t ob,
+                     float* acc, int64_t acc_stride, int64_t R)
+{
+    int64_t t0 = 0;
+    for (; t0 + 32 <= R; t0 += 32) {
+        if (ob == 8) {
+            __m512 a00 = _mm512_setzero_ps(), a01 = a00;
+            __m512 a10 = a00, a11 = a00, a20 = a00, a21 = a00;
+            __m512 a30 = a00, a31 = a00, a40 = a00, a41 = a00;
+            __m512 a50 = a00, a51 = a00, a60 = a00, a61 = a00;
+            __m512 a70 = a00, a71 = a00;
+            for (int64_t k = 0; k < K; ++k) {
+                const float* s = base + offs[k] + t0;
+                const __m512 s0 = _mm512_loadu_ps(s);
+                const __m512 s1 = _mm512_loadu_ps(s + 16);
+                __m512 wb;
+                wb = _mm512_set1_ps(w[k]);
+                a00 = _mm512_fmadd_ps(wb, s0, a00);
+                a01 = _mm512_fmadd_ps(wb, s1, a01);
+                wb = _mm512_set1_ps(w[wstride + k]);
+                a10 = _mm512_fmadd_ps(wb, s0, a10);
+                a11 = _mm512_fmadd_ps(wb, s1, a11);
+                wb = _mm512_set1_ps(w[2 * wstride + k]);
+                a20 = _mm512_fmadd_ps(wb, s0, a20);
+                a21 = _mm512_fmadd_ps(wb, s1, a21);
+                wb = _mm512_set1_ps(w[3 * wstride + k]);
+                a30 = _mm512_fmadd_ps(wb, s0, a30);
+                a31 = _mm512_fmadd_ps(wb, s1, a31);
+                wb = _mm512_set1_ps(w[4 * wstride + k]);
+                a40 = _mm512_fmadd_ps(wb, s0, a40);
+                a41 = _mm512_fmadd_ps(wb, s1, a41);
+                wb = _mm512_set1_ps(w[5 * wstride + k]);
+                a50 = _mm512_fmadd_ps(wb, s0, a50);
+                a51 = _mm512_fmadd_ps(wb, s1, a51);
+                wb = _mm512_set1_ps(w[6 * wstride + k]);
+                a60 = _mm512_fmadd_ps(wb, s0, a60);
+                a61 = _mm512_fmadd_ps(wb, s1, a61);
+                wb = _mm512_set1_ps(w[7 * wstride + k]);
+                a70 = _mm512_fmadd_ps(wb, s0, a70);
+                a71 = _mm512_fmadd_ps(wb, s1, a71);
+            }
+            float* d = acc + t0;
+            _mm512_storeu_ps(d, a00); _mm512_storeu_ps(d + 16, a01);
+            d = acc + acc_stride + t0;
+            _mm512_storeu_ps(d, a10); _mm512_storeu_ps(d + 16, a11);
+            d = acc + 2 * acc_stride + t0;
+            _mm512_storeu_ps(d, a20); _mm512_storeu_ps(d + 16, a21);
+            d = acc + 3 * acc_stride + t0;
+            _mm512_storeu_ps(d, a30); _mm512_storeu_ps(d + 16, a31);
+            d = acc + 4 * acc_stride + t0;
+            _mm512_storeu_ps(d, a40); _mm512_storeu_ps(d + 16, a41);
+            d = acc + 5 * acc_stride + t0;
+            _mm512_storeu_ps(d, a50); _mm512_storeu_ps(d + 16, a51);
+            d = acc + 6 * acc_stride + t0;
+            _mm512_storeu_ps(d, a60); _mm512_storeu_ps(d + 16, a61);
+            d = acc + 7 * acc_stride + t0;
+            _mm512_storeu_ps(d, a70); _mm512_storeu_ps(d + 16, a71);
+        } else {
+            __m512 a[8][2];
+            for (int64_t u = 0; u < ob; ++u)
+                a[u][0] = a[u][1] = _mm512_setzero_ps();
+            for (int64_t k = 0; k < K; ++k) {
+                const float* s = base + offs[k] + t0;
+                const __m512 s0 = _mm512_loadu_ps(s);
+                const __m512 s1 = _mm512_loadu_ps(s + 16);
+                for (int64_t u = 0; u < ob; ++u) {
+                    const __m512 wb = _mm512_set1_ps(w[u * wstride + k]);
+                    a[u][0] = _mm512_fmadd_ps(wb, s0, a[u][0]);
+                    a[u][1] = _mm512_fmadd_ps(wb, s1, a[u][1]);
+                }
+            }
+            for (int64_t u = 0; u < ob; ++u) {
+                float* d = acc + u * acc_stride + t0;
+                _mm512_storeu_ps(d, a[u][0]);
+                _mm512_storeu_ps(d + 16, a[u][1]);
+            }
+        }
+    }
+    if (t0 < R) {
+        const int64_t rem = R - t0;
+        __mmask16 mk[2];
+        for (int v = 0; v < 2; ++v) {
+            const int64_t r = rem - 16 * v;
+            mk[v] = r >= 16 ? (__mmask16)0xFFFF
+                            : (r > 0 ? (__mmask16)((1u << r) - 1u) : 0);
+        }
+        __m512 a[8][2];
+        for (int64_t u = 0; u < ob; ++u)
+            a[u][0] = a[u][1] = _mm512_setzero_ps();
+        for (int64_t k = 0; k < K; ++k) {
+            const float* s = base + offs[k] + t0;
+            __m512 sv[2];
+            for (int v = 0; v < 2; ++v)
+                sv[v] = _mm512_maskz_loadu_ps(mk[v], s + 16 * v);
+            for (int64_t u = 0; u < ob; ++u) {
+                const __m512 wb = _mm512_set1_ps(w[u * wstride + k]);
+                for (int v = 0; v < 2; ++v)
+                    a[u][v] = _mm512_fmadd_ps(wb, sv[v], a[u][v]);
+            }
+        }
+        for (int64_t u = 0; u < ob; ++u)
+            for (int v = 0; v < 2; ++v)
+                _mm512_mask_storeu_ps(acc + u * acc_stride + t0 + 16 * v,
+                                      mk[v], a[u][v]);
+    }
+}
+
 #else /* portable fallback: fused axpy passes, auto-vectorizable plain C */
 
 void conv_acc_block(const float* base, const int64_t* offs,
@@ -179,5 +292,18 @@ void conv_acc_block(const float* base, const int64_t* offs,
             q += g;
         }
     }
+}
+
+/* 8-channel entry point: two 4-channel passes (the portable path is
+ * per-channel anyway, so the wider blocking buys nothing here). */
+void conv_acc_block8(const float* base, const int64_t* offs,
+                     const float* w, int64_t K, int64_t wstride, int64_t ob,
+                     float* acc, int64_t acc_stride, int64_t R)
+{
+    const int64_t lo = ob < 4 ? ob : 4;
+    conv_acc_block(base, offs, w, K, wstride, lo, acc, acc_stride, R);
+    if (ob > 4)
+        conv_acc_block(base, offs, w + 4 * wstride, K, wstride, ob - 4,
+                       acc + 4 * acc_stride, acc_stride, R);
 }
 #endif

@@ -72,3 +72,83 @@ void requant_rows(const float* restrict acc, float* restrict Q,
         }
     }
 }
+
+/* Fused epilogue of a conv+requant+residual chain (conv_mq_res): requant
+ * the conv accumulator rows, optionally requant the shortcut rows (folded
+ * identity MulQuant), then the float32 residual merge — each stage is the
+ * byte-for-byte arithmetic of the standalone kernel above, applied while
+ * the rows are still in cache.  The `(float)` cast of the clamped integral
+ * double is exact, so skipping the store/load round-trip through the
+ * intermediate register changes no bits.
+ *
+ * acc points at the sample's full-grid accumulator plane; S is the
+ * shortcut's (O, N, Hs, Ws) channel-major register with border pad s_off.
+ */
+void fused_res_rows(const float* restrict acc, const float* restrict S,
+                    float* restrict Q,
+                    int64_t o, int64_t n, int64_t N,
+                    int64_t Wp, int64_t stride,
+                    int64_t Hq, int64_t Wq, int64_t out_off,
+                    int64_t Hs, int64_t Ws, int64_t s_off,
+                    int64_t OH, int64_t OW,
+                    double mo, double bo, double lo, double hi,
+                    int64_t has_smq, double smo, double sbo,
+                    double slo, double shi,
+                    double rs, double rlo, double rhi)
+{
+    double vb[512];
+    float av[512], sv[512];
+    const float frs = (float)rs, flo = (float)rlo, fhi = (float)rhi;
+    for (int64_t y = 0; y < OH; ++y) {
+        const float* restrict arow = acc + (y * stride) * Wp;
+        const float* restrict srow =
+            S + ((o * N + n) * Hs + y + s_off) * Ws + s_off;
+        float* restrict qrow =
+            Q + ((o * N + n) * Hq + y + out_off) * Wq + out_off;
+        for (int64_t x0 = 0; x0 < OW; x0 += 512) {
+            const int64_t nb = OW - x0 < 512 ? OW - x0 : 512;
+            if (stride == 1) {
+                const float* restrict ar = arow + x0;
+                for (int64_t x = 0; x < nb; ++x)
+                    vb[x] = (double)ar[x];
+            } else {
+                const float* restrict ar = arow + x0 * stride;
+                for (int64_t x = 0; x < nb; ++x)
+                    vb[x] = (double)ar[x * stride];
+            }
+            for (int64_t x = 0; x < nb; ++x) {
+                double v = vb[x] * mo;
+                v = v + bo;
+                const double h = v >= 0.0 ? 0.5 : -0.5;
+                double r = (double)(int64_t)(v + h);
+                r = r < lo ? lo : r;
+                r = r > hi ? hi : r;
+                av[x] = (float)r;
+            }
+            const float* restrict sr = srow + x0;
+            if (has_smq) {
+                for (int64_t x = 0; x < nb; ++x) {
+                    double v = (double)sr[x] * smo;
+                    v = v + sbo;
+                    const double h = v >= 0.0 ? 0.5 : -0.5;
+                    double r = (double)(int64_t)(v + h);
+                    r = r < slo ? slo : r;
+                    r = r > shi ? shi : r;
+                    sv[x] = (float)r;
+                }
+            } else {
+                for (int64_t x = 0; x < nb; ++x)
+                    sv[x] = sr[x];
+            }
+            float* restrict qr = qrow + x0;
+            for (int64_t x = 0; x < nb; ++x) {
+                const float v = (av[x] + sv[x]) / frs;
+                const float h = v >= 0.0f ? 0.5f : -0.5f;
+                float r = (float)(int64_t)(v + h);
+                r = r < flo ? flo : r;
+                r = r > fhi ? fhi : r;
+                qr[x] = r;
+            }
+        }
+    }
+}

@@ -37,7 +37,7 @@ def plan_pads(ops: List, shapes: Dict[int, Shape]) -> Dict[int, int]:
         if len(shape) == 3:
             pads[reg] = 0
     for op in ops:
-        if op.kind == "conv_mq":
+        if op.kind in ("conv_mq", "conv_raw", "conv_mq_res"):
             src = op.src[0]
             if src in pads:
                 pads[src] = max(pads[src], op.padding)
@@ -47,9 +47,14 @@ def plan_pads(ops: List, shapes: Dict[int, Shape]) -> Dict[int, int]:
 class Arena:
     """Preallocated register file for one (batch size, input shape) binding."""
 
-    def __init__(self, n: int, num_regs: int, layout: str = "batch"):
+    def __init__(self, n: int, num_regs: int, layout: str = "batch",
+                 spec=None):
+        if spec is None:
+            from repro.runtime.spec import CompileSpec
+            spec = CompileSpec()
         self.n = n
         self.layout = layout
+        self.spec = spec
         self.regs = [None] * num_regs
         # per-sample shapes, filled during shape inference at bind time
         self.shapes: Dict[int, Shape] = {}

@@ -33,7 +33,7 @@ _SOURCES = (
     ("requant.c", ("-ffp-contract=off",)),
     ("driver.c", ("-ffp-contract=off",)),
 )
-_BASE_FLAGS = ("-O3", "-fno-math-errno", "-fPIC")
+_BASE_FLAGS = ("-O3", "-fno-math-errno", "-fPIC", "-pthread")
 
 _loaded = False
 _kernel: Optional["CKernel"] = None
@@ -54,7 +54,21 @@ class CKernel:
              ctypes.c_void_p, ctypes.c_int64,
              ctypes.c_double, ctypes.c_double,
              ctypes.c_void_p, ctypes.c_void_p]
-            + [ctypes.c_int64] * 16)
+            + [ctypes.c_int64] * 19)
+        lib.conv_mq_res_cm.restype = None
+        lib.conv_mq_res_cm.argtypes = (
+            [ctypes.c_void_p, ctypes.c_void_p,      # P, w
+             ctypes.c_void_p, ctypes.c_int64,       # m, mlen
+             ctypes.c_void_p, ctypes.c_int64,       # b, blen
+             ctypes.c_double, ctypes.c_double,      # lo, hi
+             ctypes.c_void_p,                       # S
+             ctypes.c_void_p, ctypes.c_int64,       # sm, smlen
+             ctypes.c_void_p, ctypes.c_int64,       # sb, sblen
+             ctypes.c_double, ctypes.c_double,      # slo, shi
+             ctypes.c_int64,                        # has_smq
+             ctypes.c_double, ctypes.c_double, ctypes.c_double,  # rs, rlo, rhi
+             ctypes.c_void_p, ctypes.c_void_p]      # Q, acc
+            + [ctypes.c_int64] * 22)
         lib.mulquant_cm.restype = None
         lib.mulquant_cm.argtypes = (
             [ctypes.c_void_p, ctypes.c_int64,
@@ -73,17 +87,41 @@ class CKernel:
 
     def conv_mq_cm(self, P, w, m, b, lo, hi, Q, acc, *,
                    C, N, Hp, Wp, O, kh, kw, stride, in_off,
-                   Hq, Wq, out_off, OH, OW, groups) -> None:
+                   Hq, Wq, out_off, OH, OW, groups,
+                   nb=0, ob_step=0, threads=1) -> None:
         """Run the fused conv+MulQuant on channel-major padded registers.
 
-        The caller keeps every array referenced for the duration of the
-        call; raw pointers are taken here and nothing is retained.
+        ``nb`` is the sample-block size (0 = one sample at a time),
+        ``ob_step`` the output-channel register blocking (0 = auto) and
+        ``threads`` the worker count; any combination is bit-exact — the
+        accumulation order is covered by the compiler's exact-reassociation
+        certificate and output writes are disjoint.  The caller keeps every
+        array referenced for the duration of the call; raw pointers are
+        taken here and nothing is retained.
         """
         self._lib.conv_mq_cm(
             P.ctypes.data, w.ctypes.data, m.ctypes.data, m.size,
             b.ctypes.data, b.size, lo, hi, Q.ctypes.data, acc.ctypes.data,
             acc.size, C, N, Hp, Wp, O, kh, kw, stride, in_off,
-            Hq, Wq, out_off, OH, OW, groups)
+            Hq, Wq, out_off, OH, OW, groups, nb, ob_step, threads)
+
+    def conv_mq_res_cm(self, P, w, m, b, lo, hi, S, sm, sb, slo, shi,
+                       has_smq, rs, rlo, rhi, Q, acc, *,
+                       C, N, Hp, Wp, O, kh, kw, stride, in_off,
+                       Hq, Wq, out_off, OH, OW, groups,
+                       nb=0, ob_step=0, threads=1,
+                       Hs, Ws, s_off) -> None:
+        """Fused conv+MulQuant+residual-add (optionally folding the
+        shortcut's own MulQuant when ``has_smq``); same tiling/threading
+        contract as :meth:`conv_mq_cm`."""
+        self._lib.conv_mq_res_cm(
+            P.ctypes.data, w.ctypes.data, m.ctypes.data, m.size,
+            b.ctypes.data, b.size, lo, hi, S.ctypes.data,
+            sm.ctypes.data, sm.size, sb.ctypes.data, sb.size, slo, shi,
+            has_smq, rs, rlo, rhi, Q.ctypes.data, acc.ctypes.data,
+            acc.size, C, N, Hp, Wp, O, kh, kw, stride, in_off,
+            Hq, Wq, out_off, OH, OW, groups, nb, ob_step, threads,
+            Hs, Ws, s_off)
 
     def mulquant_cm(self, P, ps, m, b, lo, hi, Q, *,
                     C, N, Hp, Wp, Hq, Wq, out_off, H, W) -> None:
@@ -145,7 +183,8 @@ def _try_build(cc: str, native: bool, cache: str) -> Optional[str]:
                 return None
             objs.append(obj)
         tmp_so = os.path.join(tmp, "lib.so")
-        r = subprocess.run([cc, "-shared", "-o", tmp_so, *objs, "-lm"],
+        r = subprocess.run([cc, "-shared", "-pthread", "-o", tmp_so,
+                            *objs, "-lm"],
                            capture_output=True, timeout=120)
         if r.returncode != 0:
             return None

@@ -17,9 +17,11 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.runtime import kernels
-from repro.runtime.program import (AttentionOp, CallModuleOp, ConvMQOp, GapMQOp,
-                                   HeadOp, InputQuantOp, LinearMQOp, MaxPoolOp,
-                                   MLPOp, MulQuantOp, ResidualOp, TokensOp)
+from repro.runtime.program import (AttentionOp, CallModuleOp, ConvMQOp,
+                                   ConvRawOp, GapMQOp, HeadOp, InputQuantOp,
+                                   LinearMQOp, MaxPoolOp, MLPOp, MulQuantOp,
+                                   ResidualOp, TokensOp)
+from repro.runtime.spec import _UNSET, CompileSpec, warn_legacy_compile_kwarg
 
 
 class CompileError(RuntimeError):
@@ -29,8 +31,9 @@ class CompileError(RuntimeError):
 class _Builder:
     """Accumulates ops, register ids and proven integer ranges."""
 
-    def __init__(self, qnn):
+    def __init__(self, qnn, fusion: str = "requant"):
         self.qnn = qnn
+        self.fusion = fusion
         self.names: Dict[int, str] = {id(m): n for n, m in qnn.named_modules()}
         self.ops = []
         self.num_regs = 1  # register 0 is the model input
@@ -72,12 +75,19 @@ class _Builder:
                 "range; cannot certify the fused conv kernel")
         weight = conv.weight.data
         bound = kernels.conv_reassociation_bound(weight, in_range)
+        exact = bound < kernels.EXACT_F32_LIMIT
         dst = self.new_reg()
+        if self.fusion == "none":
+            # raw accumulator + standalone requant: the pre-fusion view
+            self.emit(ConvRawOp(self.name_of(unit), (src,), dst, weight,
+                                conv.stride, conv.padding, conv.groups,
+                                exact_reassoc=exact, bound=bound),
+                      out_range=(-bound, bound))
+            return self.mulquant(mq, dst)
         return self.emit(
             ConvMQOp(self.name_of(unit), (src,), dst, weight, conv.stride,
                      conv.padding, conv.groups, kernels.MQParams.of(mq),
-                     exact_reassoc=bound < kernels.EXACT_F32_LIMIT,
-                     bound=bound),
+                     exact_reassoc=exact, bound=bound),
             out_range=(mq.out_lo, mq.out_hi))
 
     def mulquant(self, mq, src: int) -> int:
@@ -205,14 +215,20 @@ def _compile_vit(b: _Builder) -> int:
                          kernels.MQParams.of(head.mq)))
 
 
-def compile_program(qnn, layout: str = "auto"):
+def compile_program(qnn, spec: CompileSpec = None, *, layout=_UNSET):
     """Compile a re-packed deploy model into an executable :class:`Plan`.
 
-    ``layout`` picks the register storage: ``"channel"`` uses channel-major
+    ``spec`` (a :class:`repro.runtime.CompileSpec`) is the single compile
+    configuration: fusion level, register layout and native-kernel
+    tiling/threading.  Defaults to ``CompileSpec()`` (full fusion, auto
+    layout).  The layout resolves as before: ``"channel"`` uses channel-major
     padded registers and the native conv kernel (CNN architectures only),
     ``"batch"`` replicates the interpreted numpy sequence over plain
     ``(N, C, H, W)`` registers, and ``"auto"`` selects ``channel`` whenever
     the architecture supports it and the native kernel is available.
+
+    The ``layout=`` keyword is the pre-CompileSpec surface; it keeps working
+    but emits a :class:`DeprecationWarning` and routes through the spec.
     """
     from repro import telemetry
     from repro.core.qmodels import QMobileNetV1, QResNet
@@ -221,6 +237,16 @@ def compile_program(qnn, layout: str = "auto"):
     from repro.core.vanilla import InputQuant
     from repro.runtime import ckernel
     from repro.runtime.executor import Plan
+    from repro.runtime.fusion import fuse_plan
+
+    if layout is not _UNSET:
+        warn_legacy_compile_kwarg("compile_program", "layout", "layout")
+        if layout not in ("auto", "channel", "batch"):
+            raise CompileError(f"unknown layout {layout!r}; "
+                               "expected 'auto', 'channel' or 'batch'")
+        spec = (spec if spec is not None else CompileSpec()).evolve(layout=layout)
+    elif spec is None:
+        spec = CompileSpec()
 
     if not isinstance(getattr(qnn, "input_q", None), InputQuant):
         raise CompileError(
@@ -229,20 +255,18 @@ def compile_program(qnn, layout: str = "auto"):
             f"{type(qnn).__name__}")
 
     cnn = isinstance(qnn, (QResNet, QMobileNetV1, QVGG))
-    if layout == "auto":
-        layout = "channel" if cnn and ckernel.available() else "batch"
-        if cnn and layout == "batch":
+    resolved = spec.layout
+    if resolved == "auto":
+        resolved = "channel" if cnn and ckernel.available() else "batch"
+        if cnn and resolved == "batch":
             telemetry.emit("plan_layout_fallback", model=type(qnn).__name__,
                            reason="native kernel unavailable")
-    elif layout == "channel" and not cnn:
+    elif resolved == "channel" and not cnn:
         raise CompileError(
             f"channel layout supports CNN architectures only, not "
             f"{type(qnn).__name__}")
-    elif layout not in ("channel", "batch"):
-        raise CompileError(f"unknown layout {layout!r}; "
-                           "expected 'auto', 'channel' or 'batch'")
 
-    b = _Builder(qnn)
+    b = _Builder(qnn, fusion=spec.fusion)
     if isinstance(qnn, QResNet):
         out_reg = _compile_resnet(b)
     elif isinstance(qnn, QMobileNetV1):
@@ -256,9 +280,16 @@ def compile_program(qnn, layout: str = "auto"):
             f"no compiler for architecture {type(qnn).__name__}; supported: "
             "QResNet, QMobileNetV1, QVGG, QVisionTransformer")
 
+    ops = b.ops
+    fusion_stats = {"fused": 0, "folded_smq": 0}
+    if spec.fusion == "full":
+        ops, fusion_stats = fuse_plan(ops, out_reg)
+
     fc_weight = (qnn.head.linear.weight if isinstance(qnn, QVisionTransformer)
                  else qnn.fc.linear.weight)
-    return Plan(b.ops, num_regs=b.num_regs, output_reg=out_reg,
+    plan = Plan(ops, num_regs=b.num_regs, output_reg=out_reg,
                 model_name=type(qnn).__name__,
                 out_features=fc_weight.data.shape[0],
-                layout=layout)
+                layout=resolved, spec=spec)
+    plan.fusion_stats = fusion_stats
+    return plan

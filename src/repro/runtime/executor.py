@@ -20,6 +20,7 @@ import numpy as np
 from repro import telemetry
 from repro.runtime.arena import Arena, plan_pads
 from repro.runtime.kernels import new_sig
+from repro.runtime.spec import _UNSET, CompileSpec, warn_legacy_compile_kwarg
 
 
 class OpProfiler:
@@ -49,10 +50,19 @@ class OpProfiler:
         return self._tick % self.sample_every == 0
 
     def record(self, delta, wall_s: float) -> None:
-        """Fold one sampled batch's per-op second deltas into the report."""
+        """Fold one sampled batch's per-op second deltas into the report.
+
+        A fused op's delta is split across its constituent source layers
+        (shares sum to 1.0), so attribution stays on real module names and
+        the total attributed time — hence the ≥90% wall-attribution
+        invariant — is unchanged by fusion.
+        """
         ops = self.plan.ops
-        rows = [(ops[i].kind, ops[i].name, float(dt))
-                for i, dt in enumerate(delta) if dt > 0.0]
+        rows = []
+        for i, dt in enumerate(delta):
+            if dt > 0.0:
+                for kind, name, share in ops[i].constituents():
+                    rows.append((kind, name, float(dt) * share))
         self._last = (rows, float(wall_s))
         self.aggregator.add(rows, wall_s)
 
@@ -70,7 +80,8 @@ class _Binding:
 
     def __init__(self, plan: "Plan", in_shape: Tuple[int, ...]):
         n, sample_shape = in_shape[0], tuple(in_shape[1:])
-        self.arena = Arena(n, plan.num_regs, layout=plan.layout)
+        self.arena = Arena(n, plan.num_regs, layout=plan.layout,
+                           spec=plan.spec)
         self.arena.shapes[0] = sample_shape
         for op in plan.ops:
             self.arena.shapes[op.dst] = op.infer(self.arena.shapes)
@@ -84,13 +95,18 @@ class Plan:
     """A compiled, bit-exact, batched executor for a re-packed deploy model."""
 
     def __init__(self, ops: List, num_regs: int, output_reg: int,
-                 model_name: str, out_features: int, layout: str = "batch"):
+                 model_name: str, out_features: int, layout: str = "batch",
+                 spec: Optional[CompileSpec] = None):
         self.ops = ops
         self.num_regs = num_regs
         self.output_reg = output_reg
         self.model_name = model_name
         self.out_features = out_features
         self.layout = layout
+        # the compile configuration this program was built under — embedded
+        # in verification reports and manifests
+        self.spec = spec if spec is not None else CompileSpec()
+        self.fusion_stats: Dict[str, int] = {"fused": 0, "folded_smq": 0}
         self.slots: Optional[Dict[int, int]] = None  # reg -> arena slot map
         self._bindings: Dict[Tuple[int, ...], _Binding] = {}
         self._op_seconds = np.zeros(len(ops), dtype=np.float64)
@@ -101,15 +117,31 @@ class Plan:
 
     # ------------------------------------------------------------- factory
     @classmethod
-    def compile(cls, qnn, layout: str = "auto") -> "Plan":
-        """Compile the deploy-ready model from ``T2C.nn2chip()``."""
-        from repro.runtime.compiler import compile_program
+    def compile(cls, qnn, spec: Optional[CompileSpec] = None, *,
+                layout=_UNSET) -> "Plan":
+        """Compile the deploy-ready model from ``T2C.nn2chip()``.
+
+        ``spec`` is the single compile configuration (fusion level, layout,
+        tiling, threads); see :class:`repro.runtime.CompileSpec`.  The
+        legacy ``layout=`` kwarg still works but emits a
+        :class:`DeprecationWarning` and routes through the spec.
+        """
+        from repro.runtime.compiler import CompileError, compile_program
+
+        if layout is not _UNSET:
+            warn_legacy_compile_kwarg("Plan.compile", "layout", "layout")
+            if layout not in ("auto", "channel", "batch"):
+                raise CompileError(f"unknown layout {layout!r}; "
+                                   "expected 'auto', 'channel' or 'batch'")
+            spec = (spec if spec is not None
+                    else CompileSpec()).evolve(layout=layout)
 
         with telemetry.trace("plan.compile", model=type(qnn).__name__):
-            plan = compile_program(qnn, layout=layout)
+            plan = compile_program(qnn, spec)
         telemetry.emit("plan_compile", model=plan.model_name,
                        ops=len(plan.ops), registers=plan.num_regs,
-                       layout=plan.layout)
+                       layout=plan.layout, fusion=plan.spec.fusion,
+                       fused_chains=plan.fusion_stats["fused"])
         return plan
 
     # -------------------------------------------------------- verification
@@ -211,18 +243,26 @@ class Plan:
         self._batches = 0
 
     def op_report(self) -> List[Dict]:
-        """Per-op cumulative timing rows, hottest first."""
+        """Per-op cumulative timing rows, hottest first.
+
+        Fused ops are expanded into their constituent source layers with
+        their wall time split by work share, so the report keeps naming the
+        same layers whatever the fusion level (and the seconds still sum to
+        the true total).
+        """
         total = float(self._op_seconds.sum()) or 1.0
         rows = []
         for i, op in enumerate(self.ops):
-            rows.append({
-                "index": i,
-                "kind": op.kind,
-                "name": op.name,
-                "calls": int(self._op_calls[i]),
-                "seconds": float(self._op_seconds[i]),
-                "share": float(self._op_seconds[i]) / total,
-            })
+            secs = float(self._op_seconds[i])
+            for kind, name, share in op.constituents():
+                rows.append({
+                    "index": i,
+                    "kind": kind,
+                    "name": name,
+                    "calls": int(self._op_calls[i]),
+                    "seconds": secs * share,
+                    "share": secs * share / total,
+                })
         return sorted(rows, key=lambda r: -r["seconds"])
 
     def signature(self) -> str:

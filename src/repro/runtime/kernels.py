@@ -140,6 +140,22 @@ def residual_merge(a: np.ndarray, s: np.ndarray, res_scale: float,
     return y.astype(np.float32)
 
 
+def requant_residual(acc: np.ndarray, shortcut: np.ndarray, mq: MQParams,
+                     res_scale: float, lo: float, hi: float,
+                     smq: Optional[MQParams] = None) -> np.ndarray:
+    """Pure-numpy reference of the fused conv→requant→residual epilogue.
+
+    ``acc`` is the raw conv accumulator; ``shortcut`` the residual operand,
+    either already requantized (``smq is None``) or a raw accumulator to be
+    requantized by ``smq`` first.  Each stage replicates the corresponding
+    standalone kernel exactly, so the fused result is bitwise the unfused
+    ``residual_merge(requant(acc, mq), requant(shortcut, smq), ...)``.
+    """
+    a = requant(acc, mq)
+    s = requant(shortcut, smq) if smq is not None else shortcut
+    return residual_merge(a, s, res_scale, lo, hi)
+
+
 def array_sig(h, *arrays: Optional[np.ndarray]) -> None:
     """Feed array contents + shapes into a hash (program signatures)."""
     for a in arrays:

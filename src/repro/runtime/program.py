@@ -38,6 +38,72 @@ def _cm_scale(v: np.ndarray):
     return v.reshape(()) if v.size == 1 else v.reshape(-1, 1, 1, 1)
 
 
+class _Im2colCache:
+    """Memoized im2col: bitwise the :func:`repro.tensor.im2col.im2col`
+    result, but the pad scratch and the contiguous gather output are
+    allocated once per binding and reused across batches."""
+
+    def __init__(self, n, c, h, w, kh, kw, stride, padding):
+        oh = conv_out_size(h, kh, stride, padding)
+        ow = conv_out_size(w, kw, stride, padding)
+        self._kh, self._kw, self._stride = kh, kw, stride
+        self._win_shape = (n, c, kh, kw, oh, ow)
+        self._cols_shape = (n, c * kh * kw, oh * ow)
+        self._out = np.empty(self._win_shape, dtype=np.float32)
+        if padding > 0:
+            # border zeroed once — np.pad re-zeroes it on every call
+            self._padded = np.zeros(
+                (n, c, h + 2 * padding, w + 2 * padding), dtype=np.float32)
+            self._center = self._padded[:, :, padding:padding + h,
+                                        padding:padding + w]
+        else:
+            self._padded = None
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self._padded is not None:
+            np.copyto(self._center, x)
+            x = self._padded
+        s = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x, shape=self._win_shape,
+            strides=(s[0], s[1], s[2], s[3],
+                     s[2] * self._stride, s[3] * self._stride),
+            writeable=False)
+        np.copyto(self._out, windows)
+        return self._out.reshape(self._cols_shape)
+
+
+def _conv_accum_fn(arena: Arena, src: int, weight: np.ndarray, stride: int,
+                   padding: int, groups: int, out_shape: Shape):
+    """The interpreted conv accumulation (im2col + GEMM), replicated verbatim.
+
+    Returns ``run(x) -> (N, O, OH, OW) float32`` raw accumulator — the value
+    the interpreted path holds just before requantization.
+    """
+    n = arena.n
+    o, oh, ow = out_shape
+    _, cg, kh, kw = weight.shape
+    g, st, p = groups, stride, padding
+    wm = weight.reshape(o, cg * kh * kw)
+    if arena.spec.im2col_cache:
+        c, h, w = arena.shapes[src]
+        gather = _Im2colCache(n, c, h, w, kh, kw, st, p)
+    else:
+        def gather(x):
+            return im2col(x, kh, kw, st, p)
+
+    def run(x):
+        cols = gather(x)
+        if g == 1:
+            out = np.matmul(wm, cols)
+        else:
+            cols_g = cols.reshape(n, g, cg * kh * kw, oh * ow)
+            wm_g = wm.reshape(g, o // g, cg * kh * kw)
+            out = np.matmul(wm_g[None], cols_g).reshape(n, o, oh * ow)
+        return out.reshape(n, o, oh, ow).astype(np.float32)
+    return run
+
+
 class Op:
     """Base class for program ops."""
 
@@ -60,6 +126,16 @@ class Op:
 
     def _sig_params(self, h) -> None:
         pass
+
+    def constituents(self):
+        """The source layers this op's wall time belongs to.
+
+        ``[(kind, name, share)]`` with shares summing to 1.0.  Simple ops are
+        their own single constituent; fused ops split their time across the
+        layers they were fused from, so per-op profiling keeps attributing
+        to real module names.
+        """
+        return [(self.kind, self.name, 1.0)]
 
     def describe(self) -> str:
         srcs = ",".join(f"r{s}" for s in self.src)
@@ -137,15 +213,16 @@ class ConvMQOp(Op):
             from repro.runtime import ckernel
 
             ck = ckernel.load()
-            _, cg, kh, kw = self.weight.shape
+            o, cg, kh, kw = self.weight.shape
             if (ck is not None and self.exact_reassoc
-                    and cg * kh * kw <= ck.taps_cap):
+                    and cg * kh * kw <= ck.taps_cap and o <= ck.taps_cap):
                 return self._bind_kernel(arena, ck)
             return self._bind_channel_reference(arena)
         return self._bind_reference(arena)
 
     def _bind_kernel(self, arena, ck):
         n = arena.n
+        spec = arena.spec
         src, dst = self.src[0], self.dst
         c, h, w = arena.shapes[src]
         o, oh, ow = arena.shapes[dst]
@@ -157,8 +234,12 @@ class ConvMQOp(Op):
         in_off = arena.pads[src] - self.padding
         out_off = arena.pads[dst]
         splane = hp * wp
-        nb = min(n, max(1, 524288 // (cg * splane * 4)))
-        acc = np.empty(4 * nb * splane, dtype=np.float32)
+        # sample-block size fitting the input working set into the L2 budget
+        nb = min(n, max(1, spec.tile_bytes() // (cg * splane * 4)))
+        ob_step = spec.tile_oc  # 0 lets the kernel pick per conv
+        threads = max(1, min(16, spec.resolved_threads()))
+        ob_alloc = 4 if ob_step == 4 else 8
+        acc = np.empty(threads * ob_alloc * nb * splane, dtype=np.float32)
         wm = np.ascontiguousarray(self.weight.reshape(o, cg * kh * kw))
         m = np.ascontiguousarray(self.mq.m.reshape(-1))
         b = np.ascontiguousarray(self.mq.b.reshape(-1))
@@ -169,7 +250,8 @@ class ConvMQOp(Op):
             ck.conv_mq_cm(P, wm, m, b, lo, hi, Q, acc,
                           C=c, N=n, Hp=hp, Wp=wp, O=o, kh=kh, kw=kw,
                           stride=st, in_off=in_off, Hq=hq, Wq=wq,
-                          out_off=out_off, OH=oh, OW=ow, groups=g)
+                          out_off=out_off, OH=oh, OW=ow, groups=g,
+                          nb=nb, ob_step=ob_step, threads=threads)
         return fn
 
     def _bind_channel_reference(self, arena):
@@ -194,23 +276,13 @@ class ConvMQOp(Op):
 
     def _reference_fn(self, arena):
         """The interpreted conv+MulQuant numpy sequence, replicated verbatim."""
-        n = arena.n
-        o, oh, ow = arena.shapes[self.dst]
-        _, cg, kh, kw = self.weight.shape
-        g, st, p = self.groups, self.stride, self.padding
-        wm = self.weight.reshape(o, cg * kh * kw)
+        run_acc = _conv_accum_fn(arena, self.src[0], self.weight, self.stride,
+                                 self.padding, self.groups,
+                                 arena.shapes[self.dst])
         mq = self.mq
 
         def run(x):
-            cols = im2col(x, kh, kw, st, p)
-            if g == 1:
-                out = np.matmul(wm, cols)
-            else:
-                cols_g = cols.reshape(n, g, cg * kh * kw, oh * ow)
-                wm_g = wm.reshape(g, o // g, cg * kh * kw)
-                out = np.matmul(wm_g[None], cols_g).reshape(n, o, oh * ow)
-            out = out.reshape(n, o, oh, ow).astype(np.float32)
-            return kernels.requant(out, mq)
+            return kernels.requant(run_acc(x), mq)
         return run
 
     def _sig_params(self, h):
@@ -218,6 +290,213 @@ class ConvMQOp(Op):
                        self.exact_reassoc)).encode())
         kernels.array_sig(h, self.weight)
         self.mq.sig_update(h)
+
+
+class ConvRawOp(Op):
+    """Unfused conv accumulator (fusion level ``"none"``).
+
+    Produces the raw integer-valued float32 GEMM output; a separate
+    ``mulquant`` op requantizes it.  Replication paths only — this level
+    exists to show and test the program *before* operator fusion, so it
+    never touches the native kernel.
+    """
+
+    kind = "conv_raw"
+
+    def __init__(self, name, src, dst, weight: np.ndarray, stride: int,
+                 padding: int, groups: int, exact_reassoc: bool, bound: float):
+        super().__init__(name, src, dst)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.groups = int(groups)
+        self.exact_reassoc = bool(exact_reassoc)
+        self.bound = float(bound)
+
+    def infer(self, shapes):
+        c, h, w = shapes[self.src[0]]
+        o, _, kh, kw = self.weight.shape
+        return (o, conv_out_size(h, kh, self.stride, self.padding),
+                conv_out_size(w, kw, self.stride, self.padding))
+
+    def bind(self, arena):
+        run = _conv_accum_fn(arena, self.src[0], self.weight, self.stride,
+                             self.padding, self.groups, arena.shapes[self.dst])
+        if arena.layout == "channel":
+            src_center = arena.cm_center(self.src[0])
+            dst_center = arena.cm_center(self.dst)
+
+            def fn():
+                x = np.ascontiguousarray(src_center.transpose(1, 0, 2, 3))
+                np.copyto(dst_center, run(x).transpose(1, 0, 2, 3))
+            return fn
+        regs, s, dst = arena.regs, self.src[0], self.dst
+
+        def fn():
+            regs[dst] = run(regs[s])
+        return fn
+
+    def _sig_params(self, h):
+        h.update(repr((self.stride, self.padding, self.groups,
+                       self.exact_reassoc)).encode())
+        kernels.array_sig(h, self.weight)
+
+
+class ConvMQResOp(Op):
+    """Fully fused conv + requant + residual-add (+ folded shortcut requant).
+
+    Produced by the plan fusion pass (:mod:`repro.runtime.fusion`) from a
+    ``conv_mq`` → ``residual`` chain whose intermediate register has exactly
+    one reader; when the residual's other operand is itself a single-reader
+    ``mulquant`` (the identity-shortcut requant of a ResNet block) that is
+    folded in as ``smq``.  The fused intermediate registers are never
+    written, so they cost no arena memory and no kernel store/load.
+
+    Each epilogue stage replicates the standalone op's arithmetic exactly
+    (see :func:`repro.runtime.kernels.requant_residual`), so the fused op is
+    bitwise the unfused chain in every layout.
+    """
+
+    kind = "conv_mq_res"
+
+    def __init__(self, name, src, dst, weight: np.ndarray, stride: int,
+                 padding: int, groups: int, mq: kernels.MQParams,
+                 exact_reassoc: bool, bound: float, res_scale: float,
+                 res_lo: float, res_hi: float, res_name: str,
+                 smq: Optional[kernels.MQParams] = None,
+                 smq_name: Optional[str] = None):
+        super().__init__(name, src, dst)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.groups = int(groups)
+        self.mq = mq
+        self.exact_reassoc = bool(exact_reassoc)
+        self.bound = float(bound)
+        self.res_scale = float(res_scale)
+        self.res_lo = float(res_lo)
+        self.res_hi = float(res_hi)
+        self.res_name = str(res_name)
+        self.smq = smq
+        self.smq_name = smq_name
+
+    def infer(self, shapes):
+        c, h, w = shapes[self.src[0]]
+        o, _, kh, kw = self.weight.shape
+        return (o, conv_out_size(h, kh, self.stride, self.padding),
+                conv_out_size(w, kw, self.stride, self.padding))
+
+    def constituents(self):
+        # weight the split by work: the conv GEMM costs ~K MACs per output
+        # element, each epilogue stage ~1 op per element
+        k = int(self.weight.shape[1] * self.weight.shape[2]
+                * self.weight.shape[3])
+        total = k + (2 if self.smq is not None else 1)
+        parts = [("conv_mq", self.name, k / total)]
+        if self.smq is not None:
+            parts.append(("mulquant", self.smq_name, 1.0 / total))
+        parts.append(("residual", self.res_name, 1.0 / total))
+        return parts
+
+    def bind(self, arena):
+        if arena.layout == "channel":
+            from repro.runtime import ckernel
+
+            ck = ckernel.load()
+            o, cg, kh, kw = self.weight.shape
+            if (ck is not None and self.exact_reassoc
+                    and cg * kh * kw <= ck.taps_cap and o <= ck.taps_cap):
+                return self._bind_kernel(arena, ck)
+            return self._bind_channel_reference(arena)
+        return self._bind_reference(arena)
+
+    def _bind_kernel(self, arena, ck):
+        n = arena.n
+        spec = arena.spec
+        src, s_src, dst = self.src[0], self.src[1], self.dst
+        c, h, w = arena.shapes[src]
+        o, oh, ow = arena.shapes[dst]
+        _, cg, kh, kw = self.weight.shape
+        P = arena.cm_buffer(src)
+        S = arena.cm_buffer(s_src)
+        Q = arena.cm_buffer(dst)
+        _, _, hp, wp = P.shape
+        _, _, hs, ws = S.shape
+        _, _, hq, wq = Q.shape
+        in_off = arena.pads[src] - self.padding
+        s_off = arena.pads.get(s_src, 0)
+        out_off = arena.pads.get(dst, 0)
+        splane = hp * wp
+        nb = min(n, max(1, spec.tile_bytes() // (cg * splane * 4)))
+        ob_step = spec.tile_oc
+        threads = max(1, min(16, spec.resolved_threads()))
+        ob_alloc = 4 if ob_step == 4 else 8
+        acc = np.empty(threads * ob_alloc * nb * splane, dtype=np.float32)
+        wm = np.ascontiguousarray(self.weight.reshape(o, cg * kh * kw))
+        m = np.ascontiguousarray(self.mq.m.reshape(-1))
+        b = np.ascontiguousarray(self.mq.b.reshape(-1))
+        lo, hi = self.mq.lo, self.mq.hi
+        if self.smq is not None:
+            sm = np.ascontiguousarray(self.smq.m.reshape(-1))
+            sb = np.ascontiguousarray(self.smq.b.reshape(-1))
+            slo, shi, has_smq = self.smq.lo, self.smq.hi, 1
+        else:
+            sm = np.zeros(1, dtype=np.float64)
+            sb = np.zeros(1, dtype=np.float64)
+            slo, shi, has_smq = 0.0, 0.0, 0
+        rs, rlo, rhi = self.res_scale, self.res_lo, self.res_hi
+        st, g = self.stride, self.groups
+
+        def fn():
+            ck.conv_mq_res_cm(P, wm, m, b, lo, hi, S, sm, sb, slo, shi,
+                              has_smq, rs, rlo, rhi, Q, acc,
+                              C=c, N=n, Hp=hp, Wp=wp, O=o, kh=kh, kw=kw,
+                              stride=st, in_off=in_off, Hq=hq, Wq=wq,
+                              out_off=out_off, OH=oh, OW=ow, groups=g,
+                              nb=nb, ob_step=ob_step, threads=threads,
+                              Hs=hs, Ws=ws, s_off=s_off)
+        return fn
+
+    def _bind_channel_reference(self, arena):
+        a_center = arena.cm_center(self.src[0])
+        s_center = arena.cm_center(self.src[1])
+        dst_center = arena.cm_center(self.dst)
+        run = self._reference_fn(arena)
+
+        def fn():
+            x = np.ascontiguousarray(a_center.transpose(1, 0, 2, 3))
+            sc = np.ascontiguousarray(s_center.transpose(1, 0, 2, 3))
+            np.copyto(dst_center, run(x, sc).transpose(1, 0, 2, 3))
+        return fn
+
+    def _bind_reference(self, arena):
+        regs, (a, s), dst = arena.regs, self.src, self.dst
+        run = self._reference_fn(arena)
+
+        def fn():
+            regs[dst] = run(regs[a], regs[s])
+        return fn
+
+    def _reference_fn(self, arena):
+        run_acc = _conv_accum_fn(arena, self.src[0], self.weight, self.stride,
+                                 self.padding, self.groups,
+                                 arena.shapes[self.dst])
+        mq, smq = self.mq, self.smq
+        rs, rlo, rhi = self.res_scale, self.res_lo, self.res_hi
+
+        def run(x, shortcut):
+            return kernels.requant_residual(run_acc(x), shortcut, mq,
+                                            rs, rlo, rhi, smq)
+        return run
+
+    def _sig_params(self, h):
+        h.update(repr((self.stride, self.padding, self.groups,
+                       self.exact_reassoc, self.res_scale, self.res_lo,
+                       self.res_hi, self.res_name, self.smq_name)).encode())
+        kernels.array_sig(h, self.weight)
+        self.mq.sig_update(h)
+        if self.smq is not None:
+            self.smq.sig_update(h)
 
 
 class LinearMQOp(Op):

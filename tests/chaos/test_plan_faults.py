@@ -35,7 +35,7 @@ class TestCatalog:
         """The acceptance bar: every plan-fault class is caught by both
         layers and the pristine plan still proves clean (recovered)."""
         report = ChaosPlan.plan_default(seed=seed).run_plan(compiled_plan)
-        assert report.injected == len(PLAN_INJECTORS) == 3
+        assert report.injected == len(PLAN_INJECTORS) == 4
         assert report.missed == 0 and report.ok
         assert report.recovered == report.injected
         for rec in report.records:
@@ -45,7 +45,7 @@ class TestCatalog:
     def test_multi_round_stays_detected(self, compiled_plan):
         report = ChaosPlan.plan_default(seed=3, rounds=2) \
             .run_plan(compiled_plan)
-        assert report.injected == 6 and report.missed == 0
+        assert report.injected == 8 and report.missed == 0
 
     def test_widen_scale_trips_overflow_rule(self, compiled_plan):
         report = ChaosPlan(seed=5).add("widen_scale").run_plan(compiled_plan)
@@ -61,6 +61,15 @@ class TestCatalog:
         report = ChaosPlan(seed=5).add("drop_op").run_plan(compiled_plan)
         assert report.ok
         assert report.records[0].details["op_kind"]
+
+    def test_fuse_illegal_trips_dataflow_rule(self, compiled_plan):
+        """A fusion that reads a forward register (broken legality oracle)
+        is structurally a use-before-def: the dataflow pass must refuse it
+        without needing any shape information."""
+        report = ChaosPlan(seed=5).add("fuse_illegal").run_plan(compiled_plan)
+        assert report.ok and report.records[0].layers["verifier"]
+        assert "plan.dead-read" in report.records[0].note
+        assert report.records[0].details["shortcut_reg"] is not None
 
 
 class TestHarnessContracts:
@@ -96,8 +105,8 @@ class TestHarnessContracts:
             ChaosPlan.plan_default(seed=0).run_plan(compiled_plan)
         kinds = [e["kind"] for e in session.events.events
                  if e["kind"].startswith("chaos_")]
-        assert kinds.count("chaos_inject") == 3
-        assert kinds.count("chaos_detected") == 3
+        assert kinds.count("chaos_inject") == 4
+        assert kinds.count("chaos_detected") == 4
         assert "chaos_missed" not in kinds
 
     def test_report_json_roundtrips(self, compiled_plan):

@@ -48,7 +48,18 @@ class TestDeploySpec:
         spec = DeploySpec.from_args(args)
         assert spec.fusion == "prefuse" and spec.float_scale
         assert spec.accum_bits == 24 and spec.export_dir == "deploy/"
-        assert spec.formats == ("hex", "qint") and spec.runtime == "batch"
+        assert spec.formats == ("hex", "qint")
+        # a legacy `--runtime batch` folds into the compile spec's layout
+        # instead of surviving as a deprecated runtime value
+        assert spec.runtime == "auto" and spec.compile.layout == "batch"
+
+    def test_from_args_maps_compile_flags(self):
+        args = argparse.Namespace(fusion_level="requant", threads=2,
+                                  tile_kc=256, tile_oc=4, im2col_cache=False)
+        spec = DeploySpec.from_args(args)
+        assert spec.compile.fusion == "requant"
+        assert spec.compile.threads == 2 and spec.compile.tile_kc == 256
+        assert spec.compile.tile_oc == 4 and not spec.compile.im2col_cache
 
     def test_from_args_defaults_for_missing_attrs(self):
         spec = DeploySpec.from_args(argparse.Namespace())

@@ -238,9 +238,11 @@ class TestShiftCertificates:
 
     def test_compiled_plan_records_all_requants(self, deployed_resnet):
         rep = deployed_resnet.plan.verify()
-        mq_ops = sum(1 for op in deployed_resnet.plan.ops
-                     if getattr(op, "mq", None) is not None)
-        assert len(rep.shift_certificates) == mq_ops
+        mq_attrs = ("mq", "smq", "mq_qkv", "mq_score", "mq_ctx", "mq_proj",
+                    "mq_fc1", "mq_fc2")
+        mq_params = sum(1 for op in deployed_resnet.plan.ops for a in mq_attrs
+                        if getattr(op, a, None) is not None)
+        assert len(rep.shift_certificates) == mq_params
 
 
 class TestShapePass:
@@ -297,8 +299,8 @@ class TestReportAndGate:
     def test_deploy_gate_raises_on_bad_plan(self, monkeypatch):
         orig = Plan.compile.__func__
 
-        def miscompile(cls, qnn, layout="auto"):
-            plan = orig(cls, qnn, layout)
+        def miscompile(cls, qnn, spec=None, **kw):
+            plan = orig(cls, qnn, spec, **kw)
             plan.ops[-1].src = (plan.ops[-1].dst,)  # self-read: use-before-def
             return plan
 

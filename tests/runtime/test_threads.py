@@ -1,0 +1,65 @@
+"""Thread/tile exactness matrix: any partition, bitwise the same program.
+
+The native kernel's thread pool partitions each conv into disjoint
+(sample-block × output-channel-chunk) tasks; the tiling knobs change the
+blocking only.  Because the accumulator certificate bounds every partial
+sum under the exact-f32 limit, *every* combination must produce outputs
+bitwise identical to the unfused single-thread plan — and to the
+interpreted tree.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import CompileSpec, Plan
+
+SWEEP_MODELS = ("resnet20", "mobilenet-v1", "vgg8")
+
+
+@pytest.mark.parametrize("model", SWEEP_MODELS)
+@pytest.mark.parametrize("threads", [1, 2, 8])
+def test_thread_sweep_is_bit_exact(deployed_factory, model, threads):
+    d, x, ref = deployed_factory(model)
+    plan = Plan.compile(d.qnn, CompileSpec(fusion="full", threads=threads))
+    out = plan(x)
+    assert np.array_equal(out, ref), (
+        f"{model}: fused plan at threads={threads} diverges from the tree")
+    base = Plan.compile(d.qnn, CompileSpec(fusion="requant", threads=1))
+    assert np.array_equal(base(x), out), (
+        f"{model}: threads={threads} diverges from unfused single-thread")
+
+
+@pytest.mark.parametrize("tile_oc", [4, 8])
+@pytest.mark.parametrize("tile_kc", [64, 0])
+def test_tile_sweep_is_bit_exact(deployed_factory, tile_oc, tile_kc):
+    d, x, ref = deployed_factory("resnet20")
+    plan = Plan.compile(d.qnn, CompileSpec(fusion="full", threads=2,
+                                           tile_oc=tile_oc, tile_kc=tile_kc))
+    assert np.array_equal(plan(x), ref), (
+        f"tile_oc={tile_oc} tile_kc={tile_kc} diverges from the tree")
+
+
+def test_threads_apply_to_batch_layout_replication(deployed_factory):
+    # the batch layout ignores the pool (replication kernels run inline)
+    # but the spec must still compile and stay exact
+    d, x, ref = deployed_factory("resnet20")
+    plan = Plan.compile(d.qnn, CompileSpec(fusion="full", threads=8,
+                                           layout="batch"))
+    assert plan.layout == "batch"
+    assert np.array_equal(plan(x), ref)
+
+
+def test_oversized_thread_count_is_clamped(deployed_factory):
+    # the ABI caps workers at 16; a larger spec value must not corrupt
+    # results or crash — it clamps
+    d, x, ref = deployed_factory("resnet20")
+    plan = Plan.compile(d.qnn, CompileSpec(fusion="full", threads=256))
+    assert np.array_equal(plan(x), ref)
+
+
+def test_determinism_across_repeat_calls(deployed_factory):
+    d, x, _ = deployed_factory("resnet20")
+    plan = Plan.compile(d.qnn, CompileSpec(fusion="full", threads=8))
+    outs = [plan(x) for _ in range(3)]
+    assert all(np.array_equal(outs[0], o) for o in outs[1:])
