@@ -1,0 +1,81 @@
+"""Fleet serving: replication must buy real throughput and lose nothing.
+
+The acceptance bar from the fleet design brief, all through the same
+``repro.cli fleet-bench`` path a user would run:
+
+* **drill** — a 3-replica fleet serves a real deployed model bit-exactly,
+  walks a canary 10% -> 100% -> promote (still bit-exact), and survives a
+  seeded replica kill with zero lost requests;
+* **capacity** — a fleet of 2 must reach >= 1.5x the single-server
+  saturated throughput, and must keep up (nothing shed, nothing failed)
+  at 80% of its combined headroom.
+
+Both capacity legs are measured *saturated* so the achieved rate reflects
+service capability rather than one Poisson trace's realized span.  Results
+land in ``benchmarks/BENCH_fleet.json`` with a cross-PR trajectory row,
+exactly what the CLI reports.
+"""
+from __future__ import annotations
+
+import json
+import os
+
+from repro import cli
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_fleet.json")
+
+REPLICAS = 3
+REQUESTS = 120
+CANARY_REQUESTS = 60
+CAPACITY_REQUESTS = 250
+SPEEDUP_FLOOR = 1.5
+
+
+def test_fleet_throughput():
+    rc = cli.main([
+        "fleet-bench", "--model", "resnet20",
+        "--replicas", str(REPLICAS),
+        "--requests", str(REQUESTS),
+        "--canary-requests", str(CANARY_REQUESTS),
+        "--capacity-requests", str(CAPACITY_REQUESTS),
+        "--speedup-floor", str(SPEEDUP_FLOOR),
+        "--out", OUT_PATH,
+    ])
+    assert rc == 0, "fleet-bench reported drill or capacity failures"
+
+    with open(OUT_PATH) as fh:
+        result = json.load(fh)
+    drill = result["drill"]
+    cap = result["capacity"]
+
+    print(f"\ndrill: {REPLICAS} replicas, bit-exact {result['bit_exact']}, "
+          f"lost {result['requests_lost']}, chaos ok {result['chaos_ok']}")
+    print(f"capacity: single {result['capacity_single_hz']} req/s  "
+          f"fleet-of-2 {result['capacity_fleet2_hz']} req/s  "
+          f"speedup {result['speedup_fleet2_vs_single']}x  "
+          f"keep-up at {cap['keepup_offered_rate_hz']} req/s: "
+          f"{cap['keepup']['achieved_rate_hz']} achieved")
+
+    # drill: correctness under replication, rollout and chaos
+    assert result["bit_exact"] is True, (
+        "fleet answers diverged from single-sample tree execution")
+    assert result["requests_lost"] == 0, (
+        f"{result['requests_lost']} requests lost across the drill")
+    assert result["chaos_ok"] is True, "replica-kill fault was missed"
+    assert result["promoted_version"] == ["2"], (
+        f"canary promote left replicas on {result['promoted_version']}")
+    for leg in ("base", "canary_10pct", "post_promote"):
+        assert drill[leg]["failed"] == 0, f"{leg}: outright failures"
+
+    # capacity: replication must pay for itself
+    assert result["speedup_fleet2_vs_single"] >= SPEEDUP_FLOOR, (
+        f"fleet-of-2 speedup {result['speedup_fleet2_vs_single']}x "
+        f"below the {SPEEDUP_FLOOR}x floor")
+    assert result["keepup_ok"] is True, (
+        f"fleet shed {cap['keepup']['shed']} / failed "
+        f"{cap['keepup']['failed']} at 80% of combined headroom")
+
+    # the trajectory keeps one row per bench run across PRs
+    assert result["trajectory"], "trajectory must carry at least this run"
+    assert result["trajectory"][-1]["speedup_fleet2_vs_single"] == \
+        result["speedup_fleet2_vs_single"]

@@ -227,6 +227,32 @@ print(f"plan chaos OK: {len(plan_faults)} IR mutations injected, "
       f"all refused by verifier and registry")
 EOF
 
+echo "== replicated serving fleet (repro.fleet) =="
+python -m pytest tests/fleet -q -m fleet
+python -m repro.cli fleet-bench --model resnet20 --train-size 256 \
+    --test-size 64 --replicas 3 --requests 80 --canary-requests 40 \
+    --capacity-requests 200 --deadline-ms 500 \
+    --out "$TEL_DIR/BENCH_fleet.json"
+python - "$TEL_DIR" <<'EOF'
+# the fleet drill: 3 replicas, canary 10% -> 100% -> promote, a seeded
+# replica kill under load — all bit-exact, zero dropped requests — plus
+# the capacity stage's fleet-of-2 speedup floor
+import json, sys, os
+rep = json.load(open(os.path.join(sys.argv[1], "BENCH_fleet.json")))
+assert rep["bit_exact"] is True, "fleet answers diverged from tree"
+assert rep["requests_lost"] == 0, f"lost {rep['requests_lost']} requests"
+assert rep["chaos_ok"] is True, "seeded replica kill was missed"
+assert rep["promoted_version"] == ["2"], rep["promoted_version"]
+d = rep["drill"]
+drops = sum(d[k]["shed"] + d[k]["failed"]
+            for k in ("base", "canary_10pct", "post_promote"))
+assert drops == 0, f"dropped requests in fleet drill: {drops}"
+assert rep["speedup_fleet2_vs_single"] >= rep["capacity"]["speedup_floor"]
+assert rep["keepup_ok"] is True, "fleet shed traffic at 80% headroom"
+print(f"fleet smoke OK: canary promoted, replica kill survived, "
+      f"speedup {rep['speedup_fleet2_vs_single']}x, 0 dropped")
+EOF
+
 echo "== compile-check examples =="
 for f in examples/*.py; do
     python -m py_compile "$f"

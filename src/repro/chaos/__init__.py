@@ -8,9 +8,10 @@ whether every fault was detected by the defence layers and whether service
 recovered on known-good state.
 
 * :mod:`~repro.chaos.injectors` — the fault catalog: ``flip_bits``,
-  ``truncate_file``, ``corrupt_header``, ``stale_manifest`` (artifact side)
-  and ``kill_worker``, ``stall_worker``, ``delay_clock`` (server side), all
-  deterministic functions of an explicit ``numpy.random.Generator``;
+  ``truncate_file``, ``corrupt_header``, ``stale_manifest`` (artifact side),
+  ``kill_worker``, ``stall_worker``, ``delay_clock`` (server side) and
+  ``kill_replica``, ``partition_replica`` (fleet side), all deterministic
+  functions of an explicit ``numpy.random.Generator``;
 * :class:`ChaosPlan` — a seeded schedule of faults; fault ``i`` draws from
   ``np.random.default_rng([seed, i])`` so runs replay exactly;
 * :class:`ChaosReport` — injected / detected / recovered / missed
@@ -23,16 +24,18 @@ Quickstart::
     report = ChaosPlan.artifact_default(seed=7).run_artifacts(export_dir)
     assert report.ok            # zero missed faults
 """
-from repro.chaos.injectors import (ARTIFACT_INJECTORS, INJECTORS,
-                                   SERVER_INJECTORS, corrupt_header,
-                                   delay_clock, flip_bits, kill_worker,
-                                   stale_manifest, stall_worker,
-                                   truncate_file)
+from repro.chaos.injectors import (ARTIFACT_INJECTORS, FLEET_INJECTORS,
+                                   INJECTORS, SERVER_INJECTORS,
+                                   corrupt_header, delay_clock, flip_bits,
+                                   kill_replica, kill_worker,
+                                   partition_replica, stale_manifest,
+                                   stall_worker, truncate_file)
 from repro.chaos.plan import ChaosPlan, ChaosReport, FaultRecord
 
 __all__ = [
     "ChaosPlan", "ChaosReport", "FaultRecord",
-    "ARTIFACT_INJECTORS", "SERVER_INJECTORS", "INJECTORS",
+    "ARTIFACT_INJECTORS", "SERVER_INJECTORS", "FLEET_INJECTORS", "INJECTORS",
     "flip_bits", "truncate_file", "corrupt_header", "stale_manifest",
     "kill_worker", "stall_worker", "delay_clock",
+    "kill_replica", "partition_replica",
 ]

@@ -13,7 +13,11 @@ chaos run is a *reproducible experiment*, not a fuzzer.  Two families:
 * **plan injectors** corrupt a compiled :class:`repro.runtime.executor.Plan`
   in place (``swap_register``, ``widen_scale``, ``drop_op``) — each is
   constructed to violate an invariant the plan verifier *proves*, so a
-  silent miss means the static verifier has a hole.
+  silent miss means the static verifier has a hole;
+* **fleet injectors** perturb a running :class:`repro.fleet.Fleet`
+  (``kill_replica``, ``partition_replica``) — detection means the router
+  ejects the victim and requests reroute, recovery means the group returns
+  to its target replica count (or the healed replica rejoins).
 
 ``corrupt_header`` is deliberately the nastiest case: it rewrites a qint
 JSON header *and* patches the file's manifest checksum *and* re-signs the
@@ -355,4 +359,66 @@ PLAN_INJECTORS = {
     "fuse_illegal": fuse_illegal,
 }
 
-INJECTORS = {**ARTIFACT_INJECTORS, **SERVER_INJECTORS, **PLAN_INJECTORS}
+
+# ------------------------------------------------------------ fleet faults
+def _ready_replicas(fleet, model: str):
+    from repro.fleet.replica import READY
+
+    return [r for r in fleet.replicas(model)
+            if r.state == READY and not r.partitioned]
+
+
+def kill_replica(fleet, model: str, rng: np.random.Generator) -> Dict:
+    """Kill one seeded-chosen READY replica of ``model``'s group outright.
+
+    The in-process stand-in for SIGKILL of a whole gateway process: every
+    request queued or in flight on the victim resolves as a retryable
+    :class:`~repro.server.types.Failed` and the fleet must requeue them on
+    surviving replicas (zero lost), eject the victim from the ring within
+    one health interval, and self-heal back to the target replica count.
+    """
+    victims = _ready_replicas(fleet, model)
+    if len(victims) < 2:
+        raise ValueError(f"kill_replica: need >= 2 ready replicas of "
+                         f"{model!r} to leave a survivor "
+                         f"(have {len(victims)})")
+    victim = _pick(rng, sorted(victims, key=lambda r: r.replica_id))
+    pending_before = victim.pending_count()
+    victim.kill()
+    return {"replica": victim.replica_id,
+            "pending_at_kill": pending_before}
+
+
+def partition_replica(fleet, model: str, rng: np.random.Generator,
+                      heal_s: float = 0.5) -> Dict:
+    """Make one seeded-chosen READY replica unreachable without killing it
+    (a network partition), healing it after ``heal_s``.
+
+    The fleet must eject the partitioned replica and reroute its keys —
+    but *not* replace it (it is alive behind the partition); after the
+    heal, the health loop re-admits it to the ring.
+    """
+    victims = _ready_replicas(fleet, model)
+    if len(victims) < 2:
+        raise ValueError(f"partition_replica: need >= 2 ready replicas of "
+                         f"{model!r} to leave a survivor "
+                         f"(have {len(victims)})")
+    victim = _pick(rng, sorted(victims, key=lambda r: r.replica_id))
+    victim.partition()
+
+    def heal():
+        victim.heal()
+
+    timer = threading.Timer(heal_s, heal)
+    timer.daemon = True
+    timer.start()
+    return {"replica": victim.replica_id, "heal_s": heal_s, "undo": heal}
+
+
+FLEET_INJECTORS = {
+    "kill_replica": kill_replica,
+    "partition_replica": partition_replica,
+}
+
+INJECTORS = {**ARTIFACT_INJECTORS, **SERVER_INJECTORS, **PLAN_INJECTORS,
+             **FLEET_INJECTORS}

@@ -39,8 +39,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import telemetry
-from repro.chaos.injectors import (ARTIFACT_INJECTORS, INJECTORS,
-                                   PLAN_INJECTORS, SERVER_INJECTORS)
+from repro.chaos.injectors import (ARTIFACT_INJECTORS, FLEET_INJECTORS,
+                                   INJECTORS, PLAN_INJECTORS,
+                                   SERVER_INJECTORS)
 from repro.export.errors import ArtifactError
 
 #: how long server-fault detection probes the gateway before giving up
@@ -187,6 +188,14 @@ class ChaosPlan:
         for _ in range(rounds):
             for name in PLAN_INJECTORS:
                 plan.add(name)
+        return plan
+
+    @classmethod
+    def fleet_default(cls, seed: int = 0) -> "ChaosPlan":
+        """One pass over every fleet-fault class."""
+        plan = cls(seed)
+        for name in FLEET_INJECTORS:
+            plan.add(name)
         return plan
 
     # -------------------------------------------------------- artifact runs
@@ -429,3 +438,133 @@ class ChaosPlan:
         rec.note = (f"short-deadline probe -> {type(resp).__name__}"
                     + (f" ({resp.reason})" if isinstance(resp, Overloaded)
                        else ""))
+
+    # ----------------------------------------------------------- fleet runs
+    def run_fleet(self, fleet, model: str, sample,
+                  probe_deadline_s: float = 2.0) -> ChaosReport:
+        """Inject each scheduled fleet fault into a *running*
+        :class:`~repro.fleet.Fleet` and score the fleet contract.
+
+        For each fault a burst of requests is put in flight *before* the
+        injection so the victim actually holds work when it dies or
+        partitions — detection requires the router to eject it and every
+        straddling request to reroute (zero lost); recovery means the
+        group returns to its target replica count (kill) or the healed
+        replica rejoins the ring (partition).
+        """
+        report = ChaosReport(self.seed)
+        resp = fleet.submit(model, sample,
+                            deadline_s=probe_deadline_s).result(
+                                timeout=_PROBE_TIMEOUT_S)
+        if not resp.ok:
+            raise RuntimeError(f"chaos warm-up probe failed: {resp}")
+        for i, (name, params) in enumerate(self.schedule):
+            if name not in FLEET_INJECTORS:
+                raise ValueError(
+                    f"run_fleet() cannot run non-fleet injector {name!r}")
+            rec = FaultRecord(index=i, injector=name, params=dict(params))
+            lost_before = fleet.requests_lost
+            target = fleet.status()["models"][model]["target_replicas"]
+            burst = [fleet.submit(model, sample,
+                                  deadline_s=probe_deadline_s)
+                     for _ in range(16)]
+            details = FLEET_INJECTORS[name](fleet, model,
+                                            self.rng_for(i), **params)
+            undo = details.pop("undo", None)
+            rec.details = details
+            telemetry.emit("chaos_inject", injector=name, index=i,
+                           model=model, **details)
+            try:
+                if name == "kill_replica":
+                    self._score_replica_kill(rec, fleet, model, sample,
+                                             probe_deadline_s, burst,
+                                             lost_before, target)
+                elif name == "partition_replica":
+                    self._score_replica_partition(rec, fleet, model, sample,
+                                                  probe_deadline_s, burst,
+                                                  lost_before, target)
+            finally:
+                if undo is not None:
+                    undo()
+            self._emit_outcome(rec)
+            report.add(rec)
+        return report
+
+    @staticmethod
+    def _fleet_members(fleet, model: str):
+        from repro.fleet.router import ROLE_CANARY, ROLE_STABLE
+
+        return (fleet.router.members(model, ROLE_STABLE)
+                | fleet.router.members(model, ROLE_CANARY))
+
+    def _await_ejection(self, fleet, model: str, victim: str) -> bool:
+        """Poll (driving health ticks) until the victim leaves every ring —
+        within one health interval, plus scheduling slack."""
+        deadline = time.monotonic() + fleet.config.health_interval_s + 1.0
+        while time.monotonic() < deadline:
+            fleet.health_tick()
+            if victim not in self._fleet_members(fleet, model):
+                return True
+            time.sleep(0.02)
+        return victim not in self._fleet_members(fleet, model)
+
+    def _score_replica_kill(self, rec: FaultRecord, fleet, model: str,
+                            sample, probe_deadline_s: float, burst,
+                            lost_before: int, target: int) -> None:
+        """Detected = router ejection within one health interval + every
+        straddling request rerouted (zero lost); recovered = the group
+        self-heals back to its target replica count."""
+        victim = rec.details["replica"]
+        resolved = [p.result(timeout=_PROBE_TIMEOUT_S) for p in burst]
+        rec.layers["requeued"] = (all(r.ok for r in resolved)
+                                  and fleet.requests_lost == lost_before)
+        rec.layers["ejected"] = self._await_ejection(fleet, model, victim)
+        rec.layers["rerouted"] = self._probe_ok(fleet, model, sample,
+                                                probe_deadline_s)
+        rec.detected = all(rec.layers.values())
+        deadline = time.monotonic() + _PROBE_TIMEOUT_S
+        while time.monotonic() < deadline:
+            fleet.health_tick()
+            healthy = [r for r in fleet.replicas(model) if r.healthy()]
+            if len(healthy) >= target and victim not in {
+                    r.replica_id for r in healthy}:
+                rec.recovered = True
+                break
+            time.sleep(0.02)
+        rec.note = (f"killed {victim} with "
+                    f"{rec.details.get('pending_at_kill', 0)} pending; "
+                    f"{len([r for r in resolved if r.ok])}/{len(resolved)} "
+                    f"straddling requests ok, "
+                    f"lost {fleet.requests_lost - lost_before}")
+
+    def _score_replica_partition(self, rec: FaultRecord, fleet, model: str,
+                                 sample, probe_deadline_s: float, burst,
+                                 lost_before: int, target: int) -> None:
+        """Detected = ejection + reroute (as for a kill) *without* spawning
+        a replacement — the replica is alive behind the partition;
+        recovered = the healed replica rejoins the ring."""
+        from repro.fleet.replica import PARTITIONED, READY, STARTING
+
+        victim = rec.details["replica"]
+        resolved = [p.result(timeout=_PROBE_TIMEOUT_S) for p in burst]
+        rec.layers["requeued"] = (all(r.ok for r in resolved)
+                                  and fleet.requests_lost == lost_before)
+        rec.layers["ejected"] = self._await_ejection(fleet, model, victim)
+        rec.layers["rerouted"] = self._probe_ok(fleet, model, sample,
+                                                probe_deadline_s)
+        live = [r for r in fleet.replicas(model)
+                if r.state in (STARTING, READY, PARTITIONED)]
+        rec.layers["not_replaced"] = len(live) <= target
+        rec.detected = all(rec.layers.values())
+        deadline = (time.monotonic() + rec.details.get("heal_s", 0.5)
+                    + _PROBE_TIMEOUT_S)
+        while time.monotonic() < deadline:
+            fleet.health_tick()
+            if victim in self._fleet_members(fleet, model):
+                rec.recovered = True
+                break
+            time.sleep(0.02)
+        rec.note = (f"partitioned {victim} for "
+                    f"{rec.details.get('heal_s', 0.5)}s; rejoined="
+                    f"{rec.recovered}, lost "
+                    f"{fleet.requests_lost - lost_before}")

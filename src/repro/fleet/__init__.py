@@ -1,0 +1,37 @@
+"""Replicated, sharded serving on top of the single-process gateway.
+
+``repro.fleet`` composes N :class:`~repro.server.Server` replicas into one
+serving surface: consistent-hash routing with health-aware failover
+(:mod:`~repro.fleet.router`), supervised replica lifecycles
+(:mod:`~repro.fleet.replica`), SLO-driven autoscaling
+(:mod:`~repro.fleet.autoscaler`), shadow/canary rollouts
+(:mod:`~repro.fleet.splitter`) and shaped multi-tenant load
+(:mod:`~repro.fleet.scenarios`) — all supervised by
+:class:`~repro.fleet.fleet.Fleet`.  See ``docs/fleet.md``.
+"""
+from repro.fleet.autoscaler import (Autoscaler, AutoscalePolicy, Decision,
+                                    HOLD, SCALE_IN, SCALE_OUT)
+from repro.fleet.fleet import Fleet, FleetConfig, FleetRequest
+from repro.fleet.replica import (CLOSED, DEAD, DRAINING, PARTITIONED, READY,
+                                 STARTING, Replica)
+from repro.fleet.router import (HashRing, ROLE_CANARY, ROLE_STABLE, Router,
+                                hash01, hash64)
+from repro.fleet.scenarios import (Scenario, diurnal_wave, flash_crowd,
+                                   mixed_sizes, run_scenario, slow_loris,
+                                   standard_suite)
+from repro.fleet.splitter import (CANARY, DEFAULT_LADDER, IDLE, PROMOTED,
+                                  ROLLED_BACK, Rollout, SHADOW,
+                                  TrafficSplitter)
+
+__all__ = [
+    "Fleet", "FleetConfig", "FleetRequest",
+    "Replica", "STARTING", "READY", "DRAINING", "PARTITIONED", "DEAD",
+    "CLOSED",
+    "Router", "HashRing", "hash64", "hash01", "ROLE_STABLE", "ROLE_CANARY",
+    "Autoscaler", "AutoscalePolicy", "Decision", "HOLD", "SCALE_OUT",
+    "SCALE_IN",
+    "TrafficSplitter", "Rollout", "DEFAULT_LADDER", "IDLE", "SHADOW",
+    "CANARY", "PROMOTED", "ROLLED_BACK",
+    "Scenario", "run_scenario", "standard_suite", "diurnal_wave",
+    "flash_crowd", "slow_loris", "mixed_sizes",
+]

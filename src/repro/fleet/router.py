@@ -1,0 +1,168 @@
+"""Consistent-hash request routing with health-aware failover.
+
+:class:`HashRing` is classic consistent hashing: every member owns
+``vnodes`` pseudo-random points on a 64-bit ring, and a key routes to the
+first member point at or clockwise of the key's hash.  The property the
+fleet (and the property tests) rely on: adding or removing one member of
+*N* moves only ~``K/N`` of *K* keys — every other key keeps its replica,
+so replica-local caches and in-flight affinity survive topology churn.
+
+:class:`Router` layers fleet semantics on top: one ring per
+``(model, role)`` traffic class (``stable`` / ``canary``), membership set
+atomically from the fleet's health view — a dead or draining replica is
+simply absent from the ring, so it can receive no new keys — and lookups
+can exclude replicas a request already failed over from.
+"""
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: traffic classes a router distinguishes per model
+ROLE_STABLE = "stable"
+ROLE_CANARY = "canary"
+
+
+def hash64(key: str, salt: str = "") -> int:
+    """Stable 64-bit hash of ``key`` (BLAKE2b, seeded by ``salt``).
+
+    Python's builtin ``hash`` is randomized per process — useless for a
+    ring that must agree across replicas, test runs and recorded traces.
+    """
+    h = hashlib.blake2b((salt + key).encode("utf-8"), digest_size=8)
+    return int.from_bytes(h.digest(), "big")
+
+
+def hash01(key: str, salt: str = "split") -> float:
+    """``key`` -> deterministic float in ``[0, 1)`` (for traffic splits).
+
+    Uses a different salt domain than ring placement so the canary draw is
+    independent of which replica a key happens to land on.
+    """
+    return hash64(key, salt=salt) / 2.0 ** 64
+
+
+class HashRing:
+    """A consistent-hash ring of string member ids.
+
+    Not thread-safe on its own — :class:`Router` serializes access.
+    """
+
+    def __init__(self, members: Iterable[str] = (), vnodes: int = 64):
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = int(vnodes)
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._members: Set[str] = set()
+        for m in members:
+            self.add(m)
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._hashes = [p[0] for p in self._points]
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        self._points.extend(
+            (hash64(f"{member}#{i}", salt="ring"), member)
+            for i in range(self.vnodes))
+        self._rebuild()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._points = [p for p in self._points if p[1] != member]
+        self._hashes = [p[0] for p in self._points]
+
+    def members(self) -> Set[str]:
+        return set(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def lookup(self, key: str,
+               exclude: Optional[Set[str]] = None) -> Optional[str]:
+        """The member owning ``key``; walk clockwise past ``exclude``\\ d
+        members (failover order is deterministic for a given topology)."""
+        if not self._points:
+            return None
+        if exclude and self._members <= exclude:
+            return None
+        h = hash64(key, salt="key")
+        start = bisect.bisect_left(self._hashes, h) % len(self._points)
+        for off in range(len(self._points)):
+            member = self._points[(start + off) % len(self._points)][1]
+            if exclude and member in exclude:
+                continue
+            return member
+        return None
+
+
+class Router:
+    """Health-aware per-``(model, role)`` consistent routing.
+
+    The fleet owns the authoritative replica states; it pushes eligibility
+    into the router with :meth:`set_members` whenever health, drain or
+    rollout role changes.  A replica absent from a ring receives no new
+    keys — ejection *is* membership removal, and the removed member's keys
+    redistribute to the survivors per the ring property.
+    """
+
+    def __init__(self, vnodes: int = 64):
+        self.vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        self._rings: Dict[Tuple[str, str], HashRing] = {}
+
+    def _ring(self, model: str, role: str) -> HashRing:
+        ring = self._rings.get((model, role))
+        if ring is None:
+            ring = self._rings[(model, role)] = HashRing(vnodes=self.vnodes)
+        return ring
+
+    def set_members(self, model: str, role: str,
+                    members: Sequence[str]) -> None:
+        """Atomically reconcile the ``(model, role)`` ring to ``members``."""
+        with self._lock:
+            ring = self._ring(model, role)
+            want = set(members)
+            for gone in ring.members() - want:
+                ring.remove(gone)
+            for new in want - ring.members():
+                ring.add(new)
+
+    def eject(self, model: str, replica_id: str) -> None:
+        """Remove a replica from every ring of ``model`` (death, drain)."""
+        with self._lock:
+            for (m, _role), ring in self._rings.items():
+                if m == model:
+                    ring.remove(replica_id)
+
+    def members(self, model: str, role: str) -> Set[str]:
+        with self._lock:
+            return self._ring(model, role).members()
+
+    def route(self, model: str, key: str, role: str = ROLE_STABLE,
+              exclude: Optional[Set[str]] = None) -> Optional[str]:
+        """The replica id serving ``key`` for ``(model, role)``.
+
+        Falls back to the other role's ring when the requested ring is
+        empty or fully excluded (a canary-assigned request outliving the
+        last canary replica is served by a stable one, and vice versa at
+        100% rollout), so a request is only unroutable when the whole
+        group is down.
+        """
+        with self._lock:
+            member = self._ring(model, role).lookup(key, exclude=exclude)
+            if member is None:
+                other = ROLE_CANARY if role == ROLE_STABLE else ROLE_STABLE
+                member = self._ring(model, other).lookup(key, exclude=exclude)
+            return member

@@ -1,0 +1,220 @@
+"""Multi-tenant load scenario suite for fleet benchmarking.
+
+A :class:`Scenario` is a named, seeded description of *shaped* open-loop
+traffic: a tenant mix (see :class:`~repro.server.loadgen.Tenant`) plus a
+rate envelope over time.  Arrival times come from a non-homogeneous
+Poisson process sampled by thinning — draw candidate arrivals at the peak
+rate, keep each with probability ``rate(t) / peak`` — so a given
+``(scenario, seed)`` pair replays the identical trace against a single
+:class:`~repro.server.Server` or a whole :class:`~repro.fleet.Fleet`.
+
+The four stock shapes cover the serving failure modes the fleet layer is
+supposed to absorb:
+
+* :func:`diurnal_wave` — a slow sinusoid between trough and peak; the
+  autoscaler should track it without flapping.
+* :func:`flash_crowd` — baseline load with a step to a multiple of it;
+  admission control sheds, the autoscaler reacts, nothing already admitted
+  is lost.
+* :func:`slow_loris` — a tenant that submits on time but collects results
+  late; uncollected futures must not pin server resources.
+* :func:`mixed_sizes` — small- and large-input tenants sharing one fleet;
+  per-tenant breakdowns show cross-tenant interference.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.server.loadgen import (LoadGenError, LoadReport, Tenant,
+                                  _TenantTally, _default_deadline)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible shaped-load description."""
+
+    name: str
+    tenants: Sequence[Tenant]
+    duration_s: float
+    #: offered rate (Hz) as a function of ``t`` in ``[0, duration_s)``
+    rate_fn: Callable[[float], float] = field(repr=False)
+    peak_rate_hz: float = 0.0      #: must upper-bound ``rate_fn`` everywhere
+
+    def __post_init__(self):
+        if self.duration_s <= 0:
+            raise LoadGenError(f"duration_s must be positive, "
+                               f"got {self.duration_s}")
+        if self.peak_rate_hz <= 0:
+            raise LoadGenError(f"peak_rate_hz must be positive, "
+                               f"got {self.peak_rate_hz}")
+
+    def arrivals(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample arrival offsets (seconds) by Poisson thinning."""
+        t, out = 0.0, []
+        while True:
+            t += rng.exponential(1.0 / self.peak_rate_hz)
+            if t >= self.duration_s:
+                break
+            if rng.random() < self.rate_fn(t) / self.peak_rate_hz:
+                out.append(t)
+        return np.asarray(out, dtype=np.float64)
+
+
+def diurnal_wave(key: str, *, trough_hz: float = 20.0, peak_hz: float = 80.0,
+                 duration_s: float = 4.0, deadline_s: Optional[float] = None
+                 ) -> Scenario:
+    """One full sine period between trough and peak offered rate."""
+    mid = (trough_hz + peak_hz) / 2.0
+    amp = (peak_hz - trough_hz) / 2.0
+    return Scenario(
+        name="diurnal_wave",
+        tenants=[Tenant("diurnal", key=key, deadline_s=deadline_s)],
+        duration_s=duration_s,
+        rate_fn=lambda t: mid + amp * np.sin(2 * np.pi * t / duration_s),
+        peak_rate_hz=peak_hz)
+
+
+def flash_crowd(key: str, *, base_hz: float = 30.0, spike_mult: float = 4.0,
+                duration_s: float = 3.0, spike_at: float = 0.4,
+                spike_len: float = 0.3,
+                deadline_s: Optional[float] = None) -> Scenario:
+    """Steady baseline with a step spike (fractions of the duration)."""
+    t0, t1 = spike_at * duration_s, (spike_at + spike_len) * duration_s
+    return Scenario(
+        name="flash_crowd",
+        tenants=[Tenant("crowd", key=key, deadline_s=deadline_s)],
+        duration_s=duration_s,
+        rate_fn=lambda t: base_hz * (spike_mult if t0 <= t < t1 else 1.0),
+        peak_rate_hz=base_hz * spike_mult)
+
+
+def slow_loris(key: str, *, rate_hz: float = 40.0, duration_s: float = 2.0,
+               loris_share: float = 0.25, collect_delay_s: float = 0.5,
+               deadline_s: Optional[float] = None) -> Scenario:
+    """A well-behaved tenant sharing the fleet with one that collects its
+    results ``collect_delay_s`` late."""
+    return Scenario(
+        name="slow_loris",
+        tenants=[
+            Tenant("fast", key=key, weight=1.0 - loris_share,
+                   deadline_s=deadline_s),
+            Tenant("loris", key=key, weight=loris_share,
+                   deadline_s=deadline_s,
+                   collect_delay_s=collect_delay_s),
+        ],
+        duration_s=duration_s,
+        rate_fn=lambda t: rate_hz,
+        peak_rate_hz=rate_hz)
+
+
+def mixed_sizes(small_key: str, large_key: str, *, rate_hz: float = 40.0,
+                duration_s: float = 2.0, large_share: float = 0.3,
+                deadline_s: Optional[float] = None,
+                large_deadline_s: Optional[float] = None) -> Scenario:
+    """Small- and large-model tenants multiplexed onto one fleet."""
+    return Scenario(
+        name="mixed_sizes",
+        tenants=[
+            Tenant("small", key=small_key, weight=1.0 - large_share,
+                   deadline_s=deadline_s),
+            Tenant("large", key=large_key, weight=large_share,
+                   deadline_s=large_deadline_s or deadline_s),
+        ],
+        duration_s=duration_s,
+        rate_fn=lambda t: rate_hz,
+        peak_rate_hz=rate_hz)
+
+
+def standard_suite(key: str, **kwargs) -> List[Scenario]:
+    """The stock single-model scenario set (mixed-sizes needs two keys, so
+    it is not included here)."""
+    return [diurnal_wave(key, **kwargs.get("diurnal", {})),
+            flash_crowd(key, **kwargs.get("flash", {})),
+            slow_loris(key, **kwargs.get("loris", {}))]
+
+
+def run_scenario(server, scenario: Scenario,
+                 samples: Dict[Optional[str], Sequence[np.ndarray]], *,
+                 seed: int = 0, result_grace_s: float = 10.0) -> LoadReport:
+    """Replay ``scenario`` against ``server`` (a
+    :class:`~repro.server.Server` or :class:`~repro.fleet.Fleet`).
+
+    ``samples`` maps each tenant key to its input pool (use the key ``None``
+    as a catch-all).  Fully reproducible for a given ``(scenario, seed)``.
+    """
+    mix = list(scenario.tenants)
+    if not mix:
+        raise LoadGenError("scenario has no tenants")
+    for t in mix:
+        if t.key is None:
+            raise LoadGenError(f"scenario tenant {t.name!r} must name a key")
+        if t.weight <= 0:
+            raise LoadGenError(f"tenant {t.name!r} weight must be positive, "
+                               f"got {t.weight}")
+        if t.key not in samples and None not in samples:
+            raise LoadGenError(f"no samples for tenant key {t.key!r}")
+    rng = np.random.default_rng(seed)
+    offsets = scenario.arrivals(rng)
+    if len(offsets) == 0:
+        raise LoadGenError(f"scenario {scenario.name!r} produced no "
+                           f"arrivals; raise duration or rate")
+    weights = np.asarray([t.weight for t in mix], dtype=np.float64)
+    draws = rng.choice(len(mix), size=len(offsets),
+                       p=weights / weights.sum())
+    default_deadline = _default_deadline(server)
+
+    pendings = []
+    t0 = time.perf_counter()
+    for i, off in enumerate(offsets):
+        delay = (t0 + off) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        tenant = mix[draws[i]]
+        pool = samples.get(tenant.key, samples.get(None))
+        deadline = (tenant.deadline_s if tenant.deadline_s is not None
+                    else default_deadline)
+        pendings.append(
+            (server.submit(tenant.key, pool[i % len(pool)],
+                           deadline_s=deadline), tenant, deadline))
+
+    report = LoadReport(model=f"<scenario:{scenario.name}>",
+                        requests=len(pendings), ok=0, shed=0, failed=0,
+                        retryable_failed=0, deadline_s=default_deadline,
+                        offered_rate_hz=len(offsets) / scenario.duration_s,
+                        duration_s=0.0, seed=seed)
+    tallies: Dict[str, _TenantTally] = {t.name: _TenantTally() for t in mix}
+    collect_at = time.perf_counter()
+    for pending, tenant, deadline in pendings:
+        if tenant.collect_delay_s > 0:
+            wake = collect_at + tenant.collect_delay_s
+            pause = wake - time.perf_counter()
+            if pause > 0:
+                time.sleep(pause)
+        resp = pending.result(timeout=deadline + result_grace_s)
+        tally = tallies[tenant.name]
+        tally.requests += 1
+        if resp.ok:
+            report.ok += 1
+            report.latencies_s.append(resp.latency_s)
+            report.queue_waits_s.append(resp.queue_wait_s)
+            report.batch_sizes.append(resp.batch_size)
+            tally.ok += 1
+            tally.latencies_s.append(resp.latency_s)
+            if resp.latency_s > deadline:
+                report.late += 1
+        elif type(resp).__name__ == "Overloaded":
+            report.shed += 1
+            tally.shed += 1
+        else:
+            report.failed += 1
+            tally.failed += 1
+            if resp.retryable:
+                report.retryable_failed += 1
+    report.duration_s = time.perf_counter() - t0
+    report.per_tenant = {name: tally.to_json()
+                         for name, tally in tallies.items()}
+    return report

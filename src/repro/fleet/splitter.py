@@ -1,0 +1,261 @@
+"""Shadow and canary traffic splitting over ``name@version``.
+
+The :class:`TrafficSplitter` is pure rollout *state* — which version is
+stable, which is the candidate, what fraction of keys it owns, whether
+traffic is mirrored — plus the deterministic per-request assignment.  The
+:class:`~repro.fleet.fleet.Fleet` enacts its decisions (placing canary
+replicas, swapping versions, requeuing traffic); keeping the state machine
+side-effect free makes it unit-testable and its history auditable.
+
+Rollout state machine (per model)::
+
+    idle ──begin_shadow──> shadow ──begin_canary──┐
+    idle ──begin_canary───────────────────────────┤
+                                                  v
+                      ┌─────────── canary (fraction f) ───────────┐
+          advance(f') │                  │ rollback()             │ promote()
+                      └──> canary        v                        v
+                                    rolled_back                promoted
+                                         │                        │
+                                         └──────> idle <──────────┘
+
+* **shadow**: 0% of primary traffic; a mirror fraction of requests is
+  *copied* to the candidate version and the copies' results are discarded.
+  Shadow responses never touch primary SLO accounting — they land in a
+  separate window.
+* **canary**: a deterministic ``hash01(route_key)`` draw assigns each
+  request to the candidate iff it falls below ``fraction``; the assignment
+  is sticky per key (the same user/key always sees the same version while
+  the fraction holds).
+* **rollback** is terminal for the candidate: the fraction drops to zero
+  and the fleet swaps every canary replica back to the stable version.
+  ``promoted`` makes the candidate the new stable.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.fleet.router import ROLE_CANARY, ROLE_STABLE, hash01
+
+#: rollout states
+IDLE = "idle"
+SHADOW = "shadow"
+CANARY = "canary"
+PROMOTED = "promoted"
+ROLLED_BACK = "rolled_back"
+
+#: the default promote ladder a supervised rollout walks (1% -> 100%)
+DEFAULT_LADDER = (0.01, 0.1, 0.5, 1.0)
+
+
+@dataclass
+class Rollout:
+    """Rollout state for one model."""
+
+    model: str
+    stable_version: str
+    canary_version: Optional[str] = None
+    fraction: float = 0.0          #: share of primary keys on the candidate
+    mirror_fraction: float = 0.0   #: share of stable keys shadow-copied
+    state: str = IDLE
+    reason: str = ""
+    history: List[Dict] = field(default_factory=list)
+
+    def _log(self, event: str, **fields) -> None:
+        entry = {"ts": time.time(), "event": event, "state": self.state,
+                 "fraction": self.fraction, **fields}
+        self.history.append(entry)
+        payload = {"model": self.model, "state": self.state,
+                   "fraction": self.fraction, "canary": self.canary_version,
+                   "stable": self.stable_version, **fields}
+        telemetry.emit(f"fleet_rollout_{event}", **payload)
+
+    # ----------------------------------------------------------- assignment
+    def assign(self, route_key: str) -> Tuple[str, bool]:
+        """``(role, mirror)`` for one request.
+
+        ``role`` is :data:`~repro.fleet.router.ROLE_CANARY` when the key's
+        deterministic draw falls inside the canary fraction, else
+        :data:`~repro.fleet.router.ROLE_STABLE`; ``mirror`` asks the fleet
+        to also shadow-copy the request to the candidate.
+        """
+        if self.state == CANARY and self.canary_version is not None:
+            if hash01(route_key, salt="canary") < self.fraction:
+                return ROLE_CANARY, False
+        if self.state == SHADOW and self.canary_version is not None:
+            if hash01(route_key, salt="shadow") < self.mirror_fraction:
+                return ROLE_STABLE, True
+        return ROLE_STABLE, False
+
+    def serving_version(self, role: str) -> str:
+        if role == ROLE_CANARY and self.canary_version is not None:
+            return self.canary_version
+        return self.stable_version
+
+    def active(self) -> bool:
+        return self.state in (SHADOW, CANARY)
+
+    def to_json(self) -> Dict:
+        return {"model": self.model, "state": self.state,
+                "stable_version": self.stable_version,
+                "canary_version": self.canary_version,
+                "fraction": self.fraction,
+                "mirror_fraction": self.mirror_fraction,
+                "reason": self.reason,
+                "history": list(self.history)}
+
+
+class TrafficSplitter:
+    """Per-model rollout registry with guarded transitions."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rollouts: Dict[str, Rollout] = {}
+
+    def ensure(self, model: str, stable_version: str) -> Rollout:
+        with self._lock:
+            ro = self._rollouts.get(model)
+            if ro is None:
+                ro = self._rollouts[model] = Rollout(model, stable_version)
+            return ro
+
+    def get(self, model: str) -> Optional[Rollout]:
+        with self._lock:
+            return self._rollouts.get(model)
+
+    # ---------------------------------------------------------- transitions
+    def begin_shadow(self, model: str, version: str,
+                     mirror_fraction: float = 0.2) -> Rollout:
+        """Mirror ``mirror_fraction`` of traffic to ``version`` silently."""
+        if not 0.0 < mirror_fraction <= 1.0:
+            raise ValueError(f"mirror_fraction must be in (0, 1], got "
+                             f"{mirror_fraction}")
+        with self._lock:
+            ro = self._require(model)
+            self._require_idle(ro, "begin_shadow")
+            if version == ro.stable_version:
+                raise ValueError(f"{model}: shadow version {version!r} is "
+                                 f"already the stable version")
+            ro.canary_version = version
+            ro.mirror_fraction = float(mirror_fraction)
+            ro.fraction = 0.0
+            ro.state = SHADOW
+            ro.reason = ""
+            ro._log("shadow", mirror_fraction=ro.mirror_fraction)
+            return ro
+
+    def begin_canary(self, model: str, version: str,
+                     fraction: float = DEFAULT_LADDER[0]) -> Rollout:
+        """Put ``fraction`` of primary keys on ``version``.
+
+        Legal from ``idle`` or from an active shadow of the same version
+        (the shadow graduates to taking real traffic).
+        """
+        self._check_fraction(fraction)
+        with self._lock:
+            ro = self._require(model)
+            if ro.state == SHADOW and ro.canary_version == version:
+                pass                        # shadow -> canary graduation
+            else:
+                self._require_idle(ro, "begin_canary")
+                if version == ro.stable_version:
+                    raise ValueError(f"{model}: canary version {version!r} "
+                                     f"is already the stable version")
+            ro.canary_version = version
+            ro.mirror_fraction = 0.0
+            ro.fraction = float(fraction)
+            ro.state = CANARY
+            ro.reason = ""
+            ro._log("canary", fraction=ro.fraction)
+            return ro
+
+    def advance(self, model: str, fraction: float) -> Rollout:
+        """Move an active canary to a larger fraction (the promote ladder)."""
+        self._check_fraction(fraction)
+        with self._lock:
+            ro = self._require(model)
+            if ro.state != CANARY:
+                raise RuntimeError(f"{model}: no active canary to advance "
+                                   f"(state={ro.state})")
+            if fraction < ro.fraction:
+                raise ValueError(f"{model}: advance() only moves forward "
+                                 f"({fraction} < {ro.fraction}); use "
+                                 f"rollback() to retreat")
+            ro.fraction = float(fraction)
+            ro._log("advance")
+            return ro
+
+    def promote(self, model: str) -> Rollout:
+        """The candidate becomes the stable version (fraction -> 100%)."""
+        with self._lock:
+            ro = self._require(model)
+            if ro.state != CANARY or ro.canary_version is None:
+                raise RuntimeError(f"{model}: no active canary to promote "
+                                   f"(state={ro.state})")
+            ro.stable_version = ro.canary_version
+            ro.canary_version = None
+            ro.fraction = 0.0
+            ro.mirror_fraction = 0.0
+            ro.state = PROMOTED
+            ro._log("promote", stable=ro.stable_version)
+            return ro
+
+    def rollback(self, model: str, reason: str = "") -> Rollout:
+        """Abort the rollout: all keys back on stable, candidate retired."""
+        with self._lock:
+            ro = self._require(model)
+            if ro.state not in (SHADOW, CANARY):
+                raise RuntimeError(f"{model}: no active rollout to roll "
+                                   f"back (state={ro.state})")
+            retired = ro.canary_version
+            ro.canary_version = None
+            ro.fraction = 0.0
+            ro.mirror_fraction = 0.0
+            ro.state = ROLLED_BACK
+            ro.reason = reason
+            ro._log("rollback", retired=retired, reason=reason)
+            return ro
+
+    def reset(self, model: str) -> Rollout:
+        """``promoted``/``rolled_back`` -> ``idle`` (ready for a new
+        candidate); the history is preserved."""
+        with self._lock:
+            ro = self._require(model)
+            if ro.state in (SHADOW, CANARY):
+                raise RuntimeError(f"{model}: cannot reset an active "
+                                   f"rollout; promote or roll back first")
+            ro.state = IDLE
+            ro.reason = ""
+            return ro
+
+    # ------------------------------------------------------------- helpers
+    def _require(self, model: str) -> Rollout:
+        ro = self._rollouts.get(model)
+        if ro is None:
+            raise KeyError(f"no rollout state for model {model!r}; the "
+                           f"fleet registers models via add_model()")
+        return ro
+
+    @staticmethod
+    def _require_idle(ro: Rollout, action: str) -> None:
+        if ro.state in (SHADOW, CANARY):
+            raise RuntimeError(
+                f"{ro.model}: {action} refused — a rollout of "
+                f"{ro.canary_version!r} is active (state={ro.state}); "
+                f"promote or roll back first")
+        if ro.state in (PROMOTED, ROLLED_BACK):
+            ro.state = IDLE         # implicit reset on a fresh candidate
+
+    @staticmethod
+    def _check_fraction(fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"canary fraction must be in (0, 1], got "
+                             f"{fraction}")
+
+    def to_json(self) -> Dict:
+        with self._lock:
+            return {m: ro.to_json() for m, ro in sorted(self._rollouts.items())}

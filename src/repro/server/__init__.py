@@ -31,7 +31,8 @@ Quickstart::
         if resp.ok:
             logits = resp.logits
 """
-from repro.server.loadgen import LoadReport, run_poisson_load
+from repro.server.loadgen import (LoadGenError, LoadReport, Tenant,
+                                  run_poisson_load)
 from repro.server.registry import (
     DuplicateVersionError,
     ModelEntry,
@@ -51,5 +52,5 @@ __all__ = [
     "Server", "ServerConfig",
     "ModelRegistry", "ModelEntry", "split_key", "DuplicateVersionError",
     "Response", "Ok", "Overloaded", "Failed", "PendingRequest",
-    "LoadReport", "run_poisson_load",
+    "LoadReport", "run_poisson_load", "Tenant", "LoadGenError",
 ]

@@ -5,19 +5,59 @@ inter-arrival distribution and requests fire at those instants regardless of
 how the server is keeping up — the generator never self-throttles, so
 overload actually shows up as shed requests and tail latency instead of
 being hidden by client backpressure.  :func:`run_poisson_load` drives a live
-:class:`~repro.server.Server` and returns a :class:`LoadReport`; the
-``repro.cli serve-bench`` subcommand wraps it and writes
-``BENCH_server.json``.
+:class:`~repro.server.Server` (or a :class:`~repro.fleet.Fleet` — anything
+with the same ``submit``/``config`` surface) and returns a
+:class:`LoadReport`; the ``repro.cli serve-bench`` subcommand wraps it and
+writes ``BENCH_server.json``.
+
+Load traces are **reproducible**: pass an explicit ``seed`` (or a
+pre-seeded ``rng``) and the arrival times, tenant draws and sample choices
+replay byte-for-byte.  Multi-tenant traffic is described by a ``tenants=``
+list of :class:`Tenant` records — each request is drawn from the tenant mix
+by weight, targets that tenant's model key and deadline, and the report
+carries a per-tenant breakdown.  Degenerate arguments (non-positive rates
+or weights, empty sample sets) raise the typed :class:`LoadGenError`.
 """
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.telemetry.metrics import percentile_summary
+
+
+class LoadGenError(ValueError):
+    """Typed rejection of a degenerate load description (non-positive rate
+    or tenant weight, empty samples, conflicting seeds)."""
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One traffic class in a multi-tenant load mix.
+
+    ``weight`` is the tenant's share of the Poisson arrival stream (weights
+    are normalized over the mix, they need not sum to 1).  ``key`` targets a
+    model (``name`` or ``name@version``); ``deadline_s`` overrides the run's
+    deadline for this tenant's requests.  ``collect_delay_s`` models a
+    slow-loris client: the request fires on time but its *result is not
+    collected* until that much later — the server must not let uncollected
+    futures hold resources.
+    """
+
+    name: str
+    key: Optional[str] = None         #: model key; None -> the run's key
+    weight: float = 1.0
+    deadline_s: Optional[float] = None
+    collect_delay_s: float = 0.0
+
+
+def _as_tenant(t: Union[Tenant, Dict]) -> Tenant:
+    if isinstance(t, Tenant):
+        return t
+    return Tenant(**t)
 
 
 @dataclass
@@ -39,6 +79,9 @@ class LoadReport:
     bit_exact: Optional[bool] = None   #: None when no references were given
     mismatches: int = 0
     late: int = 0                      #: answered but past the deadline
+    seed: Optional[int] = None         #: explicit seed, when one was given
+    #: ``{tenant: {"requests", "ok", "shed", "failed", "latency_ms"}}``
+    per_tenant: Dict[str, Dict] = field(default_factory=dict)
 
     @property
     def achieved_rate_hz(self) -> float:
@@ -53,7 +96,7 @@ class LoadReport:
 
     def to_json(self) -> Dict:
         lat = self.latency_percentiles()
-        return {
+        out = {
             "model": self.model,
             "requests": self.requests,
             "ok": self.ok,
@@ -75,13 +118,43 @@ class LoadReport:
             "bit_exact": self.bit_exact,
             "mismatches": self.mismatches,
         }
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.per_tenant:
+            out["per_tenant"] = self.per_tenant
+        return out
 
 
-def run_poisson_load(server, key: str, samples: Sequence[np.ndarray], *,
+class _TenantTally:
+    __slots__ = ("requests", "ok", "shed", "failed", "latencies_s")
+
+    def __init__(self):
+        self.requests = 0
+        self.ok = 0
+        self.shed = 0
+        self.failed = 0
+        self.latencies_s: List[float] = []
+
+    def to_json(self) -> Dict:
+        return {"requests": self.requests, "ok": self.ok, "shed": self.shed,
+                "failed": self.failed,
+                "latency_ms": {k: round(v * 1e3, 3) for k, v in
+                               percentile_summary(self.latencies_s).items()}}
+
+
+def _default_deadline(server) -> float:
+    cfg = getattr(server, "config", None)
+    return getattr(cfg, "default_deadline_s", 0.25)
+
+
+def run_poisson_load(server, key: Optional[str],
+                     samples: Sequence[np.ndarray], *,
                      rate_hz: float, n_requests: int,
                      deadline_s: Optional[float] = None,
                      refs: Optional[Sequence[np.ndarray]] = None,
                      rng: Optional[np.random.Generator] = None,
+                     seed: Optional[int] = None,
+                     tenants: Optional[Sequence[Union[Tenant, Dict]]] = None,
                      result_grace_s: float = 10.0) -> LoadReport:
     """Fire ``n_requests`` Poisson arrivals at ``rate_hz`` and collect results.
 
@@ -89,18 +162,43 @@ def run_poisson_load(server, key: str, samples: Sequence[np.ndarray], *,
     given (same indexing: the expected logits from *single-sample* execution
     on the interpreted tree), every ``Ok`` response is checked bitwise and
     the report carries ``bit_exact``/``mismatches``.
+
+    ``seed`` makes the whole trace reproducible (pass either ``seed`` or a
+    pre-seeded ``rng``, not both); ``tenants`` splits the stream into a
+    weighted multi-tenant mix (see :class:`Tenant`) with a per-tenant
+    breakdown in the report.  ``key`` may be ``None`` when every tenant
+    names its own model key.
     """
     if rate_hz <= 0:
-        raise ValueError("rate_hz must be positive")
+        raise LoadGenError(f"rate_hz must be positive, got {rate_hz}")
     if n_requests <= 0:
-        raise ValueError("n_requests must be positive")
+        raise LoadGenError(f"n_requests must be positive, got {n_requests}")
     if len(samples) == 0:
-        raise ValueError("samples must be non-empty")
-    rng = rng or np.random.default_rng(0)
+        raise LoadGenError("samples must be non-empty")
+    if rng is not None and seed is not None:
+        raise LoadGenError("pass either rng= or seed=, not both")
+    mix: List[Tenant] = [_as_tenant(t) for t in (tenants or [])]
+    for t in mix:
+        if t.weight <= 0:
+            raise LoadGenError(f"tenant {t.name!r} weight must be positive, "
+                               f"got {t.weight}")
+        if t.key is None and key is None:
+            raise LoadGenError(f"tenant {t.name!r} has no key and no run "
+                               f"key was given")
+    if key is None and not mix:
+        raise LoadGenError("a model key is required when no tenants are given")
+    rng = rng if rng is not None else np.random.default_rng(
+        0 if seed is None else seed)
     deadline = (deadline_s if deadline_s is not None
-                else server.config.default_deadline_s)
+                else _default_deadline(server))
     gaps = rng.exponential(1.0 / rate_hz, size=n_requests)
     gaps[0] = 0.0
+    if mix:
+        weights = np.asarray([t.weight for t in mix], dtype=np.float64)
+        draws = rng.choice(len(mix), size=n_requests,
+                           p=weights / weights.sum())
+    else:
+        draws = None
 
     pendings = []
     t0 = time.perf_counter()
@@ -110,31 +208,60 @@ def run_poisson_load(server, key: str, samples: Sequence[np.ndarray], *,
         delay = arrival - time.perf_counter()
         if delay > 0:
             time.sleep(delay)
+        tenant = mix[draws[i]] if draws is not None else None
+        req_key = (tenant.key if tenant is not None and tenant.key is not None
+                   else key)
+        req_deadline = (tenant.deadline_s
+                        if tenant is not None and tenant.deadline_s is not None
+                        else deadline)
         pendings.append(
-            server.submit(key, samples[i % len(samples)], deadline_s=deadline))
+            (server.submit(req_key, samples[i % len(samples)],
+                           deadline_s=req_deadline),
+             tenant, req_deadline))
 
-    report = LoadReport(model=key, requests=n_requests, ok=0, shed=0,
+    report = LoadReport(model=key if key is not None else "<tenants>",
+                        requests=n_requests, ok=0, shed=0,
                         failed=0, retryable_failed=0, deadline_s=deadline,
-                        offered_rate_hz=rate_hz, duration_s=0.0)
-    for i, pending in enumerate(pendings):
-        resp = pending.result(timeout=deadline + result_grace_s)
+                        offered_rate_hz=rate_hz, duration_s=0.0, seed=seed)
+    tallies: Dict[str, _TenantTally] = {t.name: _TenantTally() for t in mix}
+    collect_at = time.perf_counter()
+    for i, (pending, tenant, req_deadline) in enumerate(pendings):
+        if tenant is not None and tenant.collect_delay_s > 0:
+            # slow-loris client: the result sits uncollected for a while
+            wake = collect_at + tenant.collect_delay_s
+            pause = wake - time.perf_counter()
+            if pause > 0:
+                time.sleep(pause)
+        resp = pending.result(timeout=req_deadline + result_grace_s)
+        tally = tallies.get(tenant.name) if tenant is not None else None
+        if tally is not None:
+            tally.requests += 1
         if resp.ok:
             report.ok += 1
             report.latencies_s.append(resp.latency_s)
             report.queue_waits_s.append(resp.queue_wait_s)
             report.batch_sizes.append(resp.batch_size)
-            if resp.latency_s > deadline:
+            if tally is not None:
+                tally.ok += 1
+                tally.latencies_s.append(resp.latency_s)
+            if resp.latency_s > req_deadline:
                 report.late += 1
             if refs is not None and not np.array_equal(
                     resp.logits, refs[i % len(refs)]):
                 report.mismatches += 1
         elif type(resp).__name__ == "Overloaded":
             report.shed += 1
+            if tally is not None:
+                tally.shed += 1
         else:
             report.failed += 1
+            if tally is not None:
+                tally.failed += 1
             if resp.retryable:
                 report.retryable_failed += 1
     report.duration_s = time.perf_counter() - t0
     if refs is not None:
         report.bit_exact = report.mismatches == 0
+    report.per_tenant = {name: tally.to_json()
+                         for name, tally in tallies.items()}
     return report

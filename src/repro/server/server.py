@@ -707,6 +707,9 @@ class Server:
         self._ids = itertools.count(1)
         self._batch_ids = itertools.count(1)
         self.closing = False
+        self.draining = False      #: intake off, queued work still completes
+        self.killed = False        #: abrupt stop (replica-death simulation)
+        self.drain_rejected = 0    #: submits bounced while draining
         self._t0 = time.time()
         self.trace_store = _live.TraceStore(
             capacity=self.config.trace_capacity)
@@ -777,6 +780,14 @@ class Server:
                     if deadline_s is None else float(deadline_s))
         req = PendingRequest(next(self._ids), entry.name, x,
                              time.perf_counter(), deadline)
+        if self.draining:
+            # drain protocol: intake is off but queued work still completes;
+            # the typed retryable Failed tells a fleet router to resubmit
+            # elsewhere without burning this request
+            self.drain_rejected += 1
+            req._resolve(Failed(req.request_id, entry.name,
+                                error="server is draining", retryable=True))
+            return req
         if self.tracing_active():
             # trace_id == request_id: one id to correlate logs/spans/results
             req.ctx = _live.TraceContext.mint(req.request_id,
@@ -1025,6 +1036,68 @@ class Server:
         self._exporter_stop.set()
         self._exporter.join(timeout=timeout)
         self._exporter = None
+
+    # ------------------------------------------------------- replica mode
+    def drain(self) -> None:
+        """Stop intake while letting every queued/in-flight request finish.
+
+        The scale-in half of the fleet drain protocol: a draining server
+        answers new :meth:`submit` calls with an already-resolved retryable
+        :class:`~repro.server.types.Failed` (the router resubmits them on a
+        peer replica) and keeps its lanes running until :meth:`drained`.
+        Idempotent; finish with :meth:`close` once drained.
+        """
+        if not self.draining:
+            self.draining = True
+            telemetry.emit("server_draining",
+                           pending=self.pending_count())
+
+    def pending_count(self) -> int:
+        """Requests this server still owes answers for: queued plus riding
+        in-flight batches (an inline batch mid-execution counts as one —
+        its exact size is not tracked outside the lane thread)."""
+        total = 0
+        with self._lock:
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            with lane.cond:
+                total += len(lane.queue)
+                total += sum(len(b.requests)
+                             for b in lane.inflight.values())
+                total += 1 if lane.busy else 0
+        return total
+
+    def drained(self) -> bool:
+        """True once no lane holds queued or in-flight work."""
+        return self.pending_count() == 0
+
+    def healthy(self) -> bool:
+        """Liveness for fleet health checks: accepting work and no crashed
+        lane scheduler."""
+        if self.closing or self.killed or self.draining:
+            return False
+        with self._lock:
+            lanes = list(self._lanes.values())
+        return not any(lane.dead for lane in lanes)
+
+    def kill(self) -> None:
+        """Abrupt replica death (the in-process stand-in for SIGKILL of a
+        whole gateway process): every queued and in-flight request resolves
+        as a retryable :class:`~repro.server.types.Failed` *immediately* —
+        no drain — so a fleet layer can requeue the lost work elsewhere,
+        and the server refuses everything afterwards."""
+        if self.killed:
+            return
+        self.killed = True
+        self.closing = True
+        with self._lock:
+            lanes = list(self._lanes.values())
+        telemetry.emit("server_killed", level="warning",
+                       lanes=[lane.name for lane in lanes])
+        for lane in lanes:
+            lane._abort("replica killed")
+            lane.close()        # wake the scheduler thread so it exits
+        self.stop_status_export()
 
     def close(self, timeout: float = 30.0) -> None:
         """Stop intake, drain every lane, shut down pools and threads."""

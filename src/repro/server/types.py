@@ -79,7 +79,7 @@ class PendingRequest:
     """
 
     __slots__ = ("request_id", "model", "sample", "enqueue_t", "deadline_t",
-                 "deadline_s", "ctx", "_event", "_response")
+                 "deadline_s", "ctx", "_event", "_response", "_callbacks")
 
     def __init__(self, request_id: int, model: str, sample: np.ndarray,
                  enqueue_t: float, deadline_s: float):
@@ -93,9 +93,35 @@ class PendingRequest:
         self.ctx = None
         self._event = threading.Event()
         self._response: Optional[Response] = None
+        self._callbacks: list = []
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(response)`` when the request resolves (immediately if it
+        already has).  This is the replica-mode hook the fleet layer uses to
+        fail requests over to another replica without a thread per request;
+        callbacks run on the resolving thread (a lane thread, usually) and
+        must not block.  Exceptions from ``fn`` are swallowed — a broken
+        observer must never wedge a lane.
+        """
+        self._callbacks.append(fn)
+        if self._event.is_set():
+            self._drain_callbacks()
+
+    def _drain_callbacks(self) -> None:
+        # list.pop is atomic under the GIL, so a callback registered in a
+        # race with _resolve() runs exactly once (on whichever side pops it)
+        while self._callbacks:
+            try:
+                fn = self._callbacks.pop(0)
+            except IndexError:
+                return
+            try:
+                fn(self._response)
+            except Exception:
+                pass
 
     def result(self, timeout: Optional[float] = None) -> Response:
         """The resolved :class:`Response`; raises ``TimeoutError`` if unset."""
@@ -110,6 +136,7 @@ class PendingRequest:
             return
         self._response = response
         self._event.set()
+        self._drain_callbacks()
 
     def __repr__(self) -> str:
         state = type(self._response).__name__ if self.done() else "pending"

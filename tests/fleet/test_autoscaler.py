@@ -1,0 +1,121 @@
+"""SLO-driven autoscaling policy: thresholds, cooldowns, bounds."""
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (HOLD, SCALE_IN, SCALE_OUT, Autoscaler,
+                        AutoscalePolicy)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, s):
+        self.t += s
+
+
+def window(requests=100, burn=0.0, p99_ms=10.0):
+    return {"requests": requests,
+            "latency_ms": {"p50": p99_ms / 2, "p95": p99_ms, "p99": p99_ms},
+            "slo": {"target": 0.99, "error_budget_burn": burn}}
+
+
+def scaler(**policy):
+    clock = FakeClock()
+    defaults = dict(min_replicas=1, max_replicas=4, scale_out_burn=1.0,
+                    scale_in_burn=0.2, p99_budget_fraction=0.5,
+                    scale_out_cooldown_s=5.0, scale_in_cooldown_s=15.0,
+                    min_window_requests=20)
+    defaults.update(policy)
+    return Autoscaler(AutoscalePolicy(**defaults), clock=clock), clock
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="min_replicas"):
+        AutoscalePolicy(min_replicas=0)
+    with pytest.raises(ValueError, match="max_replicas"):
+        AutoscalePolicy(min_replicas=3, max_replicas=2)
+    with pytest.raises(ValueError, match="hysteresis"):
+        AutoscalePolicy(scale_in_burn=1.0, scale_out_burn=1.0)
+
+
+def test_scale_out_on_burn_with_cooldown():
+    asc, clock = scaler()
+    d = asc.tick("m", window(burn=2.0, p99_ms=300.0), current=2,
+                 deadline_s=0.25)
+    assert d.action == SCALE_OUT and d.target == 3
+    # immediately after: same burn, but the cooldown gates
+    d = asc.tick("m", window(burn=2.0, p99_ms=300.0), current=3,
+                 deadline_s=0.25)
+    assert d.action == HOLD and "cooldown" in d.reason
+    clock.advance(6.0)
+    d = asc.tick("m", window(burn=2.0, p99_ms=300.0), current=3,
+                 deadline_s=0.25)
+    assert d.action == SCALE_OUT and d.target == 4
+
+
+def test_scale_out_clamped_at_max():
+    asc, _ = scaler(max_replicas=2)
+    d = asc.tick("m", window(burn=5.0), current=2, deadline_s=0.25)
+    assert d.action == HOLD and d.target == 2
+
+
+def test_scale_in_requires_low_burn_and_low_p99():
+    asc, clock = scaler()
+    # low burn but p99 above half the deadline -> hold (latency cliff guard)
+    d = asc.tick("m", window(burn=0.0, p99_ms=200.0), current=3,
+                 deadline_s=0.25)
+    assert d.action == HOLD
+    # low burn AND comfortable p99 -> shrink by one
+    d = asc.tick("m", window(burn=0.0, p99_ms=50.0), current=3,
+                 deadline_s=0.25)
+    assert d.action == SCALE_IN and d.target == 2
+    # scale-in cooldown is slower than scale-out
+    d = asc.tick("m", window(burn=0.0, p99_ms=50.0), current=2,
+                 deadline_s=0.25)
+    assert d.action == HOLD and "cooldown" in d.reason
+    clock.advance(16.0)
+    d = asc.tick("m", window(burn=0.0, p99_ms=50.0), current=2,
+                 deadline_s=0.25)
+    assert d.action == SCALE_IN and d.target == 1
+
+
+def test_scale_in_clamped_at_min():
+    asc, _ = scaler(min_replicas=2)
+    d = asc.tick("m", window(burn=0.0, p99_ms=1.0), current=2,
+                 deadline_s=0.25)
+    assert d.action == HOLD and d.target == 2
+
+
+def test_thin_window_holds():
+    asc, _ = scaler()
+    d = asc.tick("m", window(requests=5, burn=9.0), current=1,
+                 deadline_s=0.25)
+    assert d.action == HOLD and "thin" in d.reason
+
+
+def test_out_of_bounds_current_is_corrected():
+    asc, _ = scaler(min_replicas=2, max_replicas=4)
+    assert asc.tick("m", window(), 1, 0.25).target == 2
+    assert asc.tick("m", window(), 6, 0.25).target == 4
+
+
+def test_hysteresis_band_holds():
+    asc, _ = scaler()
+    d = asc.tick("m", window(burn=0.5, p99_ms=50.0), current=2,
+                 deadline_s=0.25)
+    assert d.action == HOLD and "hysteresis" in d.reason
+
+
+def test_history_is_per_model_and_bounded():
+    asc, _ = scaler()
+    for i in range(10):
+        asc.tick("a", window(), current=1, deadline_s=0.25)
+        asc.tick("b", window(), current=1, deadline_s=0.25)
+    assert len(asc.history("a")) == 10
+    assert len(asc.history()) == 20
+    assert all(d.to_json()["model"] == "a" for d in asc.history("a"))

@@ -1,0 +1,198 @@
+"""Fleet integration: failover, self-heal, rollouts, SLO windows, metrics.
+
+Tests drive :meth:`Fleet.health_tick` by hand instead of starting the
+background loop — every lifecycle transition is deterministic.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import (DEAD, PARTITIONED, READY, ROLE_CANARY, CANARY,
+                         ROLLED_BACK)
+from repro.telemetry.obs import parse_prometheus
+from tests.fleet.conftest import (failing_runner, gain_runner, make_fleet,
+                                  sample)
+
+
+def _drain(requests, timeout=10.0):
+    return [r.result(timeout=timeout) for r in requests]
+
+
+def test_serves_and_accounts_primary_window_only():
+    with make_fleet(replicas=3) as fleet:
+        resps = _drain([fleet.submit("m", sample(float(i)))
+                        for i in range(30)])
+    assert all(r.ok for r in resps)
+    assert np.array_equal(resps[3].logits,
+                          np.full(4, 6.0, dtype=np.float32))
+    st = fleet.status()["models"]["m"]
+    assert st["window"]["primary"]["requests"] == 30
+    assert st["window"]["canary"]["requests"] == 0
+    assert st["window"]["shadow"]["requests"] == 0
+    assert len(st["replicas"]) == 3
+    assert fleet.requests_lost == 0
+
+
+def test_kill_under_load_fails_over_and_self_heals():
+    fleet = make_fleet(replicas=3)
+    try:
+        pending = [fleet.submit("m", sample(1.0)) for _ in range(20)]
+        victim = fleet.replicas("m")[1]
+        victim.kill()
+        pending += [fleet.submit("m", sample(2.0)) for _ in range(20)]
+        resps = _drain(pending)
+        assert all(r.ok for r in resps), (
+            f"{sum(not r.ok for r in resps)} requests lost to the kill")
+        assert fleet.requests_lost == 0
+        fleet.health_tick()            # detect the corpse, spawn replacement
+        reps = fleet.replicas("m")
+        assert victim.replica_id not in {r.replica_id for r in reps}
+        assert len([r for r in reps if r.state == READY]) == 3
+        # the replacement serves
+        assert fleet.submit("m", sample(3.0)).result(timeout=10.0).ok
+    finally:
+        fleet.close()
+
+
+def test_partition_ejects_but_does_not_replace():
+    fleet = make_fleet(replicas=3)
+    try:
+        fleet.health_tick()
+        victim = fleet.replicas("m")[0]
+        victim.partition()
+        fleet.health_tick()
+        assert victim.state == PARTITIONED
+        routing = fleet.status()["models"]["m"]["routing"]
+        assert victim.replica_id not in routing["stable"]
+        # partitioned counts toward target: no replacement is spawned
+        assert len(fleet.replicas("m")) == 3
+        # traffic still flows on the survivors
+        assert fleet.submit("m", sample(1.0)).result(timeout=10.0).ok
+        victim.heal()
+        fleet.health_tick()
+        assert victim.state == READY
+        routing = fleet.status()["models"]["m"]["routing"]
+        assert victim.replica_id in routing["stable"]
+    finally:
+        fleet.close()
+
+
+def test_canary_serves_candidate_and_promote_cuts_over():
+    fleet = make_fleet(replicas=3)
+    try:
+        fleet.register_version("m", "2", runner=gain_runner(5.0))
+        fleet.begin_canary("m", "2", fraction=0.5)
+        canaries = [r for r in fleet.replicas("m") if r.role == ROLE_CANARY]
+        assert canaries and all(r.active_version() == "2" for r in canaries)
+        resps = _drain([fleet.submit("m", sample(1.0),
+                                     route_key=f"user-{i}")
+                        for i in range(40)])
+        gains = {float(r.logits[0]) for r in resps if r.ok}
+        assert gains == {2.0, 5.0}, f"expected both versions, saw {gains}"
+        st = fleet.status()["models"]["m"]
+        assert 0 < st["window"]["canary"]["requests"] < 40
+        assert st["window"]["primary"]["requests"] == 40
+        fleet.promote("m")
+        assert all(r.active_version() == "2" for r in fleet.replicas("m"))
+        resp = fleet.submit("m", sample(1.0)).result(timeout=10.0)
+        assert float(resp.logits[0]) == 5.0
+    finally:
+        fleet.close()
+
+
+def test_auto_rollback_on_canary_budget_burn():
+    fleet = make_fleet(replicas=3, rollback_min_requests=5,
+                       rollback_burn=1.0)
+    try:
+        fleet.register_version("m", "2", runner=failing_runner)
+        fleet.begin_canary("m", "2", fraction=0.5)
+        assert fleet.splitter.get("m").state == CANARY
+        # push keys until enough land on the (failing) canary
+        for i in range(60):
+            fleet.submit("m", sample(1.0),
+                         route_key=f"user-{i}").result(timeout=10.0)
+        fleet.health_tick()
+        ro = fleet.splitter.get("m")
+        assert ro.state == ROLLED_BACK, (
+            f"burning canary not rolled back: {ro.to_json()}")
+        assert "burn" in ro.reason
+        # every replica is back on stable and serving
+        assert all(r.active_version() == "1" for r in fleet.replicas("m"))
+        resp = fleet.submit("m", sample(1.0),
+                            route_key="user-0").result(timeout=10.0)
+        assert resp.ok and float(resp.logits[0]) == 2.0
+    finally:
+        fleet.close()
+
+
+def test_shadow_traffic_never_touches_primary_slo():
+    fleet = make_fleet(replicas=3)
+    try:
+        fleet.register_version("m", "2", runner=failing_runner)
+        fleet.begin_shadow("m", "2", mirror_fraction=1.0)
+        resps = _drain([fleet.submit("m", sample(1.0),
+                                     route_key=f"user-{i}")
+                        for i in range(20)])
+        assert all(r.ok for r in resps)
+        # let the mirrored copies resolve
+        import time
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            st = fleet.status()["models"]["m"]
+            if st["window"]["shadow"]["requests"] >= 20:
+                break
+            time.sleep(0.05)
+        st = fleet.status()["models"]["m"]
+        primary, shadow = st["window"]["primary"], st["window"]["shadow"]
+        assert primary["requests"] == 20 and primary["failed"] == 0
+        assert shadow["requests"] == 20 and shadow["failed"] == 20, (
+            "the failing candidate must burn only the shadow window")
+        # a silently failing shadow never triggers rollback (operator's call)
+        fleet.health_tick()
+        assert fleet.splitter.get("m").state == "shadow"
+        assert fleet.requests_lost == 0
+    finally:
+        fleet.close()
+
+
+def test_exposition_namespaces_replicas_and_round_trips():
+    with make_fleet(replicas=2) as fleet:
+        _drain([fleet.submit("m", sample(1.0)) for _ in range(10)])
+        text = fleet.render_exposition()
+    series = parse_prometheus(text)
+    ups = series["fleet_replica_up"]
+    replicas = {labels["replica"] for labels, _ in ups}
+    assert len(replicas) == 2, f"expected 2 replica labels, got {replicas}"
+    assert all(labels["model"] == "m" for labels, _ in ups)
+    # per-replica server gauges carry the replica label too, so two
+    # replicas of one model never collide into one series
+    depth = series["server_queue_depth_now"]
+    assert {labels["replica"] for labels, _ in depth} == replicas
+    per_rep = series["server_window_requests"]
+    assert all("replica" in labels for labels, _ in per_rep)
+    assert sum(v for _, v in per_rep) == 10
+    # fleet-level window series aggregate per traffic class
+    fw = series["fleet_window_requests"]
+    assert {labels["class"] for labels, _ in fw} == {
+        "primary", "canary", "shadow"}
+    assert {(l["class"], v) for l, v in fw} == {
+        ("primary", 10.0), ("canary", 0.0), ("shadow", 0.0)}
+
+
+def test_submit_unknown_model_raises():
+    with make_fleet(replicas=1) as fleet:
+        with pytest.raises(KeyError, match="not added"):
+            fleet.submit("ghost", sample(1.0))
+
+
+def test_group_down_resolves_failed_not_hangs():
+    fleet = make_fleet(replicas=2, self_heal=False)
+    try:
+        for rep in fleet.replicas("m"):
+            rep.kill()
+        fleet.health_tick()
+        resp = fleet.submit("m", sample(1.0)).result(timeout=10.0)
+        assert not resp.ok and resp.retryable
+    finally:
+        fleet.close()

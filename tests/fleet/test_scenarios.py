@@ -1,0 +1,97 @@
+"""Shaped multi-tenant load scenarios: reproducibility + report shape."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server import LoadGenError
+from repro.fleet import (Scenario, diurnal_wave, flash_crowd, mixed_sizes,
+                         run_scenario, slow_loris, standard_suite)
+from tests.fleet.conftest import make_fleet, sample
+
+
+def test_scenario_validation():
+    with pytest.raises(LoadGenError, match="duration_s"):
+        diurnal_wave("m", duration_s=0.0)
+    with pytest.raises(LoadGenError, match="peak_rate_hz"):
+        Scenario("bad", [], 1.0, rate_fn=lambda t: 1.0, peak_rate_hz=0.0)
+
+
+def test_arrivals_are_reproducible_and_respect_the_envelope():
+    sc = flash_crowd("m", base_hz=30.0, spike_mult=4.0, duration_s=3.0)
+    a = sc.arrivals(np.random.default_rng(7))
+    b = sc.arrivals(np.random.default_rng(7))
+    assert np.array_equal(a, b)
+    assert len(a) > 0 and a[-1] < sc.duration_s
+    assert np.all(np.diff(a) >= 0)
+    # the spike window holds a disproportionate share of the arrivals
+    t0, t1 = 0.4 * 3.0, 0.7 * 3.0
+    in_spike = np.sum((a >= t0) & (a < t1)) / len(a)
+    assert in_spike > 0.35, f"spike share {in_spike:.2f} too small"
+
+
+def test_diurnal_wave_peaks_mid_period():
+    sc = diurnal_wave("m", trough_hz=10.0, peak_hz=90.0, duration_s=4.0)
+    a = sc.arrivals(np.random.default_rng(0))
+    first_half = np.sum(a < 2.0) / len(a)
+    assert first_half > 0.6, (
+        f"sine wave should front-load arrivals, got {first_half:.2f}")
+
+
+def test_standard_suite_names_and_tenants():
+    suite = standard_suite("m")
+    assert [s.name for s in suite] == ["diurnal_wave", "flash_crowd",
+                                       "slow_loris"]
+    loris = suite[2]
+    assert {t.name for t in loris.tenants} == {"fast", "loris"}
+    assert any(t.collect_delay_s > 0 for t in loris.tenants)
+
+
+def test_run_scenario_validates_sample_pools():
+    sc = mixed_sizes("small", "large", rate_hz=20.0, duration_s=0.5)
+    with make_fleet(replicas=1, model="small") as fleet:
+        with pytest.raises(LoadGenError, match="no samples"):
+            run_scenario(fleet, sc, {"small": [sample()]})
+
+
+def test_slow_loris_against_a_fleet_reports_per_tenant():
+    sc = slow_loris("m", rate_hz=60.0, duration_s=1.0, loris_share=0.3,
+                    collect_delay_s=0.2, deadline_s=5.0)
+    with make_fleet(replicas=2) as fleet:
+        report = run_scenario(fleet, sc, {"m": [sample(1.0), sample(2.0)]},
+                              seed=3)
+    assert report.requests == report.ok + report.shed + report.failed
+    assert report.failed == 0, "uncollected futures must not fail requests"
+    per = report.per_tenant
+    assert set(per) == {"fast", "loris"}
+    assert per["fast"]["requests"] + per["loris"]["requests"] \
+        == report.requests
+    assert per["loris"]["requests"] > 0
+    # the loris collecting late must not sink the fast tenant
+    assert per["fast"]["failed"] == 0 and per["fast"]["shed"] == 0
+    j = report.to_json()
+    assert j["model"] == "<scenario:slow_loris>" and "per_tenant" in j
+
+
+def test_mixed_sizes_routes_each_tenant_to_its_model():
+    sc = mixed_sizes("small", "large", rate_hz=40.0, duration_s=1.0,
+                     large_share=0.4, deadline_s=5.0)
+    fleet = make_fleet(replicas=2, model="small")
+    try:
+        fleet.add_model("large")
+        from tests.fleet.conftest import gain_runner
+        fleet.register_version("large", "1", runner=gain_runner(7.0))
+        fleet.start()
+        report = run_scenario(
+            fleet, sc, {"small": [sample(1.0)], "large": [sample(1.0)]},
+            seed=5)
+    finally:
+        fleet.close()
+    assert report.failed == 0
+    per = report.per_tenant
+    assert per["small"]["requests"] > 0 and per["large"]["requests"] > 0
+    st = fleet.status()["models"]
+    assert st["small"]["window"]["primary"]["requests"] \
+        == per["small"]["requests"]
+    assert st["large"]["window"]["primary"]["requests"] \
+        == per["large"]["requests"]

@@ -1,0 +1,135 @@
+"""Rollout state machine and deterministic traffic assignment."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (CANARY, IDLE, PROMOTED, ROLE_CANARY, ROLE_STABLE,
+                         ROLLED_BACK, SHADOW, TrafficSplitter)
+
+
+def _splitter():
+    sp = TrafficSplitter()
+    sp.ensure("m", "1")
+    return sp
+
+
+def test_full_canary_ladder_to_promote():
+    sp = _splitter()
+    ro = sp.begin_canary("m", "2", fraction=0.01)
+    assert ro.state == CANARY and ro.fraction == 0.01
+    sp.advance("m", 0.5)
+    with pytest.raises(ValueError, match="forward"):
+        sp.advance("m", 0.1)
+    ro = sp.promote("m")
+    assert ro.state == PROMOTED
+    assert ro.stable_version == "2" and ro.canary_version is None
+    assert ro.fraction == 0.0
+
+
+def test_shadow_graduates_to_canary():
+    sp = _splitter()
+    ro = sp.begin_shadow("m", "2", mirror_fraction=0.3)
+    assert ro.state == SHADOW and ro.mirror_fraction == 0.3
+    assert ro.fraction == 0.0           # shadow takes no primary traffic
+    ro = sp.begin_canary("m", "2", fraction=0.1)
+    assert ro.state == CANARY
+    assert ro.mirror_fraction == 0.0    # mirroring stops once live
+
+
+def test_rollback_retires_candidate_and_records_reason():
+    sp = _splitter()
+    sp.begin_canary("m", "2", fraction=0.1)
+    ro = sp.rollback("m", reason="error budget burn 2.3")
+    assert ro.state == ROLLED_BACK
+    assert ro.canary_version is None and ro.fraction == 0.0
+    assert "burn" in ro.reason
+    # terminal states implicitly reset when a fresh candidate arrives
+    ro = sp.begin_canary("m", "3", fraction=0.05)
+    assert ro.state == CANARY and ro.canary_version == "3"
+
+
+def test_guarded_transitions():
+    sp = _splitter()
+    with pytest.raises(RuntimeError, match="no active canary"):
+        sp.advance("m", 0.5)
+    with pytest.raises(RuntimeError, match="no active"):
+        sp.rollback("m")
+    with pytest.raises(KeyError, match="no rollout state"):
+        sp.begin_canary("ghost", "2")
+    with pytest.raises(ValueError, match="already the stable"):
+        sp.begin_canary("m", "1")
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError, match="fraction"):
+            sp.begin_canary("m", "2", fraction=bad)
+    sp.begin_canary("m", "2", fraction=0.1)
+    with pytest.raises(RuntimeError, match="refused"):
+        sp.begin_canary("m", "3", fraction=0.1)
+    with pytest.raises(RuntimeError, match="active"):
+        sp.reset("m")
+
+
+def test_reset_after_promote_allows_next_rollout():
+    sp = _splitter()
+    sp.begin_canary("m", "2", fraction=1.0)
+    sp.promote("m")
+    ro = sp.reset("m")
+    assert ro.state == IDLE and ro.stable_version == "2"
+    assert sp.begin_shadow("m", "3").state == SHADOW
+
+
+@settings(max_examples=30, deadline=None)
+@given(fraction=st.floats(min_value=0.01, max_value=1.0),
+       keys=st.lists(st.text(min_size=1, max_size=16), min_size=50,
+                     max_size=200, unique=True))
+def test_assignment_is_deterministic_and_sticky(fraction, keys):
+    sp = TrafficSplitter()
+    sp.ensure("m", "1")
+    ro = sp.begin_canary("m", "2", fraction=fraction)
+    first = {k: ro.assign(k) for k in keys}
+    for k in keys:
+        role, mirror = first[k]
+        assert role in (ROLE_STABLE, ROLE_CANARY)
+        assert mirror is False          # canary mode never mirrors
+        assert ro.assign(k) == first[k]
+    # growing the fraction only moves keys stable -> canary, never back
+    if fraction < 1.0:
+        sp.advance("m", 1.0)
+        for k in keys:
+            if first[k][0] == ROLE_CANARY:
+                assert ro.assign(k)[0] == ROLE_CANARY
+
+
+def test_canary_fraction_statistics():
+    sp = _splitter()
+    ro = sp.begin_canary("m", "2", fraction=0.25)
+    keys = [f"user-{i}" for i in range(4000)]
+    share = sum(ro.assign(k)[0] == ROLE_CANARY for k in keys) / len(keys)
+    assert 0.20 < share < 0.30, f"canary share {share:.3f} far from 0.25"
+
+
+def test_shadow_assignment_mirrors_without_moving_traffic():
+    sp = _splitter()
+    ro = sp.begin_shadow("m", "2", mirror_fraction=0.5)
+    keys = [f"user-{i}" for i in range(2000)]
+    roles = {ro.assign(k) for k in keys}
+    assert all(role == ROLE_STABLE for role, _ in roles)
+    mirrored = sum(ro.assign(k)[1] for k in keys) / len(keys)
+    assert 0.42 < mirrored < 0.58, f"mirror share {mirrored:.3f} far from 0.5"
+
+
+def test_shadow_and_canary_draws_are_independent_of_placement():
+    """The canary draw uses its own salt domain: the set of canary-assigned
+    keys must not be correlated with ring placement salts."""
+    sp = _splitter()
+    ro = sp.begin_canary("m", "2", fraction=0.5)
+    from repro.fleet import HashRing
+    ring = HashRing(["r0", "r1"], vnodes=32)
+    keys = [f"user-{i}" for i in range(2000)]
+    on_r0_and_canary = sum(
+        1 for k in keys
+        if ring.lookup(k) == "r0" and ro.assign(k)[0] == ROLE_CANARY)
+    frac = on_r0_and_canary / len(keys)
+    # independent draws: P(r0) * P(canary) ~ 0.5 * 0.5
+    assert 0.17 < frac < 0.33, f"joint fraction {frac:.3f} far from 0.25"

@@ -1,10 +1,12 @@
-"""Open-loop Poisson load generator: argument validation + report shape."""
+"""Open-loop Poisson load generator: argument validation, reproducible
+seeding, multi-tenant mixes, report shape."""
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.server import ModelRegistry, Server, run_poisson_load
+from repro.server import (LoadGenError, ModelRegistry, Server, Tenant,
+                          run_poisson_load)
 from tests.server.conftest import StubPlan, stub_sample
 
 
@@ -18,12 +20,69 @@ def test_rejects_degenerate_arguments():
     srv = _stub_server()
     samples = [stub_sample(1.0)]
     with srv:
-        with pytest.raises(ValueError, match="n_requests"):
+        with pytest.raises(LoadGenError, match="n_requests"):
             run_poisson_load(srv, "stub", samples, rate_hz=100.0, n_requests=0)
-        with pytest.raises(ValueError, match="rate_hz"):
+        with pytest.raises(LoadGenError, match="rate_hz"):
             run_poisson_load(srv, "stub", samples, rate_hz=0.0, n_requests=5)
-        with pytest.raises(ValueError, match="samples"):
+        with pytest.raises(LoadGenError, match="rate_hz"):
+            run_poisson_load(srv, "stub", samples, rate_hz=-3.0, n_requests=5)
+        with pytest.raises(LoadGenError, match="samples"):
             run_poisson_load(srv, "stub", [], rate_hz=100.0, n_requests=5)
+        with pytest.raises(LoadGenError, match="not both"):
+            run_poisson_load(srv, "stub", samples, rate_hz=100.0,
+                             n_requests=5, seed=1,
+                             rng=np.random.default_rng(1))
+        with pytest.raises(LoadGenError, match="model key"):
+            run_poisson_load(srv, None, samples, rate_hz=100.0, n_requests=5)
+    assert issubclass(LoadGenError, ValueError)
+
+
+def test_rejects_degenerate_tenants():
+    srv = _stub_server()
+    samples = [stub_sample(1.0)]
+    with srv:
+        with pytest.raises(LoadGenError, match="weight"):
+            run_poisson_load(srv, "stub", samples, rate_hz=100.0,
+                             n_requests=5,
+                             tenants=[Tenant("t", weight=0.0)])
+        with pytest.raises(LoadGenError, match="no key"):
+            run_poisson_load(srv, None, samples, rate_hz=100.0,
+                             n_requests=5, tenants=[Tenant("t")])
+
+
+def test_seeded_runs_replay_the_same_trace():
+    samples = [stub_sample(i) for i in range(3)]
+    reports = []
+    for _ in range(2):
+        srv = _stub_server()
+        with srv:
+            reports.append(run_poisson_load(
+                srv, "stub", samples, rate_hz=400.0, n_requests=30,
+                seed=11, tenants=[Tenant("a", weight=2.0),
+                                  Tenant("b", weight=1.0)]))
+    a, b = reports
+    assert a.seed == b.seed == 11
+    # the tenant draws are part of the trace: same split both runs
+    assert {t: v["requests"] for t, v in a.per_tenant.items()} \
+        == {t: v["requests"] for t, v in b.per_tenant.items()}
+    assert a.requests == b.requests == 30
+
+
+def test_tenant_mix_report_breakdown():
+    srv = _stub_server()
+    samples = [stub_sample(1.0)]
+    with srv:
+        report = run_poisson_load(
+            srv, "stub", samples, rate_hz=500.0, n_requests=40, seed=2,
+            tenants=[Tenant("heavy", weight=3.0),
+                     Tenant("light", weight=1.0, deadline_s=4.0)])
+    per = report.per_tenant
+    assert set(per) == {"heavy", "light"}
+    assert per["heavy"]["requests"] + per["light"]["requests"] == 40
+    assert per["heavy"]["requests"] > per["light"]["requests"]
+    assert "latency_ms" in per["heavy"]
+    assert report.to_json()["per_tenant"]["light"]["ok"] \
+        == per["light"]["ok"]
 
 
 def test_report_counts_and_bit_exactness():
