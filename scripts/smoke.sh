@@ -227,6 +227,26 @@ print(f"plan chaos OK: {len(plan_faults)} IR mutations injected, "
       f"all refused by verifier and registry")
 EOF
 
+echo "== silent-data-corruption defense (repro.integrity) =="
+python -m pytest tests/integrity -q -m sdc
+python -m repro.cli chaos --model resnet20 --train-size 256 --test-size 64 \
+    --calib-batches 1 --seed 11 --sdc --json > "$TEL_DIR/chaos_sdc.json"
+python - "$TEL_DIR" <<'EOF'
+# live-memory corruption against a defended 3-replica fleet: every fault
+# must be flagged (ABFT / scrubber / golden probe), the victim quarantined
+# and replaced, with zero lost requests
+import json, sys, os
+rep = json.load(open(os.path.join(sys.argv[1], "chaos_sdc.json")))
+assert rep["summary"]["missed"] == 0, rep["summary"]
+sdc = [f for f in rep["faults"]
+       if f["injector"] in ("flip_live_weights", "flip_arena",
+                            "corrupt_golden")]
+assert len(sdc) == 3, [f["injector"] for f in rep["faults"]]
+assert all(f["detected"] and f["recovered"] for f in sdc), sdc
+print(f"sdc smoke OK: {len(sdc)} live-memory faults injected, all "
+      f"quarantined and healed")
+EOF
+
 echo "== replicated serving fleet (repro.fleet) =="
 python -m pytest tests/fleet -q -m fleet
 python -m repro.cli fleet-bench --model resnet20 --train-size 256 \

@@ -9,9 +9,11 @@ recovered on known-good state.
 
 * :mod:`~repro.chaos.injectors` — the fault catalog: ``flip_bits``,
   ``truncate_file``, ``corrupt_header``, ``stale_manifest`` (artifact side),
-  ``kill_worker``, ``stall_worker``, ``delay_clock`` (server side) and
-  ``kill_replica``, ``partition_replica`` (fleet side), all deterministic
-  functions of an explicit ``numpy.random.Generator``;
+  ``kill_worker``, ``stall_worker``, ``delay_clock`` (server side),
+  ``kill_replica``, ``partition_replica`` (fleet side) and
+  ``flip_live_weights``, ``flip_arena``, ``corrupt_golden`` (live
+  silent-data-corruption side), all deterministic functions of an explicit
+  ``numpy.random.Generator``;
 * :class:`ChaosPlan` — a seeded schedule of faults; fault ``i`` draws from
   ``np.random.default_rng([seed, i])`` so runs replay exactly;
 * :class:`ChaosReport` — injected / detected / recovered / missed
@@ -25,8 +27,10 @@ Quickstart::
     assert report.ok            # zero missed faults
 """
 from repro.chaos.injectors import (ARTIFACT_INJECTORS, FLEET_INJECTORS,
-                                   INJECTORS, SERVER_INJECTORS,
-                                   corrupt_header, delay_clock, flip_bits,
+                                   INJECTORS, SDC_INJECTORS,
+                                   SERVER_INJECTORS, corrupt_golden,
+                                   corrupt_header, delay_clock, flip_arena,
+                                   flip_bits, flip_live_weights,
                                    kill_replica, kill_worker,
                                    partition_replica, stale_manifest,
                                    stall_worker, truncate_file)
@@ -34,8 +38,10 @@ from repro.chaos.plan import ChaosPlan, ChaosReport, FaultRecord
 
 __all__ = [
     "ChaosPlan", "ChaosReport", "FaultRecord",
-    "ARTIFACT_INJECTORS", "SERVER_INJECTORS", "FLEET_INJECTORS", "INJECTORS",
+    "ARTIFACT_INJECTORS", "SERVER_INJECTORS", "FLEET_INJECTORS",
+    "SDC_INJECTORS", "INJECTORS",
     "flip_bits", "truncate_file", "corrupt_header", "stale_manifest",
     "kill_worker", "stall_worker", "delay_clock",
     "kill_replica", "partition_replica",
+    "flip_live_weights", "flip_arena", "corrupt_golden",
 ]

@@ -17,7 +17,12 @@ chaos run is a *reproducible experiment*, not a fuzzer.  Two families:
 * **fleet injectors** perturb a running :class:`repro.fleet.Fleet`
   (``kill_replica``, ``partition_replica``) — detection means the router
   ejects the victim and requests reroute, recovery means the group returns
-  to its target replica count (or the healed replica rejoins).
+  to its target replica count (or the healed replica rejoins);
+* **SDC injectors** corrupt a replica's *live in-memory* state
+  (``flip_live_weights``, ``flip_arena``, ``corrupt_golden``) — faults no
+  at-rest gate can see; detection means the runtime SDC defense (ABFT,
+  memory scrubbing, golden-vector probes) quarantines the victim and a
+  clean replacement spawns, with zero lost requests.
 
 ``corrupt_header`` is deliberately the nastiest case: it rewrites a qint
 JSON header *and* patches the file's manifest checksum *and* re-signs the
@@ -420,5 +425,102 @@ FLEET_INJECTORS = {
     "partition_replica": partition_replica,
 }
 
+
+# -------------------------------------------------- silent-data-corruption
+def _sdc_victim(fleet, model: str, rng: np.random.Generator):
+    """Seeded-chosen READY victim, with at least one survivor left."""
+    victims = _ready_replicas(fleet, model)
+    if len(victims) < 2:
+        raise ValueError(f"SDC injector: need >= 2 ready replicas of "
+                         f"{model!r} to leave a survivor "
+                         f"(have {len(victims)})")
+    return _pick(rng, sorted(victims, key=lambda r: r.replica_id))
+
+
+def flip_live_weights(fleet, model: str, rng: np.random.Generator,
+                      delta: float = 8.0) -> Dict:
+    """Corrupt one element of a victim replica's *live* packed weights.
+
+    The in-memory bit-flip failure mode: the packed kernel matrices the
+    conv loops read share memory with ``op.weight``, so the perturbation
+    changes what the replica actually serves from the next batch on — no
+    artifact, manifest or registry gate ever sees it.  Only the runtime
+    defenses can: the scrubber's CRC baseline no longer matches, sampled
+    ABFT checksum equality breaks, and golden-vector replays diverge.
+    """
+    victim = _sdc_victim(fleet, model, rng)
+    plan = victim.registry.get(model).plan
+    convs = [(i, op) for i, op in enumerate(plan.ops)
+             if isinstance(getattr(op, "weight", None), np.ndarray)]
+    i, op = _pick(rng, convs)
+    idx = int(rng.integers(op.weight.size))
+    op.weight.flat[idx] += delta
+    return {"replica": victim.replica_id, "op": i, "name": op.name,
+            "element": idx, "delta": delta}
+
+
+def flip_arena(fleet, model: str, rng: np.random.Generator) -> Dict:
+    """Write a non-zero word into a victim's arena guard border.
+
+    The channel layout zeroes each padded border once and the conv kernels
+    rely on it staying zero — a flipped guard word silently feeds a wrong
+    tap to every edge pixel.  Needs live traffic first (bindings are
+    lazy); the memory scrubber's guard sweep is the detection layer.
+    """
+    victim = _sdc_victim(fleet, model, rng)
+    plan = victim.registry.get(model).plan
+    targets = []
+    for key, binding in sorted(plan._bindings.items()):
+        arena = binding.arena
+        for reg in sorted(arena._cm_bufs):
+            if arena.pads.get(reg, 0) > 0:
+                targets.append((key, reg))
+    if not targets:
+        raise ValueError("flip_arena: no padded arena bindings on "
+                         f"{victim.replica_id} (drive traffic first)")
+    key, reg = _pick(rng, targets)
+    buf = plan._bindings[key].arena._cm_bufs[reg]
+    buf[0, 0, 0, 0] = float(int(rng.integers(1, 128)))
+    return {"replica": victim.replica_id, "binding": list(key),
+            "register": int(reg)}
+
+
+def corrupt_golden(fleet, model: str, rng: np.random.Generator,
+                   delta: float = 1.0) -> Dict:
+    """Tamper one output element of a victim's recorded golden vectors.
+
+    Models corruption of the *reference* data rather than the serving
+    path: the replica still computes correctly, but its self-test
+    baseline lies.  The defense cannot tell which side rotted — golden
+    divergence is SDC by definition and the conservative response is the
+    same quarantine (the replacement replica re-materializes both plan
+    and goldens from the fleet's source of truth).
+    """
+    victim = _sdc_victim(fleet, model, rng)
+    entry = victim.registry.get(model)
+    golden = getattr(getattr(entry, "deployed", None), "golden", None)
+    outputs = getattr(golden, "outputs", None)
+    if golden is None or outputs is None or len(outputs) == 0:
+        raise ValueError(f"corrupt_golden: {victim.replica_id} has no "
+                         "recorded golden vectors (DeploySpec.golden_vectors)")
+    vec = int(rng.integers(len(golden.outputs)))
+    out = golden.outputs[vec]
+    idx = int(rng.integers(out.size))
+    out.flat[idx] += delta
+    return {"replica": victim.replica_id, "vector": vec, "element": idx,
+            "delta": delta}
+
+
+#: live in-memory corruption catalog — detection is the *runtime* SDC
+#: defense (ABFT / scrubber / golden probes), never an at-rest gate.
+#: Kept separate from FLEET_INJECTORS: those model crash/partition faults
+#: whose contract is reroute-and-heal, these model corruption whose
+#: contract is detect-quarantine-replace.
+SDC_INJECTORS = {
+    "flip_live_weights": flip_live_weights,
+    "flip_arena": flip_arena,
+    "corrupt_golden": corrupt_golden,
+}
+
 INJECTORS = {**ARTIFACT_INJECTORS, **SERVER_INJECTORS, **PLAN_INJECTORS,
-             **FLEET_INJECTORS}
+             **FLEET_INJECTORS, **SDC_INJECTORS}

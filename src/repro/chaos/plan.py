@@ -40,7 +40,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.chaos.injectors import (ARTIFACT_INJECTORS, FLEET_INJECTORS,
-                                   INJECTORS, PLAN_INJECTORS,
+                                   INJECTORS, PLAN_INJECTORS, SDC_INJECTORS,
                                    SERVER_INJECTORS)
 from repro.export.errors import ArtifactError
 
@@ -195,6 +195,14 @@ class ChaosPlan:
         """One pass over every fleet-fault class."""
         plan = cls(seed)
         for name in FLEET_INJECTORS:
+            plan.add(name)
+        return plan
+
+    @classmethod
+    def sdc_default(cls, seed: int = 0) -> "ChaosPlan":
+        """One pass over every silent-data-corruption fault class."""
+        plan = cls(seed)
+        for name in SDC_INJECTORS:
             plan.add(name)
         return plan
 
@@ -567,4 +575,99 @@ class ChaosPlan:
         rec.note = (f"partitioned {victim} for "
                     f"{rec.details.get('heal_s', 0.5)}s; rejoined="
                     f"{rec.recovered}, lost "
+                    f"{fleet.requests_lost - lost_before}")
+
+    # --------------------------------------------------------------- SDC runs
+    def run_sdc(self, fleet, model: str, sample,
+                probe_deadline_s: float = 2.0) -> ChaosReport:
+        """Inject each scheduled live-corruption fault into one replica of a
+        running :class:`~repro.fleet.Fleet` and score the SDC contract.
+
+        * **detected** — a typed SDC event landed on the victim (ABFT,
+          scrubber or golden probe — which one is in the note), the fleet
+          quarantined it (``QUARANTINED`` tombstone, ejected from every
+          ring) and no request was lost;
+        * **recovered** — a clean replacement spawned (the group is back at
+          target healthy replicas, victim excluded) and a post-fault probe
+          returns :class:`~repro.server.types.Ok`.
+
+        The fleet must actually run a defense layer
+        (``FleetConfig.golden_every`` / ``scrub_every``, or per-server
+        ``ServerConfig.abft_every`` / ``scrub_interval_s``) — with the
+        defenses off every fault here is a guaranteed, and intended, miss.
+        Requests served between the corruption and its detection may carry
+        wrong values: SDC detection is sampled/periodic by design, and the
+        scorecard measures time-bounded detection, not per-request
+        correctness.
+        """
+        report = ChaosReport(self.seed)
+        # warm every lane: arena faults need live bindings to target
+        warm = [fleet.submit(model, sample, deadline_s=probe_deadline_s)
+                for _ in range(8)]
+        for p in warm:
+            resp = p.result(timeout=_PROBE_TIMEOUT_S)
+            if not resp.ok:
+                raise RuntimeError(f"chaos warm-up probe failed: {resp}")
+        for i, (name, params) in enumerate(self.schedule):
+            if name not in SDC_INJECTORS:
+                raise ValueError(
+                    f"run_sdc() cannot run non-SDC injector {name!r}")
+            rec = FaultRecord(index=i, injector=name, params=dict(params))
+            lost_before = fleet.requests_lost
+            target = fleet.status()["models"][model]["target_replicas"]
+            rec.details = SDC_INJECTORS[name](fleet, model,
+                                              self.rng_for(i), **params)
+            telemetry.emit("chaos_inject", injector=name, index=i,
+                           model=model, **rec.details)
+            # straddling burst: some of these resolve around the quarantine
+            # abort and must requeue on healthy peers, never be lost
+            burst = [fleet.submit(model, sample,
+                                  deadline_s=probe_deadline_s)
+                     for _ in range(16)]
+            self._score_sdc(rec, fleet, model, sample, probe_deadline_s,
+                            burst, lost_before, target)
+            self._emit_outcome(rec)
+            report.add(rec)
+        return report
+
+    def _score_sdc(self, rec: FaultRecord, fleet, model: str, sample,
+                   probe_deadline_s: float, burst, lost_before: int,
+                   target: int) -> None:
+        from repro.fleet.replica import QUARANTINED
+
+        victim_id = rec.details["replica"]
+        victim = next(r for r in fleet.replicas(model)
+                      if r.replica_id == victim_id)
+        deadline = time.monotonic() + _PROBE_TIMEOUT_S
+        while time.monotonic() < deadline:
+            fleet.health_tick()
+            if victim.state == QUARANTINED:
+                break
+            time.sleep(0.02)
+        resolved = [p.result(timeout=_PROBE_TIMEOUT_S) for p in burst]
+        rec.layers["flagged"] = bool(victim.server.sdc_events)
+        rec.layers["quarantined"] = (
+            victim.state == QUARANTINED
+            and victim_id not in self._fleet_members(fleet, model))
+        rec.layers["no_loss"] = (all(r.ok for r in resolved)
+                                 and fleet.requests_lost == lost_before)
+        rec.detected = all(rec.layers.values())
+        deadline = time.monotonic() + _PROBE_TIMEOUT_S
+        while time.monotonic() < deadline:
+            fleet.health_tick()
+            healthy = [r for r in fleet.replicas(model) if r.healthy()]
+            if (len(healthy) >= target
+                    and victim_id not in {r.replica_id for r in healthy}
+                    and self._probe_ok(fleet, model, sample,
+                                       probe_deadline_s)):
+                rec.recovered = True
+                break
+            time.sleep(0.02)
+        events = victim.server.sdc_events
+        source = events[0]["source"] if events else None
+        rec.note = (f"{victim_id} flagged by "
+                    f"{source if source else 'nothing'} "
+                    f"({len(events)} event(s)); "
+                    f"{len([r for r in resolved if r.ok])}/{len(resolved)} "
+                    f"straddling requests ok, lost "
                     f"{fleet.requests_lost - lost_before}")

@@ -936,7 +936,9 @@ def cmd_chaos(args) -> int:
     ``--server`` additionally stands up the online gateway and runs the
     server-fault schedule against it, then a 3-replica fleet for the
     fleet-fault schedule (replica kill / partition: eject, reroute with
-    zero lost requests, self-heal).
+    zero lost requests, self-heal); ``--sdc`` runs the live-corruption
+    schedule against an SDC-defended fleet (flagged, quarantined, healed,
+    zero lost).
     """
     import shutil
     import tempfile
@@ -948,7 +950,7 @@ def cmd_chaos(args) -> int:
     deployed = sample = None
     export_dir = args.dir
     try:
-        if export_dir is None or args.server:
+        if export_dir is None or args.server or args.sdc:
             spec = DeploySpec.from_args(args)
             if export_dir is None:
                 tmp = tempfile.mkdtemp(prefix="repro-chaos-")
@@ -1006,6 +1008,25 @@ def cmd_chaos(args) -> int:
             with fleet:
                 report.extend(ChaosPlan.fleet_default(args.seed)
                               .run_fleet(fleet, args.model, sample))
+
+        if args.sdc:
+            # live-corruption schedule against an SDC-defended fleet:
+            # every fault must be flagged (ABFT / scrub / golden probe),
+            # the victim quarantined and a clean replacement spawned,
+            # with zero lost requests
+            from repro.fleet import Fleet, FleetConfig
+            from repro.server import ServerConfig
+
+            fleet = Fleet(FleetConfig(
+                replicas=3, health_interval_s=0.1, default_deadline_s=2.0,
+                golden_every=2, golden_limit=2, scrub_every=2,
+                server=ServerConfig(max_batch=8, default_deadline_s=2.0,
+                                    abft_every=4)))
+            fleet.add_model(args.model)
+            fleet.register_version(args.model, "1", deployed)
+            with fleet:
+                report.extend(ChaosPlan.sdc_default(args.seed)
+                              .run_sdc(fleet, args.model, sample))
     finally:
         if tmp is not None:
             shutil.rmtree(tmp, ignore_errors=True)
@@ -1254,6 +1275,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker, clock skew) against a live gateway")
     p.add_argument("--workers", type=int, default=2,
                    help="gateway pool size for --server faults")
+    p.add_argument("--sdc", action="store_true",
+                   help="also run the silent-data-corruption schedule "
+                        "(live weight/arena/golden corruption) against an "
+                        "SDC-defended 3-replica fleet: every fault must be "
+                        "detected, quarantined and healed")
     p.add_argument("--ckpt", default=None,
                    help="optional Q-model checkpoint for the built model")
     p.add_argument("--json", action="store_true",

@@ -86,6 +86,15 @@ class DeploySpec:
     compile: CompileSpec = field(default_factory=CompileSpec)
     verify_artifacts: bool = True
     verify_plan: bool = True
+    #: record this many deterministic input->output golden vectors against
+    #: the compiled plan (0 skips).  They ride in ``Deployed.golden`` and
+    #: the export manifest, and are replayed as a pre-cutover self-test by
+    #: ``Server.swap`` and periodically per replica by the fleet health
+    #: loop (see docs/integrity.md).
+    golden_vectors: int = 4
+    #: sample shape the golden vectors are drawn at (``None``: CIFAR-scale
+    #: ``(3, 32, 32)``, which every bundled model takes)
+    golden_input_shape: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         if self.fusion not in ("channel", "prefuse"):
@@ -156,6 +165,7 @@ class Deployed:
     manifest: Optional[dict] = None  #: export manifest when spec.export_dir
     integrity: object = None         #: IntegrityReport when artifacts verified
     plan_verification: object = None  #: PlanVerificationReport when verified
+    golden: object = None            #: GoldenSet self-test vectors (spec.golden_vectors)
 
     def __call__(self, batch):
         """Run a batch through the fastest available executor."""
@@ -217,6 +227,27 @@ def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
                 manifest = amend_manifest(
                     spec.export_dir,
                     {"plan_verification": plan_report.to_json()})
+    golden = None
+    if plan is not None and spec.golden_vectors > 0:
+        from repro import telemetry
+        from repro.integrity import GoldenSet
+
+        shape = tuple(spec.golden_input_shape or (3, 32, 32))
+        try:
+            golden = GoldenSet.record(plan, shape, k=spec.golden_vectors)
+        except Exception as exc:
+            # a model with a different input contract simply ships without
+            # golden vectors; the swap/fleet self-test gates then no-op
+            telemetry.emit("golden_record_skipped", level="warning",
+                           model=plan.model_name, error=str(exc))
+        else:
+            telemetry.emit("golden_recorded", model=plan.model_name,
+                           k=golden.k, seed=golden.seed)
+            if spec.export_dir is not None:
+                from repro.export.writer import amend_manifest
+
+                manifest = amend_manifest(spec.export_dir,
+                                          {"golden": golden.to_json()})
     integrity = None
     if spec.export_dir is not None and spec.verify_artifacts:
         # read the published directory back end to end: the write-side
@@ -226,7 +257,8 @@ def deploy(model, spec: Optional[DeploySpec] = None, **overrides) -> Deployed:
         integrity = verify_artifacts(spec.export_dir).raise_if_failed()
     return Deployed(qnn=qnn, fused=t2c.model, spec=spec, t2c=t2c, plan=plan,
                     lint_report=t2c.lint_report, manifest=manifest,
-                    integrity=integrity, plan_verification=plan_report)
+                    integrity=integrity, plan_verification=plan_report,
+                    golden=golden)
 
 
 def deploy_registry(models, spec: Optional[DeploySpec] = None,

@@ -12,8 +12,8 @@ serving surface: consistent-hash routing with health-aware failover
 from repro.fleet.autoscaler import (Autoscaler, AutoscalePolicy, Decision,
                                     HOLD, SCALE_IN, SCALE_OUT)
 from repro.fleet.fleet import Fleet, FleetConfig, FleetRequest
-from repro.fleet.replica import (CLOSED, DEAD, DRAINING, PARTITIONED, READY,
-                                 STARTING, Replica)
+from repro.fleet.replica import (CLOSED, DEAD, DRAINING, PARTITIONED,
+                                 QUARANTINED, READY, STARTING, Replica)
 from repro.fleet.router import (HashRing, ROLE_CANARY, ROLE_STABLE, Router,
                                 hash01, hash64)
 from repro.fleet.scenarios import (Scenario, diurnal_wave, flash_crowd,
@@ -25,8 +25,8 @@ from repro.fleet.splitter import (CANARY, DEFAULT_LADDER, IDLE, PROMOTED,
 
 __all__ = [
     "Fleet", "FleetConfig", "FleetRequest",
-    "Replica", "STARTING", "READY", "DRAINING", "PARTITIONED", "DEAD",
-    "CLOSED",
+    "Replica", "STARTING", "READY", "DRAINING", "PARTITIONED",
+    "QUARANTINED", "DEAD", "CLOSED",
     "Router", "HashRing", "hash64", "hash01", "ROLE_STABLE", "ROLE_CANARY",
     "Autoscaler", "AutoscalePolicy", "Decision", "HOLD", "SCALE_OUT",
     "SCALE_IN",

@@ -39,11 +39,14 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from repro import telemetry
 from repro.fleet.autoscaler import (SCALE_IN, SCALE_OUT, Autoscaler,
                                     AutoscalePolicy)
-from repro.fleet.replica import (CLOSED, DEAD, DRAINING, PARTITIONED, READY,
-                                 STARTING, Replica)
+from repro.fleet.replica import (CLOSED, DEAD, DRAINING, PARTITIONED,
+                                 QUARANTINED, READY, STARTING, Replica)
+from repro.integrity.errors import SDCDetected
 from repro.fleet.router import ROLE_CANARY, ROLE_STABLE, Router
 from repro.fleet.splitter import CANARY, TrafficSplitter
 from repro.server.registry import split_key
@@ -71,6 +74,18 @@ class FleetConfig:
     rollback_min_requests: int = 20  #: canary window floor before judging
     #: autoscaling policy; ``None`` holds every group at ``replicas``
     autoscale: Optional[AutoscalePolicy] = None
+    # -------------------------------------------------------- SDC defense
+    #: replay each replica's golden vectors every N health ticks (0 = off);
+    #: probes ride the normal submit path with a generous deadline, and
+    #: an inconclusive answer (shed/drain/close race) is never SDC
+    golden_every: int = 0
+    #: vectors replayed per golden probe (None = the full recorded set)
+    golden_limit: Optional[int] = None
+    golden_timeout_s: float = 2.0    #: per-vector probe result wait
+    #: synchronous memory scrub of every replica's plans every N health
+    #: ticks (0 = off; per-replica background scrubbing can run instead
+    #: via ``server.scrub_interval_s``)
+    scrub_every: int = 0
 
     def __post_init__(self):
         if self.replicas < 1:
@@ -164,10 +179,13 @@ class _Group:
         self.window_primary = RollingWindow(window_s=window_s)
         self.window_canary = RollingWindow(window_s=window_s)
         self.window_shadow = RollingWindow(window_s=window_s)
+        self.ticks = 0                #: health ticks seen (probe cadence)
+        self.quarantined_total = 0    #: replicas ejected for SDC, ever
 
     def live(self) -> List[Replica]:
         """Replicas that count toward the target (a PARTITIONED replica is
-        alive behind its partition, so it is *not* replaced)."""
+        alive behind its partition, so it is *not* replaced; a QUARANTINED
+        one is corrupted and *is* — self-heal spawns its replacement)."""
         return [r for r in self.replicas.values()
                 if r.state in (STARTING, READY, PARTITIONED)]
 
@@ -503,7 +521,12 @@ class Fleet:
 
     def _tick_group(self, group: _Group) -> None:
         cfg = self.config
+        group.ticks += 1
         for rid, rep in list(group.replicas.items()):
+            if rep.state not in (QUARANTINED, DEAD, CLOSED):
+                self._sdc_tick(group, rep)
+            if rep.state == QUARANTINED:
+                continue    # tombstone: ejected, kept for forensics
             if rep.state == STARTING:
                 rep.mark_ready()
             elif rep.state == READY and not rep.healthy():
@@ -560,6 +583,89 @@ class Fleet:
                                      f"{burn:.2f} >= {cfg.rollback_burn} "
                                      f"over {s['requests']} requests")
         self._rebuild_rings(group)
+
+    # ------------------------------------------------------- SDC defense
+    def _sdc_tick(self, group: _Group, rep: Replica) -> None:
+        """Per-replica SDC defense pass: scheduled memory scrub, scheduled
+        golden probe, then quarantine if anything — including the replica's
+        own inline ABFT checker or background scrubber — flagged
+        corruption since the last tick."""
+        cfg = self.config
+        if cfg.scrub_every and group.ticks % cfg.scrub_every == 0:
+            try:
+                rep.server.scrub_now()
+            except Exception:   # a scrub glitch must not stall the loop
+                pass
+        if (cfg.golden_every and rep.state == READY and not rep.partitioned
+                and group.ticks % cfg.golden_every == 0):
+            self._golden_probe(group, rep)
+        if rep.server.sdc_detected:
+            self._quarantine(group, rep)
+
+    def _golden_probe(self, group: _Group, rep: Replica) -> None:
+        """Replay the replica's recorded golden vectors through its gateway.
+
+        Probes ride the normal submit path — a compiled plan is not
+        thread-safe against its own lane thread, so the health loop must
+        queue like any client.  Only a *successful* response with wrong
+        values is SDC; sheds, drains, kills and close races are
+        inconclusive and skipped.  Every wait is bounded and re-checks
+        ``closing`` so a fleet shutdown mid-probe cannot deadlock.
+        """
+        cfg = self.config
+        try:
+            entry = rep.registry.get(group.name)
+        except KeyError:
+            return
+        golden = rep.server._entry_golden(entry)
+        if golden is None:
+            return
+        n = (golden.k if cfg.golden_limit is None
+             else min(golden.k, max(1, int(cfg.golden_limit))))
+        xs = golden.inputs()
+        deadline = max(1.0, 4 * cfg.default_deadline_s)
+        for i in range(n):
+            if self.closing or not rep.healthy():
+                return
+            pending = rep.submit(group.name, xs[i], deadline_s=deadline)
+            try:
+                resp = pending.result(timeout=cfg.golden_timeout_s)
+            except TimeoutError:
+                return
+            if not resp.ok:
+                return                     # inconclusive, not SDC
+            want = golden.outputs[i]
+            got = np.asarray(resp.logits, dtype=np.float32)
+            if got.shape != want.shape or not np.array_equal(got, want):
+                bad = (int(np.sum(got != want))
+                       if got.shape == want.shape else -1)
+                rep.server.record_sdc(group.name, SDCDetected(
+                    "golden", f"golden vector {i} diverged on "
+                              f"{rep.replica_id} ({bad} element(s))",
+                    {"replica": rep.replica_id, "vector": i,
+                     "mismatched": bad, "seed": golden.seed}))
+                return
+
+    def _quarantine(self, group: _Group, rep: Replica) -> None:
+        """Eject a corrupted replica: quarantine aborts like a kill (its
+        queued and in-flight work requeues on healthy peers — never
+        ``requests_lost``), the ring drops it, and the tombstone stays in
+        the group for forensics; self-heal spawns the replacement in this
+        same tick because :meth:`_Group.live` no longer counts it."""
+        events = list(rep.server.sdc_events)
+        rep.quarantine()
+        self.router.eject(group.name, rep.replica_id)
+        group.quarantined_total += 1
+        telemetry.emit("fleet_replica_quarantined", level="error",
+                       replica=rep.replica_id, model=group.name,
+                       source=events[0]["source"] if events else None,
+                       events=len(events))
+
+    @property
+    def sdc_quarantined(self) -> int:
+        """Replicas ejected for silent data corruption, fleet-wide."""
+        with self._lock:
+            return sum(g.quarantined_total for g in self._groups.values())
 
     def _drain_one(self, group: _Group) -> bool:
         """Start draining one replica (scale-in): prefer the youngest
@@ -632,10 +738,12 @@ class Fleet:
         out: Dict = {"models": {}, "requests_lost": self.requests_lost}
         with self._lock:
             groups = list(self._groups.values())
+        out["sdc_quarantined"] = sum(g.quarantined_total for g in groups)
         for group in groups:
             ro = self.splitter.get(group.name)
             out["models"][group.name] = {
                 "target_replicas": group.target,
+                "sdc_quarantined": group.quarantined_total,
                 "replicas": [r.status() for r in sorted(
                     group.replicas.values(), key=lambda r: r.replica_id)],
                 "window": {
@@ -704,6 +812,10 @@ class Fleet:
             samples.append({"name": "fleet_requests_lost", "kind": "counter",
                             "labels": {"model": group.name},
                             "value": self.requests_lost})
+            samples.append({"name": "fleet_sdc_quarantined_total",
+                            "kind": "counter",
+                            "labels": {"model": group.name},
+                            "value": group.quarantined_total})
         return samples
 
     def render_exposition(self) -> str:

@@ -13,13 +13,19 @@ Lifecycle::
 
     READY ──drain()──> DRAINING ──drained──> CLOSED
       │ ├──kill()───────────────────────────> DEAD
+      │ ├──quarantine()─────────────────────> QUARANTINED
       │ └──partition()──> PARTITIONED ──heal()──> READY
 
 A killed replica resolves all queued and in-flight requests as retryable
 :class:`~repro.server.types.Failed` (the fleet requeues them elsewhere); a
 partitioned replica is unreachable — submissions bounce with a retryable
 ``Failed`` and health probes fail — but keeps its state, modelling a
-network partition rather than a crash.
+network partition rather than a crash.  A *quarantined* replica is one the
+SDC defense caught corrupting data (ABFT checksum miss, scrub CRC
+mismatch, or a golden-vector divergence): it aborts exactly like a kill —
+so the fleet requeues its work on healthy peers and loses nothing — but
+the replica object is kept as a tombstone for forensics (its flight
+recorder, ``sdc_events`` and metrics survive) instead of being deleted.
 """
 from __future__ import annotations
 
@@ -35,6 +41,7 @@ STARTING = "starting"
 READY = "ready"
 DRAINING = "draining"
 PARTITIONED = "partitioned"
+QUARANTINED = "quarantined"   #: ejected for silent data corruption
 DEAD = "dead"
 CLOSED = "closed"
 
@@ -63,7 +70,7 @@ class Replica:
         answer with an already-resolved retryable
         :class:`~repro.server.types.Failed` instead of raising, so the
         fleet's failover path is uniform."""
-        if self.partitioned or self.state in (DEAD, CLOSED):
+        if self.partitioned or self.state in (DEAD, CLOSED, QUARANTINED):
             return self._unreachable(key, "replica is "
                                      + ("partitioned" if self.partitioned
                                         else self.state))
@@ -99,6 +106,22 @@ class Replica:
         self.state = DEAD
         self.server.kill()
 
+    def quarantine(self) -> None:
+        """Eject a replica caught serving corrupted state (terminal).
+
+        Same abort semantics as :meth:`kill` — every queued and in-flight
+        request resolves as a retryable
+        :class:`~repro.server.types.Failed` so the fleet re-runs it on a
+        healthy peer and no request is lost — but the state is
+        ``QUARANTINED``, a tombstone the fleet keeps (never self-heals
+        back, never deletes) so the corrupted server's flight-recorder
+        dumps and ``sdc_events`` stay inspectable.
+        """
+        if self.state in (QUARANTINED, DEAD, CLOSED):
+            return
+        self.state = QUARANTINED
+        self.server.kill()
+
     def partition(self) -> None:
         """Make the replica unreachable without killing it."""
         self.partitioned = True
@@ -108,7 +131,7 @@ class Replica:
         self.partitioned = False
 
     def close(self, timeout: float = 30.0) -> None:
-        if self.state != DEAD:
+        if self.state not in (DEAD, QUARANTINED):
             self.state = CLOSED
         self.server.close(timeout=timeout)
 
@@ -152,8 +175,10 @@ class Replica:
             "partitioned": self.partitioned,
             "active_version": self.active_version(),
             "healthy": self.healthy(),
+            "sdc_events": len(self.server.sdc_events),
             "pending": (self.pending_count()
-                        if self.state not in (DEAD, CLOSED) else 0),
+                        if self.state not in (DEAD, CLOSED, QUARANTINED)
+                        else 0),
             "uptime_s": round(time.monotonic() - self.created_t, 3),
             "window": window,
         }

@@ -1,0 +1,41 @@
+"""Runtime-side silent-data-corruption defense.
+
+:mod:`repro.export.integrity` protects artifacts *at rest* (SHA-256
+manifests, atomic publication); this package protects the serving stack
+*in memory*, where a bit flip in a live weight buffer or activation arena
+would otherwise serve wrong logits forever while reporting healthy.  The
+bit-exact integer runtime makes detection cheap and deterministic — every
+detector asserts equalities, never tolerances:
+
+* :mod:`~repro.integrity.abft` — ABFT column-checksum verification of
+  ``conv_mq``/``conv_mq_res``/``mulquant`` ops: checksum rows folded into
+  the plan at compile time (widths proven by the ``plan.checksum-overflow``
+  lint rule), verified on 1-in-N sampled batches against the live arena;
+* :mod:`~repro.integrity.scrub` — CRC32 scrubbing of resident packed
+  weights/requant tables and the arena guard borders, as a synchronous
+  scan or a rate-limited background :class:`MemoryScrubber` thread;
+* :mod:`~repro.integrity.golden` — golden-vector self-tests recorded by
+  ``deploy()``, replayed by ``Server.swap`` pre-cutover and by the fleet
+  health loop per replica.
+
+Every detection raises (or records) the typed :class:`SDCDetected`; the
+fleet reacts by moving the replica to the ``QUARANTINED`` lifecycle state
+and self-healing a replacement with zero lost requests.
+"""
+from repro.integrity.abft import (ABFT_KINDS, EXACT_F64_LIMIT, AbftChecker,
+                                  attach_checksums, checksum_row_bound,
+                                  read_register)
+from repro.integrity.errors import SDCDetected
+from repro.integrity.golden import GoldenSet
+from repro.integrity.scrub import (MemoryScrubber, ScrubReport,
+                                   arena_guard_faults, scrub_plan,
+                                   snapshot_constants)
+
+__all__ = [
+    "SDCDetected",
+    "AbftChecker", "attach_checksums", "checksum_row_bound",
+    "read_register", "ABFT_KINDS", "EXACT_F64_LIMIT",
+    "MemoryScrubber", "ScrubReport", "scrub_plan", "snapshot_constants",
+    "arena_guard_faults",
+    "GoldenSet",
+]

@@ -1,0 +1,34 @@
+"""Typed failure for runtime silent-data-corruption detection.
+
+The at-rest store raises :class:`~repro.export.errors.ArtifactError` when a
+*file* rots; :class:`SDCDetected` is its in-memory counterpart — raised when
+a *live* buffer (packed weights, requant tables, activation arena, golden
+reference) no longer matches what was proven at compile time.  Because the
+runtime is bit-exact integer arithmetic, every detector in
+:mod:`repro.integrity` asserts equalities, never tolerances: any mismatch is
+corruption, not noise.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class SDCDetected(RuntimeError):
+    """Silent data corruption detected in a live serving structure.
+
+    Attributes
+    ----------
+    source:
+        Which detector fired: ``"abft"`` (sampled checksum verification),
+        ``"scrub"`` (background CRC/guard-word scan) or ``"golden"``
+        (golden-vector self-test).
+    detail:
+        Structured context — op index/name, mismatching field, binding key —
+        for telemetry and quarantine records.
+    """
+
+    def __init__(self, source: str, message: str,
+                 detail: Optional[Dict] = None):
+        self.source = str(source)
+        self.detail = dict(detail or {})
+        super().__init__(f"SDC detected by {self.source}: {message}")

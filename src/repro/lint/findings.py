@@ -93,6 +93,8 @@ RULES: Dict[str, tuple] = {
         ERROR, "plan-level interval proof exceeds the accumulator width, the op's certified bound, or the module-level proof"),
     "plan.shift-inexact": (
         ERROR, "requant scale is not an exact power of two (po2 deploy-mode precondition)"),
+    "plan.checksum-overflow": (
+        ERROR, "ABFT column-checksum accumulator can exceed the 2^53 exact-float64 limit, so checksum equality would not be sound"),
     "plan.shape-mismatch": (
         ERROR, "op wiring inconsistent: register ids, shapes or operand dimensions disagree"),
     # -- engine bookkeeping (lint.*) -------------------------------------

@@ -49,7 +49,8 @@ from repro.lint.findings import (
     render_findings,
 )
 from repro.lint.intervals import Interval, accum_bounds, min_signed_bits
-from repro.runtime.kernels import EXACT_F32_LIMIT, conv_reassociation_bound
+from repro.runtime.kernels import (EXACT_F32_LIMIT, EXACT_F64_LIMIT,
+                                   conv_reassociation_bound)
 
 
 class PlanVerificationError(RuntimeError):
@@ -151,6 +152,7 @@ class PlanVerificationReport:
     findings: List[Finding] = field(default_factory=list)
     rows: List[Dict] = field(default_factory=list)
     shift_certificates: List[Dict] = field(default_factory=list)
+    checksum_certificates: List[Dict] = field(default_factory=list)
     liveness: Optional[PlanLiveness] = None
     checked_module_rows: int = 0
     #: the CompileSpec the plan was built under (fusion level, layout,
@@ -180,6 +182,11 @@ class PlanVerificationReport:
             "accumulators": self.rows,
             "shift": {"total": len(self.shift_certificates), "po2": po2,
                       "certificates": self.shift_certificates},
+            "checksum": {
+                "total": len(self.checksum_certificates),
+                "abft_safe": sum(c["abft_safe"]
+                                 for c in self.checksum_certificates),
+                "certificates": self.checksum_certificates},
             "liveness": (self.liveness.to_json()
                          if self.liveness is not None else None),
             "checked_module_rows": self.checked_module_rows,
@@ -207,6 +214,11 @@ class PlanVerificationReport:
             lines.append(f"  shift certificates: {po2}/"
                          f"{len(self.shift_certificates)} scales are exact "
                          f"powers of two")
+        if self.checksum_certificates:
+            safe = sum(c["abft_safe"] for c in self.checksum_certificates)
+            lines.append(f"  checksum certificates: {safe}/"
+                         f"{len(self.checksum_certificates)} conv checksum "
+                         f"accumulators proven float64-exact (ABFT-ready)")
         lines.append(render_findings(self.findings))
         s = findings_summary(self.findings)
         lines.append(f"plan verify: {s['errors']} error(s), "
@@ -230,6 +242,7 @@ class _PlanVerifier:
         self.findings: List[Finding] = []
         self.rows: List[Dict] = []
         self.certs: List[Dict] = []
+        self.checksum_certs: List[Dict] = []
         self.ranges: Dict[int, Interval] = {0: Interval.unbounded()}
         self.shapes: Dict[int, Tuple[int, ...]] = {}
         self.tokens: Optional[int] = None
@@ -508,6 +521,7 @@ class _PlanVerifier:
         acc = accum_bounds(w2d, x)
         self.record_accum(op.name, "conv_mq", acc)
         self._check_conv_certificate(i, op, x)
+        self._check_checksum_width(i, op, x)
         return self._requant(acc, op.mq)
 
     def _check_conv_certificate(self, i, op, x: Interval) -> None:
@@ -535,6 +549,36 @@ class _PlanVerifier:
                          f"re-derives {derived:.0f} — the plan no longer "
                          f"matches what the compiler proved")
 
+    def _check_checksum_width(self, i, op, x: Interval) -> None:
+        """Prove the ABFT column-checksum accumulator float64-exact.
+
+        The sampled verifier (:mod:`repro.integrity.abft`) sums the conv
+        accumulator *across* output channels and compares it, in float64,
+        against the checksum row folded in at compile time.  Both sides
+        (and every partial sum of either association order) are bounded by
+        ``sum_o sum_k |w_ok| * max|x|``; while that stays below 2^53 each
+        intermediate is an exactly representable integer, so the checksum
+        comparison is an equality.  An eligible (``exact_reassoc``) conv
+        whose bound reaches the limit is a ``plan.checksum-overflow``
+        error — the runtime would attach a checksum it cannot trust.
+        """
+        lo, hi = x.bounds()
+        amax = max(abs(lo), abs(hi))
+        w2d = np.abs(op.weight.astype(np.float64).reshape(
+            op.weight.shape[0], -1))
+        bound = float(w2d.sum() * amax)
+        eligible = bool(getattr(op, "exact_reassoc", False))
+        safe = bound < EXACT_F64_LIMIT
+        self.checksum_certs.append({
+            "op": i, "layer": op.name, "kind": op.kind,
+            "checksum_bound": bound, "eligible": eligible,
+            "abft_safe": safe})
+        if eligible and not safe:
+            self.finding("plan.checksum-overflow", self._site(i, op),
+                         f"checksum accumulator bound {bound:.0f} reaches "
+                         f"the 2^53 exact-float64 limit; the ABFT column "
+                         f"checksum would compare inexact sums")
+
     def _h_conv_raw(self, i, op) -> Interval:
         x = self._input(i, op).scalar()
         if op.padding:
@@ -557,6 +601,7 @@ class _PlanVerifier:
         acc = accum_bounds(w2d, x)
         self.record_accum(op.name, "conv_mq", acc)
         self._check_conv_certificate(i, op, x)
+        self._check_checksum_width(i, op, x)
         a = self._requant(acc, op.mq).scalar()
         s = self._input(i, op, 1).scalar()
         if op.smq is not None:
@@ -731,6 +776,7 @@ class _PlanVerifier:
             findings=self.findings,
             rows=self.rows,
             shift_certificates=self.certs,
+            checksum_certificates=self.checksum_certs,
             liveness=live,
             checked_module_rows=self.checked_module_rows,
             compile_spec=(spec.to_json()

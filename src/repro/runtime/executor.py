@@ -114,6 +114,42 @@ class Plan:
         self._batches = 0
         self._profiler: Optional[OpProfiler] = None
         self._verification = None  # cached default-config verify() report
+        self._abft = None          # sampled AbftChecker when enabled
+        self._abft_rows = None     # compile-time checksum rows (op index ->)
+        self._scrub_baseline = None  # CRC32 constant baseline for scrubbing
+
+    def __deepcopy__(self, memo):
+        """Deep-copy with *fresh* execution state.
+
+        The kernel closures cached in ``_Binding.fns`` capture their arena
+        (and the source op's packed weights) by reference, and Python
+        functions are atomic under ``deepcopy`` — so naively copying a plan
+        that has already executed would leave the copy's bindings writing
+        into the *original* plan's buffers while its own output register
+        stays stale.  Replication (fleet ``materialize``) deepcopies served
+        bundles, so the copy must rebind from scratch; the profiler/ABFT
+        checkers likewise hold back-references and are re-attached by their
+        owners on the copy.
+        """
+        import copy as _copy
+
+        cls = self.__class__
+        new = cls.__new__(cls)
+        memo[id(self)] = new
+        fresh = {
+            "_bindings": {},
+            "_profiler": None,
+            "_abft": None,
+            "_op_seconds": np.zeros(len(self.ops), dtype=np.float64),
+            "_op_calls": np.zeros(len(self.ops), dtype=np.int64),
+            "_batches": 0,
+        }
+        for k, v in self.__dict__.items():
+            if k in fresh:
+                new.__dict__[k] = fresh[k]
+            else:
+                new.__dict__[k] = _copy.deepcopy(v, memo)
+        return new
 
     # ------------------------------------------------------------- factory
     @classmethod
@@ -138,6 +174,7 @@ class Plan:
 
         with telemetry.trace("plan.compile", model=type(qnn).__name__):
             plan = compile_program(qnn, spec)
+        plan.capture_integrity_baseline()
         telemetry.emit("plan_compile", model=plan.model_name,
                        ops=len(plan.ops), registers=plan.num_regs,
                        layout=plan.layout, fusion=plan.spec.fusion,
@@ -205,6 +242,12 @@ class Plan:
         if sampling:
             prof.record(seconds - before, time.perf_counter() - w0)
         self._batches += 1
+        abft = self._abft
+        if abft is not None and abft.tick():
+            # registers stay live until the next batch, so the sampled
+            # checker reads them in place; a mismatch raises SDCDetected
+            # and the batch fails instead of serving corrupted logits
+            abft.check(binding)
         return regs[self.output_reg].copy()
 
     def serve(self, batches: Iterable, workers: int = 0,
@@ -221,6 +264,41 @@ class Plan:
         from repro.runtime.serve import serve_batches
 
         return serve_batches(self, batches, workers, pool_hook=pool_hook)
+
+    # ------------------------------------------------------------ integrity
+    def capture_integrity_baseline(self) -> None:
+        """Capture the SDC-defense baseline (checksum rows + constant CRCs).
+
+        Called by :meth:`compile`; idempotent and cheap (one pass over the
+        constant arrays), and re-runnable after an intentional mutation
+        (tests, chaos harness) to re-baseline.
+        """
+        from repro.integrity import attach_checksums, snapshot_constants
+
+        attach_checksums(self)
+        self._scrub_baseline = snapshot_constants(self)
+
+    def enable_abft(self, sample_every: int = 16):
+        """Attach (or replace) the sampled ABFT checker; returns it.
+
+        Every ``sample_every``-th batch one eligible op (round-robin) is
+        verified against its compile-time checksum row and the live arena;
+        a mismatch raises :class:`~repro.integrity.SDCDetected` from the
+        offending ``plan(batch)`` call.
+        """
+        from repro.integrity import AbftChecker
+
+        self._abft = AbftChecker(self, sample_every=sample_every)
+        return self._abft
+
+    def disable_abft(self) -> None:
+        self._abft = None
+
+    def scrub(self):
+        """One synchronous scrub pass (constant CRCs + arena guards)."""
+        from repro.integrity import scrub_plan
+
+        return scrub_plan(self)
 
     # ----------------------------------------------------------- profiling
     def enable_profiling(self, sample_every: int = 16) -> OpProfiler:

@@ -32,6 +32,12 @@ import numpy as np
 #: representable in float32 — the reassociation-safety threshold.
 EXACT_F32_LIMIT = float(2 ** 24)
 
+#: the float64 counterpart — the width the ABFT column-checksum accumulator
+#: (which sums *across* output channels) is proven against, since the
+#: sampled verifier recomputes both sides of the checksum identity in
+#: float64 (see repro.integrity.abft and the plan.checksum-overflow rule).
+EXACT_F64_LIMIT = float(2 ** 53)
+
 
 def broadcast_scale(v: np.ndarray, ndim: int, channel_axis: int) -> np.ndarray:
     """Broadcast-align a MulQuant scale/bias vector (mirrors MulQuant._broadcast)."""

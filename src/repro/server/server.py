@@ -48,6 +48,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import telemetry
+from repro.integrity.errors import SDCDetected
 from repro.runtime.serve import BatchFailed, PlanPool, WorkerDied, _can_fork
 from repro.server.registry import ModelEntry, ModelRegistry
 from repro.server.types import (Failed, Ok, Overloaded, PendingRequest,
@@ -87,7 +88,16 @@ class ServerConfig:
     #: directory for automatic flight-recorder dumps (None = in-memory only)
     dump_dir: Optional[str] = None
     dump_min_interval_s: float = 1.0  #: auto-dump cooldown (storm guard)
+    #: keep only the newest N on-disk flight dumps per lane (0 = unlimited)
+    max_dumps: int = 16
     trace_capacity: int = 2048       #: most-recent request trees kept
+    # -------------------------------------------------------- SDC defense
+    #: verify every N-th inline batch with the sampled ABFT checksum
+    #: checker (0 = off; pooled lanes skip it — forked workers own
+    #: copy-on-write plan copies the parent cannot corrupt or inspect)
+    abft_every: int = 0
+    #: background memory-scrub interval over active plans (0 = off)
+    scrub_interval_s: float = 0.0
     #: ``{model_name: {field: value}}`` overrides, e.g. per-model max_batch /
     #: max_inflight_batches (the per-model concurrency limit)
     per_model: Optional[Dict[str, Dict]] = None
@@ -176,6 +186,7 @@ class _Lane:
         self._last_dump_t = -math.inf
         self._dump_n = 0
         self._prof_key: Optional[str] = None
+        self._abft_key: Optional[str] = None
         self.pooled = self.cfg.workers >= 2 and _can_fork()
         self.expected_shape = self._declared_shape()
         self.thread = threading.Thread(target=self._run, daemon=True,
@@ -262,9 +273,30 @@ class _Lane:
                 self.cfg.dump_dir,
                 f"flight_{self.name}_{self._dump_n:03d}_{reason}.json")
         dump = self.flight.dump(reason, path=path, model=self.name)
+        if path is not None and self.cfg.max_dumps > 0:
+            self._rotate_dumps()
         telemetry.emit("server_flight_dump", model=self.name, reason=reason,
                        events=len(dump["events"]), path=path)
         return dump
+
+    def _rotate_dumps(self) -> None:
+        """Prune this lane's on-disk dumps to the newest ``max_dumps``.
+
+        Dump filenames embed a zero-padded per-lane counter, so a plain
+        lexicographic sort is age order; an unbounded dump directory on a
+        long-lived gateway is a disk-exhaustion incident waiting to happen.
+        """
+        prefix = f"flight_{self.name}_"
+        try:
+            names = sorted(n for n in os.listdir(self.cfg.dump_dir)
+                           if n.startswith(prefix) and n.endswith(".json"))
+        except OSError:
+            return
+        for stale in names[:-self.cfg.max_dumps]:
+            try:
+                os.remove(os.path.join(self.cfg.dump_dir, stale))
+            except OSError:
+                pass
 
     def _record_spans(self, records: List[Dict]) -> None:
         self.server.trace_store.add_many(records)
@@ -395,9 +427,20 @@ class _Lane:
                 and hasattr(plan, "enable_profiling")):
             plan.enable_profiling(sample_every=self.cfg.profile_every)
             self._prof_key = batch.entry.key
+        if (self.cfg.abft_every and plan is not None
+                and self._abft_key != batch.entry.key
+                and hasattr(plan, "enable_abft")):
+            plan.enable_abft(sample_every=self.cfg.abft_every)
+            self._abft_key = batch.entry.key
         t0 = time.perf_counter()
         try:
             y = batch.entry(batch.x)
+        except SDCDetected as exc:
+            # corruption, not workload: the requests themselves are fine —
+            # fail them retryable so a fleet router re-runs them on a
+            # healthy replica while this one gets quarantined
+            self.server.record_sdc(self.name, exc, lane=self)
+            self._fail_batch(batch, str(exc), retryable=True)
         except Exception as exc:
             self._fail_batch(batch, f"{type(exc).__name__}: {exc}",
                              retryable=False)
@@ -550,11 +593,13 @@ class _Lane:
             self.pool = None
             self._pool_key = None
         self.swap_target = None
+        self._abft_key = None        # re-arm ABFT on the incoming plan
         declared = entry.meta.get("input_shape")
         if declared is not None:     # new version may take a different shape
             self.expected_shape = tuple(declared)
         self.stats.swaps += 1
         telemetry.emit("server_swap", model=self.name, active=entry.key)
+        self.server._ensure_scrub(self.name)   # scrub the incoming plan
         self.swap_done.set()
 
     # ------------------------------------------------------------ resolution
@@ -711,6 +756,8 @@ class Server:
         self.killed = False        #: abrupt stop (replica-death simulation)
         self.drain_rejected = 0    #: submits bounced while draining
         self._t0 = time.time()
+        self.sdc_events: List[Dict] = []   #: live SDC detections, in order
+        self._scrubber = None              #: lazy shared MemoryScrubber
         self.trace_store = _live.TraceStore(
             capacity=self.config.trace_capacity)
         self._exporter: Optional[threading.Thread] = None
@@ -737,6 +784,10 @@ class Server:
             "deadline_miss": reg.counter(
                 "server_deadline_miss_total",
                 "answered after the request's deadline", labels=("model",)),
+            "sdc": reg.counter(
+                "server_sdc_detected_total",
+                "silent-data-corruption detections",
+                labels=("model", "source")),
         }
 
     def tracing_active(self) -> bool:
@@ -754,7 +805,100 @@ class Server:
                 if lane is None:
                     lane = _Lane(self, name)
                     self._lanes[name] = lane
+            self._ensure_scrub(name)
         return lane
+
+    # ---------------------------------------------------------- SDC defense
+    def record_sdc(self, model: str, exc, lane: Optional[_Lane] = None
+                   ) -> None:
+        """Account one live silent-data-corruption detection.
+
+        Counter + structured event + forced flight-recorder dump, and the
+        event lands in ``sdc_events`` — the flag a fleet health loop
+        quarantines the whole replica on (see
+        :meth:`repro.fleet.Fleet`).  Called from the lane on an ABFT
+        miss, from the scrubber's fault callback, and from fleet golden
+        probes; never from the pre-cutover swap gate (a refused *incoming*
+        version says nothing about the serving one).
+        """
+        source = getattr(exc, "source", "unknown")
+        self.sdc_events.append({
+            "model": model, "source": source, "error": str(exc),
+            "detail": getattr(exc, "detail", None) or {}, "t": time.time()})
+        self.metrics["sdc"].labels(model=model, source=source).inc()
+        telemetry.emit("server_sdc_detected", level="error", model=model,
+                       source=source, error=str(exc))
+        if lane is None:
+            lane = self._lanes.get(model)
+        if lane is not None:
+            lane.flight.record("sdc_detected", source=source,
+                               error=str(exc))
+            lane.auto_dump("sdc", force=True, source=source)
+
+    @property
+    def sdc_detected(self) -> bool:
+        """True once any live SDC (ABFT, scrub or golden) was recorded."""
+        return bool(self.sdc_events)
+
+    @staticmethod
+    def _entry_golden(entry: ModelEntry):
+        """The entry's deploy-time golden vectors: the ``Deployed`` bundle's
+        :class:`~repro.integrity.GoldenSet`, or one rebuilt from the
+        manifest-shaped dict registered under ``meta['golden']``."""
+        golden = (getattr(entry.deployed, "golden", None)
+                  if entry.deployed is not None else None)
+        if golden is None and entry.meta.get("golden") is not None:
+            from repro.integrity import GoldenSet
+
+            golden = GoldenSet.from_json(entry.meta["golden"])
+        return golden
+
+    def _ensure_scrub(self, name: str) -> None:
+        """Register ``name``'s active plan with the background scrubber
+        (started lazily on the first plan-backed lane)."""
+        if self.config.scrub_interval_s <= 0 or self.closing:
+            return
+        try:
+            plan = self.registry.get(name).plan
+        except KeyError:
+            return
+        if plan is None:
+            return
+        if self._scrubber is None:
+            from repro.integrity import MemoryScrubber
+
+            self._scrubber = MemoryScrubber(
+                interval_s=self.config.scrub_interval_s,
+                on_fault=self._on_scrub_fault, name="server").start()
+        self._scrubber.add(name, plan)
+
+    def _on_scrub_fault(self, name: str, report) -> None:
+        try:
+            report.raise_if_failed()
+        except SDCDetected as exc:
+            self.record_sdc(name, exc)
+
+    def scrub_now(self) -> List:
+        """One synchronous scrub pass over every registered plan (faults
+        route through :meth:`record_sdc` like background scans)."""
+        if self._scrubber is None:
+            from repro.integrity import MemoryScrubber
+
+            self._scrubber = MemoryScrubber(
+                interval_s=max(self.config.scrub_interval_s, 1.0),
+                on_fault=self._on_scrub_fault, name="server")
+        # re-sync targets every pass: lanes appear lazily and swaps
+        # replace the active plan object
+        with self._lock:
+            names = list(self._lanes)
+        for name in names:
+            try:
+                plan = self.registry.get(name).plan
+            except KeyError:
+                continue
+            if plan is not None:
+                self._scrubber.add(name, plan)
+        return self._scrubber.scan_once()
 
     def next_batch_id(self) -> int:
         return next(self._batch_ids)
@@ -864,6 +1008,20 @@ class Server:
                                model=name, version=version, reason="plan",
                                errors=vreport.to_json()["summary"]["errors"])
                 raise PlanVerificationError(vreport)
+        golden = self._entry_golden(entry)
+        if golden is not None:
+            # pre-cutover self-test: replay the deploy-time golden vectors
+            # through the incoming version; a mismatch refuses the swap
+            # while the old version keeps serving
+            try:
+                golden.check(lambda x: np.asarray(entry(x)))
+            except SDCDetected as exc:
+                self.metrics["sdc"].labels(model=name,
+                                           source=exc.source).inc()
+                telemetry.emit("server_swap_rejected", level="error",
+                               model=name, version=version, reason="golden",
+                               error=str(exc))
+                raise
         lane = self._lane(name)
         lane.request_swap(version)
         if not lane.swap_done.wait(timeout):
@@ -932,6 +1090,8 @@ class Server:
             "tracing": self.tracing_active(),
             "traces_held": len(self.trace_store),
             "traces_evicted": self.trace_store.evicted,
+            "sdc": {"events": len(self.sdc_events),
+                    "last": self.sdc_events[-1] if self.sdc_events else None},
             "models": models,
         }
 
@@ -958,6 +1118,9 @@ class Server:
                     ("server_queue_depth_now", len(lane.queue))):
                 samples.append({"name": metric, "kind": "gauge",
                                 "labels": lab, "value": value})
+        # always present (the labeled sdc counter only renders once hit)
+        samples.append({"name": "server_sdc_events", "kind": "gauge",
+                        "labels": {}, "value": len(self.sdc_events)})
         return samples
 
     def render_exposition(self) -> str:
@@ -1097,6 +1260,8 @@ class Server:
         for lane in lanes:
             lane._abort("replica killed")
             lane.close()        # wake the scheduler thread so it exits
+        if self._scrubber is not None:
+            self._scrubber.stop()
         self.stop_status_export()
 
     def close(self, timeout: float = 30.0) -> None:
@@ -1109,6 +1274,8 @@ class Server:
         deadline = time.monotonic() + timeout
         for lane in lanes:
             lane.thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self._scrubber is not None:
+            self._scrubber.stop()
         self.stop_status_export()
 
     def __enter__(self) -> "Server":

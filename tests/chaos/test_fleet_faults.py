@@ -94,6 +94,33 @@ def test_fleet_faults_are_seed_deterministic():
     assert victims[0] == victims[1], f"same seed, different victim: {victims}"
 
 
+def test_partition_rejoin_is_ring_idempotent():
+    """A healed replica rejoins at *exactly* its original vnode positions.
+
+    Vnode hashes are a pure function of the member id
+    (``hash64(f"{member}#{i}", salt="ring")``), so a partition round-trip
+    must restore the ring byte for byte — re-admission never reshuffles
+    keys between the survivors.
+    """
+    from repro.fleet.router import ROLE_STABLE
+
+    fleet = _fleet()
+    try:
+        assert fleet.submit("m", _sample()).result(timeout=10).ok
+        with fleet.router._lock:
+            before = list(fleet.router._ring("m", ROLE_STABLE)._points)
+        report = ChaosPlan(seed=2).add("partition_replica").run_fleet(
+            fleet, "m", _sample())
+        rec = report.records[0]
+        assert rec.detected and rec.recovered, report.render()
+        with fleet.router._lock:
+            after = list(fleet.router._ring("m", ROLE_STABLE)._points)
+        assert before == after, (
+            "ring changed across a partition/heal round-trip")
+    finally:
+        fleet.close()
+
+
 def test_kill_requires_spare_capacity():
     fleet = _fleet(replicas=1)
     try:

@@ -1,0 +1,37 @@
+"""Shared fixtures for the runtime silent-data-corruption defense suite.
+
+Everything here carries the ``sdc`` marker so the suite can be selected
+(``-m sdc``) or excluded in isolation.  One compiled, golden-carrying
+deploy bundle is built per session; tests that corrupt state always work
+on a deep copy (safe since :class:`~repro.runtime.executor.Plan` resets
+its execution state under ``deepcopy``).
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DeploySpec, deploy
+from repro.core.qconfig import QConfig
+from repro.core.qmodels import quantize_model
+from repro.core.t2c import calibrate_model
+from repro.models import build_model
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.sdc)
+
+
+@pytest.fixture(scope="session")
+def sdc_deployed():
+    """``(Deployed, batch)``: a compiled resnet20 bundle with golden
+    vectors recorded, plus a deterministic probe batch."""
+    rng = np.random.default_rng(20240)
+    qm = quantize_model(build_model("resnet20", num_classes=10, width=8),
+                        QConfig(8, 8))
+    calibrate_model(qm, [rng.standard_normal((4, 3, 32, 32))
+                         .astype(np.float32) for _ in range(2)])
+    d = deploy(qm, DeploySpec())
+    x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+    return d, x

@@ -212,6 +212,32 @@ class TestFlightRecorder:
             with open(path) as f:
                 assert "stub" in json.load(f)
 
+    def test_dump_dir_rotates_to_max_dumps(self, tmp_path):
+        """Auto-dumps must not grow without bound: with ``max_dumps=N``
+        only the newest N on-disk dumps per lane survive each write."""
+        with _stub_server(workers=0, dump_dir=str(tmp_path),
+                          max_dumps=3) as srv:
+            assert srv.submit("stub", stub_sample(1.0)).result(30).ok
+            lane = srv._lanes["stub"]
+            for i in range(8):
+                assert lane.auto_dump(f"test{i}", force=True) is not None
+            dumps = sorted(f for f in os.listdir(tmp_path)
+                           if f.startswith("flight_stub_"))
+            assert len(dumps) == 3, dumps
+            # the survivors are the *newest* three (sequence-numbered names)
+            assert [d.split("_")[2] for d in dumps] == ["006", "007", "008"]
+
+    def test_dump_rotation_unlimited_when_zero(self, tmp_path):
+        with _stub_server(workers=0, dump_dir=str(tmp_path),
+                          max_dumps=0) as srv:
+            assert srv.submit("stub", stub_sample(1.0)).result(30).ok
+            lane = srv._lanes["stub"]
+            for i in range(5):
+                lane.auto_dump(f"test{i}", force=True)
+            dumps = [f for f in os.listdir(tmp_path)
+                     if f.startswith("flight_stub_")]
+            assert len(dumps) == 5, dumps
+
 
 class TestStatusSurface:
     def test_status_and_exposition_coherent(self):
